@@ -1,0 +1,3 @@
+event ssh_banner(version: string, software: string) {
+    print software, version;
+}

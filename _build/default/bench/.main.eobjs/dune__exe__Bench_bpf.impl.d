@@ -1,0 +1,1 @@
+bench/bench_bpf.ml: Bench_util Bpf_expr Bpf_hilti Bpf_vm Builder Hilti_bpf Hilti_net Hilti_traces Hilti_types Hilti_vm Htype Int64 List Module_ir Printf

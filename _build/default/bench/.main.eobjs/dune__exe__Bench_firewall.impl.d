@@ -1,0 +1,1 @@
+bench/bench_firewall.ml: Bench_util Fw_hilti Fw_rules Hilti_firewall Hilti_net Hilti_traces List Printf

@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Bench_util Classifier Exp_map Fiber Hilti_rt Hilti_types Int64 List Printf Regexp Timer_mgr

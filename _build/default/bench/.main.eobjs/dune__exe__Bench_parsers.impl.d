@@ -1,0 +1,1 @@
+bench/bench_parsers.ml: Bench_util Dns_pac Driver Float Hilti_analyzers Hilti_traces Http_pac Lazy Mini_bro Printf

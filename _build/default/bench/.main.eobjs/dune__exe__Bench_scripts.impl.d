@@ -1,0 +1,1 @@
+bench/bench_scripts.ml: Bench_util Driver Float Hilti_analyzers Hilti_traces Lazy Mini_bro Printf

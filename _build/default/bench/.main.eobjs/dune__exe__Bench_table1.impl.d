@@ -1,0 +1,1 @@
+bench/bench_table1.ml: Bench_util Isa List Printf

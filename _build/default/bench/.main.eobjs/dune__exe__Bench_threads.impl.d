@@ -1,0 +1,1 @@
+bench/bench_threads.ml: Bench_util Binpacxx Builder Codegen Grammars Hilti_net Hilti_rt Hilti_traces Hilti_types Hilti_vm Htype Instr Int64 List Module_ir Printf

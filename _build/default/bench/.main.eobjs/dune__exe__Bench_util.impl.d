@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Bechamel Benchmark Gc Hashtbl Instance Int64 List Measure Option Printf Staged String Sys Test Time Toolkit Unix

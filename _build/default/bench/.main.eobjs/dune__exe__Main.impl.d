@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablations Bench_bpf Bench_firewall Bench_micro Bench_parsers Bench_scripts Bench_table1 Bench_threads List Printf Sys

@@ -1,0 +1,25 @@
+(** Table 1 / §3.2 instruction-set inventory: group coverage and the
+    "about 200 instructions" count, straight from the ISA table. *)
+
+let run () =
+  Bench_util.header "Table 1: HILTI's main instruction groups";
+  let count_group g =
+    List.length (List.filter (fun e -> e.Isa.group = g) Isa.entries)
+  in
+  let mid = (List.length Isa.table1 + 1) / 2 in
+  let left = List.filteri (fun i _ -> i < mid) Isa.table1 in
+  let right = List.filteri (fun i _ -> i >= mid) Isa.table1 in
+  let rec zip l r =
+    match (l, r) with
+    | [], [] -> ()
+    | (fl, gl) :: tl, (fr, gr) :: tr ->
+        Printf.printf "%-24s %-12s (%2d) | %-24s %-12s (%2d)\n" fl gl (count_group gl)
+          fr gr (count_group gr);
+        zip tl tr
+    | (fl, gl) :: tl, [] ->
+        Printf.printf "%-24s %-12s (%2d) |\n" fl gl (count_group gl);
+        zip tl []
+    | [], _ :: _ -> ()
+  in
+  zip left right;
+  Printf.printf "\ntotal instructions: %d (paper: \"about 200\")\n" Isa.count

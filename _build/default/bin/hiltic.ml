@@ -1,0 +1,98 @@
+(** hiltic — the HILTI compiler driver (§3.1, Fig. 3).
+
+    Compiles textual HILTI (.hlt) modules and, like the prototype's
+    [hiltic -j], can JIT-execute the result directly by calling the
+    module's [run] entry point. *)
+
+let usage =
+  {|hiltic — HILTI compiler (JIT mode)
+
+usage: hiltic [options] <file.hlt> [more.hlt ...]
+
+options:
+  -p         print the parsed IR and exit
+  -d         print the lowered bytecode (disassembly) and exit
+  -c         validate and compile only (no execution)
+  -e NAME    entry point to call (default: <module>::run)
+  -O0        disable the HILTI-level optimization pipeline
+  -v         print compilation statistics
+|}
+
+let () =
+  let files = ref [] in
+  let print_ir = ref false in
+  let disasm = ref false in
+  let compile_only = ref false in
+  let optimize = ref true in
+  let verbose = ref false in
+  let entry = ref None in
+  let rec parse_args = function
+    | [] -> ()
+    | "-p" :: rest -> print_ir := true; parse_args rest
+    | "-d" :: rest -> disasm := true; parse_args rest
+    | "-c" :: rest -> compile_only := true; parse_args rest
+    | "-O0" :: rest -> optimize := false; parse_args rest
+    | "-v" :: rest -> verbose := true; parse_args rest
+    | "-e" :: name :: rest -> entry := Some name; parse_args rest
+    | ("-h" | "--help") :: _ -> print_string usage; exit 0
+    | f :: rest -> files := f :: !files; parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let files = List.rev !files in
+  if files = [] then begin
+    print_string usage;
+    exit 1
+  end;
+  let read_file f =
+    let ic = open_in_bin f in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  try
+    let modules =
+      List.map (fun f -> Hilti_lang.Parser.parse_module (read_file f)) files
+    in
+    if !print_ir then begin
+      List.iter (fun m -> print_string (Pretty.module_to_string m)) modules;
+      exit 0
+    end;
+    let api = Hilti_vm.Host_api.compile ~optimize:!optimize modules in
+    if !verbose then begin
+      Printf.eprintf "compiled %d module(s), %d bytecode instructions\n"
+        (List.length modules)
+        (Hilti_vm.Host_api.code_size api);
+      match api.Hilti_vm.Host_api.opt_stats with
+      | Some stats ->
+          Printf.eprintf "optimizations: %s\n" (Hilti_passes.Pipeline.stats_to_string stats)
+      | None -> ()
+    end;
+    if !disasm then begin
+      print_string (Hilti_vm.Bytecode.disassemble api.Hilti_vm.Host_api.ctx.Hilti_vm.Vm.program);
+      exit 0
+    end;
+    if not !compile_only then begin
+      let entry =
+        match !entry with
+        | Some e -> e
+        | None -> (
+            match modules with
+            | m :: _ -> m.Module_ir.mname ^ "::run"
+            | [] -> assert false)
+      in
+      ignore (Hilti_vm.Host_api.call api entry [])
+    end
+  with
+  | Hilti_lang.Parser.Parse_error (msg, line) ->
+      Printf.eprintf "parse error: %s (line %d)\n" msg line;
+      exit 1
+  | Hilti_lang.Lexer.Lex_error (msg, line) ->
+      Printf.eprintf "lex error: %s (line %d)\n" msg line;
+      exit 1
+  | Hilti_vm.Host_api.Compile_error errors ->
+      List.iter (Printf.eprintf "error: %s\n") errors;
+      exit 1
+  | Hilti_vm.Value.Hilti_error e ->
+      Printf.eprintf "uncaught HILTI exception: %s(%s)\n" e.Hilti_vm.Value.ename
+        (Hilti_vm.Value.to_string e.Hilti_vm.Value.earg);
+      exit 1

@@ -1,0 +1,178 @@
+(** mini-bro — the Bro-like host application (§4, Fig. 8(c)).
+
+    Reads a pcap trace (or generates a synthetic one), runs the bundled
+    HTTP/DNS/scan analysis scripts over it with either the standard or the
+    BinPAC++ protocol parsers, with the scripts either interpreted or
+    compiled to HILTI ([compile_scripts=T]), and writes Bro-style logs. *)
+
+let usage =
+  {|mini-bro — Bro-like traffic analysis over HILTI
+
+usage: mini-bro [options]
+
+input (one required):
+  -r FILE          read packets from a pcap trace
+  -g http[:N]      generate a synthetic HTTP trace (N sessions, default 200)
+  -g dns[:N]       generate a synthetic DNS trace (N transactions, default 2000)
+
+analysis:
+  -proto http|dns  which analyzer to run (default: guessed from -g, else http)
+  -parsers std|pac standard hand-written or BinPAC++/HILTI parsers (default std)
+  -compile-scripts run scripts compiled to HILTI instead of interpreted
+  -w DIR           write http.log/files.log/dns.log into DIR (default .)
+  -quiet           do not write logs, just report counts
+  -profile FILE    dump profiler measurements to FILE (§3.3)
+
+Fig. 7(d) mode — positional files instead of -proto:
+  mini-bro -r ssh.trace ssh.evt ssh.bro
+  mini-bro -g ssh:20 examples/data/ssh.evt examples/data/ssh.bro
+An .evt file configures a BinPAC++ analyzer (its grammar is loaded
+relative to the .evt); .bro files supply the event handlers.
+|}
+
+let read_file f =
+  let ic = open_in_bin f in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let input = ref None in
+  let proto = ref None in
+  let parsers = ref "std" in
+  let compiled = ref false in
+  let outdir = ref "." in
+  let quiet = ref false in
+  let profile = ref None in
+  let evt_files = ref [] in
+  let bro_files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "-r" :: f :: rest -> input := Some (`Pcap f); parse_args rest
+    | "-g" :: spec :: rest -> input := Some (`Gen spec); parse_args rest
+    | "-proto" :: p :: rest -> proto := Some p; parse_args rest
+    | "-parsers" :: p :: rest -> parsers := p; parse_args rest
+    | "-compile-scripts" :: rest -> compiled := true; parse_args rest
+    | "-w" :: d :: rest -> outdir := d; parse_args rest
+    | "-quiet" :: rest -> quiet := true; parse_args rest
+    | "-profile" :: f :: rest -> profile := Some f; parse_args rest
+    | ("-h" | "--help") :: _ -> print_string usage; exit 0
+    | f :: rest when Filename.check_suffix f ".evt" ->
+        evt_files := f :: !evt_files;
+        parse_args rest
+    | f :: rest when Filename.check_suffix f ".bro" ->
+        bro_files := f :: !bro_files;
+        parse_args rest
+    | a :: _ ->
+        Printf.eprintf "unknown argument %s\n%s" a usage;
+        exit 1
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let records, default_proto =
+    match !input with
+    | Some (`Pcap f) -> (Hilti_net.Pcap.read_file f, "http")
+    | Some (`Gen spec) -> (
+        match String.split_on_char ':' spec with
+        | "http" :: rest ->
+            let sessions =
+              match rest with [ n ] -> int_of_string n | _ -> 200
+            in
+            ( (Hilti_traces.Http_gen.generate
+                 { Hilti_traces.Http_gen.default with sessions })
+                .Hilti_traces.Http_gen.records,
+              "http" )
+        | "dns" :: rest ->
+            let transactions =
+              match rest with [ n ] -> int_of_string n | _ -> 2000
+            in
+            ( (Hilti_traces.Dns_gen.generate
+                 { Hilti_traces.Dns_gen.default with transactions })
+                .Hilti_traces.Dns_gen.records,
+              "dns" )
+        | "ssh" :: rest ->
+            let sessions = match rest with [ n ] -> int_of_string n | _ -> 20 in
+            ( (Hilti_traces.Ssh_gen.generate
+                 { Hilti_traces.Ssh_gen.default with sessions })
+                .Hilti_traces.Ssh_gen.records,
+              "evt" )
+        | _ ->
+            Printf.eprintf "bad -g spec %s\n" spec;
+            exit 1)
+    | None ->
+        print_string usage;
+        exit 1
+  in
+  (* Fig. 7(d) mode: .evt + .bro files drive a BinPAC++ analyzer. *)
+  if !evt_files <> [] then begin
+    let script =
+      Mini_bro.Bro_parse.parse
+        (String.concat "\n" (List.map read_file (List.rev !bro_files)))
+    in
+    let engine_mode =
+      if !compiled then Mini_bro.Bro_engine.Compiled
+      else Mini_bro.Bro_engine.Interpreted
+    in
+    let engine = Mini_bro.Bro_engine.load engine_mode script in
+    let sink = Hilti_analyzers.Events.engine_sink engine in
+    List.iter
+      (fun evt_file ->
+        let cfg = Hilti_analyzers.Evt.parse (read_file evt_file) in
+        let grammar_path =
+          Filename.concat (Filename.dirname evt_file) cfg.Hilti_analyzers.Evt.grammar_file
+        in
+        let grammar = Binpacxx.Grammar_parser.parse (read_file grammar_path) in
+        let loaded = Hilti_analyzers.Evt.load cfg grammar in
+        let stats = Hilti_analyzers.Driver.run_evt ~loaded ~sink records in
+        Printf.eprintf "%s: %d packets, %d connections, %d events\n" evt_file
+          stats.Hilti_analyzers.Driver.packets
+          stats.Hilti_analyzers.Driver.connections
+          stats.Hilti_analyzers.Driver.events)
+      (List.rev !evt_files);
+    exit 0
+  end;
+  let proto = Option.value ~default:default_proto !proto in
+  let scripts = Mini_bro.Bro_scripts.parse_all () in
+  let engine_mode =
+    if !compiled then Mini_bro.Bro_engine.Compiled
+    else Mini_bro.Bro_engine.Interpreted
+  in
+  let open Hilti_analyzers in
+  let proto_kind =
+    match (proto, !parsers) with
+    | "http", "std" -> `Http Driver.Http_std
+    | "http", "pac" -> `Http (Driver.Http_pac (Http_pac.load ()))
+    | "dns", "std" -> `Dns Driver.Dns_std
+    | "dns", "pac" -> `Dns (Driver.Dns_pac (Dns_pac.load ()))
+    | p, k ->
+        Printf.eprintf "bad -proto %s / -parsers %s\n" p k;
+        exit 1
+  in
+  let result =
+    Driver.evaluate ~proto:proto_kind ~engine_mode ~scripts ~logging:(not !quiet)
+      records
+  in
+  Printf.printf
+    "processed %d packets, %d connections, %d events (parsers=%s scripts=%s)\n"
+    result.Driver.stats.Driver.packets result.Driver.stats.Driver.connections
+    result.Driver.stats.Driver.events !parsers
+    (if !compiled then "compiled-to-HILTI" else "interpreted");
+  Printf.printf "time: total %.1f ms (parse %.1f, script %.1f, glue %.1f)\n"
+    (Int64.to_float result.Driver.total_ns /. 1e6)
+    (Int64.to_float result.Driver.parse_ns /. 1e6)
+    (Int64.to_float result.Driver.script_ns /. 1e6)
+    (Int64.to_float result.Driver.glue_ns /. 1e6);
+  (match !profile with
+  | Some path ->
+      Hilti_rt.Profiler.write_report path;
+      Printf.printf "wrote profiler report to %s\n" path
+  | None -> ());
+  if not !quiet then begin
+    let streams = if proto = "http" then [ "http"; "files" ] else [ "dns" ] in
+    List.iter
+      (fun s ->
+        let path = Filename.concat !outdir (s ^ ".log") in
+        Mini_bro.Bro_log.write_file result.Driver.logger s path;
+        Printf.printf "wrote %s (%d lines)\n" path
+          (Mini_bro.Bro_log.row_count result.Driver.logger s))
+      streams
+  end

@@ -1,0 +1,1 @@
+examples/packet_filter.ml: Hilti_bpf Hilti_net Hilti_traces Hilti_types List Pretty Printf

@@ -1,0 +1,1 @@
+examples/packet_filter.mli:

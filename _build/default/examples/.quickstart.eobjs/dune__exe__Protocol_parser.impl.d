@@ -1,0 +1,1 @@
+examples/protocol_parser.ml: Binpacxx Codegen Grammars List Module_ir Printf Runtime String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Hilti_lang Hilti_vm Htype Module_ir Pretty

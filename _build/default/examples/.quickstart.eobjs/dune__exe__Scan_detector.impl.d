@@ -1,0 +1,1 @@
+examples/scan_detector.ml: Addr Buffer Builder Fun Hilti_analyzers Hilti_net Hilti_rt Hilti_types Hilti_vm Htype Instr List Mini_bro Module_ir Port Printf Time_ns

@@ -1,0 +1,1 @@
+examples/scan_detector.mli:

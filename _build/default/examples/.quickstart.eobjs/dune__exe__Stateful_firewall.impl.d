@@ -1,0 +1,1 @@
+examples/stateful_firewall.ml: Addr Hilti_firewall Hilti_types Interval_ns List Module_ir Printf Time_ns

@@ -1,0 +1,1 @@
+examples/stateful_firewall.mli:

@@ -1,0 +1,55 @@
+(** The BinPAC++ exemplar (§4 "A Yacc for Network Protocols", Fig. 6/7).
+
+    Shows the SSH banner grammar of Fig. 7 and the HTTP request-line
+    grammar of Fig. 6 in action: compiled to HILTI, driven both on
+    complete input and incrementally — the parser suspends in a fiber when
+    input runs out and resumes transparently when more arrives. *)
+
+open Binpacxx
+
+let () =
+  (* --- SSH banners (Fig. 7) ---------------------------------------------- *)
+  print_endline "== SSH banner grammar (Fig. 7a):";
+  print_string Grammars.ssh;
+  let ssh = Runtime.load (Grammars.parse_ssh ()) in
+  List.iter
+    (fun banner ->
+      let st = Runtime.parse_string ssh ~unit_name:"Banner" banner in
+      (* The ssh_banner event of Fig. 7(c/d). *)
+      Printf.printf "ssh_banner -> %s, %s\n"
+        (Runtime.field_bytes st "software")
+        (Runtime.field_bytes st "version"))
+    [ "SSH-1.99-OpenSSH_3.9p1\r\n"; "SSH-2.0-OpenSSH_3.8.1p1\r\n" ];
+
+  (* --- HTTP request line (Fig. 6), fed byte by byte ----------------------- *)
+  print_endline "\n== HTTP request parsed incrementally (Fig. 6c debugging view):";
+  let http = Runtime.load (Grammars.parse_http ()) in
+  let request = "GET /index.html HTTP/1.1\r\nHost: www\r\n\r\n" in
+  let s = Runtime.session http ~unit_name:"Request" in
+  let suspensions = ref 0 in
+  String.iter
+    (fun c ->
+      match Runtime.feed s (String.make 1 c) with
+      | Runtime.Blocked -> incr suspensions
+      | _ -> ())
+    request;
+  (match Runtime.finish s with
+  | Runtime.Done st ->
+      let rl = Runtime.field_exn st "request" in
+      Printf.printf "[binpac] RequestLine\n";
+      Printf.printf "[binpac]   method = '%s'\n" (Runtime.field_bytes rl "method");
+      Printf.printf "[binpac]   uri    = '%s'\n" (Runtime.field_bytes rl "uri");
+      Printf.printf "[binpac] Version\n";
+      Printf.printf "[binpac]   number = '%s'\n"
+        (Runtime.field_bytes (Runtime.field_exn rl "version") "number");
+      Printf.printf "(the parse fiber suspended %d times waiting for input)\n"
+        !suspensions
+  | Runtime.Blocked -> print_endline "still blocked?!"
+  | Runtime.Failed e -> print_endline ("parse failed: " ^ e));
+
+  (* --- The C-prototype view (Fig. 6b): what a host application links ------ *)
+  print_endline "\n== exported parse functions (the generated \"C stubs\", Fig. 6b):";
+  List.iter
+    (fun (f : Module_ir.func) ->
+      if f.Module_ir.exported then Printf.printf "  %s\n" f.Module_ir.fname)
+    (Codegen.compile (Grammars.parse_http ())).Module_ir.funcs

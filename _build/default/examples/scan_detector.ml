@@ -1,0 +1,97 @@
+(** The scan detector of §7 ("Global State"), in two forms:
+
+    1. as a Mini-Bro script running over a synthetic trace — per-source
+       connection counting with a threshold, under both the interpreter
+       and the HILTI-compiled engine;
+    2. as the scoped-scheduling concurrency pattern §7 describes: the same
+       per-source counters kept in thread-local state, with all activity
+       for one source routed to the same virtual thread by hash — no
+       locks, no shared state. *)
+
+open Hilti_types
+
+let () =
+  (* --- 1. The script, both engines ---------------------------------------- *)
+  let script = Mini_bro.Bro_scripts.parse_scan () in
+  let run mode =
+    let engine = Mini_bro.Bro_engine.load mode script in
+    let out = Buffer.create 64 in
+    Mini_bro.Bro_engine.set_print_sink engine (fun s -> Buffer.add_string out (s ^ "\n"));
+    (* One noisy scanner among normal clients. *)
+    for i = 1 to 30 do
+      let orig = if i mod 3 = 0 then "10.0.0.66" else Printf.sprintf "10.0.1.%d" i in
+      let conn =
+        Hilti_analyzers.Events.connection_val ~uid:(Printf.sprintf "C%d" i)
+          ~flow:
+            (Hilti_net.Flow.make ~src:(Addr.of_string orig)
+               ~dst:(Addr.of_string (Printf.sprintf "10.9.0.%d" i))
+               ~src_port:(Port.tcp (10000 + i)) ~dst_port:(Port.tcp 22))
+          ~start_time:(Time_ns.of_secs 1_400_000_000)
+      in
+      (* The scanner needs 20 attempts to trip the threshold. *)
+      let reps = if orig = "10.0.0.66" then 3 else 1 in
+      for _ = 1 to reps do
+        Mini_bro.Bro_engine.dispatch engine "connection_established" [ conn ]
+      done
+    done;
+    Mini_bro.Bro_engine.dispatch engine "bro_done" [];
+    Buffer.contents out
+  in
+  print_endline "== scan.bro, interpreted:";
+  print_string (run Mini_bro.Bro_engine.Interpreted);
+  print_endline "== scan.bro, compiled to HILTI:";
+  print_string (run Mini_bro.Bro_engine.Compiled);
+
+  (* --- 2. Scoped scheduling across virtual threads ------------------------- *)
+  print_endline "\n== the same detector as thread-local HILTI state (§7):";
+  let m = Module_ir.create "Scan" in
+  (* Thread-local globals: each virtual thread counts its own sources. *)
+  Module_ir.add_global m "attempts" (Htype.Ref (Htype.Map (Htype.Addr, Htype.Int 64)));
+  Module_ir.add_global m "initialized" Htype.Bool;
+  let b = Builder.func m "Scan::count" ~exported:true
+      ~params:[ ("src", Htype.Addr) ] ~result:Htype.Void
+  in
+  Builder.if_else b (Instr.Global "initialized") ~then_:"ready" ~else_:"setup";
+  Builder.set_block b "setup";
+  let mv = Builder.emit b (Htype.Ref (Htype.Map (Htype.Addr, Htype.Int 64))) "new"
+      [ Instr.Type_op (Htype.Map (Htype.Addr, Htype.Int 64)) ] in
+  Builder.instr b ~target:"attempts" "assign" [ mv ];
+  Builder.instr b ~target:"initialized" "assign" [ Builder.const_bool true ];
+  Builder.jump b "ready";
+  Builder.set_block b "ready";
+  let c = Builder.emit b (Htype.Int 64) "map.get_default"
+      [ Instr.Global "attempts"; Instr.Local "src"; Builder.const_int 0 ] in
+  let c1 = Builder.emit b (Htype.Int 64) "int.add" [ c; Builder.const_int 1 ] in
+  Builder.instr b "map.insert" [ Instr.Global "attempts"; Instr.Local "src"; c1 ];
+  let hit = Builder.emit b Htype.Bool "int.eq" [ c1; Builder.const_int 20 ] in
+  Builder.if_else b hit ~then_:"alarm" ~else_:"done";
+  Builder.set_block b "alarm";
+  let tid = Builder.emit b (Htype.Int 64) "thread.id" [] in
+  let msg = Builder.emit b Htype.String "string.format"
+      [ Builder.const_string "scanner detected: %s (on virtual thread %d)";
+        Instr.Local "src"; tid ] in
+  Builder.call b "Hilti::print" [ msg ];
+  Builder.jump b "done";
+  Builder.set_block b "done";
+  Builder.return_ b;
+  let api = Hilti_vm.Host_api.compile [ m ] in
+  (* Route each source to a virtual thread by address hash: all counting
+     for one source is serialized on one thread, so no synchronization is
+     needed (§3.2's scoped scheduling). *)
+  let sources =
+    List.concat_map
+      (fun i ->
+        if i = 0 then List.init 25 (fun _ -> "172.16.3.3")
+        else [ Printf.sprintf "172.16.1.%d" i ])
+      (List.init 20 Fun.id)
+  in
+  List.iter
+    (fun src ->
+      let a = Addr.of_string src in
+      let tid = Hilti_rt.Scheduler.thread_for_hash ~threads:4 (Addr.hash a) in
+      Hilti_vm.Host_api.schedule api tid "Scan::count" [ Hilti_vm.Value.Addr a ])
+    sources;
+  Hilti_vm.Host_api.run_scheduler api;
+  let stats = Hilti_vm.Host_api.scheduler_stats api in
+  Printf.printf "(%d jobs over %d virtual threads)\n"
+    stats.Hilti_rt.Scheduler.total_jobs stats.Hilti_rt.Scheduler.vthreads

@@ -1,0 +1,1 @@
+lib/analyzers/dns_pac.ml: Binpacxx Char Events Grammars Hilti_rt Hilti_vm Http_pac Int64 List Mini_bro Printf Runtime String

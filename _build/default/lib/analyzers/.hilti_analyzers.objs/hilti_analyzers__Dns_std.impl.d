@@ -1,0 +1,1 @@
+lib/analyzers/dns_std.ml: Buffer Char Events List Printf String

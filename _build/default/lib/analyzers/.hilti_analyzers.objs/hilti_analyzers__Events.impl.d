@@ -1,0 +1,1 @@
+lib/analyzers/events.ml: Bro_engine Bro_val Hilti_net Hilti_types Hilti_vm Int64 List Mini_bro Time_ns

@@ -1,0 +1,1 @@
+lib/analyzers/evt.ml: Binpacxx Builder Events Hilti_rt Hilti_types Hilti_vm Http_pac Htype Instr List Mini_bro Module_ir Port Str_replace String

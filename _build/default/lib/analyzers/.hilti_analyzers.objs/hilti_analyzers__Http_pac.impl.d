@@ -1,0 +1,1 @@
+lib/analyzers/http_pac.ml: Binpacxx Builder Events Fun Grammars Hilti_rt Hilti_types Hilti_vm Htype Instr List Mini_bro Module_ir Option Runtime String

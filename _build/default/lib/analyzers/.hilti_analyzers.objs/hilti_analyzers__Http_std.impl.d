@@ -1,0 +1,1 @@
+lib/analyzers/http_std.ml: Buffer Events List Mini_bro Option String

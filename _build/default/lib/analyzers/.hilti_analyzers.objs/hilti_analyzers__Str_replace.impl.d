@@ -1,0 +1,1 @@
+lib/analyzers/str_replace.ml: Buffer String

@@ -1,0 +1,140 @@
+(** The "standard" DNS protocol parser: hand-written wire-format decoding
+    with RFC 1035 name compression, standing in for Bro's C++ DNS analyzer
+    (§6.4).
+
+    Known (intended) semantic differences, mirroring the paper's findings:
+    - TXT records: this parser extracts {e only the first} character
+      string, the BinPAC++ version extracts all of them;
+    - non-DNS traffic on port 53: this parser aborts more eagerly. *)
+
+exception Bad_dns of string
+
+let fail msg = raise (Bad_dns msg)
+
+type rr = { rname : string; rtype : int; ttl : int; rdata : string }
+
+type message = {
+  id : int;
+  is_response : bool;
+  rcode : int;
+  qname : string;
+  qtype : int;
+  answers : rr list;
+}
+
+let u8 s off = if off >= String.length s then fail "truncated" else Char.code s.[off]
+
+let u16 s off = (u8 s off lsl 8) lor u8 s (off + 1)
+
+let u32 s off = (u16 s off lsl 16) lor u16 s (off + 2)
+
+(* Decode a possibly-compressed name; returns (name, next offset). *)
+let parse_name s off =
+  let buf = Buffer.create 32 in
+  let rec go off jumped ret steps =
+    if steps > 255 then fail "compression loop";
+    let len = u8 s off in
+    if len = 0 then if jumped then ret else off + 1
+    else if len land 0xc0 = 0xc0 then begin
+      let ptr = ((len land 0x3f) lsl 8) lor u8 s (off + 1) in
+      let ret = if jumped then ret else off + 2 in
+      go ptr true ret (steps + 1)
+    end
+    else begin
+      if off + 1 + len > String.length s then fail "truncated label";
+      if Buffer.length buf > 0 then Buffer.add_char buf '.';
+      Buffer.add_string buf (String.sub s (off + 1) len);
+      go (off + 1 + len) jumped ret (steps + 1)
+    end
+  in
+  let next = go off false 0 0 in
+  (Buffer.contents buf, next)
+
+let parse_rr s off =
+  let rname, off = parse_name s off in
+  let rtype = u16 s off in
+  let ttl = u32 s (off + 4) in
+  let rdlength = u16 s (off + 8) in
+  let rd_off = off + 10 in
+  if rd_off + rdlength > String.length s then fail "truncated rdata";
+  (* Render rdata by type, as dns.log's answers column expects. *)
+  let rdata =
+    match rtype with
+    | 1 when rdlength = 4 ->
+        Printf.sprintf "%d.%d.%d.%d" (u8 s rd_off) (u8 s (rd_off + 1))
+          (u8 s (rd_off + 2)) (u8 s (rd_off + 3))
+    | 2 | 5 | 12 ->
+        let name, _ = parse_name s rd_off in
+        name
+    | 15 ->
+        let pref = u16 s rd_off in
+        let name, _ = parse_name s (rd_off + 2) in
+        Printf.sprintf "%d %s" pref name
+    | 16 ->
+        (* TXT: the standard parser takes only the first string (§6.4). *)
+        if rdlength = 0 then ""
+        else begin
+          let slen = u8 s rd_off in
+          let slen = min slen (rdlength - 1) in
+          String.sub s (rd_off + 1) slen
+        end
+    | _ -> Printf.sprintf "<rd:%d bytes>" rdlength
+  in
+  ({ rname; rtype; ttl; rdata }, rd_off + rdlength)
+
+(** Parse a DNS datagram.  Raises {!Bad_dns} on anything that does not
+    look like DNS — this parser gives up quickly on port-53 crud. *)
+let parse (s : string) : message =
+  if String.length s < 12 then fail "short header";
+  let id = u16 s 0 in
+  let flags = u16 s 2 in
+  let qdcount = u16 s 4 in
+  let ancount = u16 s 6 in
+  let nscount = u16 s 8 in
+  let arcount = u16 s 10 in
+  (* Eager sanity checks: absurd counts mean not-DNS. *)
+  if qdcount > 8 || ancount > 64 || nscount > 64 || arcount > 64 then
+    fail "implausible section counts";
+  let opcode = (flags lsr 11) land 0xf in
+  if opcode > 5 then fail "bad opcode";
+  let off = ref 12 in
+  let qname = ref "" and qtype = ref 0 in
+  for q = 0 to qdcount - 1 do
+    let name, next = parse_name s !off in
+    if q = 0 then begin
+      qname := name;
+      qtype := u16 s next
+    end;
+    off := next + 4
+  done;
+  let answers = ref [] in
+  for _ = 1 to ancount do
+    let rr, next = parse_rr s !off in
+    answers := rr :: !answers;
+    off := next
+  done;
+  (* Authority/additional records are parsed (validating the format) but
+     not reported, as dns.log only carries answers. *)
+  for _ = 1 to nscount + arcount do
+    let _, next = parse_rr s !off in
+    off := next
+  done;
+  {
+    id;
+    is_response = flags land 0x8000 <> 0;
+    rcode = flags land 0xf;
+    qname = !qname;
+    qtype = !qtype;
+    answers = List.rev !answers;
+  }
+
+let to_request (m : message) : Events.dns_request =
+  { Events.q_id = m.id; query = m.qname; qtype = m.qtype }
+
+let to_reply (m : message) : Events.dns_reply =
+  {
+    Events.r_id = m.id;
+    rcode = m.rcode;
+    answers = List.map (fun rr -> rr.rdata) m.answers;
+    ttls = List.map (fun rr -> rr.ttl) m.answers;
+  }

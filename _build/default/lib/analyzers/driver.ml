@@ -1,0 +1,313 @@
+(** The analysis driver: the Bro-core equivalent that feeds trace packets
+    through flow tracking, TCP reassembly, and a protocol parser (standard
+    or BinPAC++), raising events into a Mini-Bro engine (§6.1's pipeline).
+
+    Component costs are recorded under the profilers
+    ["analyzer/parse"] (protocol parsing), ["analyzer/script"] (event
+    dispatch = script execution), and ["bro/glue"] (value conversion,
+    charged inside {!Mini_bro.Bro_val}) — the Figure 9/10 breakdown. *)
+
+open Hilti_net
+open Mini_bro
+
+type http_kind = Http_std | Http_pac of Http_pac.t
+type dns_kind = Dns_std | Dns_pac of Dns_pac.t
+
+type stats = {
+  mutable packets : int;
+  mutable connections : int;
+  mutable events : int;
+}
+
+let parse_profiler = "analyzer/parse"
+let script_profiler = "analyzer/script"
+
+(* Wrap a sink so every event dispatch is timed as "script execution";
+   exclusive timing pauses the parse profiler when events fire from inside
+   a parse, keeping the components additive. *)
+let profiled_sink (sink : Events.sink) (stats : stats) : Events.sink =
+  {
+    Events.raise_event =
+      (fun name args ->
+        stats.events <- stats.events + 1;
+        Hilti_rt.Profiler.time_exclusive script_profiler (fun () ->
+            sink.Events.raise_event name args));
+    set_time = sink.Events.set_time;
+  }
+
+let in_parse f = Hilti_rt.Profiler.time parse_profiler f
+
+(* ---- HTTP ------------------------------------------------------------------------ *)
+
+type http_side =
+  | Hs_std of Http_std.t
+  | Hs_pac of Http_pac.session
+
+type http_conn = {
+  conn_val : Bro_val.t;
+  req_side : http_side;
+  rep_side : http_side;
+  req_rs : Reassembly.t;
+  rep_rs : Reassembly.t;
+  h_flow : Flow.t;  (** as first seen: src = originator *)
+  mutable established : bool;
+}
+
+let feed_side side data =
+  match side with
+  | Hs_std p -> Http_std.feed p data
+  | Hs_pac s -> Http_pac.feed s data
+
+let eof_side side =
+  match side with Hs_std p -> Http_std.eof p | Hs_pac s -> Http_pac.eof s
+
+(** Run an HTTP trace through the pipeline. *)
+let run_http ~(kind : http_kind) ~(sink : Events.sink) (records : Pcap.record list) :
+    stats =
+  let stats = { packets = 0; connections = 0; events = 0 } in
+  let sink = profiled_sink sink stats in
+  (match kind with
+  | Http_pac t -> t.Http_pac.sink <- sink
+  | Http_std -> ());
+  sink.Events.raise_event "bro_init" [];
+  let conns : (string, http_conn) Hashtbl.t = Hashtbl.create 256 in
+  let order : http_conn list ref = ref [] in
+  let uid_counter = ref 0 in
+  let get_conn flow ts =
+    let canon, _ = Flow.canonical flow in
+    let key = Flow.to_string canon in
+    match Hashtbl.find_opt conns key with
+    | Some c -> c
+    | None ->
+        incr uid_counter;
+        stats.connections <- stats.connections + 1;
+        let uid = Printf.sprintf "C%d" !uid_counter in
+        let conn_val = Events.connection_val ~uid ~flow ~start_time:ts in
+        let mk_side ~is_request =
+          match kind with
+          | Http_std ->
+              Hs_std
+                (Http_std.create ~is_request
+                   ~on_request:(fun r -> Events.raise_http_request sink conn_val r)
+                   ~on_reply:(fun r -> Events.raise_http_reply sink conn_val r))
+          | Http_pac t -> Hs_pac (Http_pac.session t ~conn:conn_val ~is_request)
+        in
+        let req_side = mk_side ~is_request:true in
+        let rep_side = mk_side ~is_request:false in
+        let c =
+          {
+            conn_val;
+            req_side;
+            rep_side;
+            req_rs = Reassembly.create (fun data -> in_parse (fun () -> feed_side req_side data));
+            rep_rs = Reassembly.create (fun data -> in_parse (fun () -> feed_side rep_side data));
+            h_flow = flow;
+            established = false;
+          }
+        in
+        Hashtbl.add conns key c;
+        order := c :: !order;
+        c
+  in
+  List.iter
+    (fun (r : Pcap.record) ->
+      stats.packets <- stats.packets + 1;
+      match Packet.decode_opt ~ts:r.Pcap.ts r.Pcap.data with
+      | Some pkt -> (
+          match (pkt.Packet.transport, Packet.flow pkt) with
+          | Packet.TCP (tcp, payload), Some flow ->
+              sink.Events.set_time r.Pcap.ts;
+              let c = get_conn flow r.Pcap.ts in
+              let from_orig = Flow.equal flow c.h_flow in
+              (* connection_established on the responder's SYN+ACK. *)
+              if
+                (not c.established)
+                && (not from_orig)
+                && Tcp.has_flag tcp Tcp.flag_syn
+                && Tcp.has_flag tcp Tcp.flag_ack
+              then begin
+                c.established <- true;
+                Events.raise_connection_established sink c.conn_val
+              end;
+              let rs = if from_orig then c.req_rs else c.rep_rs in
+              Reassembly.segment rs ~seq:tcp.Tcp.seq
+                ~syn:(Tcp.has_flag tcp Tcp.flag_syn)
+                ~fin:(Tcp.has_flag tcp Tcp.flag_fin)
+                payload
+          | _ -> ())
+      | None -> ())
+    records;
+  (* Trace over: flush streams, close parsers, tear down connections. *)
+  List.iter
+    (fun c ->
+      Reassembly.finish c.req_rs;
+      Reassembly.finish c.rep_rs;
+      in_parse (fun () -> eof_side c.req_side);
+      in_parse (fun () -> eof_side c.rep_side);
+      Events.raise_connection_state_remove sink c.conn_val)
+    (List.rev !order);
+  sink.Events.raise_event "bro_done" [];
+  stats
+
+(* ---- DNS ------------------------------------------------------------------------- *)
+
+(** Run a DNS trace through the pipeline. *)
+let run_dns ~(kind : dns_kind) ~(sink : Events.sink) (records : Pcap.record list) :
+    stats =
+  let stats = { packets = 0; connections = 0; events = 0 } in
+  let sink = profiled_sink sink stats in
+  sink.Events.raise_event "bro_init" [];
+  let conns : (string, Bro_val.t) Hashtbl.t = Hashtbl.create 1024 in
+  let uid_counter = ref 0 in
+  let get_conn flow ts =
+    let canon, _ = Flow.canonical flow in
+    let key = Flow.to_string canon in
+    match Hashtbl.find_opt conns key with
+    | Some c -> c
+    | None ->
+        incr uid_counter;
+        stats.connections <- stats.connections + 1;
+        let uid = Printf.sprintf "C%d" !uid_counter in
+        let conn_val = Events.connection_val ~uid ~flow ~start_time:ts in
+        Hashtbl.add conns key conn_val;
+        Events.raise_connection_established sink conn_val;
+        conn_val
+  in
+  List.iter
+    (fun (r : Pcap.record) ->
+      stats.packets <- stats.packets + 1;
+      match Packet.decode_opt ~ts:r.Pcap.ts r.Pcap.data with
+      | Some pkt -> (
+          match (pkt.Packet.transport, Packet.flow pkt) with
+          | Packet.UDP (udp, payload), Some flow ->
+              sink.Events.set_time r.Pcap.ts;
+              (* Orient the connection client -> resolver. *)
+              let from_client = udp.Udp.dst_port = 53 in
+              let oriented = if from_client then flow else Flow.reverse flow in
+              let conn_val = get_conn oriented r.Pcap.ts in
+              (match kind with
+              | Dns_std -> (
+                  match in_parse (fun () -> Dns_std.parse payload) with
+                  | msg ->
+                      if msg.Dns_std.is_response then
+                        Events.raise_dns_reply sink conn_val (Dns_std.to_reply msg)
+                      else
+                        Events.raise_dns_request sink conn_val (Dns_std.to_request msg)
+                  | exception Dns_std.Bad_dns _ -> ())
+              | Dns_pac t -> (
+                  match in_parse (fun () -> Dns_pac.parse t payload) with
+                  | Dns_pac.Request rq -> Events.raise_dns_request sink conn_val rq
+                  | Dns_pac.Reply rp -> Events.raise_dns_reply sink conn_val rp
+                  | Dns_pac.Not_dns -> ()))
+          | _ -> ())
+      | None -> ())
+    records;
+  sink.Events.raise_event "bro_done" [];
+  stats
+
+(* ---- Convenience: full evaluation runs (§6.4/§6.5) ---------------------------------- *)
+
+type run_result = {
+  logger : Bro_log.t;
+  stats : stats;
+  parse_ns : int64;
+  script_ns : int64;
+  glue_ns : int64;
+  total_ns : int64;
+}
+
+let timed f =
+  let t0 = Hilti_rt.Profiler.monotonic_ns () in
+  let r = f () in
+  (r, Int64.sub (Hilti_rt.Profiler.monotonic_ns ()) t0)
+
+let profiler_ns name = Hilti_rt.Profiler.wall_ns (Hilti_rt.Profiler.find_or_create name)
+
+(** Run an HTTP or DNS trace end-to-end with a given parser kind and
+    script engine; returns logs and the component time breakdown. *)
+let evaluate ~(proto : [ `Http of http_kind | `Dns of dns_kind ])
+    ~(engine_mode : Bro_engine.mode) ~(scripts : Bro_ast.script)
+    ?(logging = true) (records : Pcap.record list) : run_result =
+  Hilti_rt.Profiler.reset_all ();
+  let logger = Bro_log.create () in
+  Bro_scripts.setup_logs logger;
+  Bro_log.set_enabled logger logging;
+  let engine = Bro_engine.load ~logger engine_mode scripts in
+  Bro_engine.set_print_sink engine (fun _ -> ());
+  let sink = Events.engine_sink engine in
+  let stats, total_ns =
+    timed (fun () ->
+        match proto with
+        | `Http kind -> run_http ~kind ~sink records
+        | `Dns kind -> run_dns ~kind ~sink records)
+  in
+  {
+    logger;
+    stats;
+    parse_ns = profiler_ns parse_profiler;
+    script_ns = profiler_ns script_profiler;
+    glue_ns = profiler_ns Bro_val.glue_profiler;
+    total_ns;
+  }
+
+(* ---- Event-configuration-driven analysis (Fig. 7) --------------------------------- *)
+
+(** Run a TCP trace through an .evt-configured BinPAC++ analyzer: flows on
+    the configured port are reassembled and each direction handed to the
+    parser, whose unit hooks raise the configured events into [sink]. *)
+let run_evt ~(loaded : Evt.loaded) ~(sink : Events.sink) (records : Pcap.record list)
+    : stats =
+  let stats = { packets = 0; connections = 0; events = 0 } in
+  loaded.Evt.sink <- profiled_sink sink stats;
+  let want_port = Hilti_types.Port.number loaded.Evt.config.Evt.port in
+  let conns :
+      (string, (Reassembly.t * Buffer.t) * (Reassembly.t * Buffer.t) * Flow.t)
+      Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = ref [] in
+  let mk_rs () =
+    let buf = Buffer.create 256 in
+    (Reassembly.create (Buffer.add_string buf), buf)
+  in
+  List.iter
+    (fun (r : Pcap.record) ->
+      stats.packets <- stats.packets + 1;
+      match Packet.decode_opt ~ts:r.Pcap.ts r.Pcap.data with
+      | Some ({ Packet.transport = Packet.TCP (tcp, payload); _ } as pkt) -> (
+          match Packet.flow pkt with
+          | Some flow
+            when tcp.Tcp.src_port = want_port || tcp.Tcp.dst_port = want_port ->
+              let canon, _ = Flow.canonical flow in
+              let key = Flow.to_string canon in
+              let orig_side, resp_side, first_flow =
+                match Hashtbl.find_opt conns key with
+                | Some c -> c
+                | None ->
+                    stats.connections <- stats.connections + 1;
+                    let c = (mk_rs (), mk_rs (), flow) in
+                    Hashtbl.replace conns key c;
+                    order := key :: !order;
+                    c
+              in
+              let rs, _ = if Flow.equal flow first_flow then orig_side else resp_side in
+              Reassembly.segment rs ~seq:tcp.Tcp.seq
+                ~syn:(Tcp.has_flag tcp Tcp.flag_syn)
+                ~fin:(Tcp.has_flag tcp Tcp.flag_fin)
+                payload
+          | _ -> ())
+      | _ -> ())
+    records;
+  (* Parse each direction of each connection, server side first (in SSH
+     the server speaks first). *)
+  List.iter
+    (fun key ->
+      let (_, orig_buf), (_, resp_buf), _ = Hashtbl.find conns key in
+      List.iter
+        (fun buf ->
+          let data = Buffer.contents buf in
+          if data <> "" then
+            ignore (in_parse (fun () -> Evt.parse_input loaded data)))
+        [ resp_buf; orig_buf ])
+    (List.rev !order);
+  stats

@@ -1,0 +1,86 @@
+(** Event definitions shared by the standard and BinPAC++-based analyzers:
+    both must raise byte-identical event streams (modulo the documented
+    semantic differences of §6.4) into the Mini-Bro engine. *)
+
+open Hilti_types
+open Mini_bro
+
+(** The Bro [connection] record value for a flow. *)
+let connection_val ~uid ~(flow : Hilti_net.Flow.t) ~start_time : Bro_val.t =
+  Bro_val.new_record "connection"
+    [ ("uid", Bro_val.Vstring uid);
+      ("start_time", Bro_val.Vtime start_time);
+      ( "id",
+        Bro_val.new_record "conn_id"
+          [ ("orig_h", Bro_val.Vaddr flow.Hilti_net.Flow.src);
+            ("orig_p", Bro_val.Vport flow.Hilti_net.Flow.src_port);
+            ("resp_h", Bro_val.Vaddr flow.Hilti_net.Flow.dst);
+            ("resp_p", Bro_val.Vport flow.Hilti_net.Flow.dst_port) ] ) ]
+
+type http_request = {
+  method_ : string;
+  uri : string;
+  version : string;
+  host : string;
+}
+
+type http_reply = {
+  r_version : string;
+  code : int;
+  reason : string;
+  mime : string;
+  body_len : int;
+  body_sha1 : string;
+}
+
+type dns_request = { q_id : int; query : string; qtype : int }
+
+type dns_reply = {
+  r_id : int;
+  rcode : int;
+  answers : string list;
+  ttls : int list;
+}
+
+(** A sink for analyzer events; the driver wires it to a Bro engine. *)
+type sink = {
+  raise_event : string -> Bro_val.t list -> unit;
+  set_time : Time_ns.t -> unit;
+}
+
+let engine_sink (engine : Bro_engine.t) : sink =
+  {
+    raise_event = (fun name args -> Bro_engine.dispatch engine name args);
+    set_time = (fun ts -> Bro_engine.set_network_time engine ts);
+  }
+
+let null_sink : sink = { raise_event = (fun _ _ -> ()); set_time = (fun _ -> ()) }
+
+(* ---- Raising the concrete events -------------------------------------------- *)
+
+let vstr s = Bro_val.Vstring s
+let vcount i = Bro_val.Vcount (Int64.of_int i)
+
+let raise_connection_established sink conn =
+  sink.raise_event "connection_established" [ conn ]
+
+let raise_connection_state_remove sink conn =
+  sink.raise_event "connection_state_remove" [ conn ]
+
+let raise_http_request sink conn (r : http_request) =
+  sink.raise_event "http_request"
+    [ conn; vstr r.method_; vstr r.uri; vstr r.version; vstr r.host ]
+
+let raise_http_reply sink conn (r : http_reply) =
+  sink.raise_event "http_reply"
+    [ conn; vstr r.r_version; vcount r.code; vstr r.reason; vstr r.mime;
+      vcount r.body_len; vstr r.body_sha1 ]
+
+let raise_dns_request sink conn (r : dns_request) =
+  sink.raise_event "dns_request" [ conn; vcount r.q_id; vstr r.query; vcount r.qtype ]
+
+let raise_dns_reply sink conn (r : dns_reply) =
+  sink.raise_event "dns_reply"
+    [ conn; vcount r.r_id; vcount r.rcode;
+      Bro_val.Vvector (Hilti_vm.Deque.of_list (List.map vstr r.answers));
+      Bro_val.Vvector (Hilti_vm.Deque.of_list (List.map vcount r.ttls)) ]

@@ -1,0 +1,267 @@
+(** The "standard" HTTP protocol parser: hand-written, maintaining explicit
+    per-session state machines that record where parsing stopped — the
+    traditional implementation style the paper contrasts with HILTI's
+    transparent fiber-based incremental parsers (§3.2, §6.4).  Plays the
+    role of Bro's manually written C++ HTTP analyzer as the comparison
+    baseline for the BinPAC++ parser.
+
+    Known (intended) semantic difference, mirroring §6.4: for
+    "206 Partial Content" responses this parser does not extract body
+    metadata (MIME type, length, hash), while the BinPAC++ version does —
+    the paper's main source of http.log/files.log disagreement. *)
+
+type headers = (string * string) list
+
+type body_mode =
+  | No_body
+  | Fixed of int
+  | Chunk_size
+  | Chunk_data of int
+  | Chunk_sep of int   (** CRLF after a chunk; remaining = next state's info *)
+  | Trailer
+  | Until_close
+
+type phase =
+  | Start_line
+  | In_headers
+  | In_body of body_mode
+  | Failed
+
+type t = {
+  is_request : bool;
+  on_request : Events.http_request -> unit;
+  on_reply : Events.http_reply -> unit;
+  mutable buf : string;        (** unconsumed stream data *)
+  mutable phase : phase;
+  (* current-message scratch *)
+  mutable line1 : string list; (** split start line *)
+  mutable headers : headers;
+  mutable body : Buffer.t;
+  mutable messages : int;
+}
+
+let create ~is_request ~on_request ~on_reply =
+  {
+    is_request;
+    on_request;
+    on_reply;
+    buf = "";
+    phase = Start_line;
+    line1 = [];
+    headers = [];
+    body = Buffer.create 256;
+    messages = 0;
+  }
+
+let header t name =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name t.headers
+
+let reset_message t =
+  t.line1 <- [];
+  t.headers <- [];
+  t.body <- Buffer.create 256;
+  t.phase <- Start_line
+
+(* Consume up to the next CRLF (or LF); None if no full line buffered. *)
+let take_line t =
+  match String.index_opt t.buf '\n' with
+  | None -> None
+  | Some i ->
+      let line =
+        if i > 0 && t.buf.[i - 1] = '\r' then String.sub t.buf 0 (i - 1)
+        else String.sub t.buf 0 i
+      in
+      t.buf <- String.sub t.buf (i + 1) (String.length t.buf - i - 1);
+      Some line
+
+let take_bytes t n =
+  if String.length t.buf < n then None
+  else begin
+    let data = String.sub t.buf 0 n in
+    t.buf <- String.sub t.buf n (String.length t.buf - n);
+    Some data
+  end
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
+
+let parse_version v =
+  (* "HTTP/1.1" -> "1.1" *)
+  match String.index_opt v '/' with
+  | Some i -> String.sub v (i + 1) (String.length v - i - 1)
+  | None -> v
+
+let finish_request t =
+  t.messages <- t.messages + 1;
+  (match t.line1 with
+  | meth :: uri :: version :: _ ->
+      t.on_request
+        {
+          Events.method_ = meth;
+          uri;
+          version = parse_version version;
+          host = Option.value ~default:"" (header t "host");
+        }
+  | _ -> ());
+  reset_message t
+
+let finish_reply t =
+  t.messages <- t.messages + 1;
+  (match t.line1 with
+  | version :: code :: rest ->
+      let code = int_of_string_opt code |> Option.value ~default:0 in
+      let body = Buffer.contents t.body in
+      let reply =
+        if code = 206 then
+          (* The standard parser skips body metadata on Partial Content. *)
+          {
+            Events.r_version = parse_version version;
+            code;
+            reason = String.concat " " rest;
+            mime = "-";
+            body_len = 0;
+            body_sha1 = "";
+          }
+        else
+          {
+            Events.r_version = parse_version version;
+            code;
+            reason = String.concat " " rest;
+            mime = Option.value ~default:"-" (header t "content-type");
+            body_len = String.length body;
+            body_sha1 = (if body = "" then "" else Mini_bro.Sha1.digest body);
+          }
+      in
+      t.on_reply reply
+  | _ -> ());
+  reset_message t
+
+let finish_message t = if t.is_request then finish_request t else finish_reply t
+
+(* Decide how the body arrives once headers are complete. *)
+let body_mode_of t =
+  match header t "transfer-encoding" with
+  | Some te when String.lowercase_ascii (String.trim te) = "chunked" -> Chunk_size
+  | _ -> (
+      match header t "content-length" with
+      | Some cl -> (
+          match int_of_string_opt (String.trim cl) with
+          | Some 0 | None -> No_body
+          | Some n -> Fixed n)
+      | None ->
+          if t.is_request then No_body
+          else
+            (* A reply with neither length nor chunking: body runs until
+               close if the server said so, else there is no body. *)
+            let close =
+              match header t "connection" with
+              | Some c -> String.lowercase_ascii (String.trim c) = "close"
+              | None -> false
+            in
+            if close then Until_close else No_body)
+
+(* One step of the state machine; false = need more data. *)
+let rec step t : bool =
+  match t.phase with
+  | Failed -> false
+  | Start_line -> (
+      match take_line t with
+      | Some "" -> true  (* tolerate stray blank lines between messages *)
+      | Some line ->
+          let parts = split_ws line in
+          let plausible =
+            match (t.is_request, parts) with
+            | true, _ :: _ :: v :: _ -> String.length v >= 5 && String.sub v 0 5 = "HTTP/"
+            | false, v :: _ :: _ -> String.length v >= 5 && String.sub v 0 5 = "HTTP/"
+            | _ -> false
+          in
+          if plausible then begin
+            t.line1 <- parts;
+            t.phase <- In_headers;
+            true
+          end
+          else begin
+            (* Not HTTP: this direction carries crud; stop parsing. *)
+            t.phase <- Failed;
+            false
+          end
+      | None -> false)
+  | In_headers -> (
+      match take_line t with
+      | Some "" ->
+          (match body_mode_of t with
+          | No_body -> finish_message t
+          | mode -> t.phase <- In_body mode);
+          true
+      | Some line -> (
+          match String.index_opt line ':' with
+          | Some i ->
+              let name = String.lowercase_ascii (String.sub line 0 i) in
+              let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+              t.headers <- t.headers @ [ (name, value) ];
+              true
+          | None -> true (* ignore malformed header line, as Bro does *))
+      | None -> false)
+  | In_body No_body ->
+      finish_message t;
+      true
+  | In_body (Fixed n) -> (
+      match take_bytes t n with
+      | Some data ->
+          Buffer.add_string t.body data;
+          finish_message t;
+          true
+      | None -> false)
+  | In_body Chunk_size -> (
+      match take_line t with
+      | Some line -> (
+          let hex = List.hd (String.split_on_char ';' line) in
+          match int_of_string_opt ("0x" ^ String.trim hex) with
+          | Some 0 -> t.phase <- In_body Trailer; true
+          | Some n -> t.phase <- In_body (Chunk_data n); true
+          | None -> t.phase <- Failed; false)
+      | None -> false)
+  | In_body (Chunk_data n) -> (
+      match take_bytes t n with
+      | Some data ->
+          Buffer.add_string t.body data;
+          t.phase <- In_body (Chunk_sep 0);
+          true
+      | None -> false)
+  | In_body (Chunk_sep _) -> (
+      match take_line t with
+      | Some _ -> t.phase <- In_body Chunk_size; true
+      | None -> false)
+  | In_body Trailer -> (
+      (* Consume trailer lines up to the final empty line. *)
+      match take_line t with
+      | Some "" -> finish_message t; true
+      | Some _ -> true
+      | None -> false)
+  | In_body Until_close -> false  (* everything buffers until EOF *)
+
+and drain t = if step t then drain t
+
+(** Feed reassembled stream data. *)
+let feed t data =
+  if t.phase <> Failed then begin
+    t.buf <- t.buf ^ data;
+    (match t.phase with
+    | In_body Until_close ->
+        Buffer.add_string t.body t.buf;
+        t.buf <- ""
+    | _ -> ());
+    drain t
+  end
+
+(** The stream is over (FIN/RST/trace end). *)
+let eof t =
+  match t.phase with
+  | In_body Until_close ->
+      Buffer.add_string t.body t.buf;
+      t.buf <- "";
+      finish_message t
+  | _ -> drain t
+
+let messages t = t.messages

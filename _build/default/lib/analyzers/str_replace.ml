@@ -1,0 +1,23 @@
+(* Tiny dependency-free substring replacement used by the .evt parser. *)
+
+let replace_all s ~pattern ~with_ =
+  let plen = String.length pattern in
+  if plen = 0 then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let i = ref 0 in
+    while !i < String.length s do
+      if
+        !i + plen <= String.length s
+        && String.sub s !i plen = pattern
+      then begin
+        Buffer.add_string buf with_;
+        i := !i + plen
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  end

@@ -1,0 +1,1 @@
+lib/binpac/ast.ml: List

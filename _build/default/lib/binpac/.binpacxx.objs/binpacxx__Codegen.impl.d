@@ -1,0 +1,1 @@
+lib/binpac/codegen.ml: Ast Builder Constant Htype Instr List Module_ir Option Printf String

@@ -1,0 +1,1 @@
+lib/binpac/grammar_parser.ml: Ast Buffer Int64 List Option Printf String

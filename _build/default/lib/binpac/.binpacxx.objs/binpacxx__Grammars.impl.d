@@ -1,0 +1,1 @@
+lib/binpac/grammars.ml: Grammar_parser

@@ -1,0 +1,1 @@
+lib/binpac/runtime.ml: Ast Codegen Deque Hilti_rt Hilti_types Hilti_vm Host_api Printexc Value

@@ -1,0 +1,463 @@
+(** Parser for BinPAC++ grammar files (.pac2), covering the syntax of
+    Fig. 6(a)/7(a) plus the semantic extensions: variables, hooks,
+    attributes ([&length], [&count], [&until_literal], [&until_elem],
+    [&eod], [&little]), field conditions, and list fields. *)
+
+open Ast
+
+exception Parse_error of string * int
+
+type tok =
+  | ID of string
+  | INT of int64
+  | STR of string
+  | REGEX of string
+  | PUNCT of string  (* ; : = { } ( ) [ ] & . , % | plus multi-char ops *)
+  | TEOF
+
+type p = { mutable toks : (tok * int) list }
+
+let fail p fmt =
+  let line = match p.toks with (_, l) :: _ -> l | [] -> 0 in
+  Printf.ksprintf (fun m -> raise (Parse_error (m, line))) fmt
+
+(* ---- Tokenizer ----------------------------------------------------------- *)
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = toks := (t, !line) :: !toks in
+  let is_id c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  (* A '/' starts a regex when the previous meaningful token cannot end an
+     expression (so "a / b" division is not supported — grammars don't
+     need it). *)
+  let regex_ok () =
+    match !toks with
+    | (PUNCT (";" | ":" | "=" | "{" | "(" | "," | "|"), _) :: _ -> true
+    | [] -> true
+    | (ID "on", _) :: _ -> true
+    | _ -> false
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then while !i < n && src.[!i] <> '\n' do incr i done
+    else if c = '/' && regex_ok () then begin
+      (* /regex/ with \/ escapes *)
+      incr i;
+      let buf = Buffer.create 16 in
+      let fin = ref false in
+      while not !fin do
+        if !i >= n then raise (Parse_error ("unterminated regex", !line));
+        (match src.[!i] with
+        | '/' -> fin := true
+        | '\\' when !i + 1 < n && src.[!i + 1] = '/' ->
+            Buffer.add_char buf '/';
+            incr i
+        | ch -> Buffer.add_char buf ch);
+        incr i
+      done;
+      push (REGEX (Buffer.contents buf))
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let fin = ref false in
+      while not !fin do
+        if !i >= n then raise (Parse_error ("unterminated string", !line));
+        (match src.[!i] with
+        | '"' -> fin := true
+        | '\\' when !i + 1 < n ->
+            incr i;
+            (match src.[!i] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | '0' -> Buffer.add_char buf '\000'
+            | ch -> Buffer.add_char buf ch)
+        | ch -> Buffer.add_char buf ch);
+        incr i
+      done;
+      push (STR (Buffer.contents buf))
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do incr i done;
+      push (INT (Int64.of_string (String.sub src start (!i - start))))
+    end
+    else if is_id c then begin
+      let start = !i in
+      while
+        !i < n
+        && (is_id src.[!i]
+           || (src.[!i] = ':' && !i + 1 < n && src.[!i + 1] = ':'
+               && ((!i + 2 < n && is_id src.[!i + 2]) || false)))
+      do
+        if src.[!i] = ':' then i := !i + 2 else incr i
+      done;
+      push (ID (String.sub src start (!i - start)))
+    end
+    else begin
+      (* multi-char operators first *)
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "==" | "!=" | "<=" | ">=" | "&&" | "||" | "$$" ->
+          push (PUNCT two);
+          i := !i + 2
+      | _ ->
+          push (PUNCT (String.make 1 c));
+          incr i
+    end
+  done;
+  List.rev ((TEOF, !line) :: !toks)
+
+(* ---- Token stream helpers ------------------------------------------------- *)
+
+let peek p = match p.toks with (t, _) :: _ -> t | [] -> TEOF
+
+let next p =
+  match p.toks with
+  | (t, _) :: rest ->
+      p.toks <- rest;
+      t
+  | [] -> TEOF
+
+let expect_punct p s =
+  match next p with
+  | PUNCT x when x = s -> ()
+  | t ->
+      fail p "expected '%s', got %s" s
+        (match t with
+        | ID x -> x
+        | PUNCT x -> x
+        | INT x -> Int64.to_string x
+        | STR _ -> "string"
+        | REGEX _ -> "regex"
+        | TEOF -> "eof")
+
+let ident p =
+  match next p with ID s -> s | _ -> fail p "expected identifier"
+
+(* ---- Expressions: precedence-climbing ------------------------------------- *)
+
+let rec parse_expr p = parse_or p
+
+and parse_or p =
+  let l = parse_and p in
+  if peek p = PUNCT "||" then begin
+    ignore (next p);
+    E_binop ("||", l, parse_or p)
+  end
+  else l
+
+and parse_and p =
+  let l = parse_cmp p in
+  if peek p = PUNCT "&&" then begin
+    ignore (next p);
+    E_binop ("&&", l, parse_and p)
+  end
+  else l
+
+and parse_cmp p =
+  let l = parse_add p in
+  match peek p with
+  | PUNCT (("==" | "!=" | "<" | ">" | "<=" | ">=") as op) ->
+      ignore (next p);
+      E_binop (op, l, parse_add p)
+  | _ -> l
+
+and parse_add p =
+  let rec go l =
+    match peek p with
+    | PUNCT (("+" | "-") as op) ->
+        ignore (next p);
+        go (E_binop (op, l, parse_mul p))
+    | _ -> l
+  in
+  go (parse_mul p)
+
+and parse_mul p =
+  let rec go l =
+    match peek p with
+    | PUNCT "*" ->
+        ignore (next p);
+        go (E_binop ("*", l, parse_atom p))
+    | _ -> l
+  in
+  go (parse_atom p)
+
+and parse_atom p =
+  match next p with
+  | INT i -> E_int i
+  | STR s -> E_bytes s
+  | ID "true" -> E_bool true
+  | ID "false" -> E_bool false
+  | ID "self" ->
+      expect_punct p ".";
+      E_field (ident p)
+  | PUNCT "$$" ->
+      expect_punct p ".";
+      E_elem_field (ident p)
+  | PUNCT "!" -> E_not (parse_atom p)
+  | PUNCT "(" ->
+      let e = parse_expr p in
+      expect_punct p ")";
+      e
+  | ID fn when peek p = PUNCT "(" ->
+      ignore (next p);
+      let args = ref [] in
+      if peek p <> PUNCT ")" then begin
+        args := [ parse_expr p ];
+        while peek p = PUNCT "," do
+          ignore (next p);
+          args := parse_expr p :: !args
+        done
+      end;
+      expect_punct p ")";
+      E_call (fn, List.rev !args)
+  | t ->
+      fail p "expected expression, got %s"
+        (match t with ID x -> x | PUNCT x -> x | _ -> "?")
+
+(* ---- Statements ------------------------------------------------------------ *)
+
+let rec parse_stmt p : stmt =
+  match peek p with
+  | ID "if" ->
+      ignore (next p);
+      expect_punct p "(";
+      let c = parse_expr p in
+      expect_punct p ")";
+      let thens = parse_block p in
+      let elses =
+        if peek p = ID "else" then begin
+          ignore (next p);
+          parse_block p
+        end
+        else []
+      in
+      S_if (c, thens, elses)
+  | ID "self" ->
+      ignore (next p);
+      expect_punct p ".";
+      let f = ident p in
+      expect_punct p "=";
+      let e = parse_expr p in
+      expect_punct p ";";
+      S_assign (f, e)
+  | _ -> fail p "expected statement"
+
+and parse_block p : stmt list =
+  expect_punct p "{";
+  let stmts = ref [] in
+  while peek p <> PUNCT "}" do
+    stmts := parse_stmt p :: !stmts
+  done;
+  expect_punct p "}";
+  List.rev !stmts
+
+(* ---- Fields ---------------------------------------------------------------- *)
+
+type attrs = {
+  mutable a_length : expr option;
+  mutable a_count : expr option;
+  mutable a_until_literal : string option;
+  mutable a_until_elem : expr option;
+  mutable a_eod : bool;
+  mutable a_little : bool;
+}
+
+let parse_attrs p =
+  let a =
+    { a_length = None; a_count = None; a_until_literal = None;
+      a_until_elem = None; a_eod = false; a_little = false }
+  in
+  while peek p = PUNCT "&" do
+    ignore (next p);
+    match ident p with
+    | "length" ->
+        expect_punct p "=";
+        a.a_length <- Some (parse_expr p)
+    | "count" ->
+        expect_punct p "=";
+        a.a_count <- Some (parse_expr p)
+    | "until_literal" -> (
+        expect_punct p "=";
+        match next p with
+        | STR s -> a.a_until_literal <- Some s
+        | _ -> fail p "&until_literal wants a string")
+    | "until_elem" ->
+        expect_punct p "=";
+        a.a_until_elem <- Some (parse_expr p)
+    | "eod" -> a.a_eod <- true
+    | "little" -> a.a_little <- true
+    | x -> fail p "unknown attribute &%s" x
+  done;
+  a
+
+(* The core parse-spec: what one field matches. *)
+let parse_base_spec p grammar_consts : parse_spec =
+  match next p with
+  | REGEX re -> P_regexp re
+  | STR s -> P_literal s
+  | ID "uint8" -> P_uint (1, Big)
+  | ID "uint16" -> P_uint (2, Big)
+  | ID "uint32" -> P_uint (4, Big)
+  | ID "uint64" -> P_uint (8, Big)
+  | ID "bytes" -> P_bytes_eod  (* refined by attributes *)
+  | ID "dnsname" -> P_dnsname
+  | ID name -> (
+      match List.assoc_opt name grammar_consts with
+      | Some re -> P_regexp re
+      | None -> P_unit name)
+  | t ->
+      fail p "expected parse spec, got %s"
+        (match t with PUNCT x -> x | _ -> "?")
+
+let refine_spec p spec (a : attrs) ~is_list =
+  let base =
+    match spec with
+    | P_bytes_eod when a.a_length <> None -> P_bytes_length (Option.get a.a_length)
+    | P_bytes_eod when a.a_until_literal <> None ->
+        P_bytes_until (Option.get a.a_until_literal)
+    | P_uint (w, _) when a.a_little -> P_uint (w, Little)
+    | s -> s
+  in
+  if is_list then begin
+    let stop =
+      if a.a_count <> None then Stop_count (Option.get a.a_count)
+      else if a.a_until_literal <> None && base <> P_bytes_until (Option.value ~default:"" a.a_until_literal)
+      then Stop_until_literal (Option.get a.a_until_literal)
+      else if a.a_until_elem <> None then Stop_until_elem (Option.get a.a_until_elem)
+      else if a.a_eod then Stop_eod
+      else fail p "list field needs &count, &until_literal, &until_elem or &eod"
+    in
+    P_list (base, stop)
+  end
+  else base
+
+let parse_field p grammar_consts ~fname : field =
+  let spec = parse_base_spec p grammar_consts in
+  let is_list =
+    if peek p = PUNCT "[" then begin
+      ignore (next p);
+      expect_punct p "]";
+      true
+    end
+    else false
+  in
+  let a = parse_attrs p in
+  let cond =
+    if peek p = ID "if" then begin
+      ignore (next p);
+      expect_punct p "(";
+      let e = parse_expr p in
+      expect_punct p ")";
+      Some e
+    end
+    else None
+  in
+  expect_punct p ";";
+  { fname; parse = refine_spec p spec a ~is_list; cond }
+
+let parse_unit_item p grammar_consts : unit_item =
+  match peek p with
+  | ID "var" ->
+      ignore (next p);
+      let name = ident p in
+      expect_punct p ":";
+      let ty =
+        match ident p with
+        | "int" -> V_int
+        | "bool" -> V_bool
+        | "bytes" -> V_bytes
+        | t -> fail p "unknown var type %s" t
+      in
+      let init =
+        if peek p = PUNCT "=" then begin
+          ignore (next p);
+          Some (parse_expr p)
+        end
+        else None
+      in
+      expect_punct p ";";
+      Var (name, ty, init)
+  | ID "on" ->
+      ignore (next p);
+      let target =
+        match next p with
+        | ID n -> n
+        | PUNCT "%" -> "%" ^ ident p
+        | _ -> fail p "hook target"
+      in
+      let stmts = parse_block p in
+      Hook (target, stmts)
+  | PUNCT ":" ->
+      (* anonymous field *)
+      ignore (next p);
+      Field (parse_field p grammar_consts ~fname:None)
+  | ID name ->
+      ignore (next p);
+      expect_punct p ":";
+      Field (parse_field p grammar_consts ~fname:(Some name))
+  | t -> fail p "unexpected %s in unit" (match t with PUNCT x -> x | _ -> "?")
+
+(* ---- Top level -------------------------------------------------------------- *)
+
+(** Parse a grammar module from source text. *)
+let parse (src : string) : grammar =
+  let p = { toks = tokenize src } in
+  (match next p with
+  | ID "module" -> ()
+  | _ -> fail p "expected 'module'");
+  let gname = ident p in
+  expect_punct p ";";
+  let consts = ref [] in
+  let decls = ref [] in
+  let rec loop () =
+    match peek p with
+    | TEOF -> ()
+    | ID "const" ->
+        ignore (next p);
+        let name = ident p in
+        expect_punct p "=";
+        (match next p with
+        | REGEX re ->
+            consts := (name, re) :: !consts;
+            decls := Const (name, re) :: !decls
+        | _ -> fail p "const wants a regex");
+        expect_punct p ";";
+        loop ()
+    | ID "export" ->
+        (* "export type X = unit {...}" -- export is implicit here *)
+        ignore (next p);
+        loop ()
+    | ID "type" ->
+        ignore (next p);
+        let uname = ident p in
+        expect_punct p "=";
+        (match next p with
+        | ID "unit" -> ()
+        | _ -> fail p "expected 'unit'");
+        expect_punct p "{";
+        let items = ref [] in
+        while peek p <> PUNCT "}" do
+          items := parse_unit_item p !consts :: !items
+        done;
+        expect_punct p "}";
+        expect_punct p ";";
+        decls := Unit { uname; items = List.rev !items } :: !decls;
+        loop ()
+    | _ -> fail p "unexpected top-level token"
+  in
+  loop ();
+  { gname; decls = List.rev !decls }

@@ -1,0 +1,153 @@
+(** The protocol grammars shipped with BinPAC++ (§4): HTTP and DNS — the
+    evaluation's case studies — plus the SSH banner grammar of Fig. 7(a). *)
+
+(* Fig. 7(a), verbatim modulo the anonymous-dash field getting a name so
+   the Bro event can reference version and software. *)
+let ssh = {|
+module SSH;
+
+export type Banner = unit {
+    magic   : /SSH-/;
+    version : /[^-]*/;
+    dash    : /-/;
+    software: /[^\r\n]*/;
+};
+|}
+
+let http = {|
+module HTTP;
+
+const Token      = /[^ \t\r\n]+/;
+const NewLine    = /\r?\n/;
+const WhiteSpace = /[ \t]+/;
+
+type Version = unit {
+    : /HTTP\//;                  # fixed string as regexp (Fig. 6a)
+    number: /[0-9]+\.[0-9]+/;
+};
+
+type Header = unit {
+    name: /[^:\r\n]+/;
+    : /:[ \t]*/;
+    value: /[^\r\n]*/;
+    : NewLine;
+};
+
+type RequestLine = unit {
+    method: Token;
+    : WhiteSpace;
+    uri: Token;
+    : WhiteSpace;
+    version: Version;
+    : NewLine;
+};
+
+type ReplyLine = unit {
+    version: Version;
+    : WhiteSpace;
+    status: /[0-9]+/;
+    : /[ \t]*/;
+    reason: /[^\r\n]*/;
+    : NewLine;
+};
+
+type Chunk = unit {
+    len_hex: /[0-9a-fA-F]+/;
+    : /[^\r\n]*\r?\n/;           # chunk extensions + CRLF
+    data: bytes &length=to_int16(self.len_hex) if (to_int16(self.len_hex) > 0);
+    : NewLine if (to_int16(self.len_hex) > 0);
+};
+
+type Request = unit {
+    request: RequestLine;
+    headers: Header[] &until_literal="\r\n";
+    var clen: bytes;
+    var te: bytes;
+    on headers {
+        self.clen = find_header(self.headers, "content-length");
+        self.te = lower(find_header(self.headers, "transfer-encoding"));
+    }
+    body: bytes &length=to_int(self.clen)
+        if (len(self.clen) > 0 && self.te != "chunked");
+    chunks: Chunk[] &until_elem=(to_int16($$.len_hex) == 0)
+        if (self.te == "chunked");
+    : NewLine if (self.te == "chunked");
+};
+
+type Reply = unit {
+    reply: ReplyLine;
+    headers: Header[] &until_literal="\r\n";
+    var clen: bytes;
+    var te: bytes;
+    var conn: bytes;
+    on headers {
+        self.clen = find_header(self.headers, "content-length");
+        self.te = lower(find_header(self.headers, "transfer-encoding"));
+        self.conn = lower(find_header(self.headers, "connection"));
+    }
+    body: bytes &length=to_int(self.clen)
+        if (len(self.clen) > 0 && self.te != "chunked");
+    chunks: Chunk[] &until_elem=(to_int16($$.len_hex) == 0)
+        if (self.te == "chunked");
+    : NewLine if (self.te == "chunked");
+    body_close: bytes &eod
+        if (len(self.clen) == 0 && self.te != "chunked" && self.conn == "close");
+};
+
+# Stream-level units: one per connection direction.
+type Requests = unit {
+    requests: Request[] &eod;
+};
+
+type Replies = unit {
+    replies: Reply[] &eod;
+};
+|}
+
+let dns = {|
+module DNS;
+
+type Question = unit {
+    qname: dnsname;
+    qtype: uint16;
+    qclass: uint16;
+};
+
+type RR = unit {
+    rname: dnsname;
+    rtype: uint16;
+    rclass: uint16;
+    ttl: uint32;
+    rdlength: uint16;
+    # Typed rdata for the record types the analysis scripts use;
+    # everything else is kept raw.
+    rdata_a: uint32
+        if (self.rtype == 1 && self.rdlength == 4);
+    rdata_name: dnsname
+        if (self.rtype == 2 || self.rtype == 5 || self.rtype == 12);
+    rdata_mx_pref: uint16 if (self.rtype == 15);
+    rdata_mx_name: dnsname if (self.rtype == 15);
+    rdata_txt: bytes &length=self.rdlength if (self.rtype == 16);
+    rdata_other: bytes &length=self.rdlength
+        if (self.rtype != 2 && self.rtype != 5 && self.rtype != 12
+            && self.rtype != 15 && self.rtype != 16
+            && (self.rtype != 1 || self.rdlength != 4));
+};
+
+type Message = unit {
+    id: uint16;
+    flags: uint16;
+    qdcount: uint16;
+    ancount: uint16;
+    nscount: uint16;
+    arcount: uint16;
+    questions: Question[] &count=self.qdcount;
+    answers: RR[] &count=self.ancount;
+    authority: RR[] &count=self.nscount;
+    additional: RR[] &count=self.arcount;
+};
+|}
+
+let parse_ssh () = Grammar_parser.parse ssh
+let parse_http () = Grammar_parser.parse http
+let parse_dns () = Grammar_parser.parse dns

@@ -1,0 +1,104 @@
+(** The BinPAC++ runtime interface for host applications (Fig. 6(b)):
+    loading compiled parsers and driving them — either on complete input
+    or incrementally, feeding chunks as they arrive from the network and
+    resuming the suspended parse fiber (§3.2's fiber workflow). *)
+
+open Hilti_vm
+
+type t = {
+  api : Host_api.t;
+  grammar : Ast.grammar;
+}
+
+(** Compile and load a grammar.  [prepare] can add further IR to the
+    module before compilation — e.g. the Bro event bridge's hook bodies. *)
+let load ?(optimize = true) ?prepare (g : Ast.grammar) : t =
+  let m = Codegen.compile g in
+  (match prepare with Some f -> f m | None -> ());
+  let api = Host_api.compile ~optimize [ m ] in
+  ignore (Host_api.call api (g.Ast.gname ^ "::init") []);
+  { api; grammar = g }
+
+let parse_fn t unit_name = t.grammar.Ast.gname ^ "::parse_" ^ unit_name
+
+exception Parse_failed of string
+
+let unwrap_result = function
+  | Value.Tuple [| st; _ |] -> st
+  | v -> raise (Parse_failed ("unexpected parser result " ^ Value.to_string v))
+
+(** Parse complete input; returns the unit struct. *)
+let parse_string t ~unit_name (input : string) : Value.t =
+  let b = Hilti_types.Hbytes.of_string input in
+  Hilti_types.Hbytes.freeze b;
+  let it = Value.Iter (Value.Ibytes (Hilti_types.Hbytes.begin_ b)) in
+  match Host_api.call t.api (parse_fn t unit_name) [ it; it ] with
+  | v -> unwrap_result v
+  | exception Value.Hilti_error e ->
+      raise (Parse_failed (e.Value.ename ^ ": " ^ Value.to_string e.Value.earg))
+
+(* ---- Incremental sessions ------------------------------------------------------ *)
+
+type session = {
+  parser : t;
+  data : Hilti_types.Hbytes.t;
+  run : Host_api.parse_run;
+}
+
+type status =
+  | Done of Value.t         (** parse finished with the unit struct *)
+  | Blocked                 (** waiting for more input *)
+  | Failed of string        (** parse error *)
+
+let status_of_run run : status =
+  match Host_api.outcome run with
+  | Some (Hilti_rt.Fiber.Done v) -> Done (unwrap_result v)
+  | Some Hilti_rt.Fiber.Suspended -> Blocked
+  | Some (Hilti_rt.Fiber.Failed (Value.Hilti_error e)) ->
+      Failed (e.Value.ename ^ ": " ^ Value.to_string e.Value.earg)
+  | Some (Hilti_rt.Fiber.Failed e) -> Failed (Printexc.to_string e)
+  | None -> Blocked
+
+(** Start an incremental parse; input arrives later via {!feed}. *)
+let session t ~unit_name : session =
+  let data = Hilti_types.Hbytes.create () in
+  let it = Value.Iter (Value.Ibytes (Hilti_types.Hbytes.begin_ data)) in
+  let run = Host_api.call_fiber t.api (parse_fn t unit_name) [ it; it ] in
+  { parser = t; data; run }
+
+let status s = status_of_run s.run
+
+(** Append network data and resume the suspended parser. *)
+let feed s chunk : status =
+  Hilti_types.Hbytes.append s.data chunk;
+  ignore (Host_api.resume s.run);
+  status s
+
+(** Declare end-of-input and resume; the parser must now finish or fail. *)
+let finish s : status =
+  Hilti_types.Hbytes.freeze s.data;
+  ignore (Host_api.resume s.run);
+  match status s with
+  | Blocked -> Failed "parser suspended past end of input"
+  | other -> other
+
+let cancel s = Host_api.cancel s.run
+
+(* ---- Struct access helpers (the "C API" of Fig. 6(b)) ---------------------------- *)
+
+let field (st : Value.t) name : Value.t option =
+  let s = Value.as_struct st in
+  match !(Value.struct_field s name) with v -> v | exception _ -> None
+
+let field_exn st name =
+  match field st name with
+  | Some v -> v
+  | None -> raise (Parse_failed ("unset field " ^ name))
+
+let field_bytes st name =
+  Hilti_types.Hbytes.to_string (Value.as_bytes (field_exn st name))
+
+let field_int st name = Value.as_int (field_exn st name)
+
+let field_list st name =
+  Deque.to_list (Value.as_list (field_exn st name))

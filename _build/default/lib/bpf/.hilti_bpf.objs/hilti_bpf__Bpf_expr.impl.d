@@ -1,0 +1,1 @@
+lib/bpf/bpf_expr.ml: Addr Buffer Hilti_types List Network Printf String

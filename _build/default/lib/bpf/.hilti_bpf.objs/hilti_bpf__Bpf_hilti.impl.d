@@ -1,0 +1,1 @@
+lib/bpf/bpf_hilti.ml: Bpf_expr Builder Constant Hilti_types Hilti_vm Htype Instr Module_ir Printf

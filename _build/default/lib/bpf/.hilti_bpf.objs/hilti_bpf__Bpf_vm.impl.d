@@ -1,0 +1,1 @@
+lib/bpf/bpf_vm.ml: Array Bpf_expr Char Hashtbl Hilti_types Int64 List Option Printf String

@@ -1,0 +1,168 @@
+(** Parser for the pcap/BPF filter expression language (§4 "Berkeley Packet
+    Filter"), e.g. ["host 192.168.1.1 or src net 10.0.5.0/24"].
+
+    Supported primitives: [host], [src host], [dst host], [net], [src net],
+    [dst net], [port], [src port], [dst port], [tcp], [udp], [icmp], [ip],
+    combined with [and], [or], [not], and parentheses. *)
+
+open Hilti_types
+
+type dir = Any_dir | Src | Dst
+
+type expr =
+  | Host of dir * Addr.t
+  | Net of dir * Network.t
+  | Port of dir * int
+  | Proto of int           (** IP protocol number *)
+  | Ip                     (** any IPv4 packet *)
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+exception Parse_error of string
+
+type p = { mutable toks : string list }
+
+let tokenize s =
+  let buf = Buffer.create 8 in
+  let toks = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      toks := Buffer.contents buf :: !toks;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' -> flush ()
+      | '(' | ')' ->
+          flush ();
+          toks := String.make 1 c :: !toks
+      | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !toks
+
+let peek p = match p.toks with t :: _ -> Some t | [] -> None
+
+let next p =
+  match p.toks with
+  | t :: rest ->
+      p.toks <- rest;
+      t
+  | [] -> raise (Parse_error "unexpected end of filter")
+
+let parse_addr_or_net p dir =
+  let tok = next p in
+  if String.contains tok '/' then Net (dir, Network.of_string tok)
+  else Host (dir, Addr.of_string tok)
+
+let parse_primitive p =
+  match next p with
+  | "host" -> parse_addr_or_net p Any_dir
+  | "net" -> (
+      let tok = next p in
+      (* "net 10.0.5.0/24" or bare prefix like "net 10.0.5" (classic pcap
+         shorthand: missing octets imply the mask). *)
+      if String.contains tok '/' then Net (Any_dir, Network.of_string tok)
+      else
+        let dots = List.length (String.split_on_char '.' tok) in
+        let padded, len =
+          match dots with
+          | 4 -> (tok, 32)
+          | 3 -> (tok ^ ".0", 24)
+          | 2 -> (tok ^ ".0.0", 16)
+          | 1 -> (tok ^ ".0.0.0", 8)
+          | _ -> raise (Parse_error ("bad net " ^ tok))
+        in
+        Net (Any_dir, Network.make (Addr.of_string padded) len))
+  | "port" -> (
+      match int_of_string_opt (next p) with
+      | Some n -> Port (Any_dir, n)
+      | None -> raise (Parse_error "bad port"))
+  | "src" -> (
+      match next p with
+      | "host" -> parse_addr_or_net p Src
+      | "net" -> parse_addr_or_net p Src
+      | "port" -> (
+          match int_of_string_opt (next p) with
+          | Some n -> Port (Src, n)
+          | None -> raise (Parse_error "bad port"))
+      | t -> raise (Parse_error ("src " ^ t)))
+  | "dst" -> (
+      match next p with
+      | "host" -> parse_addr_or_net p Dst
+      | "net" -> parse_addr_or_net p Dst
+      | "port" -> (
+          match int_of_string_opt (next p) with
+          | Some n -> Port (Dst, n)
+          | None -> raise (Parse_error "bad port"))
+      | t -> raise (Parse_error ("dst " ^ t)))
+  | "tcp" -> Proto 6
+  | "udp" -> Proto 17
+  | "icmp" -> Proto 1
+  | "ip" -> Ip
+  | tok ->
+      (* A bare address or network is a host/net condition. *)
+      if String.contains tok '/' then Net (Any_dir, Network.of_string tok)
+      else if String.contains tok '.' then Host (Any_dir, Addr.of_string tok)
+      else raise (Parse_error ("unknown primitive " ^ tok))
+
+let rec parse_or p =
+  let left = parse_and p in
+  match peek p with
+  | Some "or" ->
+      ignore (next p);
+      Or (left, parse_or p)
+  | _ -> left
+
+and parse_and p =
+  let left = parse_not p in
+  match peek p with
+  | Some "and" ->
+      ignore (next p);
+      And (left, parse_and p)
+  | _ -> left
+
+and parse_not p =
+  match peek p with
+  | Some "not" ->
+      ignore (next p);
+      Not (parse_not p)
+  | Some "(" ->
+      ignore (next p);
+      let e = parse_or p in
+      (match next p with
+      | ")" -> ()
+      | t -> raise (Parse_error ("expected ), got " ^ t)));
+      e
+  | _ -> parse_primitive p
+
+(** Parse a filter expression. *)
+let parse s =
+  let p = { toks = tokenize s } in
+  let e = parse_or p in
+  (match peek p with
+  | Some t -> raise (Parse_error ("trailing " ^ t))
+  | None -> ());
+  e
+
+let rec to_string = function
+  | Host (Any_dir, a) -> "host " ^ Addr.to_string a
+  | Host (Src, a) -> "src host " ^ Addr.to_string a
+  | Host (Dst, a) -> "dst host " ^ Addr.to_string a
+  | Net (Any_dir, n) -> "net " ^ Network.to_string n
+  | Net (Src, n) -> "src net " ^ Network.to_string n
+  | Net (Dst, n) -> "dst net " ^ Network.to_string n
+  | Port (Any_dir, n) -> Printf.sprintf "port %d" n
+  | Port (Src, n) -> Printf.sprintf "src port %d" n
+  | Port (Dst, n) -> Printf.sprintf "dst port %d" n
+  | Proto 6 -> "tcp"
+  | Proto 17 -> "udp"
+  | Proto 1 -> "icmp"
+  | Proto n -> Printf.sprintf "proto %d" n
+  | Ip -> "ip"
+  | And (a, b) -> Printf.sprintf "(%s and %s)" (to_string a) (to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s or %s)" (to_string a) (to_string b)
+  | Not a -> Printf.sprintf "not %s" (to_string a)

@@ -1,0 +1,230 @@
+(** The classic BSD Packet Filter virtual machine [McCanne & Jacobson 93]:
+    the baseline that §6.2 compares the HILTI-compiled filter against.
+
+    Includes a code generator from {!Bpf_expr} expressions to BPF programs
+    (the same shape `tcpdump -d` emits) and the stack-machine interpreter
+    that classic BPF uses at runtime.  Programs operate on raw Ethernet
+    frames with the standard fixed offsets (ethertype at 12, IP header at
+    14). *)
+
+type instr =
+  | Ld_abs_w of int   (** A <- u32 pkt[k] *)
+  | Ld_abs_h of int   (** A <- u16 pkt[k] *)
+  | Ld_abs_b of int   (** A <- u8 pkt[k] *)
+  | Ldx_msh of int    (** X <- 4 * (pkt[k] & 0x0f): IP header length idiom *)
+  | Ld_ind_h of int   (** A <- u16 pkt[X + k] *)
+  | And_k of int      (** A <- A & k *)
+  | Jeq of int * int * int  (** A = k ? +jt : +jf (relative offsets) *)
+  | Jset of int * int * int (** A & k ? +jt : +jf *)
+  | Ja of int         (** unconditional relative jump *)
+  | Ret of int        (** accept this many bytes; 0 rejects *)
+
+type program = instr array
+
+(* ---- Interpreter ------------------------------------------------------------ *)
+
+type stats = { mutable instructions : int64; mutable packets : int64 }
+
+let stats = { instructions = 0L; packets = 0L }
+
+let reset_stats () =
+  stats.instructions <- 0L;
+  stats.packets <- 0L
+
+exception Bad_program of string
+
+(** Run a BPF program on a packet; returns the accept length (0 = reject). *)
+let run (prog : program) (pkt : string) : int =
+  let n = String.length pkt in
+  let a = ref 0 and x = ref 0 in
+  let result = ref None in
+  let pc = ref 0 in
+  stats.packets <- Int64.add stats.packets 1L;
+  let u8 k = Char.code pkt.[k] in
+  while !result = None do
+    if !pc >= Array.length prog then raise (Bad_program "fell off the end");
+    stats.instructions <- Int64.add stats.instructions 1L;
+    let jump jt jf cond = pc := !pc + 1 + (if cond then jt else jf) in
+    (match prog.(!pc) with
+    | Ld_abs_w k ->
+        if k + 4 > n then result := Some 0
+        else begin
+          a := (u8 k lsl 24) lor (u8 (k + 1) lsl 16) lor (u8 (k + 2) lsl 8) lor u8 (k + 3);
+          incr pc
+        end
+    | Ld_abs_h k ->
+        if k + 2 > n then result := Some 0
+        else begin
+          a := (u8 k lsl 8) lor u8 (k + 1);
+          incr pc
+        end
+    | Ld_abs_b k ->
+        if k + 1 > n then result := Some 0
+        else begin
+          a := u8 k;
+          incr pc
+        end
+    | Ldx_msh k ->
+        if k + 1 > n then result := Some 0
+        else begin
+          x := 4 * (u8 k land 0x0f);
+          incr pc
+        end
+    | Ld_ind_h k ->
+        let off = !x + k in
+        if off + 2 > n then result := Some 0
+        else begin
+          a := (u8 off lsl 8) lor u8 (off + 1);
+          incr pc
+        end
+    | And_k k ->
+        a := !a land k;
+        incr pc
+    | Jeq (k, jt, jf) -> jump jt jf (!a = k)
+    | Jset (k, jt, jf) -> jump jt jf (!a land k <> 0)
+    | Ja off -> pc := !pc + 1 + off
+    | Ret k -> result := Some k)
+  done;
+  Option.get !result
+
+let matches prog pkt = run prog pkt > 0
+
+(* ---- Code generation -------------------------------------------------------- *)
+
+(* Symbolic form with labels, resolved to relative offsets afterwards. *)
+type sym =
+  | S of instr
+  | S_jeq of int * string * string
+  | S_jset of int * string * string
+  | S_ja of string
+  | S_label of string
+
+let eth_proto_off = 12
+let ip_base = 14
+let ipv4_ethertype = 0x0800
+
+let counter = ref 0
+
+let fresh_label prefix =
+  incr counter;
+  Printf.sprintf "%s%d" prefix !counter
+
+open Bpf_expr
+
+(* Compile [e]; control flows to label [t] on match, [f] on mismatch. *)
+let rec compile_expr e ~t ~f : sym list =
+  match e with
+  | Ip -> [ S (Ld_abs_h eth_proto_off); S_jeq (ipv4_ethertype, t, f) ]
+  | Proto p ->
+      let ipok = fresh_label "L" in
+      [ S (Ld_abs_h eth_proto_off); S_jeq (ipv4_ethertype, ipok, f); S_label ipok;
+        S (Ld_abs_b (ip_base + 9)); S_jeq (p, t, f) ]
+  | Host (dir, a) ->
+      let addr32 = Hilti_types.Addr.to_ipv4_int a in
+      let check_src = fresh_label "L" and check_dst = fresh_label "L" in
+      let ipok = fresh_label "L" in
+      [ S (Ld_abs_h eth_proto_off); S_jeq (ipv4_ethertype, ipok, f); S_label ipok ]
+      @ (match dir with
+        | Src -> [ S (Ld_abs_w (ip_base + 12)); S_jeq (addr32, t, f) ]
+        | Dst -> [ S (Ld_abs_w (ip_base + 16)); S_jeq (addr32, t, f) ]
+        | Any_dir ->
+            [ S_label check_src; S (Ld_abs_w (ip_base + 12));
+              S_jeq (addr32, t, check_dst); S_label check_dst;
+              S (Ld_abs_w (ip_base + 16)); S_jeq (addr32, t, f) ])
+  | Net (dir, n) ->
+      let len = Hilti_types.Network.length n in
+      let mask = if len = 0 then 0 else 0xffffffff lsl (32 - len) land 0xffffffff in
+      let prefix32 = Hilti_types.Addr.to_ipv4_int (Hilti_types.Network.prefix n) in
+      let ipok = fresh_label "L" and check_dst = fresh_label "L" in
+      [ S (Ld_abs_h eth_proto_off); S_jeq (ipv4_ethertype, ipok, f); S_label ipok ]
+      @ (match dir with
+        | Src ->
+            [ S (Ld_abs_w (ip_base + 12)); S (And_k mask); S_jeq (prefix32, t, f) ]
+        | Dst ->
+            [ S (Ld_abs_w (ip_base + 16)); S (And_k mask); S_jeq (prefix32, t, f) ]
+        | Any_dir ->
+            [ S (Ld_abs_w (ip_base + 12)); S (And_k mask);
+              S_jeq (prefix32, t, check_dst); S_label check_dst;
+              S (Ld_abs_w (ip_base + 16)); S (And_k mask); S_jeq (prefix32, t, f) ])
+  | Port (dir, port) ->
+      (* IPv4, not a fragment, then load ports at the dynamic IP header
+         length — the classic tcpdump sequence. *)
+      let ipok = fresh_label "L" and nofrag = fresh_label "L" in
+      let check_dst = fresh_label "L" in
+      [ S (Ld_abs_h eth_proto_off); S_jeq (ipv4_ethertype, ipok, f); S_label ipok;
+        S (Ld_abs_h (ip_base + 6)); S_jset (0x1fff, f, nofrag); S_label nofrag;
+        S (Ldx_msh ip_base) ]
+      @ (match dir with
+        | Src -> [ S (Ld_ind_h ip_base); S_jeq (port, t, f) ]
+        | Dst -> [ S (Ld_ind_h (ip_base + 2)); S_jeq (port, t, f) ]
+        | Any_dir ->
+            [ S (Ld_ind_h ip_base); S_jeq (port, t, check_dst); S_label check_dst;
+              S (Ld_ind_h (ip_base + 2)); S_jeq (port, t, f) ])
+  | And (a, b) ->
+      let mid = fresh_label "L" in
+      compile_expr a ~t:mid ~f @ [ S_label mid ] @ compile_expr b ~t ~f
+  | Or (a, b) ->
+      let mid = fresh_label "L" in
+      compile_expr a ~t ~f:mid @ [ S_label mid ] @ compile_expr b ~t ~f
+  | Not a -> compile_expr a ~t:f ~f:t
+
+(* Resolve labels to relative jump offsets. *)
+let assemble (syms : sym list) : program =
+  (* First pass: compute addresses (labels occupy no slot). *)
+  let addr = Hashtbl.create 16 in
+  let pc = ref 0 in
+  List.iter
+    (fun s ->
+      match s with
+      | S_label l -> Hashtbl.replace addr l !pc
+      | _ -> incr pc)
+    syms;
+  let resolve here l =
+    match Hashtbl.find_opt addr l with
+    | Some a -> a - here - 1
+    | None -> raise (Bad_program ("unresolved label " ^ l))
+  in
+  let out = ref [] in
+  let pc = ref 0 in
+  List.iter
+    (fun s ->
+      (match s with
+      | S_label _ -> ()
+      | S i ->
+          out := i :: !out;
+          incr pc
+      | S_jeq (k, t, f) ->
+          out := Jeq (k, resolve !pc t, resolve !pc f) :: !out;
+          incr pc
+      | S_jset (k, t, f) ->
+          out := Jset (k, resolve !pc t, resolve !pc f) :: !out;
+          incr pc
+      | S_ja l ->
+          out := Ja (resolve !pc l) :: !out;
+          incr pc))
+    syms;
+  Array.of_list (List.rev !out)
+
+(** Compile a filter expression into an executable BPF program. *)
+let compile (e : expr) : program =
+  let accept = fresh_label "ACCEPT" and reject = fresh_label "REJECT" in
+  let body = compile_expr e ~t:accept ~f:reject in
+  assemble
+    (body
+    @ [ S_label accept; S (Ret 65535); S_label reject; S (Ret 0) ])
+
+let instr_to_string = function
+  | Ld_abs_w k -> Printf.sprintf "ld  [%d]" k
+  | Ld_abs_h k -> Printf.sprintf "ldh [%d]" k
+  | Ld_abs_b k -> Printf.sprintf "ldb [%d]" k
+  | Ldx_msh k -> Printf.sprintf "ldxb 4*([%d]&0xf)" k
+  | Ld_ind_h k -> Printf.sprintf "ldh [x + %d]" k
+  | And_k k -> Printf.sprintf "and #0x%x" k
+  | Jeq (k, jt, jf) -> Printf.sprintf "jeq #0x%x jt %d jf %d" k jt jf
+  | Jset (k, jt, jf) -> Printf.sprintf "jset #0x%x jt %d jf %d" k jt jf
+  | Ja off -> Printf.sprintf "ja %d" off
+  | Ret k -> Printf.sprintf "ret #%d" k
+
+let disassemble prog =
+  String.concat "\n"
+    (Array.to_list (Array.mapi (fun i ins -> Printf.sprintf "(%03d) %s" i (instr_to_string ins)) prog))

@@ -1,0 +1,1 @@
+lib/bro/bro_ast.ml: List String

@@ -1,0 +1,1 @@
+lib/bro/bro_compile.ml: Bro_ast Builder Constant Hashtbl Hilti_types Htype Instr List Module_ir Option Printf String Validate

@@ -1,0 +1,1 @@
+lib/bro/bro_engine.ml: Array Bro_ast Bro_compile Bro_interp Bro_log Bro_val Buffer Hilti_rt Hilti_types Hilti_vm Int64 List Option Printf Queue Sha1 String

@@ -1,0 +1,1 @@
+lib/bro/bro_interp.ml: Bro_ast Bro_log Bro_val Buffer Float Hashtbl Hilti_rt Hilti_types Hilti_vm Int64 List Option Printf Queue Sha1 String

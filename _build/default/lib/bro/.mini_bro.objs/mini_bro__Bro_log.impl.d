@@ -1,0 +1,1 @@
+lib/bro/bro_log.ml: Fun Hashtbl List String

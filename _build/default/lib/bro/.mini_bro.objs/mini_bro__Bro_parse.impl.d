@@ -1,0 +1,1 @@
+lib/bro/bro_parse.ml: Bro_ast Buffer Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/bro/bro_scripts.ml: Bro_log Bro_parse

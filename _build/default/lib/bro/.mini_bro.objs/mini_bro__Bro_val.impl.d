@@ -1,0 +1,1 @@
+lib/bro/bro_val.ml: Addr Array Hashtbl Hbytes Hilti_rt Hilti_types Hilti_vm Int64 Interval_ns List Network Port Printf String Time_ns

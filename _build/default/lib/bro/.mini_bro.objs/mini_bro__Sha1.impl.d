@@ -1,0 +1,1 @@
+lib/bro/sha1.ml: Array Bytes Char Int32 Int64 Printf String

@@ -1,0 +1,235 @@
+(** The Mini-Bro engine facade: one event-dispatch interface backed by
+    either the standard script interpreter or the scripts compiled to
+    HILTI (the [compile_scripts=T] switch of Fig. 8(c)).
+
+    For the compiled engine, every event dispatch converts Bro values into
+    HILTI values and runs the corresponding HILTI hook; script callouts
+    (print/fmt/logging/event queuing) come back through registered host
+    functions.  Both conversion directions run under the "bro/glue"
+    profiler — the glue-code cost Figures 9/10 single out. *)
+
+open Bro_ast
+
+type mode = Interpreted | Compiled
+
+type compiled = {
+  api : Hilti_vm.Host_api.t;
+  cscript : script;
+  clogger : Bro_log.t;
+  mutable cprint : string -> unit;
+  cqueue : (string * Bro_val.t list) Queue.t;
+  mutable cnetwork_time : Hilti_types.Time_ns.t;
+}
+
+type t = Interp of Bro_interp.t | Comp of compiled
+
+(* ---- Bro-style rendering of HILTI values (must mirror Bro_val.to_string) --- *)
+
+let rec hl_render (v : Hilti_vm.Value.t) : string =
+  let module V = Hilti_vm.Value in
+  match v with
+  | V.Bool b -> if b then "T" else "F"
+  | V.Int i -> Int64.to_string i
+  | V.Double d -> Printf.sprintf "%g" d
+  | V.String s -> s
+  | V.Bytes b -> Hilti_types.Hbytes.to_string b
+  | V.Addr a -> Hilti_types.Addr.to_string a
+  | V.Port p -> Hilti_types.Port.to_string p
+  | V.Net n -> Hilti_types.Network.to_string n
+  | V.Time t -> Hilti_types.Time_ns.to_string t
+  | V.Interval i -> Hilti_types.Interval_ns.to_string i
+  | V.List d ->
+      "[" ^ String.concat "," (List.map hl_render (Hilti_vm.Deque.to_list d)) ^ "]"
+  | V.Set s ->
+      let elems = Hilti_rt.Exp_map.fold (fun _ e acc -> hl_render e :: acc) s [] in
+      "{" ^ String.concat "," (List.sort compare elems) ^ "}"
+  | V.Map m ->
+      let elems =
+        Hilti_rt.Exp_map.fold
+          (fun _ (k, value) acc -> (hl_render k ^ "->" ^ hl_render value) :: acc)
+          m []
+      in
+      "{" ^ String.concat "," (List.sort compare elems) ^ "}"
+  | V.Struct s ->
+      let fields =
+        Array.to_list s.V.sfields
+        |> List.filter_map (fun (n, slot) ->
+               Option.map (fun v -> n ^ "=" ^ hl_render v) !slot)
+      in
+      "[" ^ String.concat "," (List.sort compare fields) ^ "]"
+  | V.Null -> "<void>"
+  | other -> V.to_string other
+
+let hl_num = function
+  | Hilti_vm.Value.Int i -> i
+  | v -> raise (Bro_val.Bro_error ("expected int, got " ^ Hilti_vm.Value.to_string v))
+
+let fmt_hilti fmtstr args =
+  let buf = Buffer.create (String.length fmtstr + 16) in
+  let args = ref args in
+  let nextv () =
+    match !args with
+    | [] -> raise (Bro_val.Bro_error "fmt: not enough arguments")
+    | a :: rest ->
+        args := rest;
+        a
+  in
+  let n = String.length fmtstr in
+  let i = ref 0 in
+  while !i < n do
+    if fmtstr.[!i] = '%' && !i + 1 < n then begin
+      (match fmtstr.[!i + 1] with
+      | 's' -> Buffer.add_string buf (hl_render (nextv ()))
+      | 'd' -> Buffer.add_string buf (Int64.to_string (hl_num (nextv ())))
+      | 'f' ->
+          Buffer.add_string buf
+            (Printf.sprintf "%f" (Hilti_vm.Value.as_double (nextv ())))
+      | 'x' -> Buffer.add_string buf (Printf.sprintf "%Lx" (hl_num (nextv ())))
+      | '%' -> Buffer.add_char buf '%'
+      | c -> raise (Bro_val.Bro_error (Printf.sprintf "fmt: unsupported %%%c" c)));
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf fmtstr.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(* ---- Loading ------------------------------------------------------------------- *)
+
+let load ?(logger = Bro_log.create ()) ?(optimize = true) mode (script : script) : t =
+  match mode with
+  | Interpreted ->
+      let interp = Bro_interp.load ~logger script in
+      Bro_interp.init interp;
+      Interp interp
+  | Compiled ->
+      let m = Bro_compile.compile script in
+      let api = Hilti_vm.Host_api.compile ~optimize [ m ] in
+      let c =
+        {
+          api;
+          cscript = script;
+          clogger = logger;
+          cprint = print_endline;
+          cqueue = Queue.create ();
+          cnetwork_time = Hilti_types.Time_ns.epoch;
+        }
+      in
+      let module V = Hilti_vm.Value in
+      let reg name fn = Hilti_vm.Host_api.register api name fn in
+      reg "Bro::print" (fun args ->
+          c.cprint (String.concat ", " (List.map hl_render args));
+          V.Null);
+      reg "Bro::fmt" (fun args ->
+          match args with
+          | fmt :: rest ->
+              let f =
+                match fmt with
+                | V.Bytes b -> Hilti_types.Hbytes.to_string b
+                | V.String s -> s
+                | v -> hl_render v
+              in
+              let b = Hilti_types.Hbytes.of_string (fmt_hilti f rest) in
+              Hilti_types.Hbytes.freeze b;
+              V.Bytes b
+          | [] -> raise (Bro_val.Bro_error "fmt: no format"));
+      reg "Bro::cat" (fun args ->
+          let b =
+            Hilti_types.Hbytes.of_string (String.concat "" (List.map hl_render args))
+          in
+          Hilti_types.Hbytes.freeze b;
+          V.Bytes b);
+      reg "Bro::to_count" (fun args ->
+          match args with
+          | [ v ] -> (
+              let s = String.trim (hl_render v) in
+              match Int64.of_string_opt s with
+              | Some x -> V.Int x
+              | None -> V.Int 0L)
+          | _ -> raise (Bro_val.Bro_error "to_count arity"));
+      reg "Bro::sha1" (fun args ->
+          match args with
+          | [ v ] ->
+              let b = Hilti_types.Hbytes.of_string (Sha1.digest (hl_render v)) in
+              Hilti_types.Hbytes.freeze b;
+              V.Bytes b
+          | _ -> raise (Bro_val.Bro_error "sha1 arity"));
+      reg "Bro::join" (fun args ->
+          match args with
+          | [ V.List d; sep ] ->
+              let s =
+                String.concat (hl_render sep)
+                  (List.map hl_render (Hilti_vm.Deque.to_list d))
+              in
+              let b = Hilti_types.Hbytes.of_string s in
+              Hilti_types.Hbytes.freeze b;
+              V.Bytes b
+          | _ -> raise (Bro_val.Bro_error "join arity"));
+      reg "Bro::network_time" (fun _ -> V.Time c.cnetwork_time);
+      reg "Bro::log_write" (fun args ->
+          match args with
+          | [ stream; V.Struct s ] ->
+              let stream = hl_render stream in
+              let fields =
+                Array.to_list s.V.sfields
+                |> List.filter_map (fun (n, slot) ->
+                       Option.map (fun v -> (n, hl_render v)) !slot)
+              in
+              Bro_log.write c.clogger stream fields;
+              V.Bool true
+          | _ -> raise (Bro_val.Bro_error "log_write arity"));
+      reg "Bro::queue_event" (fun args ->
+          match args with
+          | name :: rest ->
+              Queue.add (hl_render name, List.map Bro_val.of_hilti rest) c.cqueue;
+              V.Null
+          | [] -> raise (Bro_val.Bro_error "queue_event arity"));
+      ignore (Hilti_vm.Host_api.call api "bro::init_globals" []);
+      Comp c
+
+(* ---- Dispatch -------------------------------------------------------------------- *)
+
+let rec dispatch (t : t) name (args : Bro_val.t list) =
+  match t with
+  | Interp i -> Bro_interp.dispatch i name args
+  | Comp c ->
+      if event_handlers c.cscript name <> [] then begin
+        let hargs = List.map Bro_val.to_hilti args in
+        Hilti_vm.Host_api.run_hook c.api (Bro_compile.event_hook name) hargs
+      end;
+      while not (Queue.is_empty c.cqueue) do
+        let n, a = Queue.take c.cqueue in
+        dispatch t n a
+      done
+
+let logger = function Interp i -> i.Bro_interp.logger | Comp c -> c.clogger
+
+let set_print_sink t sink =
+  match t with
+  | Interp i -> i.Bro_interp.print_sink <- sink
+  | Comp c -> c.cprint <- sink
+
+let set_network_time t ts =
+  match t with
+  | Interp i -> Bro_interp.set_network_time i ts
+  | Comp c ->
+      c.cnetwork_time <- ts;
+      (* Trace time also drives the VM's timers, so table expiration
+         attributes (&create_expire/&read_expire) take effect. *)
+      Hilti_vm.Host_api.advance_time c.api ts
+
+(** Call a script function (e.g. the fib benchmark). *)
+let call_function t name (args : Bro_val.t list) : Bro_val.t =
+  match t with
+  | Interp i -> Bro_interp.call_value i name args
+  | Comp c ->
+      let hargs = List.map Bro_val.to_hilti args in
+      Bro_val.of_hilti
+        (Hilti_vm.Host_api.call c.api (Bro_compile.func_name name) hargs)
+
+(** Abstract cycles executed by the compiled engine (0 for interpreted). *)
+let cycles = function
+  | Interp _ -> 0L
+  | Comp c -> Hilti_vm.Host_api.cycles c.api

@@ -1,0 +1,520 @@
+(** The standard Mini-Bro script interpreter — the baseline engine that
+    §6.5 compares the compiled-to-HILTI scripts against.  A classic
+    tree-walking evaluator over {!Bro_val} values with Bro's built-in
+    functions and the logging framework attached. *)
+
+open Bro_ast
+open Bro_val
+
+type handler = (string * btype) list * stmt list
+
+type t = {
+  script : script;
+  globals : (string, Bro_val.t ref) Hashtbl.t;
+  functions : (string, handler) Hashtbl.t;
+  handlers : (string, handler list) Hashtbl.t;
+  records : (string, (string * btype) list) Hashtbl.t;
+  logger : Bro_log.t;
+  mutable print_sink : string -> unit;
+  queue : (string * Bro_val.t list) Queue.t;
+  mutable network_time : Hilti_types.Time_ns.t;
+}
+
+exception Return_exc of Bro_val.t
+
+(* ---- Defaults ------------------------------------------------------------------ *)
+
+let rec default_of_type t (ty : btype) : Bro_val.t =
+  match ty with
+  | T_bool -> Vbool false
+  | T_count | T_int -> Vcount 0L
+  | T_double -> Vdouble 0.0
+  | T_string -> Vstring ""
+  | T_addr -> Vaddr (Hilti_types.Addr.of_ipv4_octets 0 0 0 0)
+  | T_port -> Vport (Hilti_types.Port.tcp 0)
+  | T_subnet -> Vsubnet (Hilti_types.Network.make (Hilti_types.Addr.of_ipv4_octets 0 0 0 0) 0)
+  | T_time -> Vtime Hilti_types.Time_ns.epoch
+  | T_interval -> Vinterval Hilti_types.Interval_ns.zero
+  | T_pattern -> Vpattern ("", Hilti_rt.Regexp.compile_one "")
+  | T_set _ -> Vset (Hashtbl.create 16)
+  | T_table _ -> Vtable { entries = Hashtbl.create 16; default = None }
+  | T_vector _ -> Vvector (Hilti_vm.Deque.create ())
+  | T_record name ->
+      let fields =
+        match Hashtbl.find_opt t.records name with
+        | Some fs -> fs
+        | None -> error "unknown record type %s" name
+      in
+      new_record name (List.map (fun (n, ft) -> (n, default_of_type t ft)) fields)
+  | T_void | T_any -> Vvoid
+
+(* ---- Loading ---------------------------------------------------------------------- *)
+
+let load ?(logger = Bro_log.create ()) (script : script) : t =
+  let t =
+    {
+      script;
+      globals = Hashtbl.create 32;
+      functions = Hashtbl.create 16;
+      handlers = Hashtbl.create 16;
+      records = Hashtbl.create 16;
+      logger;
+      print_sink = print_endline;
+      queue = Queue.create ();
+      network_time = Hilti_types.Time_ns.epoch;
+    }
+  in
+  (* Records first so globals can default-construct them. *)
+  List.iter
+    (function D_record (n, fs) -> Hashtbl.replace t.records n fs | _ -> ())
+    script;
+  List.iter
+    (function
+      | D_function (n, params, _, body) -> Hashtbl.replace t.functions n (params, body)
+      | D_event (n, params, body) ->
+          let existing = Option.value ~default:[] (Hashtbl.find_opt t.handlers n) in
+          Hashtbl.replace t.handlers n (existing @ [ (params, body) ])
+      | _ -> ())
+    script;
+  t
+
+(* ---- Expression evaluation ---------------------------------------------------------- *)
+
+type env = (string, Bro_val.t ref) Hashtbl.t list  (* innermost first *)
+
+let rec lookup t (env : env) name =
+  match env with
+  | scope :: rest -> (
+      match Hashtbl.find_opt scope name with
+      | Some slot -> slot
+      | None -> lookup t rest name)
+  | [] -> (
+      match Hashtbl.find_opt t.globals name with
+      | Some slot -> slot
+      | None -> error "unknown identifier %s" name)
+
+let as_num = function
+  | Vcount c | Vint c -> `I c
+  | Vdouble d -> `D d
+  | Vtime ts -> `I (Hilti_types.Time_ns.to_ns ts)
+  | Vinterval i -> `I (Hilti_types.Interval_ns.to_ns i)
+  | v -> error "expected numeric value, got %s" (to_debug v)
+
+let numeric_binop op a b =
+  match (as_num a, as_num b) with
+  | `I x, `I y -> (
+      let wrap v =
+        (* preserve time/interval kinds through arithmetic *)
+        match (a, b) with
+        | Vtime _, Vinterval _ | Vinterval _, Vtime _ -> Vtime (Hilti_types.Time_ns.of_ns v)
+        | Vtime _, Vtime _ -> Vinterval (Hilti_types.Interval_ns.of_ns v)
+        | Vinterval _, Vinterval _ -> Vinterval (Hilti_types.Interval_ns.of_ns v)
+        | _ -> Vcount v
+      in
+      match op with
+      | "+" -> wrap (Int64.add x y)
+      | "-" -> wrap (Int64.sub x y)
+      | "*" -> Vcount (Int64.mul x y)
+      | "/" -> if y = 0L then error "division by zero" else Vcount (Int64.div x y)
+      | "%" -> if y = 0L then error "modulo by zero" else Vcount (Int64.rem x y)
+      | _ -> error "bad numeric op %s" op)
+  | x, y -> (
+      let fx = match x with `I v -> Int64.to_float v | `D d -> d in
+      let fy = match y with `I v -> Int64.to_float v | `D d -> d in
+      match op with
+      | "+" -> Vdouble (fx +. fy)
+      | "-" -> Vdouble (fx -. fy)
+      | "*" -> Vdouble (fx *. fy)
+      | "/" -> if fy = 0.0 then error "division by zero" else Vdouble (fx /. fy)
+      | _ -> error "bad numeric op %s" op)
+
+let compare_vals a b =
+  match (a, b) with
+  | Vstring x, Vstring y -> String.compare x y
+  | Vtime x, Vtime y -> Hilti_types.Time_ns.compare x y
+  | Vinterval x, Vinterval y -> Hilti_types.Interval_ns.compare x y
+  | _ -> (
+      match (as_num a, as_num b) with
+      | `I x, `I y -> Int64.compare x y
+      | x, y ->
+          let fx = match x with `I v -> Int64.to_float v | `D d -> d in
+          let fy = match y with `I v -> Int64.to_float v | `D d -> d in
+          Float.compare fx fy)
+
+(* fmt(): the %-directives Bro scripts lean on *)
+let fmt_impl fmtstr args =
+  let buf = Buffer.create (String.length fmtstr + 16) in
+  let args = ref args in
+  let nextv () =
+    match !args with
+    | [] -> error "fmt: not enough arguments"
+    | a :: rest ->
+        args := rest;
+        a
+  in
+  let n = String.length fmtstr in
+  let i = ref 0 in
+  while !i < n do
+    if fmtstr.[!i] = '%' && !i + 1 < n then begin
+      (match fmtstr.[!i + 1] with
+      | 's' -> Buffer.add_string buf (to_string (nextv ()))
+      | 'd' -> (
+          match as_num (nextv ()) with
+          | `I v -> Buffer.add_string buf (Int64.to_string v)
+          | `D d -> Buffer.add_string buf (string_of_int (int_of_float d)))
+      | 'f' -> (
+          match as_num (nextv ()) with
+          | `I v -> Buffer.add_string buf (Printf.sprintf "%f" (Int64.to_float v))
+          | `D d -> Buffer.add_string buf (Printf.sprintf "%f" d))
+      | 'x' -> (
+          match as_num (nextv ()) with
+          | `I v -> Buffer.add_string buf (Printf.sprintf "%Lx" v)
+          | `D _ -> error "fmt: %%x on double")
+      | '%' -> Buffer.add_char buf '%'
+      | c -> error "fmt: unsupported %%%c" c);
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf fmtstr.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let rec eval t (env : env) (e : expr) : Bro_val.t =
+  match e with
+  | E_bool b -> Vbool b
+  | E_count c -> Vcount c
+  | E_double d -> Vdouble d
+  | E_string s -> Vstring s
+  | E_pattern src -> Vpattern (src, Hilti_rt.Regexp.compile_one src)
+  | E_addr a -> Vaddr (Hilti_types.Addr.of_string a)
+  | E_subnet (a, l) -> Vsubnet (Hilti_types.Network.make (Hilti_types.Addr.of_string a) l)
+  | E_port (n, proto) ->
+      Vport (Hilti_types.Port.make n (Hilti_types.Port.proto_of_string proto))
+  | E_interval secs -> Vinterval (Hilti_types.Interval_ns.of_float secs)
+  | E_id name -> !(lookup t env name)
+  | E_field (e, f) -> (
+      match eval t env e with
+      | Vrecord r -> (
+          match Hashtbl.find_opt r.rfields f with
+          | Some v when !v <> Vvoid -> !v
+          | _ -> error "field %s not set" f)
+      | v -> error "$%s on non-record %s" f (to_debug v))
+  | E_index (e, keys) -> (
+      let kv = List.map (eval t env) keys in
+      match eval t env e with
+      | Vtable tbl -> (
+          let key = keys_string kv in
+          match Hashtbl.find_opt tbl.entries key with
+          | Some (_, v) -> v
+          | None -> (
+              match tbl.default with
+              | Some d ->
+                  let v = deep_copy d in
+                  let kval =
+                    match kv with [ k ] -> k | ks -> Vvector (Hilti_vm.Deque.of_list ks)
+                  in
+                  Hashtbl.replace tbl.entries key (kval, v);
+                  v
+              | None -> error "no such index"))
+      | Vvector vec -> (
+          match kv with
+          | [ k ] -> (
+              let i = match as_num k with `I v -> Int64.to_int v | `D d -> int_of_float d in
+              match List.nth_opt (Hilti_vm.Deque.to_list vec) i with
+              | Some v -> v
+              | None -> error "vector index out of range")
+          | _ -> error "vector index arity")
+      | v -> error "indexing non-container %s" (to_debug v))
+  | E_in (k, c) -> (
+      let kv = eval t env k in
+      match eval t env c with
+      | Vset s -> Vbool (Hashtbl.mem s (key_string kv))
+      | Vtable tbl -> Vbool (Hashtbl.mem tbl.entries (key_string kv))
+      | Vstring hay -> (
+          match kv with
+          | Vstring needle ->
+              let nl = String.length needle and hl = String.length hay in
+              let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+              Vbool (nl = 0 || go 0)
+          | v -> error "'in' on string with %s" (to_debug v))
+      | v -> error "'in' on %s" (to_debug v))
+  | E_not_in (k, c) -> (
+      match eval t env (E_in (k, c)) with
+      | Vbool b -> Vbool (not b)
+      | _ -> assert false)
+  | E_match (pat, s) -> (
+      match (eval t env pat, eval t env s) with
+      | Vpattern (_, re), Vstring str -> Vbool (Hilti_rt.Regexp.contains re str)
+      | _ -> error "bad pattern match")
+  | E_binop ("==", a, b) -> Vbool (Bro_val.equal (eval t env a) (eval t env b))
+  | E_binop ("!=", a, b) -> Vbool (not (Bro_val.equal (eval t env a) (eval t env b)))
+  | E_binop ("&&", a, b) -> (
+      match eval t env a with
+      | Vbool false -> Vbool false
+      | Vbool true -> eval t env b
+      | v -> error "&& on %s" (to_debug v))
+  | E_binop ("||", a, b) -> (
+      match eval t env a with
+      | Vbool true -> Vbool true
+      | Vbool false -> eval t env b
+      | v -> error "|| on %s" (to_debug v))
+  | E_binop (("<" | "<=" | ">" | ">=") as op, a, b) ->
+      let c = compare_vals (eval t env a) (eval t env b) in
+      Vbool
+        (match op with
+        | "<" -> c < 0
+        | "<=" -> c <= 0
+        | ">" -> c > 0
+        | _ -> c >= 0)
+  | E_binop ("+", a, b) -> (
+      match (eval t env a, eval t env b) with
+      | Vstring x, Vstring y -> Vstring (x ^ y)
+      | x, y -> numeric_binop "+" x y)
+  | E_binop (op, a, b) -> numeric_binop op (eval t env a) (eval t env b)
+  | E_not e -> (
+      match eval t env e with
+      | Vbool b -> Vbool (not b)
+      | v -> error "! on %s" (to_debug v))
+  | E_neg e -> (
+      match eval t env e with
+      | Vcount c -> Vint (Int64.neg c)
+      | Vint c -> Vint (Int64.neg c)
+      | Vdouble d -> Vdouble (-.d)
+      | v -> error "unary - on %s" (to_debug v))
+  | E_size e -> (
+      match eval t env e with
+      | Vstring s -> Vcount (Int64.of_int (String.length s))
+      | Vset s -> Vcount (Int64.of_int (Hashtbl.length s))
+      | Vtable tbl -> Vcount (Int64.of_int (Hashtbl.length tbl.entries))
+      | Vvector v -> Vcount (Int64.of_int (Hilti_vm.Deque.size v))
+      | v -> error "|..| on %s" (to_debug v))
+  | E_record_ctor fields ->
+      new_record "<anon>" (List.map (fun (n, e) -> (n, eval t env e)) fields)
+  | E_vector_ctor es ->
+      Vvector (Hilti_vm.Deque.of_list (List.map (eval t env) es))
+  | E_call (fn, args) -> call t env fn args
+
+and call t env fn args : Bro_val.t =
+  match fn with
+  | "fmt" -> (
+      match List.map (eval t env) args with
+      | Vstring f :: rest -> Vstring (fmt_impl f rest)
+      | _ -> error "fmt: first argument must be a string")
+  | "cat" ->
+      Vstring (String.concat "" (List.map (fun a -> to_string (eval t env a)) args))
+  | "to_lower" | "lower" -> (
+      match List.map (eval t env) args with
+      | [ Vstring s ] -> Vstring (String.lowercase_ascii s)
+      | _ -> error "to_lower: bad arguments")
+  | "to_upper" -> (
+      match List.map (eval t env) args with
+      | [ Vstring s ] -> Vstring (String.uppercase_ascii s)
+      | _ -> error "to_upper: bad arguments")
+  | "to_count" -> (
+      match List.map (eval t env) args with
+      | [ Vstring s ] -> (
+          match Int64.of_string_opt (String.trim s) with
+          | Some v -> Vcount v
+          | None -> Vcount 0L)
+      | _ -> error "to_count: bad arguments")
+  | "sha1" -> (
+      match List.map (eval t env) args with
+      | [ Vstring s ] -> Vstring (Sha1.digest s)
+      | _ -> error "sha1: bad arguments")
+  | "push" -> (
+      match List.map (eval t env) args with
+      | [ Vvector v; x ] ->
+          Hilti_vm.Deque.push_back v x;
+          Vvoid
+      | _ -> error "push: bad arguments")
+  | "shift" -> (
+      match List.map (eval t env) args with
+      | [ Vvector v ] -> (
+          match Hilti_vm.Deque.pop_front v with
+          | Some x -> x
+          | None -> error "shift: empty vector")
+      | _ -> error "shift: bad arguments")
+  | "join" -> (
+      match List.map (eval t env) args with
+      | [ Vvector v; Vstring sep ] ->
+          Vstring
+            (String.concat sep (List.map to_string (Hilti_vm.Deque.to_list v)))
+      | _ -> error "join: bad arguments")
+  | "network_time" -> Vtime t.network_time
+  | "Log::write" -> (
+      match args with
+      | [ stream_e; rec_e ] -> (
+          let stream = match eval t env stream_e with
+            | Vstring s -> s
+            | v -> error "Log::write stream: %s" (to_debug v)
+          in
+          match eval t env rec_e with
+          | Vrecord r ->
+              let fields =
+                Hashtbl.fold
+                  (fun n v acc ->
+                    if !v = Vvoid then acc else (n, to_string !v) :: acc)
+                  r.rfields []
+              in
+              Bro_log.write t.logger stream fields;
+              Vvoid
+          | v -> error "Log::write record: %s" (to_debug v))
+      | _ -> error "Log::write arity")
+  | _ -> (
+      match Hashtbl.find_opt t.functions fn with
+      | Some (params, body) ->
+          let vals = List.map (eval t env) args in
+          let scope = Hashtbl.create 8 in
+          List.iter2 (fun (n, _) v -> Hashtbl.replace scope n (ref v)) params vals;
+          (try
+             exec_stmts t [ scope ] body;
+             Vvoid
+           with Return_exc v -> v)
+      | None -> error "unknown function %s" fn)
+
+(* ---- Statement execution --------------------------------------------------------- *)
+
+and exec_stmts t env stmts = List.iter (exec_stmt t env) stmts
+
+and exec_stmt t (env : env) (s : stmt) =
+  match s with
+  | S_expr e -> ignore (eval t env e)
+  | S_local (name, ty, init) ->
+      let v =
+        match (init, ty) with
+        | Some e, _ -> eval t env e
+        | None, Some ty -> default_of_type t ty
+        | None, None -> error "local %s needs a type or initializer" name
+      in
+      (match env with
+      | scope :: _ -> Hashtbl.replace scope name (ref v)
+      | [] -> error "no local scope")
+  | S_assign (lhs, rhs) -> (
+      let v = eval t env rhs in
+      match lhs with
+      | E_id name -> lookup t env name := v
+      | E_field (e, f) -> (
+          match eval t env e with
+          | Vrecord r -> record_field r f := v
+          | x -> error "$%s on %s" f (to_debug x))
+      | E_index (e, keys) -> (
+          let kv = List.map (eval t env) keys in
+          match eval t env e with
+          | Vtable tbl ->
+              let kval =
+                match kv with [ k ] -> k | ks -> Vvector (Hilti_vm.Deque.of_list ks)
+              in
+              Hashtbl.replace tbl.entries (keys_string kv) (kval, v)
+          | x -> error "index-assign on %s" (to_debug x))
+      | _ -> error "bad assignment target")
+  | S_add e -> (
+      match e with
+      | E_index (se, keys) -> (
+          let kv = List.map (eval t env) keys in
+          match eval t env se with
+          | Vset s ->
+              let kval =
+                match kv with [ k ] -> k | ks -> Vvector (Hilti_vm.Deque.of_list ks)
+              in
+              Hashtbl.replace s (keys_string kv) kval
+          | x -> error "add on %s" (to_debug x))
+      | _ -> error "add expects s[k]")
+  | S_delete e -> (
+      match e with
+      | E_index (se, keys) -> (
+          let kv = List.map (eval t env) keys in
+          match eval t env se with
+          | Vset s -> Hashtbl.remove s (keys_string kv)
+          | Vtable tbl -> Hashtbl.remove tbl.entries (keys_string kv)
+          | x -> error "delete on %s" (to_debug x))
+      | _ -> error "delete expects t[k]")
+  | S_print args ->
+      let rendered = String.concat ", " (List.map (fun e -> to_string (eval t env e)) args) in
+      t.print_sink rendered
+  | S_if (c, thens, elses) -> (
+      match eval t env c with
+      | Vbool true -> exec_stmts t (Hashtbl.create 8 :: env) thens
+      | Vbool false -> exec_stmts t (Hashtbl.create 8 :: env) elses
+      | v -> error "if on %s" (to_debug v))
+  | S_for (var, e, body) ->
+      let items =
+        match eval t env e with
+        | Vset s -> Hashtbl.fold (fun _ v acc -> v :: acc) s []
+        | Vtable tbl -> Hashtbl.fold (fun _ (k, _) acc -> k :: acc) tbl.entries []
+        | Vvector v -> Hilti_vm.Deque.to_list v
+        | v -> error "for over %s" (to_debug v)
+      in
+      (* Deterministic iteration order for reproducible output. *)
+      let items = List.sort (fun a b -> compare (key_string a) (key_string b)) items in
+      List.iter
+        (fun item ->
+          let scope = Hashtbl.create 4 in
+          Hashtbl.replace scope var (ref item);
+          exec_stmts t (scope :: env) body)
+        items
+  | S_return None -> raise (Return_exc Vvoid)
+  | S_return (Some e) -> raise (Return_exc (eval t env e))
+  | S_event (name, args) ->
+      let vals = List.map (eval t env) args in
+      Queue.add (name, vals) t.queue
+
+(* ---- Engine interface --------------------------------------------------------------- *)
+
+(** Initialize globals (after records are known); runs initializers and
+    attaches &default. *)
+let init t =
+  List.iter
+    (function
+      | D_global (name, ty, init, attrs) ->
+          let v =
+            match init with
+            | Some e -> eval t [] e
+            | None -> default_of_type t ty
+          in
+          (match (v, attrs) with
+          | Vtable tbl, _ ->
+              List.iter
+                (function
+                  | A_default d -> tbl.default <- Some (eval t [] d)
+                  | A_create_expire _ | A_read_expire _ -> ())
+                attrs
+          | _ -> ());
+          Hashtbl.replace t.globals name (ref v)
+      | _ -> ())
+    t.script
+
+(** Run all handlers for [name], then drain any events they queued. *)
+let rec dispatch t name (args : Bro_val.t list) =
+  (match Hashtbl.find_opt t.handlers name with
+  | Some handlers ->
+      List.iter
+        (fun (params, body) ->
+          let scope = Hashtbl.create 8 in
+          (try List.iter2 (fun (n, _) v -> Hashtbl.replace scope n (ref v)) params args
+           with Invalid_argument _ -> error "event %s: arity mismatch" name);
+          try exec_stmts t [ scope ] body with Return_exc _ -> ())
+        handlers
+  | None -> ());
+  drain t
+
+and drain t =
+  while not (Queue.is_empty t.queue) do
+    let name, args = Queue.take t.queue in
+    dispatch t name args
+  done
+
+let set_network_time t ts = t.network_time <- ts
+
+(** Call a script function with values (used by benchmarks, e.g. fib). *)
+let call_value t name (args : Bro_val.t list) : Bro_val.t =
+  match Hashtbl.find_opt t.functions name with
+  | Some (params, body) ->
+      let scope = Hashtbl.create 8 in
+      List.iter2 (fun (n, _) v -> Hashtbl.replace scope n (ref v)) params args;
+      (try
+         exec_stmts t [ scope ] body;
+         Vvoid
+       with Return_exc v -> v)
+  | None -> error "unknown function %s" name

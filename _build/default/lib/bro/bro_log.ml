@@ -1,0 +1,105 @@
+(** Mini-Bro's logging framework: typed streams with fixed column order
+    writing Bro-style TSV lines (http.log, files.log, dns.log).  Streams
+    buffer in memory so the evaluation can diff outputs; they can also
+    mirror to disk.  A global [enabled] switch lets benchmarks skip the
+    final write while still doing all the computation, mirroring §6.1's
+    measurement methodology. *)
+
+type stream = {
+  name : string;
+  columns : string list;
+  mutable rows : string list;  (** rendered lines, newest first *)
+  mutable count : int;
+}
+
+type t = {
+  streams : (string, stream) Hashtbl.t;
+  mutable enabled : bool;
+}
+
+let create () = { streams = Hashtbl.create 8; enabled = true }
+
+let set_enabled t flag = t.enabled <- flag
+
+let create_stream t name columns =
+  Hashtbl.replace t.streams name { name; columns; rows = []; count = 0 }
+
+let stream t name =
+  match Hashtbl.find_opt t.streams name with
+  | Some s -> s
+  | None ->
+      let s = { name; columns = []; rows = []; count = 0 } in
+      Hashtbl.add t.streams name s;
+      s
+
+let render_field = function
+  | "" -> "-"
+  | s ->
+      (* TSV-escape embedded separators as Bro does *)
+      String.map (fun c -> if c = '\t' || c = '\n' then ' ' else c) s
+
+(** Write one row: values are rendered strings keyed by column name;
+    missing columns log "-". *)
+let write t name (fields : (string * string) list) =
+  let s = stream t name in
+  s.count <- s.count + 1;
+  if t.enabled then begin
+    let row =
+      String.concat "\t"
+        (List.map
+           (fun col ->
+             match List.assoc_opt col fields with
+             | Some v -> render_field v
+             | None -> "-")
+           s.columns)
+    in
+    s.rows <- row :: s.rows
+  end
+
+let rows t name = List.rev (stream t name).rows
+let row_count t name = (stream t name).count
+
+let header s = "#fields\t" ^ String.concat "\t" s.columns
+
+let to_string t name =
+  let s = stream t name in
+  String.concat "\n" (header s :: List.rev s.rows)
+
+let write_file t name path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t name);
+      output_char oc '\n')
+
+(* ---- Normalized comparison (§6.4's log-diff methodology) ------------------- *)
+
+(** Normalize rows for comparison: sort and de-duplicate, as the paper's
+    normalization does to absorb ordering differences. *)
+let normalized t name = List.sort_uniq compare (rows t name)
+
+type agreement = {
+  total_a : int;
+  total_b : int;
+  normalized_a : int;
+  normalized_b : int;
+  identical : int;
+  fraction : float;  (** identical / max(normalized_a, normalized_b) *)
+}
+
+(** Compare a stream across two logger instances. *)
+let compare_streams (a : t) (b : t) name : agreement =
+  let na = normalized a name and nb = normalized b name in
+  let sa = Hashtbl.create 256 in
+  List.iter (fun r -> Hashtbl.replace sa r ()) na;
+  let identical = List.length (List.filter (Hashtbl.mem sa) nb) in
+  let denom = max (List.length na) (List.length nb) in
+  {
+    total_a = row_count a name;
+    total_b = row_count b name;
+    normalized_a = List.length na;
+    normalized_b = List.length nb;
+    identical;
+    fraction = (if denom = 0 then 1.0 else float_of_int identical /. float_of_int denom);
+  }

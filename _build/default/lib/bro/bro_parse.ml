@@ -1,0 +1,621 @@
+(** Lexer and parser for the Mini-Bro scripting language. *)
+
+open Bro_ast
+
+exception Parse_error of string * int
+
+(* ---- Lexer -------------------------------------------------------------- *)
+
+type tok =
+  | ID of string        (* possibly namespaced, e.g. Log::write *)
+  | COUNT of int64
+  | DOUBLE of float
+  | STR of string
+  | PATTERN of string
+  | IPV4 of string
+  | PUNCT of string
+  | TEOF
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = toks := (t, !line) :: !toks in
+  let is_idc c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  let pattern_ok () =
+    (* '/' begins a pattern after '=', '(', ',', '==', '!=', 'in'. *)
+    match !toks with
+    | (PUNCT ("=" | "(" | "," | "==" | "!="), _) :: _ -> true
+    | (ID "in", _) :: _ -> true
+    | [] -> true
+    | _ -> false
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then while !i < n && src.[!i] <> '\n' do incr i done
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let fin = ref false in
+      while not !fin do
+        if !i >= n then raise (Parse_error ("unterminated string", !line));
+        (match src.[!i] with
+        | '"' -> fin := true
+        | '\\' when !i + 1 < n ->
+            incr i;
+            (match src.[!i] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | ch -> Buffer.add_char buf ch)
+        | ch -> Buffer.add_char buf ch);
+        incr i
+      done;
+      push (STR (Buffer.contents buf))
+    end
+    else if c = '/' && pattern_ok () then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let fin = ref false in
+      while not !fin do
+        if !i >= n then raise (Parse_error ("unterminated pattern", !line));
+        (match src.[!i] with
+        | '/' -> fin := true
+        | '\\' when !i + 1 < n && src.[!i + 1] = '/' ->
+            Buffer.add_char buf '/';
+            incr i
+        | ch -> Buffer.add_char buf ch);
+        incr i
+      done;
+      push (PATTERN (Buffer.contents buf))
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do incr i done;
+      let dots = ref 0 in
+      let rec more () =
+        if !i + 1 < n && src.[!i] = '.' && src.[!i + 1] >= '0' && src.[!i + 1] <= '9'
+        then begin
+          incr dots;
+          incr i;
+          while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do incr i done;
+          more ()
+        end
+      in
+      more ();
+      let text = String.sub src start (!i - start) in
+      (match !dots with
+      | 0 -> push (COUNT (Int64.of_string text))
+      | 1 -> push (DOUBLE (float_of_string text))
+      | 3 -> push (IPV4 text)
+      | _ -> raise (Parse_error ("bad number " ^ text, !line)))
+    end
+    else if is_idc c && not (c >= '0' && c <= '9') then begin
+      let start = !i in
+      while
+        !i < n
+        && (is_idc src.[!i]
+           || (src.[!i] = ':' && !i + 1 < n && src.[!i + 1] = ':'))
+      do
+        if src.[!i] = ':' then i := !i + 2 else incr i
+      done;
+      push (ID (String.sub src start (!i - start)))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "==" | "!=" | "<=" | ">=" | "&&" | "||" ->
+          push (PUNCT two);
+          i := !i + 2
+      | _ ->
+          push (PUNCT (String.make 1 c));
+          incr i
+    end
+  done;
+  List.rev ((TEOF, !line) :: !toks)
+
+(* ---- Parser --------------------------------------------------------------- *)
+
+type p = { mutable toks : (tok * int) list }
+
+let fail p fmt =
+  let line = match p.toks with (_, l) :: _ -> l | [] -> 0 in
+  Printf.ksprintf (fun m -> raise (Parse_error (m, line))) fmt
+
+let peek p = match p.toks with (t, _) :: _ -> t | [] -> TEOF
+let peek2 p = match p.toks with _ :: (t, _) :: _ -> t | _ -> TEOF
+
+let next p =
+  match p.toks with
+  | (t, _) :: rest ->
+      p.toks <- rest;
+      t
+  | [] -> TEOF
+
+let tok_str = function
+  | ID s -> s
+  | PUNCT s -> s
+  | COUNT c -> Int64.to_string c
+  | DOUBLE d -> string_of_float d
+  | STR _ -> "<string>"
+  | PATTERN _ -> "<pattern>"
+  | IPV4 s -> s
+  | TEOF -> "<eof>"
+
+let expect p s =
+  let t = next p in
+  if t <> PUNCT s then fail p "expected '%s', got %s" s (tok_str t)
+
+let ident p = match next p with ID s -> s | t -> fail p "expected identifier, got %s" (tok_str t)
+
+(* Types *)
+let rec parse_type p : btype =
+  match next p with
+  | ID "bool" -> T_bool
+  | ID "count" -> T_count
+  | ID "int" -> T_int
+  | ID "double" -> T_double
+  | ID "string" -> T_string
+  | ID "addr" -> T_addr
+  | ID "port" -> T_port
+  | ID "subnet" -> T_subnet
+  | ID "time" -> T_time
+  | ID "interval" -> T_interval
+  | ID "pattern" -> T_pattern
+  | ID "any" -> T_any
+  | ID "set" ->
+      expect p "[";
+      let ks = ref [ parse_type p ] in
+      while peek p = PUNCT "," do
+        ignore (next p);
+        ks := parse_type p :: !ks
+      done;
+      expect p "]";
+      T_set (List.rev !ks)
+  | ID "table" ->
+      expect p "[";
+      let ks = ref [ parse_type p ] in
+      while peek p = PUNCT "," do
+        ignore (next p);
+        ks := parse_type p :: !ks
+      done;
+      expect p "]";
+      (match next p with
+      | ID "of" -> ()
+      | t -> fail p "expected 'of', got %s" (tok_str t));
+      T_table (List.rev !ks, parse_type p)
+  | ID "vector" -> (
+      match next p with
+      | ID "of" -> T_vector (parse_type p)
+      | t -> fail p "expected 'of', got %s" (tok_str t))
+  | ID name -> T_record name
+  | t -> fail p "expected type, got %s" (tok_str t)
+
+let time_units =
+  [ ("usec", 1e-6); ("usecs", 1e-6); ("msec", 1e-3); ("msecs", 1e-3);
+    ("sec", 1.0); ("secs", 1.0); ("min", 60.0); ("mins", 60.0);
+    ("hr", 3600.0); ("hrs", 3600.0); ("day", 86400.0); ("days", 86400.0) ]
+
+(* Expressions *)
+let rec parse_expr p = parse_or p
+
+and parse_or p =
+  let l = parse_and p in
+  if peek p = PUNCT "||" then begin
+    ignore (next p);
+    E_binop ("||", l, parse_or p)
+  end
+  else l
+
+and parse_and p =
+  let l = parse_in p in
+  if peek p = PUNCT "&&" then begin
+    ignore (next p);
+    E_binop ("&&", l, parse_and p)
+  end
+  else l
+
+and parse_in p =
+  let l = parse_cmp p in
+  match (peek p, peek2 p) with
+  | ID "in", _ ->
+      ignore (next p);
+      let r = parse_cmp p in
+      (match l with E_pattern _ -> E_match (l, r) | _ -> E_in (l, r))
+  | PUNCT "!", ID "in" ->
+      ignore (next p);
+      ignore (next p);
+      E_not_in (l, parse_cmp p)
+  | _ -> l
+
+and parse_cmp p =
+  let l = parse_add p in
+  match peek p with
+  | PUNCT (("==" | "!=" | "<" | "<=" | ">" | ">=") as op) ->
+      ignore (next p);
+      E_binop (op, l, parse_add p)
+  | _ -> l
+
+and parse_add p =
+  let rec go l =
+    match peek p with
+    | PUNCT (("+" | "-") as op) ->
+        ignore (next p);
+        go (E_binop (op, l, parse_mul p))
+    | _ -> l
+  in
+  go (parse_mul p)
+
+and parse_mul p =
+  let rec go l =
+    match peek p with
+    | PUNCT (("*" | "/" | "%") as op) ->
+        ignore (next p);
+        go (E_binop (op, l, parse_postfix p))
+    | _ -> l
+  in
+  go (parse_postfix p)
+
+and parse_postfix p =
+  let rec go e =
+    match peek p with
+    | PUNCT "$" ->
+        ignore (next p);
+        go (E_field (e, ident p))
+    | PUNCT "[" ->
+        ignore (next p);
+        let keys = ref [ parse_expr p ] in
+        while peek p = PUNCT "," do
+          ignore (next p);
+          keys := parse_expr p :: !keys
+        done;
+        expect p "]";
+        go (E_index (e, List.rev !keys))
+    | _ -> e
+  in
+  go (parse_atom p)
+
+and parse_atom p =
+  match next p with
+  | COUNT c -> (
+      (* interval literal: 300 sec *)
+      match peek p with
+      | ID u when List.mem_assoc u time_units ->
+          ignore (next p);
+          E_interval (Int64.to_float c *. List.assoc u time_units)
+      | PUNCT "/" -> (
+          match peek2 p with
+          | ID (("tcp" | "udp" | "icmp") as proto) ->
+              ignore (next p);
+              ignore (next p);
+              E_port (Int64.to_int c, proto)
+          | _ -> E_count c)
+      | _ -> E_count c)
+  | DOUBLE d -> (
+      match peek p with
+      | ID u when List.mem_assoc u time_units ->
+          ignore (next p);
+          E_interval (d *. List.assoc u time_units)
+      | _ -> E_double d)
+  | STR s -> E_string s
+  | PATTERN s -> E_pattern s
+  | IPV4 a -> (
+      if peek p = PUNCT "/" then begin
+        ignore (next p);
+        match next p with
+        | COUNT len -> E_subnet (a, Int64.to_int len)
+        | t -> fail p "bad subnet length %s" (tok_str t)
+      end
+      else E_addr a)
+  | ID "T" -> E_bool true
+  | ID "F" -> E_bool false
+  | ID "vector" when peek p = PUNCT "(" ->
+      ignore (next p);
+      let args = ref [] in
+      if peek p <> PUNCT ")" then begin
+        args := [ parse_expr p ];
+        while peek p = PUNCT "," do
+          ignore (next p);
+          args := parse_expr p :: !args
+        done
+      end;
+      expect p ")";
+      E_vector_ctor (List.rev !args)
+  | ID f when peek p = PUNCT "(" ->
+      ignore (next p);
+      let args = ref [] in
+      if peek p <> PUNCT ")" then begin
+        args := [ parse_expr p ];
+        while peek p = PUNCT "," do
+          ignore (next p);
+          args := parse_expr p :: !args
+        done
+      end;
+      expect p ")";
+      E_call (f, List.rev !args)
+  | ID x -> E_id x
+  | PUNCT "!" -> E_not (parse_atom_postfix p)
+  | PUNCT "-" -> E_neg (parse_atom_postfix p)
+  | PUNCT "|" ->
+      let e = parse_expr p in
+      expect p "|";
+      E_size e
+  | PUNCT "(" ->
+      let e = parse_expr p in
+      expect p ")";
+      e
+  | PUNCT "[" ->
+      (* record constructor [$f = e, ...] *)
+      let fields = ref [] in
+      let one () =
+        expect p "$";
+        let f = ident p in
+        expect p "=";
+        fields := (f, parse_expr p) :: !fields
+      in
+      if peek p <> PUNCT "]" then begin
+        one ();
+        while peek p = PUNCT "," do
+          ignore (next p);
+          one ()
+        done
+      end;
+      expect p "]";
+      E_record_ctor (List.rev !fields)
+  | t -> fail p "expected expression, got %s" (tok_str t)
+
+and parse_atom_postfix p =
+  (* unary operand including postfix chains *)
+  let rec go e =
+    match peek p with
+    | PUNCT "$" ->
+        ignore (next p);
+        go (E_field (e, ident p))
+    | PUNCT "[" ->
+        ignore (next p);
+        let keys = ref [ parse_expr p ] in
+        while peek p = PUNCT "," do
+          ignore (next p);
+          keys := parse_expr p :: !keys
+        done;
+        expect p "]";
+        go (E_index (e, List.rev !keys))
+    | _ -> e
+  in
+  go (parse_atom p)
+
+(* Statements *)
+let rec parse_stmt p : stmt =
+  match peek p with
+  | PUNCT "{" ->
+      ignore (next p);
+      let stmts = parse_stmts p in
+      expect p "}";
+      S_if (E_bool true, stmts, [])  (* a bare block: wrap as trivial if *)
+  | ID "local" ->
+      ignore (next p);
+      let name = ident p in
+      let ty =
+        if peek p = PUNCT ":" then begin
+          ignore (next p);
+          Some (parse_type p)
+        end
+        else None
+      in
+      let init =
+        if peek p = PUNCT "=" then begin
+          ignore (next p);
+          Some (parse_expr p)
+        end
+        else None
+      in
+      expect p ";";
+      S_local (name, ty, init)
+  | ID "add" ->
+      ignore (next p);
+      let e = parse_expr p in
+      expect p ";";
+      S_add e
+  | ID "delete" ->
+      ignore (next p);
+      let e = parse_expr p in
+      expect p ";";
+      S_delete e
+  | ID "print" ->
+      ignore (next p);
+      let args = ref [ parse_expr p ] in
+      while peek p = PUNCT "," do
+        ignore (next p);
+        args := parse_expr p :: !args
+      done;
+      expect p ";";
+      S_print (List.rev !args)
+  | ID "if" ->
+      ignore (next p);
+      expect p "(";
+      let c = parse_expr p in
+      expect p ")";
+      let thens = parse_block_or_stmt p in
+      let elses =
+        if peek p = ID "else" then begin
+          ignore (next p);
+          parse_block_or_stmt p
+        end
+        else []
+      in
+      S_if (c, thens, elses)
+  | ID "for" ->
+      ignore (next p);
+      expect p "(";
+      let v = ident p in
+      (match next p with
+      | ID "in" -> ()
+      | t -> fail p "expected 'in', got %s" (tok_str t));
+      let e = parse_expr p in
+      expect p ")";
+      S_for (v, e, parse_block_or_stmt p)
+  | ID "return" ->
+      ignore (next p);
+      if peek p = PUNCT ";" then begin
+        ignore (next p);
+        S_return None
+      end
+      else begin
+        let e = parse_expr p in
+        expect p ";";
+        S_return (Some e)
+      end
+  | ID "event" ->
+      ignore (next p);
+      let name = ident p in
+      expect p "(";
+      let args = ref [] in
+      if peek p <> PUNCT ")" then begin
+        args := [ parse_expr p ];
+        while peek p = PUNCT "," do
+          ignore (next p);
+          args := parse_expr p :: !args
+        done
+      end;
+      expect p ")";
+      expect p ";";
+      S_event (name, List.rev !args)
+  | _ ->
+      let e = parse_expr p in
+      if peek p = PUNCT "=" then begin
+        ignore (next p);
+        let rhs = parse_expr p in
+        expect p ";";
+        S_assign (e, rhs)
+      end
+      else begin
+        expect p ";";
+        S_expr e
+      end
+
+and parse_block_or_stmt p : stmt list =
+  if peek p = PUNCT "{" then begin
+    ignore (next p);
+    let stmts = parse_stmts p in
+    expect p "}";
+    stmts
+  end
+  else [ parse_stmt p ]
+
+and parse_stmts p : stmt list =
+  let stmts = ref [] in
+  while peek p <> PUNCT "}" && peek p <> TEOF do
+    stmts := parse_stmt p :: !stmts
+  done;
+  List.rev !stmts
+
+(* Attributes *)
+let parse_attrs p =
+  let attrs = ref [] in
+  while peek p = PUNCT "&" do
+    ignore (next p);
+    (match ident p with
+    | "default" ->
+        expect p "=";
+        attrs := A_default (parse_expr p) :: !attrs
+    | "create_expire" ->
+        expect p "=";
+        attrs := A_create_expire (parse_expr p) :: !attrs
+    | "read_expire" ->
+        expect p "=";
+        attrs := A_read_expire (parse_expr p) :: !attrs
+    | "redef" | "optional" | "log" -> ()  (* accepted, no-op here *)
+    | a -> fail p "unknown attribute &%s" a)
+  done;
+  List.rev !attrs
+
+let parse_params p =
+  expect p "(";
+  let params = ref [] in
+  if peek p <> PUNCT ")" then begin
+    let one () =
+      let n = ident p in
+      expect p ":";
+      params := (n, parse_type p) :: !params
+    in
+    one ();
+    while peek p = PUNCT "," do
+      ignore (next p);
+      one ()
+    done
+  end;
+  expect p ")";
+  List.rev !params
+
+(* Declarations *)
+let parse_decl p : decl =
+  match next p with
+  | ID ("global" | "const") ->
+      let name = ident p in
+      expect p ":";
+      let ty = parse_type p in
+      let init =
+        if peek p = PUNCT "=" then begin
+          ignore (next p);
+          Some (parse_expr p)
+        end
+        else None
+      in
+      let attrs = parse_attrs p in
+      expect p ";";
+      D_global (name, ty, init, attrs)
+  | ID "type" ->
+      let name = ident p in
+      expect p ":";
+      (match next p with
+      | ID "record" -> ()
+      | t -> fail p "expected 'record', got %s" (tok_str t));
+      expect p "{";
+      let fields = ref [] in
+      while peek p <> PUNCT "}" do
+        let fn = ident p in
+        expect p ":";
+        let ft = parse_type p in
+        let _ = parse_attrs p in
+        expect p ";";
+        fields := (fn, ft) :: !fields
+      done;
+      expect p "}";
+      expect p ";";
+      D_record (name, List.rev !fields)
+  | ID "function" ->
+      let name = ident p in
+      let params = parse_params p in
+      let result =
+        if peek p = PUNCT ":" then begin
+          ignore (next p);
+          parse_type p
+        end
+        else T_void
+      in
+      expect p "{";
+      let body = parse_stmts p in
+      expect p "}";
+      D_function (name, params, result, body)
+  | ID "event" ->
+      let name = ident p in
+      let params = parse_params p in
+      expect p "{";
+      let body = parse_stmts p in
+      expect p "}";
+      D_event (name, params, body)
+  | t -> fail p "unexpected %s at top level" (tok_str t)
+
+(** Parse a Mini-Bro script. *)
+let parse (src : string) : script =
+  let p = { toks = tokenize src } in
+  let decls = ref [] in
+  while peek p <> TEOF do
+    decls := parse_decl p :: !decls
+  done;
+  List.rev !decls

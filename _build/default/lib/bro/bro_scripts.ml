@@ -1,0 +1,191 @@
+(** The analysis scripts bundled with Mini-Bro — the equivalents of Bro's
+    default HTTP and DNS scripts the evaluation runs (§6.1/§6.5): session
+    logging with request/reply correlation and file-body hashing, plus the
+    Fig. 8 connection tracker, the §7 scan detector, and the Fibonacci
+    micro-benchmark script. *)
+
+(* Record types shared by every script (Bro's init-bare equivalents). *)
+let prelude = {|
+type conn_id: record {
+    orig_h: addr;
+    orig_p: port;
+    resp_h: addr;
+    resp_p: port;
+};
+
+type connection: record {
+    id: conn_id;
+    uid: string;
+    start_time: time;
+};
+|}
+
+(* Fig. 8(a), verbatim. *)
+let track = prelude ^ {|
+global hosts: set[addr];
+
+event connection_established(c: connection) {
+    add hosts[c$id$resp_h];   # Record responder IP.
+}
+
+event bro_done() {
+    for (i in hosts)          # Print all recorded IPs.
+        print i;
+}
+|}
+
+(* The HTTP analysis: correlate requests with replies FIFO per connection
+   (as Bro's http.log does), log every transaction, and log file bodies
+   with their SHA1 (files.log). *)
+let http = prelude ^ {|
+type HttpReq: record {
+    method: string;
+    uri: string;
+    host: string;
+    version: string;
+    ts: time;
+};
+
+global pending: table[string] of vector of HttpReq;
+
+event http_request(c: connection, method: string, uri: string,
+                   version: string, host: string) {
+    if (c$uid !in pending)
+        pending[c$uid] = vector();
+    push(pending[c$uid],
+         [$method=method, $uri=uri, $host=host, $version=version,
+          $ts=network_time()]);
+}
+
+event http_reply(c: connection, version: string, code: count, reason: string,
+                 mime: string, body_len: count, body_sha1: string) {
+    local method = "";
+    local uri = "";
+    local host = "";
+    if (c$uid in pending && |pending[c$uid]| > 0) {
+        local r = shift(pending[c$uid]);
+        method = r$method;
+        uri = r$uri;
+        host = r$host;
+    }
+    Log::write("http",
+        [$ts=network_time(), $uid=c$uid,
+         $orig_h=c$id$orig_h, $orig_p=c$id$orig_p,
+         $resp_h=c$id$resp_h, $resp_p=c$id$resp_p,
+         $method=method, $host=host, $uri=uri, $version=version,
+         $status_code=code, $reason=reason,
+         $mime_type=mime, $body_len=body_len]);
+    if (body_len > 0)
+        Log::write("files",
+            [$ts=network_time(), $uid=c$uid,
+             $tx_host=c$id$resp_h, $rx_host=c$id$orig_h,
+             $mime_type=mime, $total_bytes=body_len, $sha1=body_sha1]);
+}
+
+event connection_state_remove(c: connection) {
+    if (c$uid in pending)
+        delete pending[c$uid];
+}
+|}
+
+(* The DNS analysis: correlate queries with responses by (uid, id). *)
+let dns = prelude ^ {|
+type DnsReq: record {
+    query: string;
+    qtype: count;
+    ts: time;
+};
+
+global dns_pending: table[string] of DnsReq;
+global qtype_names: table[count] of string &default="OTHER";
+
+event bro_init() {
+    qtype_names[1] = "A";
+    qtype_names[2] = "NS";
+    qtype_names[5] = "CNAME";
+    qtype_names[6] = "SOA";
+    qtype_names[12] = "PTR";
+    qtype_names[15] = "MX";
+    qtype_names[16] = "TXT";
+    qtype_names[28] = "AAAA";
+}
+
+event dns_request(c: connection, id: count, query: string, qtype: count) {
+    dns_pending[fmt("%s-%d", c$uid, id)] =
+        [$query=query, $qtype=qtype, $ts=network_time()];
+}
+
+event dns_reply(c: connection, id: count, rcode: count,
+                answers: vector of string, ttls: vector of count) {
+    local key = fmt("%s-%d", c$uid, id);
+    local query = "";
+    local qtype = 0;
+    if (key in dns_pending) {
+        local r = dns_pending[key];
+        query = r$query;
+        qtype = r$qtype;
+        delete dns_pending[key];
+    }
+    Log::write("dns",
+        [$ts=network_time(), $uid=c$uid,
+         $orig_h=c$id$orig_h, $orig_p=c$id$orig_p,
+         $resp_h=c$id$resp_h, $resp_p=c$id$resp_p,
+         $query=query, $qtype_name=qtype_names[qtype], $rcode=rcode,
+         $answers=join(answers, ","), $ttls=join(ttls, ",")]);
+}
+|}
+
+(* The scan detector sketched in §7: per-source connection counting, a
+   natural fit for scoped scheduling. *)
+let scan = prelude ^ {|
+global attempts: table[addr] of count &default=0;
+global scanners: set[addr];
+
+event connection_established(c: connection) {
+    attempts[c$id$orig_h] = attempts[c$id$orig_h] + 1;
+    if (attempts[c$id$orig_h] == 20)
+        add scanners[c$id$orig_h];
+}
+
+event bro_done() {
+    for (s in scanners)
+        print fmt("scanner: %s", s);
+}
+|}
+
+(* The §6.5 baseline benchmark. *)
+let fib = {|
+function fib(n: count): count {
+    if (n < 2)
+        return n;
+    return fib(n - 1) + fib(n - 2);
+}
+|}
+
+(* ---- Log stream definitions -------------------------------------------------- *)
+
+let http_columns =
+  [ "ts"; "uid"; "orig_h"; "orig_p"; "resp_h"; "resp_p"; "method"; "host";
+    "uri"; "version"; "status_code"; "reason"; "mime_type"; "body_len" ]
+
+let files_columns =
+  [ "ts"; "uid"; "tx_host"; "rx_host"; "mime_type"; "total_bytes"; "sha1" ]
+
+let dns_columns =
+  [ "ts"; "uid"; "orig_h"; "orig_p"; "resp_h"; "resp_p"; "query"; "qtype_name";
+    "rcode"; "answers"; "ttls" ]
+
+(** Create the standard log streams on a logger. *)
+let setup_logs logger =
+  Bro_log.create_stream logger "http" http_columns;
+  Bro_log.create_stream logger "files" files_columns;
+  Bro_log.create_stream logger "dns" dns_columns
+
+let parse_track () = Bro_parse.parse track
+let parse_http () = Bro_parse.parse http
+let parse_dns () = Bro_parse.parse dns
+let parse_scan () = Bro_parse.parse scan
+let parse_fib () = Bro_parse.parse fib
+
+(** The combined default-script set used in the evaluation runs. *)
+let parse_all () = Bro_parse.parse (http ^ dns ^ scan)

@@ -1,0 +1,68 @@
+(** SHA-1 (RFC 3174), used by the file-analysis script for files.log body
+    hashes, matching Bro's files.log [sha1] column. *)
+
+let rotl32 x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+let digest (msg : string) : string =
+  let h0 = ref 0x67452301l
+  and h1 = ref 0xEFCDAB89l
+  and h2 = ref 0x98BADCFEl
+  and h3 = ref 0x10325476l
+  and h4 = ref 0xC3D2E1F0l in
+  let len = String.length msg in
+  (* Padding: 0x80, zeros, 64-bit big-endian bit length. *)
+  let total = ((len + 8) / 64 + 1) * 64 in
+  let buf = Bytes.make total '\000' in
+  Bytes.blit_string msg 0 buf 0 len;
+  Bytes.set buf len '\x80';
+  let bitlen = Int64.of_int (len * 8) in
+  for i = 0 to 7 do
+    Bytes.set buf (total - 1 - i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen (8 * i)) 0xffL)))
+  done;
+  let w = Array.make 80 0l in
+  let nblocks = total / 64 in
+  for block = 0 to nblocks - 1 do
+    let base = block * 64 in
+    for t = 0 to 15 do
+      let b i = Int32.of_int (Char.code (Bytes.get buf (base + (4 * t) + i))) in
+      w.(t) <-
+        Int32.logor
+          (Int32.shift_left (b 0) 24)
+          (Int32.logor
+             (Int32.shift_left (b 1) 16)
+             (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+    done;
+    for t = 16 to 79 do
+      w.(t) <-
+        rotl32 (Int32.logxor (Int32.logxor w.(t - 3) w.(t - 8)) (Int32.logxor w.(t - 14) w.(t - 16))) 1
+    done;
+    let a = ref !h0 and b = ref !h1 and c = ref !h2 and d = ref !h3 and e = ref !h4 in
+    for t = 0 to 79 do
+      let f, k =
+        if t < 20 then
+          (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d), 0x5A827999l)
+        else if t < 40 then (Int32.logxor !b (Int32.logxor !c !d), 0x6ED9EBA1l)
+        else if t < 60 then
+          ( Int32.logor
+              (Int32.logand !b !c)
+              (Int32.logor (Int32.logand !b !d) (Int32.logand !c !d)),
+            0x8F1BBCDCl )
+        else (Int32.logxor !b (Int32.logxor !c !d), 0xCA62C1D6l)
+      in
+      let temp =
+        Int32.add (Int32.add (Int32.add (Int32.add (rotl32 !a 5) f) !e) k) w.(t)
+      in
+      e := !d;
+      d := !c;
+      c := rotl32 !b 30;
+      b := !a;
+      a := temp
+    done;
+    h0 := Int32.add !h0 !a;
+    h1 := Int32.add !h1 !b;
+    h2 := Int32.add !h2 !c;
+    h3 := Int32.add !h3 !d;
+    h4 := Int32.add !h4 !e
+  done;
+  Printf.sprintf "%08lx%08lx%08lx%08lx%08lx" !h0 !h1 !h2 !h3 !h4

@@ -1,0 +1,1 @@
+lib/firewall/fw_hilti.ml: Builder Constant Fw_rules Hilti_types Hilti_vm Host_api Htype Instr List Module_ir Value

@@ -1,0 +1,1 @@
+lib/firewall/fw_rules.ml: Addr Hashtbl Hilti_types Interval_ns List Network Printf String Time_ns

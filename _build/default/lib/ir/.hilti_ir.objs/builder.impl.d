@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Constant Instr Int64 List Module_ir Printf

@@ -1,0 +1,1 @@
+lib/ir/constant.ml: Addr Hilti_types Htype Int64 Interval_ns List Network Port Printf String Time_ns

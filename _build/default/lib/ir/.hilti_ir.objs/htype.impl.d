@@ -1,0 +1,1 @@
+lib/ir/htype.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Constant Htype List Printf String

@@ -1,0 +1,1 @@
+lib/ir/isa.ml: Hashtbl Instr List

@@ -1,0 +1,1 @@
+lib/ir/module_ir.ml: Hilti_types Htype Instr List

@@ -1,0 +1,1 @@
+lib/ir/pretty.ml: Buffer Hilti_types Htype Instr List Module_ir Printf String

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Constant Hashtbl Htype Instr Isa List Module_ir Option Printf String

@@ -1,0 +1,54 @@
+(** IR-level constants, as they appear as instruction operands. *)
+
+open Hilti_types
+
+type t =
+  | Bool of bool
+  | Int of int64 * int          (** value, width *)
+  | Double of float
+  | String of string
+  | Bytes of string
+  | Addr of Addr.t
+  | Port of Port.t
+  | Net of Network.t
+  | Time of Time_ns.t
+  | Interval of Interval_ns.t
+  | Enum_label of string * string   (** enum type name, label *)
+  | Bitset_labels of string * string list  (** bitset type name, labels *)
+  | Tuple of t list
+  | Null                       (** the null reference *)
+  | Unset                      (** placeholder in tuple constants, '*' *)
+
+let rec typ : t -> Htype.t = function
+  | Bool _ -> Htype.Bool
+  | Int (_, w) -> Htype.Int w
+  | Double _ -> Htype.Double
+  | String _ -> Htype.String
+  | Bytes _ -> Htype.Bytes
+  | Addr _ -> Htype.Addr
+  | Port _ -> Htype.Port
+  | Net _ -> Htype.Net
+  | Time _ -> Htype.Time
+  | Interval _ -> Htype.Interval
+  | Enum_label (n, _) -> Htype.Enum n
+  | Bitset_labels (n, _) -> Htype.Bitset n
+  | Tuple cs -> Htype.Tuple (List.map typ cs)
+  | Null -> Htype.Ref Htype.Any
+  | Unset -> Htype.Any
+
+let rec to_string = function
+  | Bool b -> if b then "True" else "False"
+  | Int (v, _) -> Int64.to_string v
+  | Double d -> Printf.sprintf "%g" d
+  | String s -> Printf.sprintf "%S" s
+  | Bytes s -> Printf.sprintf "b%S" s
+  | Addr a -> Addr.to_string a
+  | Port p -> Port.to_string p
+  | Net n -> Network.to_string n
+  | Time t -> "time(" ^ Time_ns.to_string t ^ ")"
+  | Interval i -> "interval(" ^ Interval_ns.to_string i ^ ")"
+  | Enum_label (t, l) -> t ^ "::" ^ l
+  | Bitset_labels (t, ls) -> t ^ "::" ^ String.concat "|" ls
+  | Tuple cs -> "(" ^ String.concat ", " (List.map to_string cs) ^ ")"
+  | Null -> "Null"
+  | Unset -> "*"

@@ -1,0 +1,57 @@
+(** IR instructions: [<target> = <mnemonic> <op1> <op2> <op3>] (§3.2).
+
+    Operands reference constants, local variables (including parameters),
+    module globals (thread-local by HILTI semantics), block labels,
+    functions, struct/overlay/enum member names, or inline tuples. *)
+
+type operand =
+  | Const of Constant.t
+  | Local of string
+  | Global of string
+  | Label of string            (** a block label, for control flow *)
+  | Fname of string            (** a function, for call/schedule/closures *)
+  | Member of string           (** struct field / overlay field / map key name *)
+  | Type_op of Htype.t         (** a type operand, e.g. for [new] *)
+  | Tuple_op of operand list   (** inline tuple construction *)
+
+type t = {
+  target : string option;      (** local receiving the result *)
+  mnemonic : string;           (** e.g. ["list.append"] *)
+  operands : operand list;
+  location : string;           (** source location or provenance, for errors *)
+}
+
+let make ?target ?(location = "<builtin>") mnemonic operands =
+  { target; mnemonic; operands; location }
+
+let rec operand_to_string = function
+  | Const c -> Constant.to_string c
+  | Local n -> n
+  | Global n -> "@" ^ n
+  | Label l -> "@" ^ l
+  | Fname f -> f
+  | Member m -> "$" ^ m
+  | Type_op t -> Htype.to_string t
+  | Tuple_op ops -> "(" ^ String.concat ", " (List.map operand_to_string ops) ^ ")"
+
+let to_string i =
+  let ops = String.concat " " (List.map operand_to_string i.operands) in
+  match i.target with
+  | Some t -> Printf.sprintf "%s = %s %s" t i.mnemonic ops
+  | None -> Printf.sprintf "%s %s" i.mnemonic ops
+
+(** Flow-control mnemonics that contain a dot but do not name a type
+    group. *)
+let flow_mnemonics =
+  [ "if.else"; "return.void"; "return.result"; "try.push"; "try.pop" ]
+
+(** The mnemonic's group prefix ("list" for "list.append"); flow-control
+    instructions belong to the "flow" group. *)
+let group_of_mnemonic m =
+  if List.mem m flow_mnemonics then "flow"
+  else
+    match String.index_opt m '.' with
+    | Some dot -> String.sub m 0 dot
+    | None -> "flow"
+
+let group i = group_of_mnemonic i.mnemonic

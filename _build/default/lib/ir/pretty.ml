@@ -1,0 +1,90 @@
+(** Round-trippable textual rendering of IR modules — the `.hlt` form that
+    [hiltic] accepts back as input. *)
+
+open Module_ir
+
+let unpack_fmt_to_string = function
+  | U_uint (w, Hilti_types.Hbytes.Big) -> Printf.sprintf "UInt%dBig" (8 * w)
+  | U_uint (w, Hilti_types.Hbytes.Little) -> Printf.sprintf "UInt%dLittle" (8 * w)
+  | U_sint (w, Hilti_types.Hbytes.Big) -> Printf.sprintf "Int%dBig" (8 * w)
+  | U_sint (w, Hilti_types.Hbytes.Little) -> Printf.sprintf "Int%dLittle" (8 * w)
+  | U_ipv4 -> "IPv4InNetworkOrder"
+  | U_bytes n -> Printf.sprintf "Bytes%d" n
+
+let overlay_field_to_string f =
+  let bits =
+    match f.of_bits with
+    | Some (lo, hi) -> Printf.sprintf " (%d, %d)" lo hi
+    | None -> ""
+  in
+  Printf.sprintf "    %s: %s at %d unpack %s%s" f.of_name
+    (Htype.to_string f.of_type) f.of_offset (unpack_fmt_to_string f.of_fmt) bits
+
+let type_decl_to_string name = function
+  | Struct_decl fields ->
+      Printf.sprintf "type %s = struct {\n%s\n}" name
+        (String.concat ",\n"
+           (List.map
+              (fun (fn, ft) -> Printf.sprintf "    %s %s" (Htype.to_string ft) fn)
+              fields))
+  | Enum_decl labels ->
+      Printf.sprintf "type %s = enum { %s }" name
+        (String.concat ", "
+           (List.map (fun (l, v) -> Printf.sprintf "%s = %d" l v) labels))
+  | Bitset_decl labels ->
+      Printf.sprintf "type %s = bitset { %s }" name
+        (String.concat ", "
+           (List.map (fun (l, v) -> Printf.sprintf "%s = %d" l v) labels))
+  | Overlay_decl fields ->
+      Printf.sprintf "type %s = overlay {\n%s\n}" name
+        (String.concat ",\n" (List.map overlay_field_to_string fields))
+  | Exception_decl ty ->
+      Printf.sprintf "type %s = exception<%s>" name (Htype.to_string ty)
+
+let params_to_string params =
+  String.concat ", "
+    (List.map (fun (n, t) -> Printf.sprintf "%s %s" (Htype.to_string t) n) params)
+
+let func_to_string (f : func) =
+  let buf = Buffer.create 256 in
+  let keyword =
+    match f.cc with Cc_hook -> "hook " | Cc_c -> "declare " | Cc_hilti -> ""
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s %s(%s)" keyword
+       (Htype.to_string f.result) f.fname (params_to_string f.params));
+  if f.cc = Cc_c then Buffer.add_string buf "  # provided by host\n"
+  else begin
+    Buffer.add_string buf " {\n";
+    List.iter
+      (fun (n, t) ->
+        Buffer.add_string buf (Printf.sprintf "    local %s %s\n" (Htype.to_string t) n))
+      f.locals;
+    List.iter
+      (fun (b : block) ->
+        if b.label <> "entry" then
+          Buffer.add_string buf (Printf.sprintf "%s:\n" b.label);
+        List.iter
+          (fun i -> Buffer.add_string buf ("    " ^ Instr.to_string i ^ "\n"))
+          b.instrs)
+      f.blocks;
+    Buffer.add_string buf "}\n"
+  end;
+  Buffer.contents buf
+
+let module_to_string (m : t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "module %s\n\n" m.mname);
+  List.iter (fun i -> Buffer.add_string buf (Printf.sprintf "import %s\n" i)) m.imports;
+  List.iter
+    (fun (n, d) -> Buffer.add_string buf (type_decl_to_string n d ^ "\n\n"))
+    m.types;
+  List.iter
+    (fun (n, ty) ->
+      Buffer.add_string buf
+        (Printf.sprintf "global %s %s\n" (Htype.to_string ty) n))
+    m.globals;
+  Buffer.add_char buf '\n';
+  List.iter (fun f -> Buffer.add_string buf (func_to_string f ^ "\n")) m.funcs;
+  List.iter (fun f -> Buffer.add_string buf (func_to_string f ^ "\n")) m.hooks;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Buffer Char Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Builder Constant Hashtbl Hilti_types Htype Instr Int64 Lexer List Module_ir Printf String Validate

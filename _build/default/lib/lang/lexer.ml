@@ -1,0 +1,182 @@
+(** Lexer for the textual HILTI language (.hlt files, Fig. 3/4/5). *)
+
+type token =
+  | IDENT of string        (** possibly namespaced: [Main::run] *)
+  | INT of int64
+  | DOUBLE of float
+  | STRING of string
+  | BYTES of string        (** b"..." *)
+  | IPV4 of string         (** dotted quad, possibly with /len handled by parser *)
+  | LPAREN | RPAREN
+  | LBRACE | RBRACE
+  | LANGLE | RANGLE
+  | COMMA | COLON | EQUALS | SLASH | STAR | AT
+  | NEWLINE
+  | EOF
+
+exception Lex_error of string * int  (** message, line *)
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable tokens : (token * int) list;  (* token, line *)
+}
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+let peek2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx = lx.pos <- lx.pos + 1
+
+let read_while lx pred =
+  let start = lx.pos in
+  while (match peek lx with Some c when pred c -> true | _ -> false) do
+    advance lx
+  done;
+  String.sub lx.src start (lx.pos - start)
+
+let read_string lx =
+  advance lx;  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek lx with
+    | None -> raise (Lex_error ("unterminated string", lx.line))
+    | Some '"' -> advance lx
+    | Some '\\' -> (
+        advance lx;
+        match peek lx with
+        | Some 'n' -> advance lx; Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance lx; Buffer.add_char buf '\t'; go ()
+        | Some 'r' -> advance lx; Buffer.add_char buf '\r'; go ()
+        | Some '0' -> advance lx; Buffer.add_char buf '\000'; go ()
+        | Some 'x' ->
+            advance lx;
+            let hex = String.init 2 (fun _ ->
+                match peek lx with
+                | Some c -> advance lx; c
+                | None -> raise (Lex_error ("bad \\x", lx.line)))
+            in
+            Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex)));
+            go ()
+        | Some c -> advance lx; Buffer.add_char buf c; go ()
+        | None -> raise (Lex_error ("dangling escape", lx.line)))
+    | Some c ->
+        advance lx;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* Read an identifier, permitting :: namespacing and the dotted mnemonics
+   of the instruction set (a '.' is part of the identifier only when a
+   letter follows, keeping 10.0.0.1 and 1.5 as numbers). *)
+let read_ident lx =
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf (read_while lx is_ident_char);
+  let rec more () =
+    if peek lx = Some ':' && peek2 lx = Some ':' then begin
+      advance lx;
+      advance lx;
+      Buffer.add_string buf "::";
+      Buffer.add_string buf (read_while lx is_ident_char);
+      more ()
+    end
+    else if peek lx = Some '.'
+            && (match peek2 lx with Some c -> is_ident_start c | None -> false)
+    then begin
+      advance lx;
+      Buffer.add_char buf '.';
+      Buffer.add_string buf (read_while lx is_ident_char);
+      more ()
+    end
+  in
+  more ();
+  Buffer.contents buf
+
+(* A number: int, double, or dotted-quad IPv4. *)
+let read_number lx =
+  let start = lx.pos in
+  let _ = read_while lx is_digit in
+  let dots = ref 0 in
+  let rec more () =
+    match peek lx with
+    | Some '.' when (match peek2 lx with Some c -> is_digit c | None -> false) ->
+        incr dots;
+        advance lx;
+        let _ = read_while lx is_digit in
+        more ()
+    | _ -> ()
+  in
+  more ();
+  let text = String.sub lx.src start (lx.pos - start) in
+  match !dots with
+  | 0 -> INT (Int64.of_string text)
+  | 1 -> DOUBLE (float_of_string text)
+  | 3 -> IPV4 text
+  | _ -> raise (Lex_error ("bad number " ^ text, lx.line))
+
+let rec scan lx =
+  match peek lx with
+  | None -> (EOF, lx.line)
+  | Some ' ' | Some '\t' | Some '\r' ->
+      advance lx;
+      scan lx
+  | Some '#' ->
+      let _ = read_while lx (fun c -> c <> '\n') in
+      scan lx
+  | Some '\n' ->
+      advance lx;
+      lx.line <- lx.line + 1;
+      (NEWLINE, lx.line - 1)
+  | Some '"' -> (STRING (read_string lx), lx.line)
+  | Some 'b' when peek2 lx = Some '"' ->
+      advance lx;
+      (BYTES (read_string lx), lx.line)
+  | Some c when is_digit c -> (read_number lx, lx.line)
+  | Some '-' when (match peek2 lx with Some c -> is_digit c | None -> false) -> (
+      advance lx;
+      match read_number lx with
+      | INT i -> (INT (Int64.neg i), lx.line)
+      | DOUBLE d -> (DOUBLE (-.d), lx.line)
+      | _ -> raise (Lex_error ("negative address?", lx.line)))
+  | Some c when is_ident_start c -> (IDENT (read_ident lx), lx.line)
+  | Some '(' -> advance lx; (LPAREN, lx.line)
+  | Some ')' -> advance lx; (RPAREN, lx.line)
+  | Some '{' -> advance lx; (LBRACE, lx.line)
+  | Some '}' -> advance lx; (RBRACE, lx.line)
+  | Some '<' -> advance lx; (LANGLE, lx.line)
+  | Some '>' -> advance lx; (RANGLE, lx.line)
+  | Some ',' -> advance lx; (COMMA, lx.line)
+  | Some ':' -> advance lx; (COLON, lx.line)
+  | Some '=' -> advance lx; (EQUALS, lx.line)
+  | Some '/' -> advance lx; (SLASH, lx.line)
+  | Some '*' -> advance lx; (STAR, lx.line)
+  | Some '@' -> advance lx; (AT, lx.line)
+  | Some c -> raise (Lex_error (Printf.sprintf "unexpected character %c" c, lx.line))
+
+(** Tokenize a whole source file. *)
+let tokenize src =
+  let lx = { src; pos = 0; line = 1; tokens = [] } in
+  let rec go acc =
+    let tok, line = scan lx in
+    if tok = EOF then List.rev ((EOF, line) :: acc) else go ((tok, line) :: acc)
+  in
+  go []
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "ident %s" s
+  | INT i -> Printf.sprintf "int %Ld" i
+  | DOUBLE d -> Printf.sprintf "double %g" d
+  | STRING s -> Printf.sprintf "string %S" s
+  | BYTES s -> Printf.sprintf "bytes %S" s
+  | IPV4 s -> Printf.sprintf "ipv4 %s" s
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LANGLE -> "<" | RANGLE -> ">" | COMMA -> "," | COLON -> ":"
+  | EQUALS -> "=" | SLASH -> "/" | STAR -> "*" | AT -> "@"
+  | NEWLINE -> "newline" | EOF -> "eof"

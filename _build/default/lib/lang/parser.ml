@@ -1,0 +1,672 @@
+(** Parser for textual HILTI (.hlt) — covers the language as used by the
+    paper's figures: module/import/global/type declarations, struct, enum,
+    bitset, overlay and exception types, functions and hooks, labeled
+    blocks, try/catch sugar, and the full instruction syntax
+    [<target> = <mnemonic> <op1> <op2> <op3>]. *)
+
+open Lexer
+
+exception Parse_error of string * int
+
+type p = {
+  mutable toks : (token * int) list;
+  modul : Module_ir.t;
+  (* declared type names -> kind, to build Htype references *)
+  type_kinds : (string, [ `Struct | `Enum | `Bitset | `Overlay | `Exception ]) Hashtbl.t;
+}
+
+let fail p fmt =
+  let line = match p.toks with (_, l) :: _ -> l | [] -> 0 in
+  Printf.ksprintf (fun m -> raise (Parse_error (m, line))) fmt
+
+let peek p = match p.toks with (t, _) :: _ -> t | [] -> EOF
+
+let peek2 p = match p.toks with _ :: (t, _) :: _ -> t | _ -> EOF
+
+let next p =
+  match p.toks with
+  | (t, _) :: rest ->
+      p.toks <- rest;
+      t
+  | [] -> EOF
+
+let expect p tok what =
+  let t = next p in
+  if t <> tok then fail p "expected %s, got %s" what (token_to_string t)
+
+let skip_newlines p =
+  while peek p = NEWLINE do
+    ignore (next p)
+  done
+
+let ident p =
+  match next p with
+  | IDENT s -> s
+  | t -> fail p "expected identifier, got %s" (token_to_string t)
+
+(* ---- Types -------------------------------------------------------------------- *)
+
+let rec parse_type p : Htype.t =
+  match next p with
+  | IDENT "void" -> Htype.Void
+  | IDENT "any" -> Htype.Any
+  | IDENT "bool" -> Htype.Bool
+  | IDENT "string" -> Htype.String
+  | IDENT "bytes" -> Htype.Bytes
+  | IDENT "double" -> Htype.Double
+  | IDENT "addr" -> Htype.Addr
+  | IDENT "port" -> Htype.Port
+  | IDENT "net" -> Htype.Net
+  | IDENT "time" -> Htype.Time
+  | IDENT "interval" -> Htype.Interval
+  | IDENT "exception" -> Htype.Exception
+  | IDENT "regexp" -> Htype.Regexp
+  | IDENT "match_state" -> Htype.Match_state
+  | IDENT "timer" -> Htype.Timer
+  | IDENT "timer_mgr" -> Htype.Timer_mgr
+  | IDENT "file" -> Htype.File
+  | IDENT "iosrc" -> Htype.Iosrc
+  | IDENT "caddr" -> Htype.Caddr
+  | IDENT "int" ->
+      if peek p = LANGLE then begin
+        ignore (next p);
+        let w = match next p with INT i -> Int64.to_int i | _ -> fail p "int width" in
+        expect p RANGLE ">";
+        Htype.Int w
+      end
+      else Htype.Int 64
+  | IDENT "ref" ->
+      expect p LANGLE "<";
+      let t = parse_type p in
+      expect p RANGLE ">";
+      Htype.Ref t
+  | IDENT "list" ->
+      expect p LANGLE "<";
+      let t = parse_type p in
+      expect p RANGLE ">";
+      Htype.List t
+  | IDENT "vector" ->
+      expect p LANGLE "<";
+      let t = parse_type p in
+      expect p RANGLE ">";
+      Htype.Vector t
+  | IDENT "set" ->
+      expect p LANGLE "<";
+      let t = parse_type p in
+      expect p RANGLE ">";
+      Htype.Set t
+  | IDENT "map" ->
+      expect p LANGLE "<";
+      let k = parse_type p in
+      expect p COMMA ",";
+      let v = parse_type p in
+      expect p RANGLE ">";
+      Htype.Map (k, v)
+  | IDENT "channel" ->
+      expect p LANGLE "<";
+      let t = parse_type p in
+      expect p RANGLE ">";
+      Htype.Channel t
+  | IDENT "iterator" ->
+      expect p LANGLE "<";
+      let t = parse_type p in
+      expect p RANGLE ">";
+      Htype.Iter t
+  | IDENT "classifier" ->
+      expect p LANGLE "<";
+      let r = parse_type p in
+      expect p COMMA ",";
+      let v = parse_type p in
+      expect p RANGLE ">";
+      Htype.Classifier (r, v)
+  | IDENT "callable" ->
+      expect p LANGLE "<";
+      let r = parse_type p in
+      let args = ref [] in
+      while peek p = COMMA do
+        ignore (next p);
+        args := parse_type p :: !args
+      done;
+      expect p RANGLE ">";
+      Htype.Callable (List.rev !args, r)
+  | IDENT "tuple" ->
+      expect p LANGLE "<";
+      let parts = ref [] in
+      if peek p = STAR then begin
+        ignore (next p);
+        expect p RANGLE ">";
+        Htype.Tuple []
+      end
+      else begin
+        parts := [ parse_type p ];
+        while peek p = COMMA do
+          ignore (next p);
+          parts := parse_type p :: !parts
+        done;
+        expect p RANGLE ">";
+        Htype.Tuple (List.rev !parts)
+      end
+  | IDENT name -> (
+      match Hashtbl.find_opt p.type_kinds name with
+      | Some `Enum -> Htype.Enum name
+      | Some `Bitset -> Htype.Bitset name
+      | Some `Overlay -> Htype.Overlay name
+      | Some `Exception -> Htype.Exception
+      | Some `Struct | None -> Htype.Struct name)
+  | t -> fail p "expected type, got %s" (token_to_string t)
+
+(* ---- Constants and operands ----------------------------------------------------- *)
+
+let enum_type_of_label p name =
+  (* Foo::Bar where Foo (possibly nested namespace) is a declared enum. *)
+  match String.rindex_opt name ':' with
+  | Some i when i >= 1 && name.[i - 1] = ':' ->
+      let tname = String.sub name 0 (i - 1) in
+      let label = String.sub name (i + 1) (String.length name - i - 1) in
+      (match Hashtbl.find_opt p.type_kinds tname with
+      | Some `Enum -> Some (tname, label)
+      | _ ->
+          if tname = "Hilti::AddrFamily" || tname = "Hilti::ExpireStrategy"
+             || tname = "Hilti::Protocol"
+          then Some (tname, label)
+          else None)
+  | _ -> None
+
+let rec parse_operand p : Instr.operand =
+  match peek p with
+  | INT i -> (
+      ignore (next p);
+      (* 80/tcp is a port *)
+      if peek p = SLASH then
+        match peek2 p with
+        | IDENT ("tcp" | "udp" | "icmp") ->
+            ignore (next p);
+            let proto = ident p in
+            Instr.Const
+              (Constant.Port
+                 (Hilti_types.Port.make (Int64.to_int i)
+                    (Hilti_types.Port.proto_of_string proto)))
+        | _ -> Instr.Const (Constant.Int (i, 64))
+      else Instr.Const (Constant.Int (i, 64)))
+  | DOUBLE d ->
+      ignore (next p);
+      Instr.Const (Constant.Double d)
+  | STRING s ->
+      ignore (next p);
+      Instr.Const (Constant.String s)
+  | BYTES s ->
+      ignore (next p);
+      Instr.Const (Constant.Bytes s)
+  | IPV4 a -> (
+      ignore (next p);
+      if peek p = SLASH then begin
+        ignore (next p);
+        match next p with
+        | INT len ->
+            Instr.Const
+              (Constant.Net
+                 (Hilti_types.Network.make (Hilti_types.Addr.of_string a)
+                    (Int64.to_int len)))
+        | t -> fail p "expected prefix length, got %s" (token_to_string t)
+      end
+      else Instr.Const (Constant.Addr (Hilti_types.Addr.of_string a)))
+  | STAR ->
+      ignore (next p);
+      Instr.Const Constant.Unset
+  | LPAREN ->
+      ignore (next p);
+      skip_newlines p;
+      let parts = ref [] in
+      if peek p <> RPAREN then begin
+        parts := [ parse_operand p ];
+        while peek p = COMMA do
+          ignore (next p);
+          skip_newlines p;
+          parts := parse_operand p :: !parts
+        done
+      end;
+      expect p RPAREN ")";
+      Instr.Tuple_op (List.rev !parts)
+  | IDENT "True" ->
+      ignore (next p);
+      Instr.Const (Constant.Bool true)
+  | IDENT "False" ->
+      ignore (next p);
+      Instr.Const (Constant.Bool false)
+  | IDENT "Null" ->
+      ignore (next p);
+      Instr.Const Constant.Null
+  | IDENT "interval" when peek2 p = LPAREN ->
+      ignore (next p);
+      ignore (next p);
+      let v =
+        match next p with
+        | INT i -> Hilti_types.Interval_ns.of_secs (Int64.to_int i)
+        | DOUBLE d -> Hilti_types.Interval_ns.of_float d
+        | t -> fail p "interval(): %s" (token_to_string t)
+      in
+      expect p RPAREN ")";
+      Instr.Const (Constant.Interval v)
+  | IDENT "time" when peek2 p = LPAREN ->
+      ignore (next p);
+      ignore (next p);
+      let v =
+        match next p with
+        | INT i -> Hilti_types.Time_ns.of_secs (Int64.to_int i)
+        | DOUBLE d -> Hilti_types.Time_ns.of_float d
+        | t -> fail p "time(): %s" (token_to_string t)
+      in
+      expect p RPAREN ")";
+      Instr.Const (Constant.Time v)
+  | IDENT name -> (
+      ignore (next p);
+      match enum_type_of_label p name with
+      | Some (tname, label) -> Instr.Const (Constant.Enum_label (tname, label))
+      | None -> Instr.Local name)
+  | AT ->
+      ignore (next p);
+      Instr.Global (ident p)
+  | t -> fail p "expected operand, got %s" (token_to_string t)
+
+(* Operand roles per mnemonic position; [`V] value (default), [`L] label,
+   [`F] function name, [`M] member, [`T] type. *)
+let roles_of = function
+  | "jump" -> [ `L ]
+  | "if.else" -> [ `V; `L; `L ]
+  | "call" -> [ `F; `V ]
+  | "try.push" -> [ `L; `V ]
+  | "switch" -> [ `V; `L ]  (* then (const, label) tuples as values *)
+  | "thread.schedule" -> [ `F; `V; `V ]
+  | "hook.run" -> [ `F; `V ]
+  | "callable.bind" -> [ `F; `V ]
+  | "struct.get" | "struct.unset" | "struct.is_set" -> [ `V; `M ]
+  | "struct.set" | "struct.get_default" -> [ `V; `M; `V ]
+  | "overlay.get" -> [ `M; `M; `V ]
+  | "overlay.size" -> [ `M ]
+  | "enum.from_int" -> [ `T; `V ]
+  | "new" -> [ `T; `V; `V ]
+  | "timer.new" -> [ `V ]
+  | _ -> []
+
+(* Functions declared without a namespace live in the module's namespace;
+   references are qualified the same way so cross-references line up. *)
+let qualify p name =
+  if String.length name > 0 && String.contains name ':' then name
+  else p.modul.Module_ir.mname ^ "::" ^ name
+
+let parse_role_operand p role =
+  match role with
+  | `V -> parse_operand p
+  | `L -> Instr.Label (ident p)
+  | `F -> Instr.Fname (qualify p (ident p))
+  | `M -> Instr.Member (ident p)
+  | `T -> Instr.Type_op (parse_type p)
+
+(* Parse operands for [mnemonic] until end of line. *)
+let parse_operands p mnemonic =
+  let roles = roles_of mnemonic in
+  let rec go i acc =
+    if peek p = NEWLINE || peek p = EOF || peek p = RBRACE then List.rev acc
+    else
+      let role = match List.nth_opt roles i with Some r -> r | None -> `V in
+      (* switch: trailing case pairs are (const, label) tuples *)
+      let op =
+        if mnemonic = "switch" && i >= 2 then begin
+          expect p LPAREN "(";
+          let c = parse_operand p in
+          expect p COMMA ",";
+          let l = Instr.Label (ident p) in
+          expect p RPAREN ")";
+          Instr.Tuple_op [ c; l ]
+        end
+        else parse_role_operand p role
+      in
+      go (i + 1) (op :: acc)
+  in
+  go 0 []
+
+(* ---- Statements ------------------------------------------------------------------- *)
+
+type fstate = {
+  b : Builder.t;
+  mutable try_counter : int;
+}
+
+let rec parse_statement p fs =
+  match peek p with
+  | NEWLINE ->
+      ignore (next p);
+      true
+  | RBRACE -> false
+  | IDENT "local" ->
+      ignore (next p);
+      let ty = parse_type p in
+      let name = ident p in
+      ignore (Builder.local fs.b name ty);
+      true
+  | IDENT "return" ->
+      ignore (next p);
+      if peek p = NEWLINE || peek p = RBRACE then
+        Builder.instr fs.b "return.void" []
+      else begin
+        let op = parse_operand p in
+        Builder.instr fs.b "return.result" [ op ]
+      end;
+      true
+  | IDENT "try" ->
+      parse_try p fs;
+      true
+  | IDENT name when peek2 p = COLON ->
+      (* a block label *)
+      ignore (next p);
+      ignore (next p);
+      Builder.set_block fs.b name;
+      true
+  | IDENT name when peek2 p = EQUALS ->
+      ignore (next p);
+      ignore (next p);
+      let mnemonic = ident p in
+      let operands = parse_operands p mnemonic in
+      Builder.instr fs.b ~target:name mnemonic operands;
+      true
+  | IDENT mnemonic ->
+      ignore (next p);
+      let operands = parse_operands p mnemonic in
+      Builder.instr fs.b mnemonic operands;
+      true
+  | EOF -> false
+  | t -> fail p "unexpected %s in function body" (token_to_string t)
+
+(* try { ... } catch ( <type> e ) { ... }  -- desugars to try.push/try.pop
+   around the body with fresh labels. *)
+and parse_try p fs =
+  ignore (next p);  (* try *)
+  fs.try_counter <- fs.try_counter + 1;
+  let n = fs.try_counter in
+  let handler = Printf.sprintf "__catch%d" n in
+  let after = Printf.sprintf "__after%d" n in
+  expect p LBRACE "{";
+  (* Register handler label lazily; exception variable comes from catch. *)
+  let exc_tmp = Builder.local fs.b (Printf.sprintf "__exc%d" n) Htype.Exception in
+  Builder.instr fs.b "try.push" [ Instr.Label handler; Instr.Local exc_tmp ];
+  skip_newlines p;
+  while peek p <> RBRACE do
+    if not (parse_statement p fs) then fail p "unterminated try block"
+  done;
+  expect p RBRACE "}";
+  let ends_in_terminator () =
+    match List.rev fs.b.Builder.current.Module_ir.instrs with
+    | last :: _ -> List.mem last.Instr.mnemonic Validate.terminators
+    | [] -> false
+  in
+  if not (ends_in_terminator ()) then begin
+    Builder.instr fs.b "try.pop" [];
+    Builder.jump fs.b after
+  end;
+  skip_newlines p;
+  (match peek p with
+  | IDENT "catch" ->
+      ignore (next p);
+      expect p LPAREN "(";
+      let _ty = parse_type p in
+      let var = ident p in
+      expect p RPAREN ")";
+      let var = Builder.local fs.b var Htype.Exception in
+      Builder.set_block fs.b handler;
+      Builder.instr fs.b ~target:var "assign" [ Instr.Local exc_tmp ];
+      expect p LBRACE "{";
+      skip_newlines p;
+      while peek p <> RBRACE do
+        if not (parse_statement p fs) then fail p "unterminated catch block"
+      done;
+      expect p RBRACE "}";
+      if not (ends_in_terminator ()) then Builder.jump fs.b after
+  | _ -> fail p "expected catch after try");
+  Builder.set_block fs.b after
+
+(* ---- Declarations ------------------------------------------------------------------- *)
+
+let parse_params p =
+  expect p LPAREN "(";
+  let params = ref [] in
+  skip_newlines p;
+  if peek p <> RPAREN then begin
+    let one () =
+      let ty = parse_type p in
+      let name = ident p in
+      params := (name, ty) :: !params
+    in
+    one ();
+    while peek p = COMMA do
+      ignore (next p);
+      skip_newlines p;
+      one ()
+    done
+  end;
+  expect p RPAREN ")";
+  List.rev !params
+
+let parse_function p ~cc ~priority =
+  let result = parse_type p in
+  let name = qualify p (ident p) in
+  let params = parse_params p in
+  if cc = Module_ir.Cc_c then begin
+    let f =
+      {
+        Module_ir.fname = name;
+        params;
+        result;
+        locals = [];
+        blocks = [];
+        cc;
+        hook_priority = 0;
+        exported = true;
+      }
+    in
+    Module_ir.add_func p.modul f
+  end
+  else begin
+    skip_newlines p;
+    expect p LBRACE "{";
+    let b =
+      Builder.func p.modul ~cc ~hook_priority:priority ~exported:true name ~params
+        ~result
+    in
+    let fs = { b; try_counter = 0 } in
+    skip_newlines p;
+    while peek p <> RBRACE do
+      if not (parse_statement p fs) then fail p "unterminated function %s" name
+    done;
+    expect p RBRACE "}"
+  end
+
+let parse_enum_body p =
+  expect p LBRACE "{";
+  let labels = ref [] in
+  let one () =
+    skip_newlines p;
+    let l = ident p in
+    if peek p = EQUALS then begin
+      ignore (next p);
+      match next p with
+      | INT i -> labels := (l, Some (Int64.to_int i)) :: !labels
+      | t -> fail p "enum value: %s" (token_to_string t)
+    end
+    else labels := (l, None) :: !labels
+  in
+  one ();
+  while peek p = COMMA do
+    ignore (next p);
+    one ()
+  done;
+  skip_newlines p;
+  expect p RBRACE "}";
+  let _, resolved =
+    List.fold_left
+      (fun (nextv, acc) (l, v) ->
+        match v with
+        | Some v -> (v + 1, (l, v) :: acc)
+        | None -> (nextv + 1, (l, nextv) :: acc))
+      (0, [])
+      (List.rev !labels)
+  in
+  List.rev resolved
+
+let unpack_fmt_of_name p name =
+  let open Hilti_types.Hbytes in
+  match name with
+  | "UInt8Big" | "UInt8InBigEndian" | "UInt8" -> Module_ir.U_uint (1, Big)
+  | "UInt16Big" | "UInt16InBigEndian" -> Module_ir.U_uint (2, Big)
+  | "UInt32Big" | "UInt32InBigEndian" -> Module_ir.U_uint (4, Big)
+  | "UInt64Big" | "UInt64InBigEndian" -> Module_ir.U_uint (8, Big)
+  | "UInt16Little" | "UInt16InLittleEndian" -> Module_ir.U_uint (2, Little)
+  | "UInt32Little" | "UInt32InLittleEndian" -> Module_ir.U_uint (4, Little)
+  | "Int8Big" -> Module_ir.U_sint (1, Big)
+  | "Int16Big" -> Module_ir.U_sint (2, Big)
+  | "Int32Big" -> Module_ir.U_sint (4, Big)
+  | "IPv4" | "IPv4InNetworkOrder" -> Module_ir.U_ipv4
+  | other ->
+      (* BytesN *)
+      if String.length other > 5 && String.sub other 0 5 = "Bytes" then
+        match int_of_string_opt (String.sub other 5 (String.length other - 5)) with
+        | Some n -> Module_ir.U_bytes n
+        | None -> fail p "unknown unpack format %s" other
+      else fail p "unknown unpack format %s" other
+
+let parse_overlay_body p =
+  expect p LBRACE "{";
+  let fields = ref [] in
+  let one () =
+    skip_newlines p;
+    let name = ident p in
+    expect p COLON ":";
+    let ty = parse_type p in
+    (match next p with
+    | IDENT "at" -> ()
+    | t -> fail p "expected 'at', got %s" (token_to_string t));
+    let offset = match next p with INT i -> Int64.to_int i | _ -> fail p "offset" in
+    (match next p with
+    | IDENT "unpack" -> ()
+    | t -> fail p "expected 'unpack', got %s" (token_to_string t));
+    let fmt = unpack_fmt_of_name p (ident p) in
+    let bits =
+      if peek p = LPAREN then begin
+        ignore (next p);
+        let lo = match next p with INT i -> Int64.to_int i | _ -> fail p "bit lo" in
+        expect p COMMA ",";
+        let hi = match next p with INT i -> Int64.to_int i | _ -> fail p "bit hi" in
+        expect p RPAREN ")";
+        Some (lo, hi)
+      end
+      else None
+    in
+    fields :=
+      { Module_ir.of_name = name; of_type = ty; of_offset = offset; of_fmt = fmt;
+        of_bits = bits }
+      :: !fields
+  in
+  one ();
+  while peek p = COMMA do
+    ignore (next p);
+    skip_newlines p;
+    one ()
+  done;
+  skip_newlines p;
+  expect p RBRACE "}";
+  List.rev !fields
+
+let parse_struct_body p =
+  expect p LBRACE "{";
+  let fields = ref [] in
+  let one () =
+    skip_newlines p;
+    let ty = parse_type p in
+    let name = ident p in
+    fields := (name, ty) :: !fields
+  in
+  one ();
+  while peek p = COMMA do
+    ignore (next p);
+    skip_newlines p;
+    one ()
+  done;
+  skip_newlines p;
+  expect p RBRACE "}";
+  List.rev !fields
+
+let parse_type_decl p =
+  let name = ident p in
+  expect p EQUALS "=";
+  match next p with
+  | IDENT "struct" ->
+      Hashtbl.replace p.type_kinds name `Struct;
+      Module_ir.add_type p.modul name (Module_ir.Struct_decl (parse_struct_body p))
+  | IDENT "enum" ->
+      Hashtbl.replace p.type_kinds name `Enum;
+      Module_ir.add_type p.modul name (Module_ir.Enum_decl (parse_enum_body p))
+  | IDENT "bitset" ->
+      Hashtbl.replace p.type_kinds name `Bitset;
+      Module_ir.add_type p.modul name (Module_ir.Bitset_decl (parse_enum_body p))
+  | IDENT "overlay" ->
+      Hashtbl.replace p.type_kinds name `Overlay;
+      Module_ir.add_type p.modul name (Module_ir.Overlay_decl (parse_overlay_body p))
+  | IDENT "exception" ->
+      Hashtbl.replace p.type_kinds name `Exception;
+      let arg =
+        if peek p = LANGLE then begin
+          ignore (next p);
+          let t = parse_type p in
+          expect p RANGLE ">";
+          t
+        end
+        else Htype.Void
+      in
+      Module_ir.add_type p.modul name (Module_ir.Exception_decl arg)
+  | t -> fail p "expected type declaration, got %s" (token_to_string t)
+
+let parse_decl p =
+  match peek p with
+  | IDENT "import" ->
+      ignore (next p);
+      Module_ir.add_import p.modul (ident p)
+  | IDENT "global" ->
+      ignore (next p);
+      let ty = parse_type p in
+      let name = ident p in
+      Module_ir.add_global p.modul name ty
+  | IDENT "type" ->
+      ignore (next p);
+      parse_type_decl p
+  | IDENT "hook" ->
+      ignore (next p);
+      (* optional priority: hook <int> void name(...) *)
+      let priority =
+        match peek p with
+        | INT i ->
+            ignore (next p);
+            Int64.to_int i
+        | _ -> 0
+      in
+      parse_function p ~cc:Module_ir.Cc_hook ~priority
+  | IDENT "declare" ->
+      ignore (next p);
+      parse_function p ~cc:Module_ir.Cc_c ~priority:0
+  | IDENT _ -> parse_function p ~cc:Module_ir.Cc_hilti ~priority:0
+  | t -> fail p "unexpected %s at top level" (token_to_string t)
+
+(** Parse a complete module from source text. *)
+let parse_module src : Module_ir.t =
+  let toks = tokenize src in
+  let p0 = { toks; modul = Module_ir.create "Main"; type_kinds = Hashtbl.create 16 } in
+  skip_newlines p0;
+  (match next p0 with
+  | IDENT "module" -> ()
+  | t -> raise (Parse_error ("expected 'module', got " ^ token_to_string t, 1)));
+  let mname = ident p0 in
+  let p = { p0 with modul = Module_ir.create mname } in
+  skip_newlines p;
+  while peek p <> EOF do
+    parse_decl p;
+    skip_newlines p
+  done;
+  p.modul

@@ -1,0 +1,1 @@
+lib/net/checksum.ml: Char String

@@ -1,0 +1,1 @@
+lib/net/flow.ml: Addr Format Hashtbl Hilti_types Port Printf

@@ -1,0 +1,1 @@
+lib/net/flow_table.ml: Flow Hilti_rt Hilti_types Time_ns

@@ -1,0 +1,1 @@
+lib/net/ipv4.ml: Addr Bytes Checksum Hilti_types Int32 String Wire

@@ -1,0 +1,1 @@
+lib/net/ipv6.ml: Addr Bytes Hilti_types Int64 String Wire

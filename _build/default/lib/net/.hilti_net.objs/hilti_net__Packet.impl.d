@@ -1,0 +1,1 @@
+lib/net/packet.ml: Ethernet Flow Hilti_types Ipv4 Ipv6 Port Printf Tcp Time_ns Udp Wire

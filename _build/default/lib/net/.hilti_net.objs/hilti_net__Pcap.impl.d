@@ -1,0 +1,1 @@
+lib/net/pcap.ml: Buffer Bytes Fun Hilti_rt Hilti_types Int64 List String Time_ns Wire

@@ -1,0 +1,1 @@
+lib/net/reassembly.ml: Int32 List String

@@ -1,0 +1,1 @@
+lib/net/tcp.ml: Bytes Checksum Int32 Ipv4 List String Wire

@@ -1,0 +1,1 @@
+lib/net/udp.ml: Bytes Checksum Ipv4 String Wire

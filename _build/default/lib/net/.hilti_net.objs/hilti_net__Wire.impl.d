@@ -1,0 +1,1 @@
+lib/net/wire.ml: Bytes Char String

@@ -1,0 +1,27 @@
+(** The Internet checksum (RFC 1071), used by IPv4, TCP, and UDP. *)
+
+(** One's-complement sum of 16-bit big-endian words of [s.[off..off+len)];
+    an odd trailing byte is padded with zero. *)
+let sum16 ?(acc = 0) s off len =
+  let acc = ref acc in
+  let i = ref 0 in
+  while !i + 1 < len do
+    acc := !acc + (Char.code s.[off + !i] lsl 8) + Char.code s.[off + !i + 1];
+    i := !i + 2
+  done;
+  if !i < len then acc := !acc + (Char.code s.[off + !i] lsl 8);
+  !acc
+
+let fold (acc : int) =
+  let acc = ref acc in
+  while !acc lsr 16 <> 0 do
+    acc := (!acc land 0xffff) + (!acc lsr 16)
+  done;
+  !acc
+
+(** Final checksum value over a buffer. *)
+let checksum ?(acc = 0) s off len = lnot (fold (sum16 ~acc s off len)) land 0xffff
+
+(** Verify: the checksum over data that includes the checksum field must
+    fold to 0xffff. *)
+let valid s off len = fold (sum16 s off len) = 0xffff

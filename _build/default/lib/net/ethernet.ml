@@ -1,0 +1,41 @@
+(** Ethernet II framing. *)
+
+type t = {
+  dst : string;  (** 6 bytes *)
+  src : string;  (** 6 bytes *)
+  ethertype : int;
+}
+
+let header_len = 14
+let ethertype_ipv4 = 0x0800
+let ethertype_ipv6 = 0x86dd
+let ethertype_arp = 0x0806
+
+let default_src = "\x02\x00\x00\x00\x00\x01"
+let default_dst = "\x02\x00\x00\x00\x00\x02"
+
+let decode frame =
+  Wire.need frame 0 header_len "ethernet";
+  {
+    dst = String.sub frame 0 6;
+    src = String.sub frame 6 6;
+    ethertype = Wire.get_u16 frame 12;
+  }
+
+(** Payload (everything after the 14-byte header). *)
+let payload frame =
+  Wire.need frame 0 header_len "ethernet";
+  String.sub frame header_len (String.length frame - header_len)
+
+let encode ?(dst = default_dst) ?(src = default_src) ~ethertype payload =
+  if String.length dst <> 6 || String.length src <> 6 then
+    invalid_arg "Ethernet.encode";
+  let b = Bytes.create (header_len + String.length payload) in
+  Bytes.blit_string dst 0 b 0 6;
+  Bytes.blit_string src 0 b 6 6;
+  Wire.set_u16 b 12 ethertype;
+  Bytes.blit_string payload 0 b header_len (String.length payload);
+  Bytes.to_string b
+
+let mac_to_string m =
+  String.concat ":" (List.init 6 (fun i -> Printf.sprintf "%02x" (Char.code m.[i])))

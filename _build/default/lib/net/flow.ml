@@ -1,0 +1,59 @@
+(** Connection 5-tuples with canonical orientation and hashing.
+
+    The hash is the basis for the ID-based load balancing of §3.2: hashing a
+    flow's 5-tuple to a virtual-thread id serializes all computation for
+    that flow on one thread. *)
+
+open Hilti_types
+
+type t = {
+  src : Addr.t;
+  dst : Addr.t;
+  src_port : Port.t;
+  dst_port : Port.t;
+}
+
+let make ~src ~dst ~src_port ~dst_port = { src; dst; src_port; dst_port }
+
+(** The flow as seen from the opposite direction. *)
+let reverse t =
+  { src = t.dst; dst = t.src; src_port = t.dst_port; dst_port = t.src_port }
+
+(** Canonical orientation: the endpoint with the smaller (addr, port) pair
+    becomes the "originator" side of the key, so both directions of a
+    connection map to the same key.  Returns the canonical flow and whether
+    the input was already in canonical order. *)
+let canonical t =
+  let c = Addr.compare t.src t.dst in
+  let forward = if c <> 0 then c < 0 else Port.compare t.src_port t.dst_port <= 0 in
+  if forward then (t, true) else (reverse t, false)
+
+let equal a b =
+  Addr.equal a.src b.src && Addr.equal a.dst b.dst
+  && Port.equal a.src_port b.src_port
+  && Port.equal a.dst_port b.dst_port
+
+let compare a b =
+  let c = Addr.compare a.src b.src in
+  if c <> 0 then c
+  else
+    let c = Addr.compare a.dst b.dst in
+    if c <> 0 then c
+    else
+      let c = Port.compare a.src_port b.src_port in
+      if c <> 0 then c else Port.compare a.dst_port b.dst_port
+
+(** Direction-insensitive hash (both directions agree), suitable for
+    thread scheduling. *)
+let hash t =
+  let canon, _ = canonical t in
+  Hashtbl.hash
+    (Addr.hash canon.src, Addr.hash canon.dst, Port.hash canon.src_port,
+     Port.hash canon.dst_port)
+
+let to_string t =
+  Printf.sprintf "%s:%d > %s:%d/%s" (Addr.to_string t.src)
+    (Port.number t.src_port) (Addr.to_string t.dst) (Port.number t.dst_port)
+    (Port.proto_to_string (Port.proto t.src_port))
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,77 @@
+(** Session tables: per-connection state keyed by canonical flow, with
+    idle-expiration through the runtime's expiring map — the "session tables
+    with built-in state management" component the paper's intro promises. *)
+
+open Hilti_types
+
+type dir = Orig | Resp
+(** Direction of a packet relative to the connection originator (the
+    endpoint that sent the first packet we saw). *)
+
+type 'a conn = {
+  flow : Flow.t;  (* as first seen: src = originator *)
+  mutable state : 'a;
+  started : Time_ns.t;
+  mutable last : Time_ns.t;
+  mutable orig_packets : int;
+  mutable resp_packets : int;
+}
+
+type 'a t = {
+  table : (Flow.t, 'a conn) Hilti_rt.Exp_map.t;
+  fresh : Flow.t -> Time_ns.t -> 'a;
+  mutable created : int;
+  mutable removed_cb : ('a conn -> unit) option;
+}
+
+let create ?timeout ?timer_mgr fresh =
+  let table = Hilti_rt.Exp_map.create () in
+  (match (timeout, timer_mgr) with
+  | Some ival, Some mgr ->
+      Hilti_rt.Exp_map.set_timeout table (Hilti_rt.Expire.Access ival) mgr
+  | _ -> ());
+  { table; fresh; created = 0; removed_cb = None }
+
+let on_remove t cb = t.removed_cb <- Some cb
+
+let size t = Hilti_rt.Exp_map.size t.table
+
+let created t = t.created
+
+(** Find or create the connection for [flow] (packet orientation); returns
+    the connection and the packet's direction within it. *)
+let lookup t ~ts flow =
+  let canon, _ = Flow.canonical flow in
+  match Hilti_rt.Exp_map.find_opt t.table canon with
+  | Some conn ->
+      conn.last <- ts;
+      let dir = if Flow.equal conn.flow flow then Orig else Resp in
+      (match dir with
+      | Orig -> conn.orig_packets <- conn.orig_packets + 1
+      | Resp -> conn.resp_packets <- conn.resp_packets + 1);
+      (conn, dir)
+  | None ->
+      let conn =
+        {
+          flow;
+          state = t.fresh flow ts;
+          started = ts;
+          last = ts;
+          orig_packets = 1;
+          resp_packets = 0;
+        }
+      in
+      t.created <- t.created + 1;
+      Hilti_rt.Exp_map.insert t.table canon conn;
+      (conn, Orig)
+
+let remove t flow =
+  let canon, _ = Flow.canonical flow in
+  (match (t.removed_cb, Hilti_rt.Exp_map.find_opt t.table canon) with
+  | Some cb, Some conn -> cb conn
+  | _ -> ());
+  Hilti_rt.Exp_map.remove t.table canon
+
+let iter f t = Hilti_rt.Exp_map.iter (fun _ conn -> f conn) t.table
+
+let fold f t init = Hilti_rt.Exp_map.fold (fun _ conn acc -> f conn acc) t.table init

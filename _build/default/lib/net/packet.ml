@@ -1,0 +1,81 @@
+(** Fully decoded packets: the layered view analyzers consume. *)
+
+open Hilti_types
+
+type transport =
+  | TCP of Tcp.t * string   (** header, payload *)
+  | UDP of Udp.t * string
+  | Other of int * string   (** protocol number, raw payload *)
+
+type ip = V4 of Ipv4.t | V6 of Ipv6.t
+
+type t = {
+  ts : Time_ns.t;
+  eth : Ethernet.t;
+  ip : ip;
+  transport : transport;
+}
+
+exception Unsupported of string
+
+let src t = match t.ip with V4 h -> h.Ipv4.src | V6 h -> h.Ipv6.src
+let dst t = match t.ip with V4 h -> h.Ipv4.dst | V6 h -> h.Ipv6.dst
+
+let ports t =
+  match t.transport with
+  | TCP (h, _) -> Some (Port.tcp h.Tcp.src_port, Port.tcp h.Tcp.dst_port)
+  | UDP (h, _) -> Some (Port.udp h.Udp.src_port, Port.udp h.Udp.dst_port)
+  | Other _ -> None
+
+let flow t =
+  match ports t with
+  | Some (sp, dp) ->
+      Some (Flow.make ~src:(src t) ~dst:(dst t) ~src_port:sp ~dst_port:dp)
+  | None -> None
+
+let payload t =
+  match t.transport with TCP (_, p) | UDP (_, p) | Other (_, p) -> p
+
+let decode_transport protocol data =
+  if protocol = Ipv4.proto_tcp then
+    let h = Tcp.decode data in
+    TCP (h, Tcp.payload h data)
+  else if protocol = Ipv4.proto_udp then
+    let h = Udp.decode data in
+    UDP (h, Udp.payload h data)
+  else Other (protocol, data)
+
+(** Decode an Ethernet frame into a packet.  Raises {!Wire.Truncated},
+    {!Ipv4.Bad_header} etc. on malformed input, and {!Unsupported} for
+    non-IP ethertypes — analyzers treat those as "crud" to skip. *)
+let decode ~ts frame =
+  let eth = Ethernet.decode frame in
+  let body = Ethernet.payload frame in
+  if eth.Ethernet.ethertype = Ethernet.ethertype_ipv4 then
+    let ih = Ipv4.decode body in
+    let transport = decode_transport ih.Ipv4.protocol (Ipv4.payload ih body) in
+    { ts; eth; ip = V4 ih; transport }
+  else if eth.Ethernet.ethertype = Ethernet.ethertype_ipv6 then
+    let ih = Ipv6.decode body in
+    let transport = decode_transport ih.Ipv6.next_header (Ipv6.payload ih body) in
+    { ts; eth; ip = V6 ih; transport }
+  else raise (Unsupported (Printf.sprintf "ethertype 0x%04x" eth.Ethernet.ethertype))
+
+let decode_opt ~ts frame =
+  match decode ~ts frame with
+  | p -> Some p
+  | exception (Wire.Truncated _ | Ipv4.Bad_header _ | Ipv6.Bad_header _
+              | Tcp.Bad_header _ | Udp.Bad_header _ | Unsupported _) ->
+      None
+
+(* Encoding helpers used by the trace generator ---------------------------- *)
+
+let encode_tcp ~src ~dst ~src_port ~dst_port ~seq ~ack ~flags payload =
+  let tcp = Tcp.encode ~src_port ~dst_port ~seq ~ack ~flags ~src ~dst payload in
+  let ip = Ipv4.encode ~protocol:Ipv4.proto_tcp ~src ~dst tcp in
+  Ethernet.encode ~ethertype:Ethernet.ethertype_ipv4 ip
+
+let encode_udp ~src ~dst ~src_port ~dst_port payload =
+  let udp = Udp.encode ~src_port ~dst_port ~src ~dst payload in
+  let ip = Ipv4.encode ~protocol:Ipv4.proto_udp ~src ~dst udp in
+  Ethernet.encode ~ethertype:Ethernet.ethertype_ipv4 ip

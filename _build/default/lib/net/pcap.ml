@@ -1,0 +1,97 @@
+(** The libpcap trace-file format (classic pcap, microsecond resolution,
+    little-endian, LINKTYPE_ETHERNET).  Supports both disk files and
+    in-memory traces so benchmarks avoid I/O noise. *)
+
+open Hilti_types
+
+let magic = 0xa1b2c3d4
+let linktype_ethernet = 1
+
+type record = { ts : Time_ns.t; orig_len : int; data : string }
+
+exception Bad_format of string
+
+(* ---- Writing -------------------------------------------------------------- *)
+
+let encode_global_header ?(snaplen = 65535) () =
+  let b = Bytes.create 24 in
+  Wire.set_u32l b 0 magic;
+  (* version 2.4, as little-endian u16 pairs *)
+  Bytes.set b 4 '\x02';
+  Bytes.set b 5 '\x00';
+  Bytes.set b 6 '\x04';
+  Bytes.set b 7 '\x00';
+  Wire.set_u32l b 8 0;   (* thiszone *)
+  Wire.set_u32l b 12 0;  (* sigfigs *)
+  Wire.set_u32l b 16 snaplen;
+  Wire.set_u32l b 20 linktype_ethernet;
+  Bytes.to_string b
+
+let encode_record r =
+  let ns = Time_ns.to_ns r.ts in
+  let sec = Int64.to_int (Int64.div ns 1_000_000_000L) in
+  let usec = Int64.to_int (Int64.div (Int64.rem ns 1_000_000_000L) 1000L) in
+  let b = Bytes.create (16 + String.length r.data) in
+  Wire.set_u32l b 0 sec;
+  Wire.set_u32l b 4 usec;
+  Wire.set_u32l b 8 (String.length r.data);
+  Wire.set_u32l b 12 r.orig_len;
+  Bytes.blit_string r.data 0 b 16 (String.length r.data);
+  Bytes.to_string b
+
+(** Serialize a full trace to a string (the contents of a .pcap file). *)
+let to_string records =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (encode_global_header ());
+  List.iter (fun r -> Buffer.add_string buf (encode_record r)) records;
+  Buffer.contents buf
+
+let write_file path records =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string records))
+
+(* ---- Reading -------------------------------------------------------------- *)
+
+let parse_string s =
+  if String.length s < 24 then raise (Bad_format "short global header");
+  if Wire.get_u32l s 0 <> magic then raise (Bad_format "bad magic");
+  let snaplen = Wire.get_u32l s 16 in
+  ignore snaplen;
+  let rec go off acc =
+    if off >= String.length s then List.rev acc
+    else if off + 16 > String.length s then raise (Bad_format "short record header")
+    else
+      let sec = Wire.get_u32l s off in
+      let usec = Wire.get_u32l s (off + 4) in
+      let caplen = Wire.get_u32l s (off + 8) in
+      let orig_len = Wire.get_u32l s (off + 12) in
+      if off + 16 + caplen > String.length s then raise (Bad_format "short record");
+      let data = String.sub s (off + 16) caplen in
+      let ts =
+        Time_ns.of_ns
+          (Int64.add
+             (Int64.mul (Int64.of_int sec) 1_000_000_000L)
+             (Int64.mul (Int64.of_int usec) 1000L))
+      in
+      go (off + 16 + caplen) ({ ts; orig_len; data } :: acc)
+  in
+  go 24 []
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      parse_string (really_input_string ic n))
+
+(* ---- As an input source ---------------------------------------------------- *)
+
+(** Expose a record list as an [iosrc] (HILTI's packet-input type). *)
+let iosrc_of_records records =
+  Hilti_rt.Iosrc.of_list ~kind:"pcap"
+    (List.map (fun r -> { Hilti_rt.Iosrc.ts = r.ts; data = r.data }) records)
+
+let iosrc_of_file path = iosrc_of_records (read_file path)

@@ -1,0 +1,35 @@
+(** UDP datagram encoding and decoding. *)
+
+type t = { src_port : int; dst_port : int; length : int; checksum_field : int }
+
+let header_len = 8
+
+exception Bad_header of string
+
+let decode s =
+  Wire.need s 0 header_len "udp";
+  let length = Wire.get_u16 s 4 in
+  if length < header_len then raise (Bad_header "length");
+  {
+    src_port = Wire.get_u16 s 0;
+    dst_port = Wire.get_u16 s 2;
+    length;
+    checksum_field = Wire.get_u16 s 6;
+  }
+
+let payload t s =
+  let plen = min (t.length - header_len) (String.length s - header_len) in
+  String.sub s header_len plen
+
+let encode ~src_port ~dst_port ~src ~dst payload =
+  let total = header_len + String.length payload in
+  let b = Bytes.create total in
+  Wire.set_u16 b 0 src_port;
+  Wire.set_u16 b 2 dst_port;
+  Wire.set_u16 b 4 total;
+  Wire.set_u16 b 6 0;
+  Bytes.blit_string payload 0 b header_len (String.length payload);
+  let pseudo = Ipv4.pseudo_sum ~src ~dst ~protocol:Ipv4.proto_udp ~len:total in
+  let cs = Checksum.checksum ~acc:pseudo (Bytes.to_string b) 0 total in
+  Wire.set_u16 b 6 (if cs = 0 then 0xffff else cs);
+  Bytes.to_string b

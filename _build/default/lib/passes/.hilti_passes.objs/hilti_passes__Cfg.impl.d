@@ -1,0 +1,1 @@
+lib/passes/cfg.ml: Hashtbl Instr List Module_ir Option

@@ -1,0 +1,1 @@
+lib/passes/constfold.ml: Constant Hashtbl Instr Int64 List Module_ir Option Purity String

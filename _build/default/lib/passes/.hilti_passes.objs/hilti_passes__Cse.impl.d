@@ -1,0 +1,1 @@
+lib/passes/cse.ml: Constant Hashtbl Htype Instr List Module_ir Option Purity String

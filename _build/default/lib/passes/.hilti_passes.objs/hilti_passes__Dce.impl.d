@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Cfg Hashtbl Instr List Module_ir Purity

@@ -1,0 +1,1 @@
+lib/passes/linker.ml: Hashtbl Instr List Module_ir Printf

@@ -1,0 +1,1 @@
+lib/passes/pipeline.ml: Constfold Cse Dce Module_ir Printf Simplify_blocks

@@ -1,0 +1,1 @@
+lib/passes/purity.ml: Instr List String

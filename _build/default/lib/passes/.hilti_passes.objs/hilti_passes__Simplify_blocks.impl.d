@@ -1,0 +1,1 @@
+lib/passes/simplify_blocks.ml: Instr List Module_ir

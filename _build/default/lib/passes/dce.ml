@@ -1,0 +1,67 @@
+(** Dead-code elimination: drops pure instructions whose results are never
+    read, and whole blocks unreachable from the entry (the link-time
+    code-removal opportunity §7 sketches).  Returns rewrites performed. *)
+
+open Module_ir
+
+let operand_uses (op : Instr.operand) acc =
+  let rec go op acc =
+    match op with
+    | Instr.Local n | Instr.Global n -> n :: acc
+    | Instr.Tuple_op ops -> List.fold_right go ops acc
+    | _ -> acc
+  in
+  go op acc
+
+let used_locals (f : func) : (string, unit) Hashtbl.t =
+  let used = Hashtbl.create 32 in
+  List.iter
+    (fun (b : block) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          List.iter
+            (fun op -> List.iter (fun n -> Hashtbl.replace used n ()) (operand_uses op []))
+            i.Instr.operands)
+        b.instrs)
+    f.blocks;
+  used
+
+let sweep_func (f : func) : int =
+  let changes = ref 0 in
+  (* Remove unreachable blocks first. *)
+  let reach = Cfg.reachable f in
+  let nblocks = List.length f.blocks in
+  f.blocks <- List.filter (fun (b : block) -> Hashtbl.mem reach b.label) f.blocks;
+  changes := !changes + (nblocks - List.length f.blocks);
+  (* Then iterate dead-instruction removal to a fixpoint: removing one use
+     can make another definition dead. *)
+  (* Only locals of this function may be proven dead; a target that is not
+     a declared local is a module global and always observable. *)
+  let is_local n =
+    List.mem_assoc n f.locals || List.mem_assoc n f.params
+  in
+  let again = ref true in
+  while !again do
+    again := false;
+    let used = used_locals f in
+    List.iter
+      (fun (b : block) ->
+        let kept =
+          List.filter
+            (fun (i : Instr.t) ->
+              match i.Instr.target with
+              | Some tgt
+                when Purity.is_pure i && is_local tgt && not (Hashtbl.mem used tgt) ->
+                  incr changes;
+                  again := true;
+                  false
+              | _ -> true)
+            b.instrs
+        in
+        b.instrs <- kept)
+      f.blocks
+  done;
+  !changes
+
+let run (m : t) : int =
+  List.fold_left (fun acc f -> acc + sweep_func f) 0 (m.funcs @ m.hooks)

@@ -1,0 +1,87 @@
+(** The HILTI linker (§5 "Linker").
+
+    Merges compilation units into one module with a global view: the
+    thread-local globals of all units are concatenated into the single
+    array layout the runtime indexes, hook bodies from every unit are
+    collected under their joint hook names, and type/function name
+    collisions are detected.  The entry-point "first" module's name is kept
+    for the linked unit. *)
+
+open Module_ir
+
+exception Link_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Link_error s)) fmt
+
+(** Link a list of modules into a single unit. *)
+let link (modules : t list) : t =
+  match modules with
+  | [] -> fail "no modules to link"
+  | first :: _ ->
+      let out = create first.mname in
+      let seen_funcs = Hashtbl.create 32 in
+      let seen_types = Hashtbl.create 32 in
+      let seen_globals = Hashtbl.create 32 in
+      List.iter
+        (fun (m : t) ->
+          List.iter (add_import out) m.imports;
+          List.iter
+            (fun (n, d) ->
+              match Hashtbl.find_opt seen_types n with
+              | Some prior ->
+                  (* Identical re-declarations are fine (shared headers). *)
+                  if prior <> d then fail "conflicting declarations of type %s" n
+              | None ->
+                  Hashtbl.add seen_types n d;
+                  add_type out n d)
+            m.types;
+          List.iter
+            (fun (n, ty) ->
+              match Hashtbl.find_opt seen_globals n with
+              | Some prior ->
+                  if prior <> ty then fail "conflicting declarations of global %s" n
+              | None ->
+                  Hashtbl.add seen_globals n ty;
+                  add_global out n ty)
+            m.globals;
+          List.iter
+            (fun (f : func) ->
+              match Hashtbl.find_opt seen_funcs f.fname with
+              | Some (prior : func) ->
+                  if prior.cc = Cc_c && f.cc = Cc_c then ()
+                  else fail "duplicate function %s" f.fname
+              | None ->
+                  Hashtbl.add seen_funcs f.fname f;
+                  add_func out f)
+            m.funcs;
+          (* Hook bodies always accumulate: that is the point of hooks. *)
+          List.iter (add_hook out) m.hooks)
+        modules;
+      out
+
+(** Dead-global elimination at link time (§7 "elimination of unneeded
+    code at link-time"): drop globals no instruction references. *)
+let prune_globals (m : t) : int =
+  let used = Hashtbl.create 16 in
+  let rec scan_op = function
+    | Instr.Global n -> Hashtbl.replace used n ()
+    | Instr.Local n -> Hashtbl.replace used n ()  (* may be a bare global ref *)
+    | Instr.Tuple_op ops -> List.iter scan_op ops
+    | _ -> ()
+  in
+  List.iter
+    (fun (f : func) ->
+      List.iter
+        (fun (b : block) ->
+          List.iter
+            (fun (i : Instr.t) ->
+              (match i.Instr.target with
+              | Some tgt -> Hashtbl.replace used tgt ()
+              | None -> ());
+              List.iter scan_op i.Instr.operands)
+            b.instrs)
+        f.blocks)
+    (m.funcs @ m.hooks);
+  let before = List.length m.globals in
+  m.globals <- List.filter (fun (n, _) -> Hashtbl.mem used n) m.globals;
+  before - List.length m.globals

@@ -1,0 +1,22 @@
+(** Purity classification of IR instructions, shared by the optimization
+    passes: a pure instruction has no side effects and depends only on its
+    operands, so it can be folded, deduplicated, or deleted when unused. *)
+
+let pure_groups =
+  [ "int"; "double"; "bool"; "addr"; "port"; "net"; "interval"; "tuple";
+    "enum"; "bitset" ]
+
+let pure_flow = [ "equal"; "select"; "assign"; "nop" ]
+
+(* time.wall reads the clock; every other time op is pure.  String ops are
+   pure.  Bytes/containers are mutable heap objects: conservatively impure. *)
+let is_pure (i : Instr.t) =
+  let m = i.Instr.mnemonic in
+  if List.mem m pure_flow then true
+  else if m = "time.wall" then false
+  else
+    match String.index_opt m '.' with
+    | Some d ->
+        let g = String.sub m 0 d in
+        List.mem g pure_groups || g = "time" || g = "string"
+    | None -> false

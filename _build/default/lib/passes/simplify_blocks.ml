@@ -1,0 +1,53 @@
+(** Block-level cleanup: collapse chains of trivial forwarding blocks
+    (blocks containing only a [jump]) by retargeting references to their
+    destination, then drop the now-unreachable forwarders. *)
+
+open Module_ir
+
+(* If [label] names a block whose body is exactly one jump, its final
+   destination (following chains, cycle-safe). *)
+let rec forward_target f seen label =
+  if List.mem label seen then label
+  else
+    match find_block f label with
+    | Some { instrs = [ { Instr.mnemonic = "jump"; operands = [ Instr.Label l ]; _ } ]; _ }
+      ->
+        forward_target f (label :: seen) l
+    | _ -> label
+
+let retarget_operand f changed (op : Instr.operand) =
+  match op with
+  | Instr.Label l ->
+      let l' = forward_target f [] l in
+      if l' <> l then begin
+        incr changed;
+        Instr.Label l'
+      end
+      else op
+  | Instr.Tuple_op ops ->
+      Instr.Tuple_op
+        (List.map
+           (function
+             | Instr.Label l ->
+                 let l' = forward_target f [] l in
+                 if l' <> l then incr changed;
+                 Instr.Label l'
+             | o -> o)
+           ops)
+  | _ -> op
+
+let simplify_func (f : func) : int =
+  let changed = ref 0 in
+  List.iter
+    (fun (b : block) ->
+      b.instrs <-
+        List.map
+          (fun (i : Instr.t) ->
+            { i with Instr.operands = List.map (retarget_operand f changed) i.Instr.operands })
+          b.instrs)
+    f.blocks;
+  (* Unreferenced forwarding blocks die in the next DCE reachability pass. *)
+  !changed
+
+let run (m : t) : int =
+  List.fold_left (fun acc f -> acc + simplify_func f) 0 (m.funcs @ m.hooks)

@@ -1,0 +1,1 @@
+lib/rt/channel.ml: Fun Mutex Queue

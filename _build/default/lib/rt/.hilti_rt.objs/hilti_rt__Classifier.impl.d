@@ -1,0 +1,1 @@
+lib/rt/classifier.ml: Addr Array Bytes Char Hilti_types Int List Network Option Port String

@@ -1,0 +1,1 @@
+lib/rt/exp_map.ml: Expire Hashtbl Timer_mgr

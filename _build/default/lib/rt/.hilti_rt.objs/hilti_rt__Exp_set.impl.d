@@ -1,0 +1,1 @@
+lib/rt/exp_set.ml: Exp_map

@@ -1,0 +1,1 @@
+lib/rt/expire.ml: Hilti_types Interval_ns Printf

@@ -1,0 +1,1 @@
+lib/rt/fiber.ml: Effect

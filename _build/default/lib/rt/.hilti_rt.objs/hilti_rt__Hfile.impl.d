@@ -1,0 +1,1 @@
+lib/rt/hfile.ml: Buffer Scheduler String

@@ -1,0 +1,1 @@
+lib/rt/hooks.ml: Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/rt/iosrc.ml: Hilti_types Time_ns

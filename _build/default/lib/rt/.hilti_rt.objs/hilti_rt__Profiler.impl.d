@@ -1,0 +1,1 @@
+lib/rt/profiler.ml: Fun Hashtbl Int64 List Printf Unix

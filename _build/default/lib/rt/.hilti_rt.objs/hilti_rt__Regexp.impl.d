@@ -1,0 +1,1 @@
+lib/rt/regexp.ml: Array Char Hashtbl Int List Printf String

@@ -1,0 +1,1 @@
+lib/rt/scheduler.ml: Fun Hashtbl Int64 List Obj Queue Timer_mgr

@@ -1,0 +1,1 @@
+lib/rt/timer.ml: Hilti_types Time_ns

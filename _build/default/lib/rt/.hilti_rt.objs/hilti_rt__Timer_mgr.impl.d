@@ -1,0 +1,1 @@
+lib/rt/timer_mgr.ml: Array Hilti_types Interval_ns Time_ns Timer

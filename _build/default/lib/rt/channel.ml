@@ -1,0 +1,60 @@
+(** Thread-safe channels for transferring objects between threads (HILTI
+    [channel], §3.2).
+
+    Channels are the only sanctioned way for virtual threads to exchange
+    state.  A channel has an optional capacity; reads and writes come in
+    non-blocking ([try_]) forms — the VM layer turns a failed non-blocking
+    operation into a fiber suspension, giving blocking semantics without
+    locking up the scheduler. *)
+
+type 'a t = {
+  queue : 'a Queue.t;
+  capacity : int option;  (* None = unbounded *)
+  lock : Mutex.t;
+}
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Channel.create"
+  | _ -> ());
+  { queue = Queue.create (); capacity; lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let size t = with_lock t (fun () -> Queue.length t.queue)
+
+let capacity t = t.capacity
+
+(** [try_write t v] is false iff the channel is full. *)
+let try_write t v =
+  with_lock t (fun () ->
+      match t.capacity with
+      | Some c when Queue.length t.queue >= c -> false
+      | _ ->
+          Queue.add v t.queue;
+          true)
+
+(** [try_read t] is [None] iff the channel is empty. *)
+let try_read t =
+  with_lock t (fun () -> Queue.take_opt t.queue)
+
+let is_empty t = size t = 0
+
+(** Busy-wait free blocking forms for single-threaded cooperative use: they
+    cooperatively spin through [on_block] (typically {!Fiber.yield}). *)
+let write ~on_block t v =
+  while not (try_write t v) do
+    on_block ()
+  done
+
+let read ~on_block t =
+  let rec go () =
+    match try_read t with
+    | Some v -> v
+    | None ->
+        on_block ();
+        go ()
+  in
+  go ()

@@ -1,0 +1,123 @@
+(** Hash maps with built-in state expiration (HILTI [map], §3.2).
+
+    The map optionally attaches to a {!Timer_mgr}; each entry then owns a
+    logical expiration deadline enforced by a per-entry timer, exactly as
+    HILTI's runtime schedules container cleanups.  Touching an entry under a
+    refresh-on-access/write policy bumps a per-entry generation counter so
+    that stale timers fizzle when they fire. *)
+
+type ('k, 'v) entry = {
+  key : 'k;
+  mutable value : 'v;
+  mutable gen : int;  (* bumped on refresh; stale timers compare this *)
+}
+
+type ('k, 'v) t = {
+  buckets : ('k, ('k, 'v) entry) Hashtbl.t;
+  mutable strategy : Expire.strategy;
+  mutable mgr : Timer_mgr.t option;
+  mutable default : ('k -> 'v) option;
+  mutable expired_total : int;
+}
+
+(* Keys are hashed structurally; HILTI map keys are value types, so
+   structural equality is the right notion. *)
+let create () =
+  {
+    buckets = Hashtbl.create 64;
+    strategy = Expire.Never;
+    mgr = None;
+    default = None;
+    expired_total = 0;
+  }
+
+(** Set a default constructor: lookups of missing keys return (and insert)
+    the constructed value instead of raising [Not_found]. *)
+let set_default t f = t.default <- Some f
+
+(** Attach an expiration policy, enforced against [mgr]'s clock. *)
+let set_timeout t strategy mgr =
+  t.strategy <- strategy;
+  t.mgr <- Some mgr
+
+let size t = Hashtbl.length t.buckets
+let expired_total t = t.expired_total
+
+let schedule_expiry t (entry : ('k, 'v) entry) =
+  match (Expire.interval t.strategy, t.mgr) with
+  | Some ival, Some mgr ->
+      let gen = entry.gen in
+      let fire () =
+        if entry.gen = gen && Hashtbl.mem t.buckets entry.key then begin
+          Hashtbl.remove t.buckets entry.key;
+          t.expired_total <- t.expired_total + 1
+        end
+      in
+      ignore (Timer_mgr.schedule_in mgr fire ival)
+  | _ -> ()
+
+let refresh_on_write t entry =
+  if Expire.refreshed_by_write t.strategy then begin
+    entry.gen <- entry.gen + 1;
+    schedule_expiry t entry
+  end
+
+let refresh_on_read t entry =
+  if Expire.refreshed_by_read t.strategy then begin
+    entry.gen <- entry.gen + 1;
+    schedule_expiry t entry
+  end
+
+let insert t key value =
+  match Hashtbl.find_opt t.buckets key with
+  | Some entry ->
+      entry.value <- value;
+      refresh_on_write t entry
+  | None ->
+      let entry = { key; value; gen = 0 } in
+      Hashtbl.replace t.buckets key entry;
+      schedule_expiry t entry
+
+let find_opt t key =
+  match Hashtbl.find_opt t.buckets key with
+  | Some entry ->
+      refresh_on_read t entry;
+      Some entry.value
+  | None -> (
+      match t.default with
+      | Some f ->
+          let v = f key in
+          insert t key v;
+          Some v
+      | None -> None)
+
+exception Index_error
+
+let find t key =
+  match find_opt t key with Some v -> v | None -> raise Index_error
+
+(** Membership test; does not refresh access-expiry and does not
+    materialize defaults. *)
+let mem t key = Hashtbl.mem t.buckets key
+
+(** Membership test that counts as a read access (refreshing
+    access-based expiry) but never materializes defaults — the semantics
+    of [map.exists]/[set.exists]. *)
+let mem_touch t key =
+  match Hashtbl.find_opt t.buckets key with
+  | Some entry ->
+      refresh_on_read t entry;
+      true
+  | None -> false
+
+let remove t key = Hashtbl.remove t.buckets key
+
+let clear t = Hashtbl.reset t.buckets
+
+let iter f t = Hashtbl.iter (fun k e -> f k e.value) t.buckets
+
+let fold f t init = Hashtbl.fold (fun k e acc -> f k e.value acc) t.buckets init
+
+let keys t = fold (fun k _ acc -> k :: acc) t []
+
+let to_list t = fold (fun k v acc -> (k, v) :: acc) t []

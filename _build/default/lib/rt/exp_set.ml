@@ -1,0 +1,22 @@
+(** Hash sets with built-in state expiration (HILTI [set]); a thin layer
+    over {!Exp_map} with unit values, as used by e.g. the stateful firewall's
+    dynamic-rule table (Fig. 5). *)
+
+type 'k t = ('k, unit) Exp_map.t
+
+let create () : 'k t = Exp_map.create ()
+let set_timeout (t : 'k t) strategy mgr = Exp_map.set_timeout t strategy mgr
+let insert (t : 'k t) key = Exp_map.insert t key ()
+let mem (t : 'k t) key = Exp_map.mem t key
+
+(** Membership that refreshes access-based expiration, matching HILTI's
+    [set.exists] semantics under an [Access] policy. *)
+let exists (t : 'k t) key = Exp_map.mem_touch t key
+
+let remove (t : 'k t) key = Exp_map.remove t key
+let size (t : 'k t) = Exp_map.size t
+let clear (t : 'k t) = Exp_map.clear t
+let iter f (t : 'k t) = Exp_map.iter (fun k () -> f k) t
+let fold f (t : 'k t) init = Exp_map.fold (fun k () acc -> f k acc) t init
+let elements (t : 'k t) = fold (fun k acc -> k :: acc) t []
+let expired_total (t : 'k t) = Exp_map.expired_total t

@@ -1,0 +1,26 @@
+(** Expiration strategies for stateful containers (§2 "State Management").
+
+    Containers can automatically evict entries after a period computed from
+    entry creation, last access (read or write), or last write.  [Never]
+    disables expiration. *)
+
+open Hilti_types
+
+type strategy =
+  | Never
+  | Create of Interval_ns.t  (** fixed lifetime from insertion *)
+  | Access of Interval_ns.t  (** idle timeout, refreshed by reads and writes *)
+  | Write of Interval_ns.t   (** refreshed by writes only *)
+
+let interval = function
+  | Never -> None
+  | Create i | Access i | Write i -> Some i
+
+let refreshed_by_read = function Access _ -> true | _ -> false
+let refreshed_by_write = function Access _ | Write _ -> true | _ -> false
+
+let to_string = function
+  | Never -> "never"
+  | Create i -> Printf.sprintf "create(%s)" (Interval_ns.to_string i)
+  | Access i -> Printf.sprintf "access(%s)" (Interval_ns.to_string i)
+  | Write i -> Printf.sprintf "write(%s)" (Interval_ns.to_string i)

@@ -1,0 +1,78 @@
+(** Hooks: functions with multiple bodies (HILTI [hook], §3.2, §5).
+
+    A hook is a named callback slot to which any number of bodies can
+    attach, each with a priority; running the hook executes every body in
+    descending priority order.  Host applications use hooks for
+    non-intrusive callbacks (BinPAC++ field hooks, Bro event handlers
+    compile to hooks, Fig. 8).  Cross-compilation-unit hook merging is what
+    HILTI's custom linker performs; {!Registry.merge} plays that role
+    here. *)
+
+type 'a body = { priority : int; seq : int; fn : 'a -> unit }
+
+type 'a hook = { name : string; mutable bodies : 'a body list }
+
+let create name = { name; bodies = [] }
+
+let name h = h.name
+
+let body_order a b =
+  let c = Int.compare b.priority a.priority in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let seq_counter = ref 0
+
+(** Attach a body.  Higher priorities run first; equal priorities run in
+    attachment order. *)
+let add ?(priority = 0) h fn =
+  incr seq_counter;
+  h.bodies <- List.sort body_order ({ priority; seq = !seq_counter; fn } :: h.bodies)
+
+let body_count h = List.length h.bodies
+
+(** Run all bodies on [arg]. *)
+let run h arg = List.iter (fun b -> b.fn arg) h.bodies
+
+(** Run bodies until [pred] holds on the hook's side effects: HILTI hooks
+    can short-circuit via [hook.stop]; we model that with bodies raising
+    [Stop]. *)
+exception Stop
+
+let run_stoppable h arg =
+  try
+    List.iter (fun b -> b.fn arg) h.bodies;
+    false
+  with Stop -> true
+
+(** A registry maps hook names to hooks, merging attachments from multiple
+    compilation units. *)
+module Registry = struct
+  type 'a t = (string, 'a hook) Hashtbl.t
+
+  let create () : 'a t = Hashtbl.create 16
+
+  let find_or_create (t : 'a t) name =
+    match Hashtbl.find_opt t name with
+    | Some h -> h
+    | None ->
+        let h = { name; bodies = [] } in
+        Hashtbl.add t name h;
+        h
+
+  let add ?priority (t : 'a t) name fn = add ?priority (find_or_create t name) fn
+
+  let run (t : 'a t) name arg =
+    match Hashtbl.find_opt t name with Some h -> run h arg | None -> ()
+
+  (** Merge all hooks of [src] into [dst] (the linker's cross-unit step). *)
+  let merge ~dst ~src =
+    Hashtbl.iter
+      (fun name (h : 'a hook) ->
+        let target = find_or_create dst name in
+        List.iter
+          (fun b -> target.bodies <- List.sort body_order (b :: target.bodies))
+          h.bodies)
+      src
+
+  let names (t : 'a t) = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+end

@@ -1,0 +1,56 @@
+(** Input sources for packet data (HILTI [iosrc]).
+
+    An [iosrc] abstracts where packets come from — a pcap trace file, a
+    synthetic generator, a live interface.  Consumers pull timestamped raw
+    frames one at a time, which keeps the analysis loop identical across
+    sources.  Concrete constructors live in the network substrate
+    ({!Hilti_net.Pcap}) and the trace generator. *)
+
+open Hilti_types
+
+type packet = { ts : Time_ns.t; data : string }
+
+type t = {
+  kind : string;              (** e.g. "pcap", "synthetic" *)
+  next : unit -> packet option;  (** pull the next packet; [None] at EOF *)
+  mutable delivered : int;
+}
+
+let create ~kind next = { kind; next; delivered = 0 }
+
+let kind t = t.kind
+let delivered t = t.delivered
+
+(** Pull the next packet, [None] once exhausted. *)
+let read t =
+  match t.next () with
+  | Some p ->
+      t.delivered <- t.delivered + 1;
+      Some p
+  | None -> None
+
+(** Iterate all remaining packets. *)
+let iter f t =
+  let rec go () =
+    match read t with
+    | Some p ->
+        f p;
+        go ()
+    | None -> ()
+  in
+  go ()
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun p -> acc := f !acc p) t;
+  !acc
+
+(** Build a source from an in-memory list (testing). *)
+let of_list ?(kind = "list") packets =
+  let remaining = ref packets in
+  create ~kind (fun () ->
+      match !remaining with
+      | [] -> None
+      | p :: rest ->
+          remaining := rest;
+          Some p)

@@ -1,0 +1,140 @@
+(** Profilers: measurement of arbitrary blocks of code (§3.3).
+
+    A profiler tracks elapsed wall time, an abstract cycle counter (the VM
+    charges instruction costs to it, standing in for PAPI cycle counts), and
+    invocation counts for a named block.  Profilers nest and snapshots can
+    be recorded at intervals, mirroring HILTI's periodic dumps to disk. *)
+
+type t = {
+  name : string;
+  mutable invocations : int;
+  mutable wall_ns : int64;          (* accumulated *)
+  mutable cycles : int64;           (* accumulated abstract cost *)
+  mutable started_at : int64 option;  (* monotonic ns when running *)
+  mutable cycles_at_start : int64;
+  mutable snapshots : (int64 * int64) list;  (* (wall_ns, cycles) *)
+}
+
+(* The global abstract cycle counter the VM increments (plain int to keep
+   the per-instruction cost negligible). *)
+let global_cycles_int = ref 0
+
+let charge_cycles n = global_cycles_int := !global_cycles_int + n
+
+let global_cycles () = Int64.of_int !global_cycles_int
+
+let monotonic_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let find_or_create name =
+  match Hashtbl.find_opt registry name with
+  | Some p -> p
+  | None ->
+      let p =
+        {
+          name;
+          invocations = 0;
+          wall_ns = 0L;
+          cycles = 0L;
+          started_at = None;
+          cycles_at_start = 0L;
+          snapshots = [];
+        }
+      in
+      Hashtbl.add registry name p;
+      p
+
+let name t = t.name
+let invocations t = t.invocations
+let wall_ns t = t.wall_ns
+let cycles t = t.cycles
+
+(* Stack of currently-running profilers, for exclusive accounting. *)
+let running : t list ref = ref []
+
+let start_raw t =
+  t.started_at <- Some (monotonic_ns ());
+  t.cycles_at_start <- global_cycles ()
+
+let stop_raw t =
+  match t.started_at with
+  | None -> ()
+  | Some at ->
+      t.wall_ns <- Int64.add t.wall_ns (Int64.sub (monotonic_ns ()) at);
+      t.cycles <- Int64.add t.cycles (Int64.sub (global_cycles ()) t.cycles_at_start);
+      t.started_at <- None
+
+let start t =
+  t.invocations <- t.invocations + 1;
+  running := t :: !running;
+  start_raw t
+
+let stop t =
+  stop_raw t;
+  running := List.filter (fun p -> p != t) !running
+
+(** Record the current totals as a snapshot (HILTI writes these to disk at
+    regular intervals; we retain them in memory and render on demand). *)
+let snapshot t = t.snapshots <- (t.wall_ns, t.cycles) :: t.snapshots
+
+let snapshots t = List.rev t.snapshots
+
+(** Time a function under profiler [name]. *)
+let time name f =
+  let p = find_or_create name in
+  start p;
+  Fun.protect ~finally:(fun () -> stop p) f
+
+(** Time a function under [name] while {e pausing} every profiler that is
+    currently running: components measured this way are mutually
+    exclusive, so they can be summed into a breakdown (the Figure 9/10
+    accounting). *)
+let time_exclusive name f =
+  let saved = !running in
+  List.iter stop_raw saved;
+  let p = find_or_create name in
+  p.invocations <- p.invocations + 1;
+  running := [ p ];
+  start_raw p;
+  Fun.protect
+    ~finally:(fun () ->
+      stop_raw p;
+      running := saved;
+      List.iter start_raw saved)
+    f
+
+let reset_all () =
+  Hashtbl.reset registry;
+  running := [];
+  global_cycles_int := 0
+
+let report () =
+  let entries = Hashtbl.fold (fun _ p acc -> p :: acc) registry [] in
+  let entries = List.sort (fun a b -> compare a.name b.name) entries in
+  List.map
+    (fun p ->
+      Printf.sprintf "%-30s calls=%-8d wall=%.3fms cycles=%Ld" p.name
+        p.invocations
+        (Int64.to_float p.wall_ns /. 1e6)
+        p.cycles)
+    entries
+
+(** Write all profiler totals and their recorded snapshots to [path] —
+    HILTI's periodic measurement dumps (§3.3). *)
+let write_report path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "#profiler\tcalls\twall_ms\tcycles\n";
+      List.iter (fun line -> output_string oc (line ^ "\n")) (report ());
+      Hashtbl.iter
+        (fun _ p ->
+          List.iteri
+            (fun i (wall, cyc) ->
+              Printf.fprintf oc "#snapshot\t%s\t%d\t%.3f\t%Ld\n" p.name i
+                (Int64.to_float wall /. 1e6)
+                cyc)
+            (snapshots p))
+        registry)

@@ -1,0 +1,486 @@
+(** Regular expressions with incremental matching and simultaneous matching
+    of multiple expressions (HILTI [regexp], §3.2).
+
+    The engine compiles one or more patterns into a single Thompson NFA and
+    executes it through a lazily-constructed DFA, the design HILTI's runtime
+    uses so that token matching costs O(1) amortized per input byte.  A
+    {!matcher} holds the DFA state across [feed] calls, enabling incremental
+    matching over data that arrives in chunks: it reports [Need_more] when
+    the outcome cannot be decided from the data seen so far.
+
+    Supported syntax: literals, [.], escapes ([\n \r \t \0 \xNN \d \s \w]
+    and escaped metacharacters), character classes with ranges and negation,
+    alternation, grouping, and the postfix operators [* + ? {m,n}].
+    Matching is anchored at the start position (BinPAC++ token semantics);
+    unanchored search is layered on top. *)
+
+(* ---- Pattern AST -------------------------------------------------------- *)
+
+type cclass = (int * int) list  (* inclusive byte ranges, sorted *)
+
+type ast =
+  | Empty
+  | Class of cclass
+  | Seq of ast * ast
+  | Alt of ast * ast
+  | Star of ast
+  | Plus of ast
+  | Opt of ast
+  | Repeat of ast * int * int option  (* {m,n}; None = unbounded *)
+
+exception Parse_error of string
+
+let any_class : cclass = [ (0, 255) ]
+
+let negate (c : cclass) : cclass =
+  let sorted = List.sort compare c in
+  let rec go lo = function
+    | [] -> if lo <= 255 then [ (lo, 255) ] else []
+    | (a, b) :: rest ->
+        let before = if lo < a then [ (lo, a - 1) ] else [] in
+        before @ go (max lo (b + 1)) rest
+  in
+  go 0 sorted
+
+let digit_class : cclass = [ (Char.code '0', Char.code '9') ]
+let space_class : cclass = [ (9, 13); (32, 32) ]
+
+let word_class : cclass =
+  [ (Char.code '0', Char.code '9');
+    (Char.code 'A', Char.code 'Z');
+    (Char.code '_', Char.code '_');
+    (Char.code 'a', Char.code 'z') ]
+
+(* Recursive-descent pattern parser. *)
+let parse_pattern (s : string) : ast =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg =
+    raise (Parse_error (Printf.sprintf "%s at %d in /%s/" msg !pos s))
+  in
+  let hex_digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "bad hex digit"
+  in
+  let parse_escape () : [ `Char of int | `Class of cclass ] =
+    advance ();
+    match peek () with
+    | None -> fail "dangling escape"
+    | Some c ->
+        advance ();
+        (match c with
+        | 'n' -> `Char 10
+        | 'r' -> `Char 13
+        | 't' -> `Char 9
+        | '0' -> `Char 0
+        | 'a' -> `Char 7
+        | 'f' -> `Char 12
+        | 'v' -> `Char 11
+        | 'd' -> `Class digit_class
+        | 'D' -> `Class (negate digit_class)
+        | 's' -> `Class space_class
+        | 'S' -> `Class (negate space_class)
+        | 'w' -> `Class word_class
+        | 'W' -> `Class (negate word_class)
+        | 'x' ->
+            let digit () =
+              match peek () with
+              | Some c ->
+                  advance ();
+                  hex_digit c
+              | None -> fail "bad \\x"
+            in
+            let h1 = digit () in
+            let h2 = digit () in
+            `Char ((h1 * 16) + h2)
+        | c -> `Char (Char.code c))
+  in
+  let parse_class () : cclass =
+    advance ();  (* consume '[' *)
+    let negated =
+      match peek () with
+      | Some '^' ->
+          advance ();
+          true
+      | _ -> false
+    in
+    let ranges = ref [] in
+    let first = ref true in
+    let item () : int =
+      match peek () with
+      | Some '\\' -> (
+          match parse_escape () with
+          | `Char c -> c
+          | `Class cc ->
+              ranges := cc @ !ranges;
+              -1)
+      | Some c ->
+          advance ();
+          Char.code c
+      | None -> fail "unterminated class"
+    in
+    let rec loop () =
+      match peek () with
+      | Some ']' when not !first -> advance ()
+      | None -> fail "unterminated class"
+      | _ ->
+          first := false;
+          let lo = item () in
+          if lo >= 0 then begin
+            match peek () with
+            | Some '-' when !pos + 1 < n && s.[!pos + 1] <> ']' ->
+                advance ();
+                let hi = item () in
+                if hi < 0 || hi < lo then fail "bad range";
+                ranges := (lo, hi) :: !ranges
+            | _ -> ranges := (lo, lo) :: !ranges
+          end;
+          loop ()
+    in
+    loop ();
+    let c = List.sort compare !ranges in
+    if negated then negate c else c
+  in
+  let rec parse_alt () =
+    let left = parse_seq () in
+    match peek () with
+    | Some '|' ->
+        advance ();
+        Alt (left, parse_alt ())
+    | _ -> left
+  and parse_seq () =
+    let rec go acc =
+      match peek () with
+      | None | Some '|' | Some ')' -> acc
+      | _ -> go (Seq (acc, parse_postfix ()))
+    in
+    match peek () with
+    | None | Some '|' | Some ')' -> Empty
+    | _ -> go (parse_postfix ())
+  and parse_postfix () =
+    let atom = parse_atom () in
+    let rec apply atom =
+      match peek () with
+      | Some '*' ->
+          advance ();
+          apply (Star atom)
+      | Some '+' ->
+          advance ();
+          apply (Plus atom)
+      | Some '?' ->
+          advance ();
+          apply (Opt atom)
+      | Some '{' ->
+          advance ();
+          let num () =
+            let start = !pos in
+            while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+              advance ()
+            done;
+            if !pos = start then None
+            else Some (int_of_string (String.sub s start (!pos - start)))
+          in
+          let m = match num () with Some m -> m | None -> fail "bad {m,n}" in
+          let upper =
+            match peek () with
+            | Some ',' ->
+                advance ();
+                num ()
+            | _ -> Some m
+          in
+          (match peek () with
+          | Some '}' -> advance ()
+          | _ -> fail "bad {m,n}");
+          (match upper with
+          | Some u when u < m -> fail "bad {m,n}"
+          | _ -> ());
+          apply (Repeat (atom, m, upper))
+      | _ -> atom
+    in
+    apply atom
+  and parse_atom () =
+    match peek () with
+    | Some '(' ->
+        advance ();
+        let inner = parse_alt () in
+        (match peek () with
+        | Some ')' -> advance ()
+        | _ -> fail "unbalanced parenthesis");
+        inner
+    | Some '[' -> Class (parse_class ())
+    | Some '.' ->
+        advance ();
+        Class any_class
+    | Some '\\' -> (
+        match parse_escape () with
+        | `Char c -> Class [ (c, c) ]
+        | `Class cc -> Class cc)
+    | Some ('*' | '+' | '?') -> fail "dangling quantifier"
+    | Some ')' -> fail "unbalanced parenthesis"
+    | Some '^' ->
+        (* Patterns are anchored by construction; a leading ^ is a no-op. *)
+        advance ();
+        Empty
+    | Some c ->
+        advance ();
+        Class [ (Char.code c, Char.code c) ]
+    | None -> Empty
+  in
+  let ast = parse_alt () in
+  if !pos <> n then fail "trailing input";
+  ast
+
+(* ---- Thompson NFA -------------------------------------------------------- *)
+
+type nfa = {
+  mutable eps : int list array;               (* epsilon edges *)
+  mutable trans : (cclass * int) list array;  (* byte-class edges *)
+  mutable accept : int array;                 (* pattern id or -1 *)
+  mutable nstates : int;
+}
+
+let new_nfa () =
+  { eps = Array.make 64 []; trans = Array.make 64 []; accept = Array.make 64 (-1); nstates = 0 }
+
+let new_state nfa =
+  if nfa.nstates = Array.length nfa.eps then begin
+    let grow a fill =
+      let b = Array.make (2 * Array.length a) fill in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    nfa.eps <- grow nfa.eps [];
+    nfa.trans <- grow nfa.trans [];
+    nfa.accept <- grow nfa.accept (-1)
+  end;
+  let s = nfa.nstates in
+  nfa.nstates <- s + 1;
+  s
+
+let add_eps nfa a b = nfa.eps.(a) <- b :: nfa.eps.(a)
+let add_trans nfa a cls b = nfa.trans.(a) <- (cls, b) :: nfa.trans.(a)
+
+(* Compile the AST into the NFA; returns (entry, exit) states. *)
+let rec build nfa = function
+  | Empty ->
+      let s = new_state nfa in
+      (s, s)
+  | Class c ->
+      let a = new_state nfa and b = new_state nfa in
+      add_trans nfa a c b;
+      (a, b)
+  | Seq (x, y) ->
+      let ax, bx = build nfa x in
+      let ay, by = build nfa y in
+      add_eps nfa bx ay;
+      (ax, by)
+  | Alt (x, y) ->
+      let a = new_state nfa and b = new_state nfa in
+      let ax, bx = build nfa x in
+      let ay, by = build nfa y in
+      add_eps nfa a ax;
+      add_eps nfa a ay;
+      add_eps nfa bx b;
+      add_eps nfa by b;
+      (a, b)
+  | Star x ->
+      let a = new_state nfa and b = new_state nfa in
+      let ax, bx = build nfa x in
+      add_eps nfa a ax;
+      add_eps nfa a b;
+      add_eps nfa bx ax;
+      add_eps nfa bx b;
+      (a, b)
+  | Plus x -> build nfa (Seq (x, Star x))
+  | Opt x -> build nfa (Alt (x, Empty))
+  | Repeat (x, m, upper) ->
+      let required = List.init m (fun _ -> x) in
+      let tail =
+        match upper with
+        | None -> [ Star x ]
+        | Some u -> List.init (u - m) (fun _ -> Opt x)
+      in
+      let parts = required @ tail in
+      build nfa (List.fold_left (fun acc p -> Seq (acc, p)) Empty parts)
+
+(* ---- Lazy DFA ------------------------------------------------------------ *)
+
+type dfa_state = {
+  nfa_states : int list;  (* sorted *)
+  accept_id : int;        (* lowest accepting pattern id, or -1 *)
+  edges : dfa_state option array;  (* 256 lazily-computed successors *)
+  dead : bool;
+  no_exit : bool;
+      (* No byte can extend any contained NFA state: the outcome is
+         decidable without further input (e.g. /\r?\n/ after "\r\n"). *)
+}
+
+type t = {
+  patterns : string array;
+  nfa : nfa;
+  cache : (string, dfa_state) Hashtbl.t;
+  start : dfa_state;
+  mutable dfa_states_built : int;
+}
+
+let eps_closure nfa states =
+  let seen = Hashtbl.create 16 in
+  let rec go s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.add seen s ();
+      List.iter go nfa.eps.(s)
+    end
+  in
+  List.iter go states;
+  List.sort Int.compare (Hashtbl.fold (fun s () acc -> s :: acc) seen [])
+
+let state_key states = String.concat "," (List.map string_of_int states)
+
+let intern_raw nfa cache states =
+  let key = state_key states in
+  match Hashtbl.find_opt cache key with
+  | Some d -> (d, false)
+  | None ->
+      let accept_id =
+        List.fold_left
+          (fun acc s ->
+            let a = nfa.accept.(s) in
+            if a >= 0 && (acc < 0 || a < acc) then a else acc)
+          (-1) states
+      in
+      let no_exit = List.for_all (fun s -> nfa.trans.(s) = []) states in
+      let d =
+        { nfa_states = states; accept_id; edges = Array.make 256 None;
+          dead = states = []; no_exit }
+      in
+      Hashtbl.add cache key d;
+      (d, true)
+
+(** Compile a list of patterns into one joint automaton; pattern indices are
+    the match ids reported by the matcher (first pattern = id 0, and lower
+    ids win ties, matching HILTI's multi-pattern semantics). *)
+let compile patterns =
+  if patterns = [] then invalid_arg "Regexp.compile";
+  let nfa = new_nfa () in
+  let starts =
+    List.mapi
+      (fun id p ->
+        let ast = parse_pattern p in
+        let a, b = build nfa ast in
+        nfa.accept.(b) <- id;
+        a)
+      patterns
+  in
+  let cache = Hashtbl.create 64 in
+  let start, _ = intern_raw nfa cache (eps_closure nfa starts) in
+  { patterns = Array.of_list patterns; nfa; cache; start; dfa_states_built = 1 }
+
+let compile_one pattern = compile [ pattern ]
+
+let patterns t = Array.to_list t.patterns
+
+let class_contains byte (c : cclass) =
+  List.exists (fun (lo, hi) -> byte >= lo && byte <= hi) c
+
+let step t (d : dfa_state) byte =
+  match d.edges.(byte) with
+  | Some d' -> d'
+  | None ->
+      let targets =
+        List.concat_map
+          (fun s ->
+            List.filter_map
+              (fun (cls, tgt) -> if class_contains byte cls then Some tgt else None)
+              t.nfa.trans.(s))
+          d.nfa_states
+      in
+      let closed = eps_closure t.nfa targets in
+      let d', fresh = intern_raw t.nfa t.cache closed in
+      if fresh then t.dfa_states_built <- t.dfa_states_built + 1;
+      d.edges.(byte) <- Some d';
+      d'
+
+let dfa_states_built t = t.dfa_states_built
+
+(* ---- Incremental matcher -------------------------------------------------- *)
+
+type matcher = {
+  re : t;
+  mutable state : dfa_state;
+  mutable consumed : int;                 (* total bytes fed so far *)
+  mutable last_accept : (int * int) option;  (* (pattern id, match length) *)
+}
+
+type outcome =
+  | Match of int * int  (** (pattern id, length of longest match) *)
+  | No_match
+  | Need_more           (** undecidable without more input *)
+
+let matcher t =
+  let m = { re = t; state = t.start; consumed = 0; last_accept = None } in
+  if t.start.accept_id >= 0 then m.last_accept <- Some (t.start.accept_id, 0);
+  m
+
+let reset m =
+  m.state <- m.re.start;
+  m.consumed <- 0;
+  m.last_accept <-
+    (if m.re.start.accept_id >= 0 then Some (m.re.start.accept_id, 0) else None)
+
+let is_dead m = m.state.dead
+
+(** Feed [len] bytes of [s] starting at [off].  Stops early once the
+    automaton is dead.  Returns the number of bytes actually consumed. *)
+let feed m s off len =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue && !i < len do
+    let st = step m.re m.state (Char.code (String.unsafe_get s (off + !i))) in
+    m.state <- st;
+    incr i;
+    m.consumed <- m.consumed + 1;
+    if st.accept_id >= 0 then m.last_accept <- Some (st.accept_id, m.consumed);
+    if st.dead then continue := false
+  done;
+  !i
+
+(** Decide the outcome.  [final] declares that no more input will arrive. *)
+let result m ~final =
+  if m.state.dead || m.state.no_exit || final then
+    match m.last_accept with Some (id, len) -> Match (id, len) | None -> No_match
+  else Need_more
+
+(* ---- Convenience wrappers ------------------------------------------------- *)
+
+(** Longest anchored match of [t] against [s] at [pos]. *)
+let match_anchored t s ~pos =
+  let m = matcher t in
+  let _ = feed m s pos (String.length s - pos) in
+  match result m ~final:true with Match (id, len) -> Some (id, len) | _ -> None
+
+(** True iff [t] matches the whole of [s]. *)
+let match_full t s =
+  match match_anchored t s ~pos:0 with
+  | Some (_, len) -> len = String.length s
+  | None -> false
+
+(** First (leftmost) match anywhere in [s] at or after [pos]:
+    [(start, id, len)]. *)
+let search t s ~pos =
+  let n = String.length s in
+  let rec scan p =
+    if p > n then None
+    else
+      match match_anchored t s ~pos:p with
+      | Some (id, len) -> Some (p, id, len)
+      | None -> scan (p + 1)
+  in
+  scan pos
+
+(** True iff [t] matches somewhere inside [s]. *)
+let contains t s = search t s ~pos:0 <> None

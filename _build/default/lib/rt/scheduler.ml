@@ -1,0 +1,135 @@
+(** Virtual threads and the cooperative scheduler (§3.2, §5).
+
+    HILTI supplies applications with a large number of lightweight virtual
+    threads identified by 64-bit integers; a runtime scheduler maps them to
+    hardware threads via cooperative multitasking.  Virtual threads cannot
+    share state: work is moved between them by scheduling jobs
+    ([thread.schedule]), with arguments deep-copied by the caller (the VM
+    layer performs the copy).
+
+    This scheduler executes jobs first-come first-served per virtual
+    thread, with round-robin service across threads holding pending work —
+    deterministic, which the tests rely on.  Each virtual thread owns a
+    context: its job queue, its own {!Timer_mgr}, and a scratch table of
+    thread-local variables managed by the VM. *)
+
+type job = { fn : unit -> unit; label : string }
+
+type vthread = {
+  id : int64;
+  queue : job Queue.t;
+  timers : Timer_mgr.t;
+  locals : (string, Obj.t) Hashtbl.t;  (* thread-local slots, managed by VM *)
+  mutable jobs_run : int;
+}
+
+type t = {
+  threads : (int64, vthread) Hashtbl.t;
+  mutable vthread_count : int;  (* stable stat *)
+  mutable total_jobs : int;
+  mutable running : bool;
+  command_queue : job Queue.t;
+      (** serialized operations executed between job steps, standing in for
+          HILTI's dedicated manager thread (§5 "Runtime Library") *)
+}
+
+let create () =
+  {
+    threads = Hashtbl.create 64;
+    vthread_count = 0;
+    total_jobs = 0;
+    running = false;
+    command_queue = Queue.create ();
+  }
+
+let vthread t id =
+  match Hashtbl.find_opt t.threads id with
+  | Some vt -> vt
+  | None ->
+      let vt =
+        {
+          id;
+          queue = Queue.create ();
+          timers = Timer_mgr.create ();
+          locals = Hashtbl.create 8;
+          jobs_run = 0;
+        }
+      in
+      Hashtbl.add t.threads id vt;
+      t.vthread_count <- t.vthread_count + 1;
+      vt
+
+(** Schedule [fn] for asynchronous execution on virtual thread [id]
+    ([thread.schedule]).  FIFO within a thread. *)
+let schedule t id ?(label = "") fn =
+  let vt = vthread t id in
+  Queue.add { fn; label } vt.queue;
+  t.total_jobs <- t.total_jobs + 1
+
+(** Submit a serialized command (e.g. a file write) to the manager queue. *)
+let command t ?(label = "cmd") fn = Queue.add { fn; label } t.command_queue
+
+let pending t =
+  Hashtbl.fold (fun _ vt acc -> acc + Queue.length vt.queue) t.threads 0
+  + Queue.length t.command_queue
+
+let drain_commands t =
+  while not (Queue.is_empty t.command_queue) do
+    (Queue.take t.command_queue).fn ()
+  done
+
+(** Run until all queues are empty.  Jobs may schedule further jobs.  Every
+    job runs with its virtual thread's context current (see {!current}). *)
+let current_vthread : vthread option ref = ref None
+
+let current () = !current_vthread
+
+let run_one_job vt =
+  match Queue.take_opt vt.queue with
+  | None -> false
+  | Some job ->
+      let saved = !current_vthread in
+      current_vthread := Some vt;
+      Fun.protect
+        ~finally:(fun () -> current_vthread := saved)
+        (fun () -> job.fn ());
+      vt.jobs_run <- vt.jobs_run + 1;
+      true
+
+let run t =
+  if t.running then invalid_arg "Scheduler.run: reentrant";
+  t.running <- true;
+  Fun.protect
+    ~finally:(fun () -> t.running <- false)
+    (fun () ->
+      let progressed = ref true in
+      while !progressed do
+        progressed := false;
+        drain_commands t;
+        (* Deterministic round-robin: visit threads in id order. *)
+        let ids =
+          List.sort Int64.compare
+            (Hashtbl.fold (fun id _ acc -> id :: acc) t.threads [])
+        in
+        List.iter
+          (fun id ->
+            let vt = Hashtbl.find t.threads id in
+            if run_one_job vt then progressed := true)
+          ids
+      done;
+      drain_commands t)
+
+(** Advance every virtual thread's timer manager to [time] (global time
+    advance broadcast). *)
+let advance_time t time =
+  Hashtbl.iter (fun _ vt -> ignore (Timer_mgr.advance vt.timers time)) t.threads
+
+type stats = { vthreads : int; total_jobs : int }
+
+let stats t = { vthreads = t.vthread_count; total_jobs = t.total_jobs }
+
+(** The hash-based load-balancing helper the paper describes: map a flow
+    key to a virtual thread id in [0, n). *)
+let thread_for_hash ~threads hash =
+  if threads <= 0 then invalid_arg "Scheduler.thread_for_hash";
+  Int64.of_int (abs hash mod threads)

@@ -1,0 +1,1 @@
+lib/traces/dns_gen.ml: Addr Buffer Bytes Char Hashtbl Hilti_net Hilti_types Int64 List Packet Pcap Printf Rng String Time_ns

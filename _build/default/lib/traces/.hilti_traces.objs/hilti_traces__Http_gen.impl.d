@@ -1,0 +1,1 @@
+lib/traces/http_gen.ml: Addr Buffer Char Hilti_net Hilti_types Int32 Int64 List Packet Pcap Printf Rng String Tcp Time_ns

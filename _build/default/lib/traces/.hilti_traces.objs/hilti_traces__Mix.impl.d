@@ -1,0 +1,1 @@
+lib/traces/mix.ml: Dns_gen Hilti_net Hilti_types Http_gen List Pcap Ssh_gen

@@ -1,0 +1,1 @@
+lib/traces/rng.ml: Array Char Int64 List String

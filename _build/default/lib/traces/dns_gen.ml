@@ -1,0 +1,294 @@
+(** Synthetic DNS traffic (the stand-in for the paper's campus DNS trace,
+    §6.1): UDP port-53 request/response transactions with a realistic
+    query-type mix, multi-record answers, CNAME chains, TXT records with
+    multiple character-strings (the Table 2 disagreement case), name
+    compression pointers, NXDOMAIN errors, and occasional non-DNS traffic
+    on port 53 (which Bro's parser aborts on more eagerly than BinPAC++'s,
+    per §6.4). *)
+
+open Hilti_types
+open Hilti_net
+
+type config = {
+  transactions : int;
+  seed : int;
+  start_ts : Time_ns.t;
+  clients : int;
+  resolvers : int;
+  crud_prob : float;  (** probability of a non-DNS datagram on port 53 *)
+}
+
+let default =
+  {
+    transactions = 2000;
+    seed = 0xd45;
+    start_ts = Time_ns.of_secs 1_400_050_000;
+    clients = 100;
+    resolvers = 4;
+    crud_prob = 0.005;
+  }
+
+(* ---- DNS wire encoding ------------------------------------------------------ *)
+
+let qtype_a = 1
+let qtype_ns = 2
+let qtype_cname = 5
+let qtype_ptr = 12
+let qtype_mx = 15
+let qtype_txt = 16
+let qtype_aaaa = 28
+
+let qtype_name = function
+  | 1 -> "A"
+  | 2 -> "NS"
+  | 5 -> "CNAME"
+  | 6 -> "SOA"
+  | 12 -> "PTR"
+  | 15 -> "MX"
+  | 16 -> "TXT"
+  | 28 -> "AAAA"
+  | t -> Printf.sprintf "TYPE%d" t
+
+(** Encode a domain name, optionally compressing against already-emitted
+    names: [offsets] maps a name suffix to its position in the message. *)
+let encode_name buf offsets name =
+  let labels = String.split_on_char '.' name in
+  let rec go labels =
+    match labels with
+    | [] -> Buffer.add_char buf '\x00'
+    | _ :: rest as all ->
+        let suffix = String.concat "." all in
+        (match Hashtbl.find_opt offsets suffix with
+        | Some off when off < 0x4000 ->
+            (* Compression pointer: 0b11 prefix + offset. *)
+            Buffer.add_char buf (Char.chr (0xc0 lor (off lsr 8)));
+            Buffer.add_char buf (Char.chr (off land 0xff))
+        | _ ->
+            Hashtbl.replace offsets suffix (Buffer.length buf);
+            let label = List.hd all in
+            Buffer.add_char buf (Char.chr (String.length label));
+            Buffer.add_string buf label;
+            go rest)
+  in
+  go labels
+
+type rr = { rname : string; rtype : int; ttl : int; rdata : [ `A of int * int * int * int | `Name of string | `Txt of string list | `Mx of int * string ] }
+
+let encode_rr buf offsets rr =
+  encode_name buf offsets rr.rname;
+  let add_u16 v =
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr (v land 0xff))
+  in
+  let add_u32 v =
+    add_u16 ((v lsr 16) land 0xffff);
+    add_u16 (v land 0xffff)
+  in
+  add_u16 rr.rtype;
+  add_u16 1 (* class IN *);
+  add_u32 rr.ttl;
+  (* rdata with a placeholder length patched afterwards *)
+  let len_pos = Buffer.length buf in
+  add_u16 0;
+  let start = Buffer.length buf in
+  (match rr.rdata with
+  | `A (a, b, c, d) ->
+      Buffer.add_char buf (Char.chr a);
+      Buffer.add_char buf (Char.chr b);
+      Buffer.add_char buf (Char.chr c);
+      Buffer.add_char buf (Char.chr d)
+  | `Name n -> encode_name buf offsets n
+  | `Txt strings ->
+      List.iter
+        (fun s ->
+          Buffer.add_char buf (Char.chr (min 255 (String.length s)));
+          Buffer.add_string buf (String.sub s 0 (min 255 (String.length s))))
+        strings
+  | `Mx (pref, n) ->
+      add_u16 pref;
+      encode_name buf offsets n);
+  let rdlen = Buffer.length buf - start in
+  (* Patch the length field in place. *)
+  let s = Buffer.to_bytes buf in
+  Bytes.set s len_pos (Char.chr ((rdlen lsr 8) land 0xff));
+  Bytes.set s (len_pos + 1) (Char.chr (rdlen land 0xff));
+  Buffer.clear buf;
+  Buffer.add_bytes buf s
+
+type message = {
+  id : int;
+  response : bool;
+  opcode : int;
+  rcode : int;
+  rd : bool;
+  ra : bool;
+  qname : string;
+  qtype : int;
+  answers : rr list;
+  authority : rr list;
+}
+
+let encode_message m =
+  let buf = Buffer.create 256 in
+  let offsets = Hashtbl.create 8 in
+  let add_u16 v =
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr (v land 0xff))
+  in
+  add_u16 m.id;
+  let flags =
+    (if m.response then 0x8000 else 0)
+    lor (m.opcode lsl 11)
+    lor (if m.rd then 0x0100 else 0)
+    lor (if m.ra then 0x0080 else 0)
+    lor (m.rcode land 0xf)
+  in
+  add_u16 flags;
+  add_u16 1;  (* qdcount *)
+  add_u16 (List.length m.answers);
+  add_u16 (List.length m.authority);
+  add_u16 0;  (* arcount *)
+  encode_name buf offsets m.qname;
+  add_u16 m.qtype;
+  add_u16 1;  (* class IN *)
+  List.iter (fun rr -> encode_rr buf offsets rr) m.answers;
+  List.iter (fun rr -> encode_rr buf offsets rr) m.authority;
+  Buffer.contents buf
+
+(* ---- Transaction generation -------------------------------------------------- *)
+
+let tlds = [| "com"; "net"; "org"; "edu"; "io" |]
+let sld_pool = [| "example"; "campus"; "cdn"; "mail"; "web"; "files"; "api"; "img" |]
+
+let gen_name rng =
+  let sld =
+    if Rng.chance rng 0.6 then Rng.choose rng sld_pool else Rng.label rng ~lo:4 ~hi:12
+  in
+  let host =
+    if Rng.chance rng 0.5 then "www"
+    else if Rng.chance rng 0.3 then Rng.label rng ~lo:2 ~hi:8
+    else "host" ^ string_of_int (Rng.int rng 50)
+  in
+  Printf.sprintf "%s.%s.%s" host sld (Rng.choose rng tlds)
+
+let qtype_mix =
+  [ (55, qtype_a); (20, qtype_aaaa); (8, qtype_cname); (6, qtype_txt);
+    (5, qtype_mx); (4, qtype_ptr); (2, qtype_ns) ]
+
+type transaction = {
+  query : message;
+  reply : message;
+  client : Addr.t;
+  resolver : Addr.t;
+  cport : int;
+  ts_query : Time_ns.t;
+  ts_reply : Time_ns.t;
+}
+
+let gen_answers rng qname qtype =
+  let ip () = `A (93, 184, Rng.int rng 250, 1 + Rng.int rng 250) in
+  match qtype with
+  | t when t = qtype_a ->
+      let n = 1 + Rng.int rng 3 in
+      if Rng.chance rng 0.25 then
+        (* CNAME chain then addresses. *)
+        let target = gen_name rng in
+        { rname = qname; rtype = qtype_cname; ttl = 300; rdata = `Name target }
+        :: List.init n (fun _ ->
+               { rname = target; rtype = qtype_a; ttl = 300; rdata = ip () })
+      else
+        List.init n (fun _ -> { rname = qname; rtype = qtype_a; ttl = 3600; rdata = ip () })
+  | t when t = qtype_aaaa ->
+      (* Keep it simple: answer with a CNAME (many AAAA lookups resolve so). *)
+      [ { rname = qname; rtype = qtype_cname; ttl = 600; rdata = `Name (gen_name rng) } ]
+  | t when t = qtype_cname ->
+      [ { rname = qname; rtype = qtype_cname; ttl = 600; rdata = `Name (gen_name rng) } ]
+  | t when t = qtype_txt ->
+      (* Multi-string TXT records are rare but present: they are the
+         known parser-disagreement case of Table 2 (§6.4). *)
+      let n = if Rng.chance rng 0.08 then 2 else 1 in
+      [ { rname = qname; rtype = qtype_txt; ttl = 300;
+          rdata = `Txt (List.init n (fun i -> Printf.sprintf "v=spf%d include:%s" (i + 1) (gen_name rng))) } ]
+  | t when t = qtype_mx ->
+      List.init (1 + Rng.int rng 2) (fun i ->
+          { rname = qname; rtype = qtype_mx; ttl = 3600;
+            rdata = `Mx ((i + 1) * 10, "mx" ^ string_of_int i ^ "." ^ qname) })
+  | t when t = qtype_ns ->
+      List.init 2 (fun i ->
+          { rname = qname; rtype = qtype_ns; ttl = 86400;
+            rdata = `Name ("ns" ^ string_of_int i ^ "." ^ qname) })
+  | t when t = qtype_ptr ->
+      [ { rname = qname; rtype = qtype_ptr; ttl = 3600; rdata = `Name (gen_name rng) } ]
+  | _ -> []
+
+let gen_transaction rng cfg ~ts =
+  let qname = gen_name rng in
+  let qtype = Rng.weighted rng qtype_mix in
+  let id = Rng.int rng 0x10000 in
+  let nxdomain = Rng.chance rng 0.06 in
+  let query =
+    { id; response = false; opcode = 0; rcode = 0; rd = true; ra = false;
+      qname; qtype; answers = []; authority = [] }
+  in
+  let reply =
+    if nxdomain then
+      { query with
+        response = true;
+        rcode = 3;
+        ra = true;
+        authority =
+          [ { rname = "example.com"; rtype = 6 (* SOA-ish as name *); ttl = 300;
+              rdata = `Name "ns1.example.com" } ] }
+    else
+      { query with response = true; ra = true; answers = gen_answers rng qname qtype }
+  in
+  let client = Addr.of_ipv4_octets 10 2 (Rng.int rng (cfg.clients / 250 + 1)) (1 + Rng.int rng 250) in
+  let resolver = Addr.of_ipv4_octets 192 168 200 (1 + Rng.int rng cfg.resolvers) in
+  let cport = 10000 + Rng.int rng 50000 in
+  let latency = 200_000 + Rng.int rng 30_000_000 in
+  {
+    query;
+    reply;
+    client;
+    resolver;
+    cport;
+    ts_query = ts;
+    ts_reply = Time_ns.add ts (Int64.of_int latency);
+  }
+
+type trace = {
+  records : Pcap.record list;
+  transactions : transaction list;  (** ground truth *)
+}
+
+let datagram ~ts ~src ~dst ~src_port ~dst_port payload =
+  let frame = Packet.encode_udp ~src ~dst ~src_port ~dst_port payload in
+  { Pcap.ts; orig_len = String.length frame; data = frame }
+
+let generate (cfg : config) : trace =
+  let rng = Rng.create cfg.seed in
+  let records = ref [] and txs = ref [] in
+  let window_ns = cfg.transactions * 300_000 in
+  for _ = 1 to cfg.transactions do
+    let ts = Time_ns.add cfg.start_ts (Int64.of_int (Rng.int rng (max 1 window_ns))) in
+    if Rng.chance rng cfg.crud_prob then begin
+      (* Junk on port 53 that is not DNS. *)
+      let src = Addr.of_ipv4_octets 10 9 9 (1 + Rng.int rng 250) in
+      let dst = Addr.of_ipv4_octets 192 168 200 1 in
+      let junk = Rng.label rng ~lo:3 ~hi:11 in
+      records := datagram ~ts ~src ~dst ~src_port:(20000 + Rng.int rng 1000)
+                   ~dst_port:53 junk :: !records
+    end
+    else begin
+      let tx = gen_transaction rng cfg ~ts in
+      records :=
+        datagram ~ts:tx.ts_reply ~src:tx.resolver ~dst:tx.client ~src_port:53
+          ~dst_port:tx.cport (encode_message tx.reply)
+        :: datagram ~ts:tx.ts_query ~src:tx.client ~dst:tx.resolver
+             ~src_port:tx.cport ~dst_port:53 (encode_message tx.query)
+        :: !records;
+      txs := tx :: !txs
+    end
+  done;
+  let by_ts (a : Pcap.record) (b : Pcap.record) = Time_ns.compare a.Pcap.ts b.Pcap.ts in
+  { records = List.stable_sort by_ts !records; transactions = List.rev !txs }

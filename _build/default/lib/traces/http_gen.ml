@@ -1,0 +1,328 @@
+(** Synthetic full-payload HTTP traffic (the stand-in for the paper's 30 GB
+    UC Berkeley port-80 trace, §6.1).
+
+    Generates complete TCP connections — handshake, one or more
+    request/reply transactions, teardown — with realistic message variety:
+    a method/status mix, identity and chunked bodies, several MIME types,
+    "206 Partial Content" responses (the known source of parser
+    disagreement in Table 2), keep-alive and close connections, and
+    optional wire-level "crud": segment reordering and junk connections
+    that are not HTTP at all. *)
+
+open Hilti_types
+open Hilti_net
+
+type config = {
+  sessions : int;            (** number of TCP connections *)
+  seed : int;
+  start_ts : Time_ns.t;
+  clients : int;             (** distinct client addresses *)
+  servers : int;             (** distinct server addresses *)
+  max_requests : int;        (** per connection *)
+  mss : int;
+  reorder_prob : float;      (** probability a flight of segments is shuffled *)
+  crud_prob : float;         (** probability a connection carries non-HTTP junk *)
+}
+
+let default =
+  {
+    sessions = 200;
+    seed = 0xbe11;
+    start_ts = Time_ns.of_secs 1_400_000_000;
+    clients = 40;
+    servers = 12;
+    max_requests = 4;
+    mss = 1400;
+    reorder_prob = 0.03;
+    crud_prob = 0.01;
+  }
+
+(* ---- Message material ------------------------------------------------------ *)
+
+let methods = [ (70, "GET"); (20, "POST"); (7, "HEAD"); (3, "PUT") ]
+
+(* "Partial Content" is kept rare: 206 sessions are the main source of
+   Table 2's parser disagreements (§6.4). *)
+let statuses =
+  [ (71, (200, "OK"));
+    (10, (404, "Not Found"));
+    (8, (304, "Not Modified"));
+    (6, (302, "Found"));
+    (2, (206, "Partial Content"));
+    (3, (500, "Internal Server Error")) ]
+
+let mime_types =
+  [| "text/html"; "text/plain"; "image/png"; "image/jpeg";
+     "application/json"; "application/javascript"; "text/css";
+     "application/octet-stream" |]
+
+let user_agents =
+  [| "Mozilla/5.0 (X11; Linux x86_64)"; "curl/7.30.0"; "Wget/1.14";
+     "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_9)" |]
+
+let path_segments = [| "index"; "img"; "api"; "static"; "data"; "download"; "page" |]
+
+let extensions = [| ".html"; ".png"; ".js"; ".css"; ".json"; "" |]
+
+let gen_uri rng =
+  let depth = 1 + Rng.int rng 3 in
+  let parts =
+    List.init depth (fun _ ->
+        if Rng.bool rng then Rng.choose rng path_segments else Rng.label rng ~lo:3 ~hi:8)
+  in
+  let ext = Rng.choose rng extensions in
+  let query = if Rng.chance rng 0.2 then "?id=" ^ string_of_int (Rng.int rng 10000) else "" in
+  "/" ^ String.concat "/" parts ^ ext ^ query
+
+let gen_body rng size =
+  String.init size (fun i ->
+      if i mod 64 = 63 then '\n'
+      else Char.chr (32 + ((Rng.int rng 95 + i) mod 95)))
+
+(* ---- One HTTP transaction -------------------------------------------------- *)
+
+type transaction = {
+  meth : string;
+  uri : string;
+  host : string;
+  status : int;
+  reason : string;
+  mime : string option;
+  request_body : string;
+  response_body : string;
+  chunked : bool;
+  range_of : int option;  (** total size when the reply is a 206 slice *)
+}
+
+let gen_transaction rng ~host =
+  let meth = Rng.weighted rng methods in
+  let status, reason = Rng.weighted rng statuses in
+  let request_body =
+    if meth = "POST" || meth = "PUT" then gen_body rng (Rng.size rng ~lo:10 ~hi:600)
+    else ""
+  in
+  let has_body = status <> 304 && status <> 302 && meth <> "HEAD" in
+  let mime = if has_body then Some (Rng.choose rng mime_types) else None in
+  let body_size =
+    if not has_body then 0
+    else if status = 206 then Rng.size rng ~lo:100 ~hi:2000
+    else Rng.size rng ~lo:20 ~hi:8000
+  in
+  let response_body = if has_body then gen_body rng body_size else "" in
+  let chunked = has_body && status = 200 && Rng.chance rng 0.25 in
+  let range_of = if status = 206 then Some (body_size * 3) else None in
+  { meth; uri = gen_uri rng; host; status; reason; mime; request_body;
+    response_body; chunked; range_of }
+
+let render_request t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" t.meth t.uri);
+  Buffer.add_string buf (Printf.sprintf "Host: %s\r\n" t.host);
+  Buffer.add_string buf (Printf.sprintf "User-Agent: %s\r\n" "Mozilla/5.0 (X11; Linux x86_64)");
+  Buffer.add_string buf "Accept: */*\r\n";
+  if String.length t.request_body > 0 then begin
+    Buffer.add_string buf
+      (Printf.sprintf "Content-Length: %d\r\n" (String.length t.request_body));
+    Buffer.add_string buf "Content-Type: application/x-www-form-urlencoded\r\n"
+  end;
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf t.request_body;
+  Buffer.contents buf
+
+let render_response t ~keep_alive =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "HTTP/1.1 %d %s\r\n" t.status t.reason);
+  Buffer.add_string buf "Server: nginx/1.4.7\r\n";
+  (match t.mime with
+  | Some m -> Buffer.add_string buf (Printf.sprintf "Content-Type: %s\r\n" m)
+  | None -> ());
+  (match t.range_of with
+  | Some total ->
+      Buffer.add_string buf
+        (Printf.sprintf "Content-Range: bytes 0-%d/%d"
+           (String.length t.response_body - 1) total);
+      Buffer.add_string buf "\r\n"
+  | None -> ());
+  if not keep_alive then Buffer.add_string buf "Connection: close\r\n";
+  if t.chunked then begin
+    Buffer.add_string buf "Transfer-Encoding: chunked\r\n\r\n";
+    (* Split the body into a few chunks. *)
+    let body = t.response_body in
+    let n = String.length body in
+    let rec chunks off =
+      if off >= n then Buffer.add_string buf "0\r\n\r\n"
+      else begin
+        let len = min (max 1 (n / 3)) (n - off) in
+        Buffer.add_string buf (Printf.sprintf "%x\r\n" len);
+        Buffer.add_string buf (String.sub body off len);
+        Buffer.add_string buf "\r\n";
+        chunks (off + len)
+      end
+    in
+    chunks 0
+  end
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "Content-Length: %d\r\n\r\n" (String.length t.response_body));
+    Buffer.add_string buf t.response_body
+  end;
+  Buffer.contents buf
+
+(* ---- TCP session assembly --------------------------------------------------- *)
+
+type endpoints = {
+  client : Addr.t;
+  server : Addr.t;
+  cport : int;
+  sport : int;
+}
+
+type session_packets = Pcap.record list
+
+(* Build data segments for one direction, chopping [data] at MSS. *)
+let data_segments rng cfg ~ts_ref ~ep ~from_client ~seq ~ack data =
+  let src, dst, sp, dp =
+    if from_client then (ep.client, ep.server, ep.cport, ep.sport)
+    else (ep.server, ep.client, ep.sport, ep.cport)
+  in
+  let n = String.length data in
+  let segs = ref [] in
+  let off = ref 0 in
+  while !off < n do
+    let len = min cfg.mss (n - !off) in
+    let frame =
+      Packet.encode_tcp ~src ~dst ~src_port:sp ~dst_port:dp
+        ~seq:(Int32.add seq (Int32.of_int !off))
+        ~ack
+        ~flags:(Tcp.flag_ack lor Tcp.flag_psh)
+        (String.sub data !off len)
+    in
+    ts_ref := Time_ns.add !ts_ref (Int64.of_int (50_000 + Rng.int rng 400_000));
+    segs := { Pcap.ts = !ts_ref; orig_len = String.length frame; data = frame } :: !segs;
+    off := !off + len
+  done;
+  let segs = List.rev !segs in
+  (* Optionally reorder a flight to exercise reassembly: the two leading
+     segments swap contents but keep ascending capture timestamps, so the
+     later-sequenced data genuinely arrives first on the wire. *)
+  if List.length segs > 1 && Rng.chance rng cfg.reorder_prob then
+    match segs with
+    | a :: b :: rest ->
+        { b with Pcap.ts = a.Pcap.ts } :: { a with Pcap.ts = b.Pcap.ts } :: rest
+    | _ -> segs
+  else segs
+
+let bare_segment ~ts ~ep ~from_client ~seq ~ack ~flags =
+  let src, dst, sp, dp =
+    if from_client then (ep.client, ep.server, ep.cport, ep.sport)
+    else (ep.server, ep.client, ep.sport, ep.cport)
+  in
+  let frame =
+    Packet.encode_tcp ~src ~dst ~src_port:sp ~dst_port:dp ~seq ~ack ~flags ""
+  in
+  { Pcap.ts; orig_len = String.length frame; data = frame }
+
+(** Generate one complete HTTP connection; returns packets and the
+    transactions it carried (ground truth for validation). *)
+let gen_session rng cfg ~ts_ref ~ep : session_packets * transaction list =
+  let step ival = ts_ref := Time_ns.add !ts_ref (Int64.of_int ival) in
+  let host = Printf.sprintf "%s.example.com" (Rng.label rng ~lo:3 ~hi:10) in
+  let nreq = 1 + Rng.int rng cfg.max_requests in
+  let txs = List.init nreq (fun _ -> gen_transaction rng ~host) in
+  let cseq0 = Int32.of_int (1000 + Rng.int rng 1_000_000) in
+  let sseq0 = Int32.of_int (5000 + Rng.int rng 1_000_000) in
+  let packets = ref [] in
+  let emit p = packets := p :: !packets in
+  (* Handshake. *)
+  step 100_000;
+  emit (bare_segment ~ts:!ts_ref ~ep ~from_client:true ~seq:cseq0 ~ack:0l ~flags:Tcp.flag_syn);
+  step 80_000;
+  emit
+    (bare_segment ~ts:!ts_ref ~ep ~from_client:false ~seq:sseq0
+       ~ack:(Int32.add cseq0 1l)
+       ~flags:(Tcp.flag_syn lor Tcp.flag_ack));
+  step 60_000;
+  emit
+    (bare_segment ~ts:!ts_ref ~ep ~from_client:true ~seq:(Int32.add cseq0 1l)
+       ~ack:(Int32.add sseq0 1l) ~flags:Tcp.flag_ack);
+  let cseq = ref (Int32.add cseq0 1l) and sseq = ref (Int32.add sseq0 1l) in
+  List.iteri
+    (fun i tx ->
+      let keep_alive = i < nreq - 1 in
+      let req = render_request tx in
+      List.iter emit
+        (data_segments rng cfg ~ts_ref ~ep ~from_client:true ~seq:!cseq ~ack:!sseq req);
+      cseq := Int32.add !cseq (Int32.of_int (String.length req));
+      let resp = render_response tx ~keep_alive in
+      List.iter emit
+        (data_segments rng cfg ~ts_ref ~ep ~from_client:false ~seq:!sseq ~ack:!cseq resp);
+      sseq := Int32.add !sseq (Int32.of_int (String.length resp)))
+    txs;
+  (* Teardown. *)
+  step 120_000;
+  emit (bare_segment ~ts:!ts_ref ~ep ~from_client:true ~seq:!cseq ~ack:!sseq
+          ~flags:(Tcp.flag_fin lor Tcp.flag_ack));
+  step 60_000;
+  emit (bare_segment ~ts:!ts_ref ~ep ~from_client:false ~seq:!sseq
+          ~ack:(Int32.add !cseq 1l)
+          ~flags:(Tcp.flag_fin lor Tcp.flag_ack));
+  step 40_000;
+  emit (bare_segment ~ts:!ts_ref ~ep ~from_client:true ~seq:(Int32.add !cseq 1l)
+          ~ack:(Int32.add !sseq 1l) ~flags:Tcp.flag_ack);
+  (List.rev !packets, txs)
+
+(* A connection on port 80 that is not HTTP ("crud", §2). *)
+let gen_crud_session rng cfg ~ts_ref ~ep : session_packets =
+  let junk = Rng.label rng ~lo:20 ~hi:200 ^ "\x00\x01\x02\xff" in
+  let cseq0 = Int32.of_int (1000 + Rng.int rng 1_000_000) in
+  let pkts, _ =
+    ( [ bare_segment ~ts:!ts_ref ~ep ~from_client:true ~seq:cseq0 ~ack:0l
+          ~flags:Tcp.flag_syn ],
+      () )
+  in
+  let data =
+    data_segments rng cfg ~ts_ref ~ep ~from_client:true
+      ~seq:(Int32.add cseq0 1l) ~ack:1l junk
+  in
+  pkts @ data
+
+type trace = {
+  records : Pcap.record list;
+  transactions : (endpoints * transaction list) list;  (** ground truth *)
+}
+
+let client_addr i = Addr.of_ipv4_octets 10 1 (i / 250) (1 + (i mod 250))
+let server_addr i = Addr.of_ipv4_octets 192 168 (i / 250) (1 + (i mod 250))
+
+(** Generate a full trace per [config].  Sessions start at randomized
+    offsets and their packets are merged in timestamp order, so many
+    connections are in flight simultaneously — exercising concurrent
+    per-session state exactly like live traffic. *)
+let generate (cfg : config) : trace =
+  let rng = Rng.create cfg.seed in
+  let records = ref [] and txs = ref [] in
+  (* Sessions spread over a window proportional to their count. *)
+  let window_ns = cfg.sessions * 1_500_000 in
+  for i = 0 to cfg.sessions - 1 do
+    let ep =
+      {
+        client = client_addr (Rng.int rng cfg.clients);
+        server = server_addr (Rng.int rng cfg.servers);
+        cport = 29000 + ((i * 13) mod 30000);
+        sport = 80;
+      }
+    in
+    let ts_ref =
+      ref (Time_ns.add cfg.start_ts (Int64.of_int (Rng.int rng (max 1 window_ns))))
+    in
+    if Rng.chance rng cfg.crud_prob then
+      records := List.rev_append (gen_crud_session rng cfg ~ts_ref ~ep) !records
+    else begin
+      let pkts, session_txs = gen_session rng cfg ~ts_ref ~ep in
+      records := List.rev_append pkts !records;
+      txs := (ep, session_txs) :: !txs
+    end
+  done;
+  let by_ts (a : Pcap.record) (b : Pcap.record) = Time_ns.compare a.Pcap.ts b.Pcap.ts in
+  { records = List.stable_sort by_ts (List.rev !records);
+    transactions = List.rev !txs }

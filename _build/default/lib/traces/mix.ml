@@ -1,0 +1,38 @@
+(** Mixed-protocol traces: interleave HTTP, DNS, and SSH sessions into a
+    single timestamp-ordered capture, for drivers that must demultiplex by
+    port (like real border traffic). *)
+
+open Hilti_net
+
+type config = {
+  http : Http_gen.config option;
+  dns : Dns_gen.config option;
+  ssh : Ssh_gen.config option;
+}
+
+let default =
+  {
+    http = Some { Http_gen.default with Http_gen.sessions = 50 };
+    dns = Some { Dns_gen.default with Dns_gen.transactions = 200 };
+    ssh = Some { Ssh_gen.default with Ssh_gen.sessions = 10 };
+  }
+
+let generate (cfg : config) : Pcap.record list =
+  let http =
+    match cfg.http with
+    | Some c -> (Http_gen.generate c).Http_gen.records
+    | None -> []
+  in
+  let dns =
+    match cfg.dns with
+    | Some c -> (Dns_gen.generate c).Dns_gen.records
+    | None -> []
+  in
+  let ssh =
+    match cfg.ssh with
+    | Some c -> (Ssh_gen.generate c).Ssh_gen.records
+    | None -> []
+  in
+  List.stable_sort
+    (fun (a : Pcap.record) b -> Hilti_types.Time_ns.compare a.Pcap.ts b.Pcap.ts)
+    (http @ dns @ ssh)

@@ -1,0 +1,50 @@
+(** Deterministic random numbers (splitmix64) so every trace, test, and
+    benchmark is exactly reproducible across runs and machines. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.logand (next_int64 t) Int64.max_int) (Int64.of_int bound))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** True with probability [p]. *)
+let chance t p = int t 10000 < int_of_float (p *. 10000.)
+
+let float t = Int64.to_float (Int64.logand (next_int64 t) 0xFFFFFFFFFFFFFL) /. 4503599627370496.
+
+(** Pick a uniformly random element. *)
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose";
+  arr.(int t (Array.length arr))
+
+(** Pick from a weighted distribution [(weight, value)]. *)
+let weighted t dist =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 dist in
+  let roll = int t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rng.weighted"
+    | (w, v) :: rest -> if roll < acc + w then v else go (acc + w) rest
+  in
+  go 0 dist
+
+(** Geometric-ish size in [lo, hi], biased toward small values. *)
+let size t ~lo ~hi =
+  let r = float t in
+  lo + int_of_float (float_of_int (hi - lo) *. r *. r)
+
+(** Random lowercase label of length in [lo, hi]. *)
+let label t ~lo ~hi =
+  let n = lo + int t (hi - lo + 1) in
+  String.init n (fun _ -> Char.chr (Char.code 'a' + int t 26))

@@ -1,0 +1,1 @@
+lib/types/addr.ml: Array Buffer Format Hashtbl Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/types/bitset.ml: Hashtbl Int64 List Printf Stdlib String

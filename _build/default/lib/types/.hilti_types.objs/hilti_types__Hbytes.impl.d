@@ -1,0 +1,1 @@
+lib/types/hbytes.ml: Bytes Char Format Hashtbl Int Int64 Stdlib String

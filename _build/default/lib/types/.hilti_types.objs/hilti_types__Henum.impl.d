@@ -1,0 +1,1 @@
+lib/types/henum.ml: Hashtbl Int List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/types/interval_ns.ml: Format Hashtbl Int64 Printf

@@ -1,0 +1,1 @@
+lib/types/network.ml: Addr Format Hashtbl Int Printf String

@@ -1,0 +1,1 @@
+lib/types/port.ml: Format Hashtbl Int Printf Stdlib String

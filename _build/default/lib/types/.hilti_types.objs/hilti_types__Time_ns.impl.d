@@ -1,0 +1,1 @@
+lib/types/time_ns.ml: Format Hashtbl Int64 Printf Unix

@@ -1,0 +1,54 @@
+(** Bitsets over named labels (HILTI [bitset]).
+
+    A bitset type declares up to 64 labels, each mapped to a bit position;
+    values are plain 64-bit words, so set operations are single instructions
+    as in HILTI's generated code. *)
+
+type decl = { name : string; labels : (string * int) list }
+
+exception Unknown_label of string
+
+let declare ~name labels =
+  let _, labels =
+    List.fold_left
+      (fun (next, acc) (lbl, pos) ->
+        match pos with
+        | Some p -> (Stdlib.max next (p + 1), (lbl, p) :: acc)
+        | None -> (next + 1, (lbl, next) :: acc))
+      (0, []) labels
+  in
+  List.iter
+    (fun (_, p) ->
+      if p < 0 || p > 63 then invalid_arg "Bitset.declare: bit out of range")
+    labels;
+  { name; labels = List.rev labels }
+
+let bit_of decl label =
+  match List.assoc_opt label decl.labels with
+  | Some p -> p
+  | None -> raise (Unknown_label label)
+
+type t = int64
+
+let empty : t = 0L
+let singleton decl label : t = Int64.shift_left 1L (bit_of decl label)
+let union : t -> t -> t = Int64.logor
+let inter : t -> t -> t = Int64.logand
+let diff a b : t = Int64.logand a (Int64.lognot b)
+
+let set decl t label = union t (singleton decl label)
+let clear decl t label = diff t (singleton decl label)
+let has decl t label = Int64.logand t (singleton decl label) <> 0L
+
+let equal (a : t) (b : t) = Int64.equal a b
+let compare : t -> t -> int = Int64.compare
+let hash (t : t) = Hashtbl.hash t
+
+let to_string decl (t : t) =
+  let members =
+    List.filter_map
+      (fun (lbl, p) ->
+        if Int64.logand t (Int64.shift_left 1L p) <> 0L then Some lbl else None)
+      decl.labels
+  in
+  Printf.sprintf "%s(%s)" decl.name (String.concat "|" members)

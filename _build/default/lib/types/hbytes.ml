@@ -1,0 +1,218 @@
+(** Raw byte sequences (HILTI [bytes]).
+
+    A [bytes] object is an append-only stream of raw data with type-safe
+    iterators, designed for incremental protocol parsing: producers append
+    chunks as they arrive from the network, parsers walk iterators over the
+    stream, and reaching the current end raises [Would_block] — the signal
+    for a parsing fiber to suspend until more input arrives.  Freezing the
+    object declares the stream complete, turning the end into a definite
+    end-of-data.
+
+    Consumed data can be trimmed to bound memory; iterators keep *absolute*
+    stream offsets, so trimming never invalidates iterators that still point
+    at retained data. *)
+
+exception Would_block
+(** Raised when dereferencing or advancing past the current end of a
+    non-frozen bytes object: more data may still arrive. *)
+
+exception Out_of_range
+(** Raised when accessing trimmed data or past the end of a frozen object. *)
+
+exception Frozen
+(** Raised when appending to a frozen object. *)
+
+type t = {
+  mutable buf : Bytes.t;  (* storage holding the retained window *)
+  mutable off : int;      (* index in [buf] of absolute offset [base] *)
+  mutable base : int;     (* absolute offset of first retained byte *)
+  mutable len : int;      (* number of retained bytes *)
+  mutable frozen : bool;
+}
+
+type iter = { bytes : t; pos : int }
+(** Iterators are immutable values holding an absolute stream offset. *)
+
+let create () = { buf = Bytes.create 64; off = 0; base = 0; len = 0; frozen = false }
+
+let of_string s =
+  { buf = Bytes.of_string s; off = 0; base = 0; len = String.length s; frozen = false }
+
+let length t = t.len
+let start_offset t = t.base
+let end_offset t = t.base + t.len
+let is_frozen t = t.frozen
+
+let ensure_room t extra =
+  let need = t.off + t.len + extra in
+  if need > Bytes.length t.buf then begin
+    (* Compact to the front first; grow only if still too small. *)
+    Bytes.blit t.buf t.off t.buf 0 t.len;
+    t.off <- 0;
+    let need = t.len + extra in
+    if need > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf * 2) in
+      while !cap < need do cap := !cap * 2 done;
+      let nbuf = Bytes.create !cap in
+      Bytes.blit t.buf 0 nbuf 0 t.len;
+      t.buf <- nbuf
+    end
+  end
+
+let append t s =
+  if t.frozen then raise Frozen;
+  let n = String.length s in
+  ensure_room t n;
+  Bytes.blit_string s 0 t.buf (t.off + t.len) n;
+  t.len <- t.len + n
+
+let append_bytes t b = append t (Bytes.to_string b)
+
+let freeze t = t.frozen <- true
+
+(** Drop all data strictly before iterator [it]; accessing it afterwards
+    raises [Out_of_range]. *)
+let trim t (it : iter) =
+  if it.pos > t.base then begin
+    let upto = Stdlib.min it.pos (t.base + t.len) in
+    let drop = upto - t.base in
+    t.off <- t.off + drop;
+    t.base <- upto;
+    t.len <- t.len - drop
+  end
+
+(* Iterators --------------------------------------------------------------- *)
+
+let begin_ t : iter = { bytes = t; pos = t.base }
+let end_ t : iter = { bytes = t; pos = t.base + t.len }
+let iter_at t pos : iter = { bytes = t; pos }
+
+let offset (it : iter) = it.pos
+
+(** True iff the iterator sits at the current end of the stream. *)
+let at_end (it : iter) = it.pos >= end_offset it.bytes
+
+(** True iff no byte can ever be read at this iterator (frozen + at end). *)
+let is_eod (it : iter) = at_end it && it.bytes.frozen
+
+let check_readable (it : iter) =
+  if it.pos < it.bytes.base then raise Out_of_range;
+  if it.pos >= end_offset it.bytes then
+    if it.bytes.frozen then raise Out_of_range else raise Would_block
+
+(** Byte under the iterator, as an int in 0..255. *)
+let get (it : iter) =
+  check_readable it;
+  Char.code (Bytes.get it.bytes.buf (it.bytes.off + it.pos - it.bytes.base))
+
+let incr (it : iter) : iter = { it with pos = it.pos + 1 }
+
+let advance (it : iter) n : iter =
+  if n < 0 then invalid_arg "Hbytes.advance";
+  { it with pos = it.pos + n }
+
+(** Signed distance in bytes from [a] to [b] (same underlying object). *)
+let distance (a : iter) (b : iter) = b.pos - a.pos
+
+let iter_equal (a : iter) (b : iter) = a.bytes == b.bytes && a.pos = b.pos
+let iter_compare (a : iter) (b : iter) = Int.compare a.pos b.pos
+
+(** Extract the bytes in [\[a, b)] as a string.  Both iterators must point
+    into retained, available data. *)
+let sub (a : iter) (b : iter) =
+  let t = a.bytes in
+  if a.pos < t.base || b.pos > end_offset t || a.pos > b.pos then
+    raise Out_of_range;
+  Bytes.sub_string t.buf (t.off + a.pos - t.base) (b.pos - a.pos)
+
+(** All currently retained data as a string. *)
+let to_string t = Bytes.sub_string t.buf t.off t.len
+
+(** [available it] is the number of bytes readable from [it] right now. *)
+let available (it : iter) = Stdlib.max 0 (end_offset it.bytes - it.pos)
+
+(** [require it n] checks that [n] bytes can be read from [it]; raises
+    [Would_block] (or [Out_of_range] when frozen) otherwise. *)
+let require (it : iter) n =
+  if it.pos < it.bytes.base then raise Out_of_range;
+  if available it < n then
+    if it.bytes.frozen then raise Out_of_range else raise Would_block
+
+(** Read exactly [n] bytes starting at [it]; returns data and new iterator. *)
+let read (it : iter) n =
+  require it n;
+  (sub it (advance it n), advance it n)
+
+(* Searching --------------------------------------------------------------- *)
+
+(** Find the first occurrence of [needle] at or after [it] within currently
+    available data.  [None] means not found *so far*: on a non-frozen object
+    the caller may need to wait for more data. *)
+let find (it : iter) needle =
+  let t = it.bytes in
+  let nlen = String.length needle in
+  let limit = end_offset t - nlen in
+  let rec scan pos =
+    if pos > limit then None
+    else
+      let rec matches k =
+        k >= nlen
+        || Bytes.get t.buf (t.off + pos - t.base + k) = needle.[k] && matches (k + 1)
+      in
+      if matches 0 then Some { it with pos } else scan (pos + 1)
+  in
+  if nlen = 0 then Some it
+  else if it.pos < t.base then raise Out_of_range
+  else scan (Stdlib.max it.pos t.base)
+
+(** [match_prefix it s] checks whether the data at [it] starts with [s];
+    raises [Would_block] if not enough data is available to decide. *)
+let match_prefix (it : iter) s =
+  let n = String.length s in
+  let t = it.bytes in
+  let rec check k =
+    k >= n
+    || Bytes.get t.buf (t.off + it.pos - t.base + k) = s.[k] && check (k + 1)
+  in
+  if available it >= n then check 0
+  else begin
+    (* Even with partial data we can answer "no" early on a mismatch. *)
+    let avail = available it in
+    let rec partial k =
+      if k >= avail then
+        if t.frozen then false else raise Would_block
+      else if Bytes.get t.buf (t.off + it.pos - t.base + k) <> s.[k] then false
+      else partial (k + 1)
+    in
+    if it.pos < t.base then raise Out_of_range else partial 0
+  end
+
+(* Unpacking binary data, the substrate of overlays ------------------------ *)
+
+(** Byte order for multi-byte integer decoding. *)
+type order = Big | Little
+
+let read_uint (it : iter) ~width ~order =
+  require it width;
+  let t = it.bytes in
+  let byte k = Char.code (Bytes.get t.buf (t.off + it.pos - t.base + k)) in
+  let v = ref 0L in
+  (match order with
+  | Big -> for k = 0 to width - 1 do v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (byte k)) done
+  | Little -> for k = width - 1 downto 0 do v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (byte k)) done);
+  (!v, advance it width)
+
+let read_sint (it : iter) ~width ~order =
+  let v, it' = read_uint it ~width ~order in
+  let bits = width * 8 in
+  let v =
+    if bits >= 64 then v
+    else
+      let sign = Int64.shift_left 1L (bits - 1) in
+      if Int64.logand v sign <> 0L then Int64.sub v (Int64.shift_left 1L bits) else v
+  in
+  (v, it')
+
+let equal a b = to_string a = to_string b && a.base = b.base
+let hash t = Hashtbl.hash (to_string t)
+let pp fmt t = Format.fprintf fmt "b\"%s\"" (String.escaped (to_string t))

@@ -1,0 +1,59 @@
+(** Enumerations (HILTI [enum]).
+
+    An enum type declares a set of named labels with integer values; enum
+    values carry their declaration so printing and comparisons stay
+    type-aware, plus a distinguished [Undef] member as in HILTI, which any
+    enum variable holds before assignment. *)
+
+type decl = { name : string; labels : (string * int) list }
+
+exception Unknown_label of string
+
+let declare ~name labels =
+  let _, labels =
+    List.fold_left
+      (fun (next, acc) (lbl, v) ->
+        match v with
+        | Some v -> (Stdlib.max next (v + 1), (lbl, v) :: acc)
+        | None -> (next + 1, (lbl, next) :: acc))
+      (0, []) labels
+  in
+  { name; labels = List.rev labels }
+
+type t = { decl : decl; value : int; undef : bool }
+
+let undef decl = { decl; value = 0; undef = true }
+
+let of_label decl label =
+  match List.assoc_opt label decl.labels with
+  | Some value -> { decl; value; undef = false }
+  | None -> raise (Unknown_label label)
+
+let of_value decl value =
+  if List.exists (fun (_, v) -> v = value) decl.labels then
+    { decl; value; undef = false }
+  else { decl; value; undef = true }
+
+let value t = t.value
+let is_undef t = t.undef
+
+let label t =
+  if t.undef then None
+  else
+    List.find_map (fun (l, v) -> if v = t.value then Some l else None)
+      t.decl.labels
+
+let to_string t =
+  match label t with
+  | Some l -> Printf.sprintf "%s::%s" t.decl.name l
+  | None -> Printf.sprintf "%s::Undef" t.decl.name
+
+let equal a b = a.undef = b.undef && (a.undef || a.value = b.value)
+let compare a b =
+  match (a.undef, b.undef) with
+  | true, true -> 0
+  | true, false -> -1
+  | false, true -> 1
+  | false, false -> Int.compare a.value b.value
+
+let hash t = Hashtbl.hash (t.undef, t.value)

@@ -1,0 +1,45 @@
+(** CIDR-style subnet masks (HILTI [net]), e.g. [10.0.5.0/24] or
+    [2001:db8::/32]. *)
+
+type t = { prefix : Addr.t; length : int }
+
+exception Invalid of string
+
+let make prefix length =
+  let max_len = if Addr.is_ipv4 prefix then 32 else 128 in
+  if length < 0 || length > max_len then
+    raise (Invalid (Printf.sprintf "/%d" length))
+  else { prefix = Addr.mask prefix length; length }
+
+(** A /32 (or /128) network covering exactly one address. *)
+let of_addr a = make a (if Addr.is_ipv4 a then 32 else 128)
+
+let prefix t = t.prefix
+let length t = t.length
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> of_addr (Addr.of_string s)
+  | Some i ->
+      let addr = String.sub s 0 i in
+      let len = String.sub s (i + 1) (String.length s - i - 1) in
+      (match int_of_string_opt len with
+      | Some l -> make (Addr.of_string addr) l
+      | None -> raise (Invalid s))
+
+let to_string t =
+  Printf.sprintf "%s/%d" (Addr.to_string t.prefix) t.length
+
+(** [contains net a] is true iff address [a] lies within [net].  An IPv4
+    network never contains an IPv6 address and vice versa. *)
+let contains t a =
+  Addr.is_ipv4 a = Addr.is_ipv4 t.prefix
+  && Addr.equal (Addr.mask a t.length) t.prefix
+
+let compare a b =
+  let c = Addr.compare a.prefix b.prefix in
+  if c <> 0 then c else Int.compare a.length b.length
+
+let equal a b = compare a b = 0
+let hash t = Hashtbl.hash (Addr.hash t.prefix, t.length)
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,1 @@
+lib/vm/bytecode.ml: Array Buffer Hashtbl Htype List Module_ir Printf String Value

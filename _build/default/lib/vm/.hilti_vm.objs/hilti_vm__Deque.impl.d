@@ -1,0 +1,1 @@
+lib/vm/deque.ml: List Option

@@ -1,0 +1,1 @@
+lib/vm/dynarray.ml: Array List Obj

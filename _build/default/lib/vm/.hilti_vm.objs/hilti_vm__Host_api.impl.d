@@ -1,0 +1,1 @@
+lib/vm/host_api.ml: Bytecode Fun Hilti_passes Hilti_rt List Lower Module_ir String Validate Value Vm

@@ -1,0 +1,1 @@
+lib/vm/lower.ml: Array Bytecode Constant Hashtbl Hilti_types Htype Instr Int Int64 List Module_ir Option Printf String Value

@@ -1,0 +1,1 @@
+lib/vm/value.ml: Addr Array Deque Dynarray Hbytes Hilti_rt Hilti_types Htype Int64 Interval_ns List Network Option Port Printf String Time_ns

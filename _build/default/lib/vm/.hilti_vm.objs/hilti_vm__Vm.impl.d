@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Addr Array Buffer Bytecode Bytes Deque Dynarray Effect Float Fun Hashtbl Hbytes Hilti_rt Hilti_types Int64 Interval_ns List Module_ir Network Port Printf String Time_ns Value

@@ -1,0 +1,213 @@
+(** The lowered register-machine form the VM executes.
+
+    Where HILTI's prototype compiles IR to LLVM bitcode and on to native
+    code, we lower to a flat array of register operations per function —
+    the same pipeline position, with jump targets resolved to instruction
+    indices and all name/type resolution (struct fields, enum labels,
+    bitset masks, overlay layouts, globals' slots) done at lowering time so
+    the execution loop performs no lookups by name. *)
+
+type int_arith = A_add | A_sub | A_mul | A_div | A_mod | A_shl | A_shr | A_and | A_or | A_xor | A_min | A_max
+
+type cmp = C_eq | C_lt | C_gt | C_leq | C_geq
+
+type string_op =
+  | S_concat | S_length | S_eq | S_lt | S_find | S_substr | S_to_bytes
+  | S_upper | S_lower | S_starts_with | S_contains | S_split1
+  | S_format  (** first arg is the format string *)
+
+type bytes_op =
+  | B_new | B_length | B_append | B_freeze | B_is_frozen | B_trim | B_sub
+  | B_find | B_match_prefix | B_can_read | B_read | B_to_string | B_to_int
+  | B_eq | B_starts_with | B_contains | B_offset
+  | B_unpack_uint | B_unpack_sint | B_upper | B_lower
+
+type iter_op =
+  | I_begin | I_end | I_incr | I_advance | I_deref | I_eq | I_distance
+  | I_at_end | I_is_eod | I_is_frozen
+
+type addr_op = AD_family | AD_eq | AD_mask | AD_to_string
+type port_op = PO_protocol | PO_number | PO_eq
+type net_op = NE_contains | NE_prefix | NE_length | NE_eq
+
+type time_op = TI_add | TI_sub | TI_cmp of cmp | TI_wall | TI_to_double | TI_nsecs
+type interval_op = IV_add | IV_sub | IV_mul | IV_eq | IV_lt | IV_to_double | IV_nsecs
+
+type struct_op =
+  | ST_get of string
+  | ST_get_default of string
+  | ST_set of string
+  | ST_unset of string
+  | ST_is_set of string
+
+type list_op = L_append | L_push_front | L_pop_front | L_front | L_back | L_size | L_clear
+type vector_op = V_push_back | V_get | V_set | V_size | V_reserve | V_clear | V_pop_back
+type set_op = SE_insert | SE_exists | SE_remove | SE_size | SE_clear | SE_timeout
+type map_op =
+  | M_insert | M_get | M_get_default | M_exists | M_remove | M_size | M_clear
+  | M_default | M_timeout
+
+type channel_op = CH_write | CH_read | CH_try_read | CH_size
+type classifier_op = CL_add | CL_compile | CL_get | CL_matches
+type regexp_op = RE_compile | RE_find | RE_match_token | RE_span | RE_groups
+type file_op = F_open | F_write | F_close
+type profiler_op = PR_start | PR_stop | PR_snapshot
+type debug_op = D_msg | D_assert | D_internal_error
+
+type new_spec =
+  | New_struct of string * string list  (** type name, field names *)
+  | New_list
+  | New_vector
+  | New_set
+  | New_map
+  | New_channel of int option           (** capacity *)
+  | New_bytes
+  | New_timer_mgr
+  | New_classifier of int               (** number of rule fields *)
+  | New_match_state                      (** from a regexp operand *)
+
+type overlay_spec = {
+  ov_offset : int;
+  ov_fmt : Module_ir.unpack_fmt;
+  ov_bits : (int * int) option;
+  ov_result : Htype.t;
+}
+
+type prim =
+  | P_select
+  | P_equal
+  | P_make_tuple
+  | P_new of new_spec
+  | P_bool_and | P_bool_or | P_bool_not
+  | P_int_arith of int_arith * int   (** op, width *)
+  | P_int_cmp of cmp
+  | P_int_neg of int | P_int_abs
+  | P_int_to_double | P_int_to_time | P_int_to_interval | P_int_to_string
+  | P_double_arith of int_arith
+  | P_double_cmp of cmp
+  | P_double_neg | P_double_abs | P_double_to_int
+  | P_string of string_op
+  | P_bytes of bytes_op
+  | P_iter of iter_op
+  | P_addr of addr_op
+  | P_port of port_op
+  | P_net of net_op
+  | P_time of time_op
+  | P_interval of interval_op
+  | P_tuple_get of int
+  | P_tuple_length
+  | P_tuple_eq
+  | P_struct of struct_op
+  | P_enum_from_int of string
+  | P_enum_value
+  | P_enum_eq
+  | P_bitset_set of int64 | P_bitset_clear of int64 | P_bitset_has of int64 | P_bitset_eq
+  | P_list of list_op
+  | P_vector of vector_op
+  | P_set of set_op
+  | P_map of map_op
+  | P_channel of channel_op
+  | P_classifier of classifier_op
+  | P_regexp of regexp_op
+  | P_overlay_get of overlay_spec
+  | P_timer_new | P_timer_cancel
+  | P_timer_mgr_schedule | P_timer_mgr_advance | P_timer_mgr_advance_global
+  | P_timer_mgr_current | P_timer_mgr_expire_all
+  | P_thread_id
+  | P_exc_new | P_exc_data | P_exc_name
+  | P_file of file_op
+  | P_iosrc_read | P_iosrc_close
+  | P_profiler of profiler_op
+  | P_debug of debug_op
+  | P_callable_call
+
+type instr =
+  | Const of int * Value.t            (** dst <- constant *)
+  | Mov of int * int                  (** dst <- src *)
+  | LoadGlobal of int * int           (** dst <- globals[slot] *)
+  | StoreGlobal of int * int          (** globals[slot] <- src *)
+  | Jump of int
+  | Br of int * int * int             (** cond, then-pc, else-pc *)
+  | Switch of int * int * (Value.t * int) array
+  | Call of int * int array * int     (** func idx, arg regs, dst (-1 = none) *)
+  | CallC of string * int array * int (** host function, arg regs, dst *)
+  | Ret of int                        (** reg, -1 for void *)
+  | TryPush of int * int              (** handler pc, exception dst reg *)
+  | TryPop
+  | Throw of int
+  | Yield
+  | HookRun of string * int array
+  | Schedule of int * int array * int (** func idx, arg regs, thread-id reg *)
+  | Bind of int * int array * int     (** func idx, arg regs, dst: make callable *)
+  | Prim of prim * int array * int    (** arg regs, dst (-1 = none) *)
+  | Nop
+
+type func = {
+  name : string;
+  nparams : int;
+  nregs : int;
+  code : instr array;
+  returns_value : bool;
+  exported : bool;
+  reg_defaults : Value.t array;  (** typed default values for locals *)
+}
+
+type program = {
+  funcs : func array;
+  func_index : (string, int) Hashtbl.t;
+  globals : string array;                   (** slot -> name (post-link layout) *)
+  global_defaults : Value.t array;          (** typed initial values per slot *)
+  global_index : (string, int) Hashtbl.t;
+  hooks : (string, int list) Hashtbl.t;     (** hook name -> func idxs, priority order *)
+  types : (string, Module_ir.type_decl) Hashtbl.t;
+}
+
+let find_func p name = Hashtbl.find_opt p.func_index name
+
+(** Rough static instruction count, for reporting. *)
+let code_size p =
+  Array.fold_left (fun acc f -> acc + Array.length f.code) 0 p.funcs
+
+(* ---- Disassembly ---------------------------------------------------------- *)
+
+let regs rs = String.concat " " (List.map (Printf.sprintf "r%d") (Array.to_list rs))
+
+let instr_to_string (i : instr) =
+  match i with
+  | Const (d, v) -> Printf.sprintf "r%d <- const %s" d (Value.to_string v)
+  | Mov (d, s) -> Printf.sprintf "r%d <- r%d" d s
+  | LoadGlobal (d, slot) -> Printf.sprintf "r%d <- global[%d]" d slot
+  | StoreGlobal (slot, s) -> Printf.sprintf "global[%d] <- r%d" slot s
+  | Jump pc -> Printf.sprintf "jump %d" pc
+  | Br (c, t, e) -> Printf.sprintf "br r%d ? %d : %d" c t e
+  | Switch (v, d, cases) ->
+      Printf.sprintf "switch r%d default %d [%s]" v d
+        (String.concat "; "
+           (List.map
+              (fun (c, pc) -> Printf.sprintf "%s->%d" (Value.to_string c) pc)
+              (Array.to_list cases)))
+  | Call (f, args, d) -> Printf.sprintf "r%d <- call #%d (%s)" d f (regs args)
+  | CallC (n, args, d) -> Printf.sprintf "r%d <- callc %s (%s)" d n (regs args)
+  | Ret r -> if r < 0 then "ret" else Printf.sprintf "ret r%d" r
+  | TryPush (pc, r) -> Printf.sprintf "try.push @%d -> r%d" pc r
+  | TryPop -> "try.pop"
+  | Throw r -> Printf.sprintf "throw r%d" r
+  | Yield -> "yield"
+  | HookRun (n, args) -> Printf.sprintf "hook.run %s (%s)" n (regs args)
+  | Schedule (f, args, tid) -> Printf.sprintf "schedule #%d (%s) -> thread r%d" f (regs args) tid
+  | Bind (f, args, d) -> Printf.sprintf "r%d <- bind #%d (%s)" d f (regs args)
+  | Prim (_, args, d) -> Printf.sprintf "r%d <- prim (%s)" d (regs args)
+  | Nop -> "nop"
+
+let disassemble_func (f : func) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %d params, %d regs, %d instrs\n" f.name f.nparams f.nregs
+       (Array.length f.code));
+  Array.iteri
+    (fun i ins -> Buffer.add_string buf (Printf.sprintf "  %04d  %s\n" i (instr_to_string ins)))
+    f.code;
+  Buffer.contents buf
+
+let disassemble (p : program) =
+  String.concat "\n" (List.map disassemble_func (Array.to_list p.funcs))

@@ -1,0 +1,58 @@
+(** A growable array backing HILTI's [vector] type (OCaml 5.1 predates the
+    stdlib Dynarray). *)
+
+type 'a t = { mutable data : 'a array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let size t = t.size
+
+let ensure t cap =
+  if cap > Array.length t.data then begin
+    let ncap = max cap (max 8 (2 * Array.length t.data)) in
+    if t.size = 0 then t.data <- Array.make ncap (Obj.magic 0)
+    else begin
+      let nd = Array.make ncap t.data.(0) in
+      Array.blit t.data 0 nd 0 t.size;
+      t.data <- nd
+    end
+  end
+
+let push t v =
+  if t.size = 0 then begin
+    t.data <- Array.make (max 8 (Array.length t.data)) v;
+    t.data.(0) <- v;
+    t.size <- 1
+  end
+  else begin
+    ensure t (t.size + 1);
+    t.data.(t.size) <- v;
+    t.size <- t.size + 1
+  end
+
+exception Out_of_bounds
+
+let get t i = if i < 0 || i >= t.size then raise Out_of_bounds else t.data.(i)
+
+let set t i v = if i < 0 || i >= t.size then raise Out_of_bounds else t.data.(i) <- v
+
+let pop t =
+  if t.size = 0 then raise Out_of_bounds
+  else begin
+    t.size <- t.size - 1;
+    t.data.(t.size)
+  end
+
+let clear t = t.size <- 0
+
+let reserve t cap = if t.size > 0 then ensure t cap
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun v -> acc := v :: !acc) t;
+  List.rev !acc

@@ -1,0 +1,133 @@
+(** The host application API (§3.4).
+
+    Wraps the full toolchain — validate, link, optimize, lower — and the
+    execution context behind the interface a host application sees:
+    call exported functions ("C stubs"), register host-side functions that
+    HILTI code can call out to, drive suspendable parse functions through
+    fibers, exchange values, and run the virtual-thread scheduler. *)
+
+type t = {
+  ctx : Vm.context;
+  opt_stats : Hilti_passes.Pipeline.stats option;
+  linked : Module_ir.t;
+}
+
+exception Compile_error of string list
+
+(** Compile a set of modules into an execution environment.
+
+    @param optimize run the HILTI-level optimization pipeline (default on)
+    @param validate reject invalid IR (default on) *)
+let compile ?(optimize = true) ?(validate = true) (modules : Module_ir.t list) : t =
+  let linked = Hilti_passes.Linker.link modules in
+  (* Validation runs on the linked unit, where cross-module references
+     (functions, hooks, globals) are all visible. *)
+  if validate then begin
+    match Validate.check_module linked with
+    | [] -> ()
+    | errors -> raise (Compile_error errors)
+  end;
+  let opt_stats =
+    if optimize then Some (Hilti_passes.Pipeline.optimize linked) else None
+  in
+  let program = Lower.lower_module linked in
+  let ctx = Vm.create program in
+  (* The standard library surface host applications always get. *)
+  Vm.register_host ctx "Hilti::print" (fun c args ->
+      c.Vm.debug_sink (String.concat ", " (List.map Value.to_string args));
+      Value.Null);
+  Vm.register_host ctx "Hilti::abort" (fun _ _ ->
+      raise (Value.hilti_exception "Hilti::Abort" Value.Null));
+  { ctx; opt_stats; linked }
+
+(** Redirect [Hilti::print] / [debug.msg] output (e.g. into a buffer). *)
+let set_output t sink = t.ctx.Vm.debug_sink <- sink
+
+(** Register a host ("C") function callable from HILTI code. *)
+let register t name fn = Vm.register_host t.ctx name (fun _ args -> fn args)
+
+(** Register a host function that also receives the VM context. *)
+let register_ctx t name fn = Vm.register_host t.ctx name fn
+
+(** Call an exported HILTI function synchronously. *)
+let call t name args = Vm.call t.ctx name args
+
+(** Run a hook by name. *)
+let run_hook t name args = Vm.run_hook t.ctx name args
+
+(** Abstract-cycle counter (the PAPI stand-in). *)
+let cycles t = Vm.instr_count t.ctx
+
+(* ---- Fibers: incremental processing entry points -------------------------- *)
+
+type parse_run = {
+  fiber : Value.t Hilti_rt.Fiber.t;
+  mutable outcome : Value.t Hilti_rt.Fiber.outcome option;
+}
+
+(** Start [name] inside a fresh fiber.  The call runs until it returns,
+    fails, or suspends waiting for input (any blocking operation). *)
+let call_fiber t name args : parse_run =
+  let fiber = Hilti_rt.Fiber.create (fun () -> Vm.call t.ctx name args) in
+  let run = { fiber; outcome = None } in
+  run.outcome <- Some (Hilti_rt.Fiber.resume fiber);
+  run
+
+(** Resume a suspended run (after appending more input to the bytes object
+    the parser is reading). *)
+let resume (run : parse_run) =
+  match run.outcome with
+  | Some Hilti_rt.Fiber.Suspended ->
+      run.outcome <- Some (Hilti_rt.Fiber.resume run.fiber);
+      run.outcome
+  | other -> other
+
+let outcome (run : parse_run) = run.outcome
+
+let finished (run : parse_run) =
+  match run.outcome with
+  | Some (Hilti_rt.Fiber.Done _) | Some (Hilti_rt.Fiber.Failed _) -> true
+  | _ -> false
+
+(** Result value, once finished.  Raises the fiber's failure if it failed. *)
+let result_exn (run : parse_run) =
+  match run.outcome with
+  | Some (Hilti_rt.Fiber.Done v) -> v
+  | Some (Hilti_rt.Fiber.Failed e) -> raise e
+  | _ -> invalid_arg "Host_api.result_exn: still suspended"
+
+let cancel (run : parse_run) = Hilti_rt.Fiber.cancel run.fiber
+
+(* ---- Threads ---------------------------------------------------------------- *)
+
+(** Schedule an asynchronous invocation of a HILTI function on virtual
+    thread [tid] ([thread.schedule] from the host side).  Arguments are
+    deep-copied, preserving the isolation model of §3.2. *)
+let schedule t tid name args =
+  let ctx = t.ctx in
+  match Bytecode.find_func ctx.Vm.program name with
+  | Some idx ->
+      (* Copy at schedule time, as [thread.schedule] does: the sender can
+         keep mutating its own data afterwards. *)
+      let args = List.map Value.deep_copy args in
+      Hilti_rt.Scheduler.schedule ctx.Vm.scheduler tid ~label:name (fun () ->
+          let saved = ctx.Vm.current_thread in
+          ctx.Vm.current_thread <- tid;
+          Fun.protect
+            ~finally:(fun () -> ctx.Vm.current_thread <- saved)
+            (fun () -> ignore (Vm.exec_func ctx idx args)))
+  | None -> raise (Vm.Runtime_error ("unknown function " ^ name))
+
+(** The virtual thread currently executing (for host callbacks). *)
+let current_thread t = t.ctx.Vm.current_thread
+
+(** Drain all scheduled virtual-thread jobs. *)
+let run_scheduler t = Vm.run_scheduler t.ctx
+
+(** Advance trace time across every virtual thread's timer manager. *)
+let advance_time t time = Vm.advance_time t.ctx time
+
+let scheduler_stats t = Hilti_rt.Scheduler.stats t.ctx.Vm.scheduler
+
+(** Static size of the lowered program, for reporting. *)
+let code_size t = Bytecode.code_size t.ctx.Vm.program

@@ -1,0 +1,289 @@
+(** Runtime values of the HILTI execution environment.
+
+    Heap kinds (bytes, structs, containers, ...) have reference semantics:
+    the OCaml value is the reference, and the garbage collector plays the
+    role of HILTI's reference counting (§5 "Runtime Model").  Value kinds
+    (ints, addresses, tuples, ...) are immutable.
+
+    Map and set keys are canonicalized through {!key_string}, giving the
+    hash-of-value semantics HILTI requires for its containers. *)
+
+open Hilti_types
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int64
+  | Double of float
+  | String of string
+  | Bytes of Hbytes.t
+  | Addr of Addr.t
+  | Port of Port.t
+  | Net of Network.t
+  | Time of Time_ns.t
+  | Interval of Interval_ns.t
+  | Enum of string * int * bool     (** type name, value, undef? *)
+  | Bitset of string * int64        (** type name, bits *)
+  | Tuple of t array
+  | Struct of strukt
+  | List of t Deque.t
+  | Vector of t Dynarray.t
+  | Set of (string, t) Hilti_rt.Exp_map.t            (** key string -> element *)
+  | Map of (string, t * t) Hilti_rt.Exp_map.t        (** key string -> (key, value) *)
+  | Iter of iter
+  | Channel of t Hilti_rt.Channel.t
+  | Classifier of classifier
+  | Regexp of Hilti_rt.Regexp.t
+  | Match_state of Hilti_rt.Regexp.matcher
+  | Timer of Hilti_rt.Timer.t
+  | Timer_mgr of Hilti_rt.Timer_mgr.t
+  | Exception of exn_value
+  | Callable of callable
+  | File of Hilti_rt.Hfile.t
+  | Iosrc of Hilti_rt.Iosrc.t
+  | Caddr of string                  (** name of a registered host function *)
+
+and strukt = { sname : string; sfields : (string * t option ref) array }
+
+and iter =
+  | Ibytes of Hbytes.iter
+  | Isnapshot of t list ref          (** remaining elements of a container walk *)
+  | Ivector of t Dynarray.t * int
+
+and classifier = {
+  cls : (t Hilti_rt.Classifier.t[@warning "-69"]);
+  mutable key_types : Htype.t list;  (** field types, fixed at first add *)
+}
+
+and exn_value = { ename : string; earg : t }
+
+and callable = { description : string; invoke : unit -> t }
+
+(* ---- HILTI exceptions ----------------------------------------------------- *)
+
+exception Hilti_error of exn_value
+(** The VM-level exception: propagates until a [try.push] handler or the
+    host boundary. *)
+
+let hilti_exception name arg = Hilti_error { ename = name; earg = arg }
+
+let index_error () = hilti_exception "Hilti::IndexError" Null
+let value_error msg = hilti_exception "Hilti::ValueError" (String msg)
+let division_by_zero () = hilti_exception "Hilti::DivisionByZero" Null
+let underflow () = hilti_exception "Hilti::Underflow" Null
+let unset_field f = hilti_exception "Hilti::UnsetField" (String f)
+let exhausted () = hilti_exception "Hilti::Exhausted" Null
+let type_error msg = hilti_exception "Hilti::TypeError" (String msg)
+let would_block () = hilti_exception "Hilti::WouldBlock" Null
+
+(* ---- Printing --------------------------------------------------------------- *)
+
+let rec to_string = function
+  | Null -> "Null"
+  | Bool b -> if b then "True" else "False"
+  | Int i -> Int64.to_string i
+  | Double d -> Printf.sprintf "%g" d
+  | String s -> s
+  | Bytes b -> Hbytes.to_string b
+  | Addr a -> Addr.to_string a
+  | Port p -> Port.to_string p
+  | Net n -> Network.to_string n
+  | Time t -> Time_ns.to_string t
+  | Interval i -> Interval_ns.to_string i
+  | Enum (n, v, undef) ->
+      if undef then n ^ "::Undef" else Printf.sprintf "%s(%d)" n v
+  | Bitset (n, bits) -> Printf.sprintf "%s(0x%Lx)" n bits
+  | Tuple vs ->
+      "(" ^ String.concat ", " (Array.to_list (Array.map to_string vs)) ^ ")"
+  | Struct s ->
+      let fields =
+        Array.to_list s.sfields
+        |> List.filter_map (fun (n, v) ->
+               match !v with
+               | Some v -> Some (Printf.sprintf "%s=%s" n (to_string v))
+               | None -> None)
+      in
+      Printf.sprintf "%s{%s}" s.sname (String.concat ", " fields)
+  | List d -> "[" ^ String.concat ", " (List.map to_string (Deque.to_list d)) ^ "]"
+  | Vector v ->
+      "vector("
+      ^ String.concat ", " (List.map to_string (Dynarray.to_list v))
+      ^ ")"
+  | Set s ->
+      let elems = Hilti_rt.Exp_map.fold (fun _ v acc -> to_string v :: acc) s [] in
+      "{" ^ String.concat ", " (List.sort compare elems) ^ "}"
+  | Map m ->
+      let elems =
+        Hilti_rt.Exp_map.fold
+          (fun _ (k, v) acc -> Printf.sprintf "%s: %s" (to_string k) (to_string v) :: acc)
+          m []
+      in
+      "{" ^ String.concat ", " (List.sort compare elems) ^ "}"
+  | Iter _ -> "<iterator>"
+  | Channel c -> Printf.sprintf "<channel:%d>" (Hilti_rt.Channel.size c)
+  | Classifier _ -> "<classifier>"
+  | Regexp re ->
+      "/" ^ String.concat "|" (Hilti_rt.Regexp.patterns re) ^ "/"
+  | Match_state _ -> "<match_state>"
+  | Timer _ -> "<timer>"
+  | Timer_mgr m ->
+      Printf.sprintf "<timer_mgr@%s>" (Time_ns.to_string (Hilti_rt.Timer_mgr.current m))
+  | Exception e -> Printf.sprintf "%s(%s)" e.ename (to_string e.earg)
+  | Callable c -> Printf.sprintf "<callable:%s>" c.description
+  | File f -> Printf.sprintf "<file:%s>" (Hilti_rt.Hfile.path f)
+  | Iosrc s -> Printf.sprintf "<iosrc:%s>" (Hilti_rt.Iosrc.kind s)
+  | Caddr n -> Printf.sprintf "<caddr:%s>" n
+
+(* ---- Canonical keys for hashing ------------------------------------------------ *)
+
+exception Not_hashable of string
+
+(** Canonical byte encoding of a hashable value, used as map/set key. *)
+let rec key_string v =
+  match v with
+  | Bool b -> if b then "b1" else "b0"
+  | Int i -> "i" ^ Int64.to_string i
+  | Double d -> "d" ^ string_of_float d
+  | String s -> "s" ^ s
+  | Bytes b -> "y" ^ Hbytes.to_string b
+  | Addr a ->
+      let hi, lo = Addr.halves a in
+      Printf.sprintf "a%Lx.%Lx" hi lo
+  | Port p -> "p" ^ Port.to_string p
+  | Net n -> "n" ^ Network.to_string n
+  | Time t -> "t" ^ Int64.to_string (Time_ns.to_ns t)
+  | Interval i -> "v" ^ Int64.to_string (Interval_ns.to_ns i)
+  | Enum (n, x, u) -> Printf.sprintf "e%s:%d:%b" n x u
+  | Bitset (n, bits) -> Printf.sprintf "B%s:%Lx" n bits
+  | Tuple vs ->
+      "("
+      ^ String.concat "\x00" (Array.to_list (Array.map key_string vs))
+      ^ ")"
+  | Null -> "0"
+  | _ -> raise (Not_hashable (to_string v))
+
+(* ---- Equality -------------------------------------------------------------------- *)
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> Int64.equal x y
+  | Double x, Double y -> x = y
+  | String x, String y -> String.equal x y
+  | Bytes x, Bytes y -> Hbytes.to_string x = Hbytes.to_string y
+  | Addr x, Addr y -> Addr.equal x y
+  | Port x, Port y -> Port.equal x y
+  | Net x, Net y -> Network.equal x y
+  | Time x, Time y -> Time_ns.equal x y
+  | Interval x, Interval y -> Interval_ns.equal x y
+  | Enum (n1, v1, u1), Enum (n2, v2, u2) -> n1 = n2 && v1 = v2 && u1 = u2
+  | Bitset (n1, b1), Bitset (n2, b2) -> n1 = n2 && Int64.equal b1 b2
+  | Tuple x, Tuple y ->
+      Array.length x = Array.length y
+      &&
+      let ok = ref true in
+      Array.iteri (fun i xv -> if not (equal xv y.(i)) then ok := false) x;
+      !ok
+  | Iter (Ibytes x), Iter (Ibytes y) -> Hbytes.iter_equal x y
+  (* Heap values compare by identity, as HILTI references do. *)
+  | Struct x, Struct y -> x == y
+  | List x, List y -> x == y
+  | Vector x, Vector y -> x == y
+  | Set x, Set y -> x == y
+  | Map x, Map y -> x == y
+  | Exception x, Exception y -> x.ename = y.ename && equal x.earg y.earg
+  | Caddr x, Caddr y -> x = y
+  | _ -> false
+
+(* ---- Deep copy (message-passing isolation, §3.2) ------------------------------------ *)
+
+(** Deep-copy a value so the receiver of a cross-thread message cannot see
+    sender-side mutations. *)
+let rec deep_copy v =
+  match v with
+  | Null | Bool _ | Int _ | Double _ | String _ | Addr _ | Port _ | Net _
+  | Time _ | Interval _ | Enum _ | Bitset _ | Caddr _ ->
+      v
+  | Bytes b -> Bytes (Hbytes.of_string (Hbytes.to_string b))
+  | Tuple vs -> Tuple (Array.map deep_copy vs)
+  | Struct s ->
+      Struct
+        {
+          sname = s.sname;
+          sfields =
+            Array.map (fun (n, f) -> (n, ref (Option.map deep_copy !f))) s.sfields;
+        }
+  | List d ->
+      let d' = Deque.create () in
+      List.iter (fun x -> Deque.push_back d' (deep_copy x)) (Deque.to_list d);
+      List d'
+  | Vector dv ->
+      let dv' = Dynarray.create () in
+      List.iter (fun x -> Dynarray.push dv' (deep_copy x)) (Dynarray.to_list dv);
+      Vector dv'
+  | Set s ->
+      let s' = Hilti_rt.Exp_map.create () in
+      Hilti_rt.Exp_map.iter (fun k v -> Hilti_rt.Exp_map.insert s' k (deep_copy v)) s;
+      Set s'
+  | Map m ->
+      let m' = Hilti_rt.Exp_map.create () in
+      Hilti_rt.Exp_map.iter
+        (fun k (kv, vv) -> Hilti_rt.Exp_map.insert m' k (deep_copy kv, deep_copy vv))
+        m;
+      Map m'
+  | Exception e -> Exception { e with earg = deep_copy e.earg }
+  (* Runtime objects that cannot be meaningfully copied travel by
+     reference; HILTI forbids sending them across threads. *)
+  | Iter _ | Channel _ | Classifier _ | Regexp _ | Match_state _ | Timer _
+  | Timer_mgr _ | Callable _ | File _ | Iosrc _ ->
+      v
+
+(* ---- Coercions with TypeError --------------------------------------------------------- *)
+
+let as_bool = function Bool b -> b | v -> raise (type_error ("bool: " ^ to_string v))
+let as_int = function Int i -> i | v -> raise (type_error ("int: " ^ to_string v))
+let as_int_i = function Int i -> Int64.to_int i | v -> raise (type_error ("int: " ^ to_string v))
+let as_double = function Double d -> d | Int i -> Int64.to_float i | v -> raise (type_error ("double: " ^ to_string v))
+let as_string = function String s -> s | v -> raise (type_error ("string: " ^ to_string v))
+let as_bytes = function Bytes b -> b | v -> raise (type_error ("bytes: " ^ to_string v))
+let as_addr = function Addr a -> a | v -> raise (type_error ("addr: " ^ to_string v))
+let as_port = function Port p -> p | v -> raise (type_error ("port: " ^ to_string v))
+let as_net = function Net n -> n | v -> raise (type_error ("net: " ^ to_string v))
+let as_time = function Time t -> t | v -> raise (type_error ("time: " ^ to_string v))
+let as_interval = function Interval i -> i | v -> raise (type_error ("interval: " ^ to_string v))
+let as_tuple = function Tuple t -> t | v -> raise (type_error ("tuple: " ^ to_string v))
+let as_struct = function Struct s -> s | v -> raise (type_error ("struct: " ^ to_string v))
+let as_list = function List d -> d | v -> raise (type_error ("list: " ^ to_string v))
+let as_vector = function Vector d -> d | v -> raise (type_error ("vector: " ^ to_string v))
+let as_set = function Set s -> s | v -> raise (type_error ("set: " ^ to_string v))
+let as_map = function Map m -> m | v -> raise (type_error ("map: " ^ to_string v))
+let as_iter = function Iter i -> i | v -> raise (type_error ("iterator: " ^ to_string v))
+
+let as_bytes_iter = function
+  | Iter (Ibytes it) -> it
+  | v -> raise (type_error ("bytes iterator: " ^ to_string v))
+
+let as_channel = function Channel c -> c | v -> raise (type_error ("channel: " ^ to_string v))
+let as_classifier = function Classifier c -> c | v -> raise (type_error ("classifier: " ^ to_string v))
+let as_regexp = function Regexp r -> r | v -> raise (type_error ("regexp: " ^ to_string v))
+let as_timer = function Timer t -> t | v -> raise (type_error ("timer: " ^ to_string v))
+let as_timer_mgr = function Timer_mgr m -> m | v -> raise (type_error ("timer_mgr: " ^ to_string v))
+let as_exception = function Exception e -> e | v -> raise (type_error ("exception: " ^ to_string v))
+let as_callable = function Callable c -> c | v -> raise (type_error ("callable: " ^ to_string v))
+let as_file = function File f -> f | v -> raise (type_error ("file: " ^ to_string v))
+let as_iosrc = function Iosrc s -> s | v -> raise (type_error ("iosrc: " ^ to_string v))
+
+(* ---- Struct helpers ------------------------------------------------------------------ *)
+
+let struct_field s name =
+  let rec go i =
+    if i >= Array.length s.sfields then raise (unset_field name)
+    else
+      let n, f = s.sfields.(i) in
+      if n = name then f else go (i + 1)
+  in
+  go 0
+
+let new_struct sname field_names =
+  { sname; sfields = Array.of_list (List.map (fun n -> (n, ref None)) field_names) }

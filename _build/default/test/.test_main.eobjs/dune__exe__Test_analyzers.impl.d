@@ -1,0 +1,1 @@
+test/test_analyzers.ml: Addr Alcotest Astring_contains Bytes Dns_pac Dns_std Driver Events Hilti_analyzers Hilti_net Hilti_traces Hilti_types Http_pac Http_std List Mini_bro String Time_ns

@@ -1,0 +1,1 @@
+test/test_binpac.ml: Alcotest Ast Astring_contains Binpacxx Grammars Hilti_traces Hilti_types Hilti_vm Lazy List Option Printf Runtime String

@@ -1,0 +1,1 @@
+test/test_binpac_edge.ml: Alcotest Astring_contains Binpacxx Grammar_parser List Runtime

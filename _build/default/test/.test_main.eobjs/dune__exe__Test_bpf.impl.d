@@ -1,0 +1,1 @@
+test/test_bpf.ml: Addr Alcotest Astring_contains Hilti_bpf Hilti_net Hilti_traces Hilti_types List Printf

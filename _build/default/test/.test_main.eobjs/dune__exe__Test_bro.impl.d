@@ -1,0 +1,1 @@
+test/test_bro.ml: Addr Alcotest Bro_engine Bro_log Bro_parse Bro_scripts Bro_val Buffer Hilti_types Int64 List Mini_bro Port Printf Sha1 String Time_ns

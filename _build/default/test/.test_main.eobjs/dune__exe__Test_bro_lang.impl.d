@@ -1,0 +1,1 @@
+test/test_bro_lang.ml: Alcotest Bro_engine Bro_parse Bro_val Buffer Hilti_types List Mini_bro

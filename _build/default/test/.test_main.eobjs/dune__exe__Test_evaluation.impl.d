@@ -1,0 +1,1 @@
+test/test_evaluation.ml: Alcotest Astring_contains Dns_pac Driver Hilti_analyzers Hilti_traces Http_pac Lazy List Mini_bro Printf String

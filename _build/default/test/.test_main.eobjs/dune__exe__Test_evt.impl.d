@@ -1,0 +1,1 @@
+test/test_evt.ml: Alcotest Binpacxx Buffer Driver Events Evt Hilti_analyzers Hilti_traces Hilti_types List Mini_bro String

@@ -1,0 +1,1 @@
+test/test_firewall.ml: Addr Alcotest Hilti_firewall Hilti_net Hilti_traces Hilti_types Interval_ns List Time_ns

@@ -1,0 +1,1 @@
+test/test_host_api.ml: Alcotest Builder Bytecode Hilti_rt Hilti_types Hilti_vm Host_api Htype Instr Int64 List Marshal Module_ir Value Vm

@@ -1,0 +1,1 @@
+test/test_internals.ml: Alcotest Deque Dynarray Hilti_net Hilti_traces Hilti_types Hilti_vm List Mini_bro QCheck QCheck_alcotest String Value

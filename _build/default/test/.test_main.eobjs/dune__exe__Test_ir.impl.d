@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Astring_contains Builder Constant Hilti_lang Hilti_types Hilti_vm Htype Instr Isa List Module_ir Pretty Printf String Validate

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Astring_contains Buffer Hilti_lang Hilti_net Hilti_types Hilti_vm Host_api Ipv4 Pretty Value

@@ -1,0 +1,1 @@
+test/test_lang_edge.ml: Alcotest Astring_contains Buffer Fun Hilti_lang Hilti_types Hilti_vm List Module_ir Printf Sys

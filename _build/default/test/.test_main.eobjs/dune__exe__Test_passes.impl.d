@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Buffer Builder Hilti_passes Hilti_vm Htype Instr Int64 List Module_ir Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_traces.ml: Alcotest Hashtbl Hilti_analyzers Hilti_net Hilti_traces Hilti_types List Option Packet Pcap

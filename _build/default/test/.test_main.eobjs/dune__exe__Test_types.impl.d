@@ -1,0 +1,1 @@
+test/test_types.ml: Addr Alcotest Bitset Char Gen Hbytes Henum Hilti_types Interval_ns List Network Port QCheck QCheck_alcotest String Time_ns

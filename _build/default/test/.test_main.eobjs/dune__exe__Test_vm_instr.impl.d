@@ -1,0 +1,1 @@
+test/test_vm_instr.ml: Alcotest Array Builder Constant Deque Hilti_types Hilti_vm Host_api Htype Instr Module_ir Value

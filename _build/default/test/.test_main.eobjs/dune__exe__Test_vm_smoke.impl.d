@@ -1,0 +1,1 @@
+test/test_vm_smoke.ml: Alcotest Buffer Builder Hilti_types Hilti_vm Host_api Htype Instr Module_ir Value

@@ -1,0 +1,96 @@
+(* The BPF exemplar (§4, §6.2): expression parsing, the classic BPF VM
+   baseline, the BPF->HILTI compiler, and agreement between the two on a
+   generated trace. *)
+
+open Hilti_types
+
+let frame ?(sport = 1234) ?(dport = 80) ?(proto = `Tcp) ~src ~dst () =
+  let src = Addr.of_string src and dst = Addr.of_string dst in
+  match proto with
+  | `Tcp ->
+      Hilti_net.Packet.encode_tcp ~src ~dst ~src_port:sport ~dst_port:dport
+        ~seq:1l ~ack:0l ~flags:Hilti_net.Tcp.flag_ack "payload"
+  | `Udp -> Hilti_net.Packet.encode_udp ~src ~dst ~src_port:sport ~dst_port:dport "x"
+
+let test_parse () =
+  let e = Hilti_bpf.Bpf_expr.parse "host 192.168.1.1 or src net 10.0.5.0/24" in
+  Alcotest.(check string)
+    "round trip" "(host 192.168.1.1 or src net 10.0.5.0/24)"
+    (Hilti_bpf.Bpf_expr.to_string e)
+
+let check_both filter cases =
+  let prog = Hilti_bpf.Bpf_vm.compile (Hilti_bpf.Bpf_expr.parse filter) in
+  let _, hilti = Hilti_bpf.Bpf_hilti.load filter in
+  List.iter
+    (fun (pkt, expected, what) ->
+      Alcotest.(check bool) ("bpf: " ^ what) expected (Hilti_bpf.Bpf_vm.matches prog pkt);
+      Alcotest.(check bool) ("hilti: " ^ what) expected (hilti pkt))
+    cases
+
+let test_host_filter () =
+  check_both "host 192.168.1.1 or src net 10.0.5.0/24"
+    [ (frame ~src:"192.168.1.1" ~dst:"10.2.2.2" (), true, "src host");
+      (frame ~src:"10.2.2.2" ~dst:"192.168.1.1" (), true, "dst host");
+      (frame ~src:"10.0.5.99" ~dst:"10.2.2.2" (), true, "src net");
+      (frame ~src:"10.2.2.2" ~dst:"10.0.5.99" (), false, "dst-only net");
+      (frame ~src:"10.2.2.2" ~dst:"10.3.3.3" (), false, "no match") ]
+
+let test_port_and_proto () =
+  check_both "tcp and dst port 80"
+    [ (frame ~src:"1.2.3.4" ~dst:"5.6.7.8" ~dport:80 (), true, "tcp 80");
+      (frame ~src:"1.2.3.4" ~dst:"5.6.7.8" ~dport:443 (), false, "tcp 443");
+      (frame ~src:"1.2.3.4" ~dst:"5.6.7.8" ~proto:`Udp ~dport:80 (), false, "udp") ];
+  check_both "udp"
+    [ (frame ~src:"1.2.3.4" ~dst:"5.6.7.8" ~proto:`Udp (), true, "udp yes");
+      (frame ~src:"1.2.3.4" ~dst:"5.6.7.8" (), false, "tcp no") ]
+
+let test_not () =
+  check_both "not host 9.9.9.9"
+    [ (frame ~src:"9.9.9.9" ~dst:"1.1.1.1" (), false, "negated");
+      (frame ~src:"1.1.1.1" ~dst:"2.2.2.2" (), true, "other") ]
+
+let test_truncated_packet () =
+  let prog = Hilti_bpf.Bpf_vm.compile (Hilti_bpf.Bpf_expr.parse "host 1.2.3.4") in
+  let _, hilti = Hilti_bpf.Bpf_hilti.load "host 1.2.3.4" in
+  let junk = "\x08\x00junk" in
+  Alcotest.(check bool) "bpf rejects" false (Hilti_bpf.Bpf_vm.matches prog junk);
+  Alcotest.(check bool) "hilti rejects" false (hilti junk)
+
+(* Agreement over a realistic generated trace (the §6.2 methodology). *)
+let test_trace_agreement () =
+  let cfg = { Hilti_traces.Http_gen.default with sessions = 40; seed = 77 } in
+  let trace = Hilti_traces.Http_gen.generate cfg in
+  (* Pick a server address that actually appears so the filter fires. *)
+  let target =
+    match trace.Hilti_traces.Http_gen.transactions with
+    | (ep, _) :: _ -> Addr.to_string ep.Hilti_traces.Http_gen.server
+    | [] -> "192.168.0.1"
+  in
+  let filter = Printf.sprintf "host %s or src net 10.1.0.0/16" target in
+  let prog = Hilti_bpf.Bpf_vm.compile (Hilti_bpf.Bpf_expr.parse filter) in
+  let _, hilti = Hilti_bpf.Bpf_hilti.load filter in
+  let bpf_hits = ref 0 and hilti_hits = ref 0 and total = ref 0 in
+  List.iter
+    (fun (r : Hilti_net.Pcap.record) ->
+      incr total;
+      if Hilti_bpf.Bpf_vm.matches prog r.Hilti_net.Pcap.data then incr bpf_hits;
+      if hilti r.Hilti_net.Pcap.data then incr hilti_hits)
+    trace.Hilti_traces.Http_gen.records;
+  Alcotest.(check int) "same number of matches" !bpf_hits !hilti_hits;
+  Alcotest.(check bool) "filter fired" true (!bpf_hits > 0);
+  Alcotest.(check bool) "filter selective" true (!bpf_hits < !total)
+
+let test_disassemble () =
+  let prog = Hilti_bpf.Bpf_vm.compile (Hilti_bpf.Bpf_expr.parse "src port 53") in
+  let text = Hilti_bpf.Bpf_vm.disassemble prog in
+  Alcotest.(check bool) "has ldxb" true (Astring_contains.contains text "ldxb");
+  Alcotest.(check bool) "has ret" true (Astring_contains.contains text "ret")
+
+let suite =
+  [ Alcotest.test_case "expression parse" `Quick test_parse;
+    Alcotest.test_case "host/net filters agree" `Quick test_host_filter;
+    Alcotest.test_case "port/proto filters agree" `Quick test_port_and_proto;
+    Alcotest.test_case "negation" `Quick test_not;
+    Alcotest.test_case "truncated packets fail safe" `Quick test_truncated_packet;
+    Alcotest.test_case "trace agreement (§6.2)" `Quick test_trace_agreement;
+    Alcotest.test_case "disassembler" `Quick test_disassemble ]

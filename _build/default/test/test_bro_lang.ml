@@ -1,0 +1,243 @@
+(* Mini-Bro language details beyond the case-study scripts: literals,
+   containers, records, patterns, engine-agreement on each feature. *)
+
+open Mini_bro
+
+let run_both ?(events = []) src =
+  let script = Bro_parse.parse src in
+  let run mode =
+    let engine = Bro_engine.load mode script in
+    let out = Buffer.create 64 in
+    Bro_engine.set_print_sink engine (fun s -> Buffer.add_string out (s ^ "\n"));
+    List.iter (fun (name, args) -> Bro_engine.dispatch engine name args) events;
+    Bro_engine.dispatch engine "go" [];
+    Buffer.contents out
+  in
+  let i = run Bro_engine.Interpreted in
+  let c = run Bro_engine.Compiled in
+  Alcotest.(check string) "engines agree" i c;
+  i
+
+let test_literals () =
+  let out =
+    run_both
+      {|
+event go() {
+    print 42;
+    print 1.5;
+    print T, F;
+    print "str";
+    print 8.8.8.8;
+    print 10.0.0.0/8;
+    print 443/tcp;
+    print 90 sec;
+    print 2 min;
+}
+|}
+  in
+  Alcotest.(check string) "rendering"
+    "42\n1.5\nT, F\nstr\n8.8.8.8\n10.0.0.0/8\n443/tcp\n90.000000\n120.000000\n" out
+
+let test_arith_and_compare () =
+  let out =
+    run_both
+      {|
+event go() {
+    print 7 % 3, 2 * 3 + 1, 10 - 4 / 2;
+    print 3 < 5, 5 <= 5, 7 != 8;
+    print "a" + "b";
+}
+|}
+  in
+  Alcotest.(check string) "values" "1, 7, 8\nT, T, T\nab\n" out
+
+let test_sets_tables_vectors () =
+  let out =
+    run_both
+      {|
+global s: set[string];
+global t: table[string] of count;
+global v: vector of count;
+
+event go() {
+    add s["x"];
+    add s["y"];
+    add s["x"];
+    print |s|;
+    t["a"] = 1;
+    t["b"] = 2;
+    delete t["a"];
+    print |t|, "b" in t, "a" !in t;
+    push(v, 10);
+    push(v, 20);
+    print |v|, shift(v), |v|;
+}
+|}
+  in
+  Alcotest.(check string) "container behaviour" "2\n1, T, T\n2, 10, 1\n" out
+
+let test_multi_key_table () =
+  let out =
+    run_both
+      {|
+global pairs: table[addr, port] of string;
+
+event go() {
+    pairs[1.2.3.4, 80/tcp] = "web";
+    pairs[1.2.3.4, 22/tcp] = "ssh";
+    print |pairs|;
+    print pairs[1.2.3.4, 80/tcp];
+}
+|}
+  in
+  Alcotest.(check string) "multi-key" "2\nweb\n" out
+
+let test_records () =
+  let out =
+    run_both
+      {|
+type point: record {
+    x: count;
+    y: count;
+};
+
+event go() {
+    local p: point;
+    p$x = 3;
+    p$y = 4;
+    print p$x + p$y;
+    local q = [$x = 10, $y = 20];
+    print q$y;
+}
+|}
+  in
+  Alcotest.(check string) "records" "7\n20\n" out
+
+let test_functions_and_recursion () =
+  let out =
+    run_both
+      {|
+function gcd(a: count, b: count): count {
+    if (b == 0)
+        return a;
+    return gcd(b, a % b);
+}
+
+event go() {
+    print gcd(48, 18);
+    print gcd(7, 13);
+}
+|}
+  in
+  Alcotest.(check string) "gcd" "6\n1\n" out
+
+let test_for_loops () =
+  let out =
+    run_both
+      {|
+global seen: set[count];
+
+event go() {
+    add seen[3];
+    add seen[1];
+    add seen[2];
+    local total = 0;
+    for (x in seen)
+        total = total + x;
+    print total;
+}
+|}
+  in
+  Alcotest.(check string) "fold over set" "6\n" out
+
+let test_queued_events () =
+  let out =
+    run_both
+      {|
+global n: count;
+
+event helper(k: count) {
+    n = n + k;
+}
+
+event go() {
+    event helper(5);
+    event helper(7);
+    print n;    # queued events run after the current handler
+}
+|}
+  in
+  (* The print happens before the queued events execute; both engines
+     must agree on that ordering. *)
+  Alcotest.(check string) "queue semantics" "0\n" out
+
+let test_builtins () =
+  let out =
+    run_both
+      {|
+event go() {
+    print fmt("%s:%d", "host", 8080);
+    print to_lower("MiXeD");
+    print to_count("123");
+    print cat("a", 1, T);
+    print sha1("abc");
+}
+|}
+  in
+  Alcotest.(check string) "builtins"
+    "host:8080\nmixed\n123\na1T\na9993e364706816aba3e25717850c26c9cd0d89d\n" out
+
+let test_parse_error_position () =
+  match Bro_parse.parse "event go() { print 1 + ; }" with
+  | exception Bro_parse.Parse_error (_, line) ->
+      Alcotest.(check int) "line 1" 1 line
+  | _ -> Alcotest.fail "bad script parsed"
+
+let suite =
+  [ Alcotest.test_case "literals" `Quick test_literals;
+    Alcotest.test_case "arithmetic/comparison" `Quick test_arith_and_compare;
+    Alcotest.test_case "sets/tables/vectors" `Quick test_sets_tables_vectors;
+    Alcotest.test_case "multi-key tables" `Quick test_multi_key_table;
+    Alcotest.test_case "records" `Quick test_records;
+    Alcotest.test_case "functions and recursion" `Quick test_functions_and_recursion;
+    Alcotest.test_case "for loops" `Quick test_for_loops;
+    Alcotest.test_case "queued events" `Quick test_queued_events;
+    Alcotest.test_case "builtins" `Quick test_builtins;
+    Alcotest.test_case "parse error positions" `Quick test_parse_error_position ]
+
+(* Table expiration attributes (&read_expire), driven by network time via
+   the compiled engine's timers — the capability §6.1 disables for the
+   DNS comparison runs but HILTI supports natively. *)
+let test_table_expiry_compiled () =
+  let script =
+    Bro_parse.parse
+      {|
+global cache: table[string] of count &read_expire=60 sec;
+
+event put(k: string, v: count) {
+    cache[k] = v;
+}
+
+event check(k: string) {
+    if (k in cache)
+        print fmt("%s=hit", k);
+    else
+        print fmt("%s=miss", k);
+}
+|}
+  in
+  let engine = Bro_engine.load Bro_engine.Compiled script in
+  let out = Buffer.create 64 in
+  Bro_engine.set_print_sink engine (fun s -> Buffer.add_string out (s ^ ";"));
+  let at s = Hilti_types.Time_ns.of_secs s in
+  Bro_engine.set_network_time engine (at 1000);
+  Bro_engine.dispatch engine "put" [ Bro_val.Vstring "k"; Bro_val.Vcount 1L ];
+  Bro_engine.set_network_time engine (at 1030);
+  Bro_engine.dispatch engine "check" [ Bro_val.Vstring "k" ];  (* hit + refresh *)
+  Bro_engine.set_network_time engine (at 1080);
+  Bro_engine.dispatch engine "check" [ Bro_val.Vstring "k" ];  (* refreshed at 1030 -> hit *)
+  Bro_engine.set_network_time engine (at 1300);
+  Bro_engine.dispatch engine "check" [ Bro_val.Vstring "k" ];  (* idle > 60s -> miss *)
+  Alcotest.(check string) "expiry honored" "k=hit;k=hit;k=miss;" (Buffer.contents out)
+
+let suite = suite @ [ Alcotest.test_case "&read_expire via network time" `Quick test_table_expiry_compiled ]

@@ -1,0 +1,106 @@
+(* The stateful firewall exemplar (§4, §6.3): the HILTI-compiled firewall
+   agrees with the independent reference matcher, including dynamic-state
+   expiration driven by trace time. *)
+
+open Hilti_types
+
+let rules_text =
+  {|
+# (src, dst) -> action; first match wins, default deny
+10.3.2.1/32 10.1.0.0/16 allow
+10.12.0.0/16 10.1.0.0/16 deny
+10.1.6.0/24 * allow
+10.1.7.0/24 * allow
+|}
+
+let rules = Hilti_firewall.Fw_rules.parse_rules rules_text
+
+let t0 = Time_ns.of_secs 1_400_000_000
+
+let at secs = Time_ns.add t0 (Interval_ns.to_ns (Interval_ns.of_secs secs))
+
+let addr = Addr.of_string
+
+let test_parse () =
+  Alcotest.(check int) "rule count" 4 (List.length rules);
+  Alcotest.(check string) "first rule" "10.3.2.1/32 10.1.0.0/16 allow"
+    (Hilti_firewall.Fw_rules.rule_to_string (List.hd rules))
+
+let test_static_semantics () =
+  let fw = Hilti_firewall.Fw_hilti.load rules in
+  let m ~src ~dst = Hilti_firewall.Fw_hilti.match_packet fw ~ts:(at 0) ~src:(addr src) ~dst:(addr dst) in
+  Alcotest.(check bool) "allow rule 1" true (m ~src:"10.3.2.1" ~dst:"10.1.44.1");
+  Alcotest.(check bool) "deny rule 2" false (m ~src:"10.12.9.9" ~dst:"10.1.44.1");
+  Alcotest.(check bool) "allow rule 3 wildcard dst" true (m ~src:"10.1.6.20" ~dst:"99.99.99.99");
+  Alcotest.(check bool) "default deny" false (m ~src:"99.1.1.1" ~dst:"99.2.2.2")
+
+let test_dynamic_reverse_direction () =
+  let fw = Hilti_firewall.Fw_hilti.load rules in
+  let a = addr "10.1.6.20" and b = addr "99.99.99.99" in
+  (* Forward allowed by rule 3, which installs the reverse dynamic rule. *)
+  Alcotest.(check bool) "forward" true (Hilti_firewall.Fw_hilti.match_packet fw ~ts:(at 0) ~src:a ~dst:b);
+  Alcotest.(check bool) "reverse now allowed" true
+    (Hilti_firewall.Fw_hilti.match_packet fw ~ts:(at 1) ~src:b ~dst:a);
+  (* Without prior forward traffic the reverse is denied. *)
+  let fw2 = Hilti_firewall.Fw_hilti.load rules in
+  Alcotest.(check bool) "reverse alone denied" false
+    (Hilti_firewall.Fw_hilti.match_packet fw2 ~ts:(at 0) ~src:b ~dst:a)
+
+let test_dynamic_expiry () =
+  let fw = Hilti_firewall.Fw_hilti.load rules in
+  let a = addr "10.1.7.7" and b = addr "88.88.88.88" in
+  Alcotest.(check bool) "forward" true (Hilti_firewall.Fw_hilti.match_packet fw ~ts:(at 0) ~src:a ~dst:b);
+  Alcotest.(check bool) "reverse within timeout" true
+    (Hilti_firewall.Fw_hilti.match_packet fw ~ts:(at 100) ~src:b ~dst:a);
+  (* Inactivity beyond 300s expires the dynamic rule; reverse is denied. *)
+  Alcotest.(check bool) "reverse after expiry" false
+    (Hilti_firewall.Fw_hilti.match_packet fw ~ts:(at 500) ~src:b ~dst:a)
+
+let test_refresh_keeps_alive () =
+  let fw = Hilti_firewall.Fw_hilti.load rules in
+  let a = addr "10.1.7.7" and b = addr "88.88.88.88" in
+  ignore (Hilti_firewall.Fw_hilti.match_packet fw ~ts:(at 0) ~src:a ~dst:b);
+  (* Touch the reverse entry every 200s: access-based expiry keeps it. *)
+  Alcotest.(check bool) "t=200" true (Hilti_firewall.Fw_hilti.match_packet fw ~ts:(at 200) ~src:b ~dst:a);
+  Alcotest.(check bool) "t=400" true (Hilti_firewall.Fw_hilti.match_packet fw ~ts:(at 400) ~src:b ~dst:a);
+  Alcotest.(check bool) "t=600" true (Hilti_firewall.Fw_hilti.match_packet fw ~ts:(at 600) ~src:b ~dst:a)
+
+(* §6.3 methodology: drive both implementations with the DNS trace's
+   (timestamp, src, dst) stream and compare every decision. *)
+let test_agreement_with_reference () =
+  let cfg = { Hilti_traces.Dns_gen.default with transactions = 300; seed = 5 } in
+  let trace = Hilti_traces.Dns_gen.generate cfg in
+  let fw_rules_live =
+    Hilti_firewall.Fw_rules.parse_rules
+      {|
+10.2.0.0/16 192.168.200.0/24 allow
+192.168.200.2/32 * allow
+|}
+  in
+  let reference = Hilti_firewall.Fw_rules.reference fw_rules_live in
+  let fw = Hilti_firewall.Fw_hilti.load fw_rules_live in
+  let disagreements = ref 0 and total = ref 0 in
+  List.iter
+    (fun (r : Hilti_net.Pcap.record) ->
+      match Hilti_net.Packet.decode_opt ~ts:r.Hilti_net.Pcap.ts r.Hilti_net.Pcap.data with
+      | Some pkt ->
+          let src = Hilti_net.Packet.src pkt and dst = Hilti_net.Packet.dst pkt in
+          let ts = r.Hilti_net.Pcap.ts in
+          incr total;
+          let want = Hilti_firewall.Fw_rules.match_packet reference ~ts ~src ~dst in
+          let got = Hilti_firewall.Fw_hilti.match_packet fw ~ts ~src ~dst in
+          if want <> got then incr disagreements
+      | None -> ())
+    trace.Hilti_traces.Dns_gen.records;
+  Alcotest.(check int) "no disagreements" 0 !disagreements;
+  Alcotest.(check bool) "packets processed" true (!total > 500);
+  Alcotest.(check bool) "both allowed and denied occur" true
+    (reference.Hilti_firewall.Fw_rules.matches > 0 && reference.Hilti_firewall.Fw_rules.denials > 0)
+
+let suite =
+  [ Alcotest.test_case "rule parsing" `Quick test_parse;
+    Alcotest.test_case "static semantics" `Quick test_static_semantics;
+    Alcotest.test_case "dynamic reverse rule" `Quick test_dynamic_reverse_direction;
+    Alcotest.test_case "dynamic expiry" `Quick test_dynamic_expiry;
+    Alcotest.test_case "access refresh keeps alive" `Quick test_refresh_keeps_alive;
+    Alcotest.test_case "agreement with reference (§6.3)" `Quick test_agreement_with_reference ]

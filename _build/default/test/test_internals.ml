@@ -1,0 +1,172 @@
+(* Internal data structures and value semantics: Deque, Dynarray, VM
+   values (equality, canonical keys, deep copy), the log framework, and
+   the mixed-trace generator. *)
+
+open Hilti_vm
+
+let qt name gen prop = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:200 gen prop)
+
+(* ---- Deque -------------------------------------------------------------------- *)
+
+let test_deque () =
+  let d = Deque.create () in
+  Alcotest.(check bool) "empty" true (Deque.is_empty d);
+  Deque.push_back d 2;
+  Deque.push_front d 1;
+  Deque.push_back d 3;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (Deque.to_list d);
+  Alcotest.(check (option int)) "pop" (Some 1) (Deque.pop_front d);
+  Alcotest.(check (option int)) "peek back" (Some 3) (Deque.peek_back d);
+  Alcotest.(check int) "size" 2 (Deque.size d);
+  Deque.clear d;
+  Alcotest.(check (option int)) "cleared" None (Deque.pop_front d)
+
+let prop_deque_mirrors_list =
+  qt "deque: push_back/pop_front is a FIFO"
+    QCheck.(small_list small_int)
+    (fun xs ->
+      let d = Deque.create () in
+      List.iter (Deque.push_back d) xs;
+      let out = ref [] in
+      let rec drain () =
+        match Deque.pop_front d with
+        | Some x ->
+            out := x :: !out;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      List.rev !out = xs)
+
+(* ---- Dynarray ------------------------------------------------------------------- *)
+
+let test_dynarray () =
+  let v = Dynarray.create () in
+  for i = 0 to 99 do
+    Dynarray.push v i
+  done;
+  Alcotest.(check int) "size" 100 (Dynarray.size v);
+  Alcotest.(check int) "get" 57 (Dynarray.get v 57);
+  Dynarray.set v 57 (-1);
+  Alcotest.(check int) "set" (-1) (Dynarray.get v 57);
+  Alcotest.(check int) "pop" 99 (Dynarray.pop v);
+  Alcotest.(check int) "size after pop" 99 (Dynarray.size v);
+  match Dynarray.get v 1000 with
+  | exception Dynarray.Out_of_bounds -> ()
+  | _ -> Alcotest.fail "out of bounds read"
+
+(* ---- Value semantics ---------------------------------------------------------------- *)
+
+let test_value_equality () =
+  let open Value in
+  Alcotest.(check bool) "ints" true (equal (Int 5L) (Int 5L));
+  Alcotest.(check bool) "bytes by content" true
+    (equal
+       (Bytes (Hilti_types.Hbytes.of_string "abc"))
+       (Bytes (Hilti_types.Hbytes.of_string "abc")));
+  Alcotest.(check bool) "tuples" true
+    (equal (Tuple [| Int 1L; String "x" |]) (Tuple [| Int 1L; String "x" |]));
+  Alcotest.(check bool) "tuples differ" false
+    (equal (Tuple [| Int 1L |]) (Tuple [| Int 2L |]));
+  (* Heap values compare by identity. *)
+  let l1 = Deque.create () and l2 = Deque.create () in
+  Alcotest.(check bool) "lists by identity" false (equal (List l1) (List l2));
+  Alcotest.(check bool) "same list" true (equal (List l1) (List l1))
+
+let test_value_key_string () =
+  let open Value in
+  let k1 = key_string (Tuple [| Addr (Hilti_types.Addr.of_string "1.2.3.4"); Int 80L |]) in
+  let k2 = key_string (Tuple [| Addr (Hilti_types.Addr.of_string "1.2.3.4"); Int 80L |]) in
+  let k3 = key_string (Tuple [| Addr (Hilti_types.Addr.of_string "1.2.3.5"); Int 80L |]) in
+  Alcotest.(check string) "stable" k1 k2;
+  Alcotest.(check bool) "distinct" true (k1 <> k3);
+  match key_string (List (Deque.create ())) with
+  | exception Value.Not_hashable _ -> ()
+  | _ -> Alcotest.fail "list used as key"
+
+let test_value_deep_copy () =
+  let open Value in
+  let d = Deque.create () in
+  Deque.push_back d (Int 1L);
+  let s = new_struct "S" [ "items" ] in
+  struct_field s "items" := Some (List d);
+  let copy = deep_copy (Struct s) in
+  Deque.push_back d (Int 2L);
+  (match copy with
+  | Struct s' -> (
+      match !(struct_field s' "items") with
+      | Some (List d') -> Alcotest.(check int) "copy isolated" 1 (Deque.size d')
+      | _ -> Alcotest.fail "field lost")
+  | _ -> Alcotest.fail "copy kind");
+  Alcotest.(check int) "original mutated" 2 (Deque.size d)
+
+(* ---- Log framework ------------------------------------------------------------------ *)
+
+let test_log_columns_and_missing () =
+  let l = Mini_bro.Bro_log.create () in
+  Mini_bro.Bro_log.create_stream l "s" [ "a"; "b"; "c" ];
+  Mini_bro.Bro_log.write l "s" [ ("c", "3"); ("a", "1") ];
+  Alcotest.(check (list string)) "column order, '-' for missing" [ "1\t-\t3" ]
+    (Mini_bro.Bro_log.rows l "s");
+  Alcotest.(check string) "header" "#fields\ta\tb\tc"
+    (List.hd (String.split_on_char '\n' (Mini_bro.Bro_log.to_string l "s")))
+
+let test_log_disabled_still_counts () =
+  let l = Mini_bro.Bro_log.create () in
+  Mini_bro.Bro_log.create_stream l "s" [ "a" ];
+  Mini_bro.Bro_log.set_enabled l false;
+  Mini_bro.Bro_log.write l "s" [ ("a", "x") ];
+  Alcotest.(check int) "counted" 1 (Mini_bro.Bro_log.row_count l "s");
+  Alcotest.(check (list string)) "not stored" [] (Mini_bro.Bro_log.rows l "s")
+
+let test_log_agreement_math () =
+  let mk rows =
+    let l = Mini_bro.Bro_log.create () in
+    Mini_bro.Bro_log.create_stream l "s" [ "a" ];
+    List.iter (fun r -> Mini_bro.Bro_log.write l "s" [ ("a", r) ]) rows;
+    l
+  in
+  let a = mk [ "1"; "2"; "3"; "3" ] in
+  let b = mk [ "2"; "3"; "4" ] in
+  let agg = Mini_bro.Bro_log.compare_streams a b "s" in
+  Alcotest.(check int) "norm a (deduped)" 3 agg.Mini_bro.Bro_log.normalized_a;
+  Alcotest.(check int) "identical" 2 agg.Mini_bro.Bro_log.identical;
+  Alcotest.(check bool) "fraction 2/3" true
+    (abs_float (agg.Mini_bro.Bro_log.fraction -. (2.0 /. 3.0)) < 1e-9)
+
+(* ---- Mixed traces ---------------------------------------------------------------------- *)
+
+let test_mix_ordered_and_demuxable () =
+  let records = Hilti_traces.Mix.generate Hilti_traces.Mix.default in
+  let last = ref Hilti_types.Time_ns.epoch in
+  let http = ref 0 and dns = ref 0 and ssh = ref 0 in
+  List.iter
+    (fun (r : Hilti_net.Pcap.record) ->
+      Alcotest.(check bool) "ordered" true
+        (Hilti_types.Time_ns.compare !last r.Hilti_net.Pcap.ts <= 0);
+      last := r.Hilti_net.Pcap.ts;
+      match Hilti_net.Packet.decode_opt ~ts:r.Hilti_net.Pcap.ts r.Hilti_net.Pcap.data with
+      | Some pkt -> (
+          match Hilti_net.Packet.ports pkt with
+          | Some (sp, dp) ->
+              let p = min (Hilti_types.Port.number sp) (Hilti_types.Port.number dp) in
+              if p = 80 then incr http
+              else if p = 53 then incr dns
+              else if p = 22 then incr ssh
+          | None -> ())
+      | None -> ())
+    records;
+  Alcotest.(check bool) "all three protocols present" true
+    (!http > 0 && !dns > 0 && !ssh > 0)
+
+let suite =
+  [ Alcotest.test_case "deque" `Quick test_deque;
+    prop_deque_mirrors_list;
+    Alcotest.test_case "dynarray" `Quick test_dynarray;
+    Alcotest.test_case "value equality" `Quick test_value_equality;
+    Alcotest.test_case "value canonical keys" `Quick test_value_key_string;
+    Alcotest.test_case "value deep copy" `Quick test_value_deep_copy;
+    Alcotest.test_case "log columns" `Quick test_log_columns_and_missing;
+    Alcotest.test_case "log disabled counting (§6.1)" `Quick test_log_disabled_still_counts;
+    Alcotest.test_case "log agreement math" `Quick test_log_agreement_math;
+    Alcotest.test_case "mixed trace" `Quick test_mix_ordered_and_demuxable ]

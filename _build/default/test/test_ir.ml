@@ -1,0 +1,189 @@
+(* The IR layer: the instruction-set table (Table 1), the static
+   validator, and the pretty-printer/parser round trip. *)
+
+let test_table1_coverage () =
+  (* Every functionality group of Table 1 exists and is non-empty. *)
+  List.iter
+    (fun (functionality, group) ->
+      let n = List.length (List.filter (fun e -> e.Isa.group = group) Isa.entries) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s (%s) has instructions" functionality group)
+        true (n > 0))
+    Isa.table1;
+  (* "In total HILTI currently offers about 200 instructions." *)
+  Alcotest.(check bool)
+    (Printf.sprintf "about 200 instructions (%d)" Isa.count)
+    true
+    (Isa.count >= 190 && Isa.count <= 230)
+
+let test_isa_unique_and_consistent () =
+  List.iter
+    (fun (e : Isa.entry) ->
+      Alcotest.(check bool) (e.Isa.mnemonic ^ " arity sane") true
+        (e.Isa.min_ops <= e.Isa.max_ops);
+      Alcotest.(check bool) (e.Isa.mnemonic ^ " documented") true
+        (String.length e.Isa.doc > 0))
+    Isa.entries;
+  Alcotest.(check bool) "lookup works" true (Isa.find "list.append" <> None);
+  Alcotest.(check bool) "unknown rejected" true (Isa.find "list.frobnicate" = None)
+
+(* ---- Validator ----------------------------------------------------------------- *)
+
+let check_errors build expected_fragment =
+  let m = Module_ir.create "T" in
+  build m;
+  let errors = Validate.check_module m in
+  Alcotest.(check bool)
+    (Printf.sprintf "expected error mentioning %S in [%s]" expected_fragment
+       (String.concat "; " errors))
+    true
+    (List.exists
+       (fun e -> Astring_contains.contains e expected_fragment)
+       errors)
+
+let test_validate_unknown_instruction () =
+  check_errors
+    (fun m ->
+      let b = Builder.func m "T::f" ~params:[] ~result:Htype.Void in
+      Builder.instr b "list.frobnicate" [];
+      Builder.return_ b)
+    "unknown instruction"
+
+let test_validate_arity () =
+  check_errors
+    (fun m ->
+      let b = Builder.func m "T::f" ~params:[] ~result:Htype.Void in
+      Builder.instr b ~target:"x" "int.add" [ Builder.const_int 1 ];
+      Builder.return_ b)
+    "operands"
+
+let test_validate_missing_target () =
+  check_errors
+    (fun m ->
+      let b = Builder.func m "T::f" ~params:[] ~result:Htype.Void in
+      Builder.instr b "int.add" [ Builder.const_int 1; Builder.const_int 2 ];
+      Builder.return_ b)
+    "requires a target"
+
+let test_validate_undeclared_local () =
+  check_errors
+    (fun m ->
+      let b = Builder.func m "T::f" ~params:[] ~result:Htype.Void in
+      Builder.instr b ~target:"x" "assign" [ Instr.Local "nope" ];
+      Builder.return_ b)
+    "undeclared local"
+
+let test_validate_unknown_label () =
+  check_errors
+    (fun m ->
+      let b = Builder.func m "T::f" ~params:[] ~result:Htype.Void in
+      Builder.instr b "jump" [ Instr.Label "nowhere" ];
+      Builder.return_ b)
+    "unknown block label"
+
+let test_validate_instr_after_terminator () =
+  check_errors
+    (fun m ->
+      let b = Builder.func m "T::f" ~params:[] ~result:Htype.Void in
+      Builder.return_ b;
+      Builder.call b "Hilti::print" [ Builder.const_string "dead" ])
+    "after terminator"
+
+let test_validate_container_kind () =
+  check_errors
+    (fun m ->
+      let b = Builder.func m "T::f" ~params:[ ("x", Htype.Int 64) ] ~result:Htype.Void in
+      Builder.instr b "list.append" [ Instr.Local "x"; Builder.const_int 1 ];
+      Builder.return_ b)
+    "expected a list"
+
+let test_validate_duplicate_function () =
+  let m = Module_ir.create "T" in
+  let mk () =
+    let b = Builder.func m "T::dup" ~params:[] ~result:Htype.Void in
+    Builder.return_ b
+  in
+  mk ();
+  mk ();
+  Alcotest.(check bool) "duplicate detected" true
+    (List.exists
+       (fun e -> Astring_contains.contains e "duplicate function")
+       (Validate.check_module m))
+
+let test_valid_module_passes () =
+  let m = Module_ir.create "T" in
+  let b = Builder.func m "T::f" ~params:[ ("x", Htype.Int 64) ] ~result:(Htype.Int 64) in
+  let y = Builder.emit b (Htype.Int 64) "int.mul" [ Instr.Local "x"; Builder.const_int 2 ] in
+  Builder.return_result b y;
+  Alcotest.(check (list string)) "no errors" [] (Validate.check_module m)
+
+(* ---- Pretty-printer round trip through the parser ---------------------------------- *)
+
+let test_pretty_parses_back () =
+  let src =
+    {|
+module Round
+
+type Pair = struct {
+    addr left,
+    addr right
+}
+
+global ref<set<addr>> seen
+
+int<64> double_it (int<64> x) {
+    local int<64> y
+    y = int.add x x
+    return y
+}
+
+void note (addr a) {
+    set.insert seen a
+    return
+}
+|}
+  in
+  let m1 = Hilti_lang.Parser.parse_module src in
+  let printed = Pretty.module_to_string m1 in
+  let m2 = Hilti_lang.Parser.parse_module printed in
+  (* Compile both and check they behave identically. *)
+  let api1 = Hilti_vm.Host_api.compile [ m1 ] in
+  let api2 = Hilti_vm.Host_api.compile [ m2 ] in
+  List.iter
+    (fun n ->
+      Alcotest.(check int64)
+        (Printf.sprintf "double_it %Ld agrees" n)
+        (Hilti_vm.Value.as_int (Hilti_vm.Host_api.call api1 "Round::double_it" [ Hilti_vm.Value.Int n ]))
+        (Hilti_vm.Value.as_int (Hilti_vm.Host_api.call api2 "Round::double_it" [ Hilti_vm.Value.Int n ])))
+    [ 0L; 21L; -5L ]
+
+let test_constant_types () =
+  Alcotest.(check string) "int" "int<64>" (Htype.to_string (Constant.typ (Constant.Int (5L, 64))));
+  Alcotest.(check string) "tuple" "tuple<bool, string>"
+    (Htype.to_string (Constant.typ (Constant.Tuple [ Constant.Bool true; Constant.String "x" ])));
+  Alcotest.(check string) "net" "net"
+    (Htype.to_string (Constant.typ (Constant.Net (Hilti_types.Network.of_string "10.0.0.0/8"))))
+
+let test_htype_properties () =
+  Alcotest.(check bool) "value type" true (Htype.is_value_type (Htype.Tuple [ Htype.Addr; Htype.Port ]));
+  Alcotest.(check bool) "heap type" false (Htype.is_value_type (Htype.List Htype.Addr));
+  Alcotest.(check bool) "hashable" true (Htype.is_hashable (Htype.Tuple [ Htype.Addr; Htype.Addr ]));
+  Alcotest.(check bool) "not hashable" false (Htype.is_hashable (Htype.Ref (Htype.Set Htype.Addr)));
+  Alcotest.(check bool) "compatible any" true (Htype.compatible Htype.Any (Htype.List Htype.Addr));
+  Alcotest.(check bool) "incompatible" false (Htype.compatible Htype.Addr Htype.Port)
+
+let suite =
+  [ Alcotest.test_case "Table 1 coverage" `Quick test_table1_coverage;
+    Alcotest.test_case "ISA consistency" `Quick test_isa_unique_and_consistent;
+    Alcotest.test_case "validate: unknown instruction" `Quick test_validate_unknown_instruction;
+    Alcotest.test_case "validate: arity" `Quick test_validate_arity;
+    Alcotest.test_case "validate: missing target" `Quick test_validate_missing_target;
+    Alcotest.test_case "validate: undeclared local" `Quick test_validate_undeclared_local;
+    Alcotest.test_case "validate: unknown label" `Quick test_validate_unknown_label;
+    Alcotest.test_case "validate: dead code after terminator" `Quick test_validate_instr_after_terminator;
+    Alcotest.test_case "validate: container kinds" `Quick test_validate_container_kind;
+    Alcotest.test_case "validate: duplicate function" `Quick test_validate_duplicate_function;
+    Alcotest.test_case "validate: clean module passes" `Quick test_valid_module_passes;
+    Alcotest.test_case "pretty/parse round trip" `Quick test_pretty_parses_back;
+    Alcotest.test_case "constant typing" `Quick test_constant_types;
+    Alcotest.test_case "type algebra" `Quick test_htype_properties ]

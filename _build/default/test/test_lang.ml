@@ -1,0 +1,198 @@
+(* The textual frontend: Fig. 3 hello world, Fig. 4-style overlays, and
+   Fig. 5-style try/catch all parse and execute. *)
+
+open Hilti_vm
+
+let run_source ?(entry = "Main::run") ?(args = []) src =
+  let m = Hilti_lang.Parser.parse_module src in
+  let api = Host_api.compile [ m ] in
+  let out = Buffer.create 64 in
+  Host_api.set_output api (fun s -> Buffer.add_string out (s ^ "\n"));
+  let result = Host_api.call api entry args in
+  (result, Buffer.contents out)
+
+let test_hello () =
+  (* Fig. 3, verbatim shape. *)
+  let src =
+    {|
+module Main
+
+import Hilti
+
+# Default entry point for execution.
+void run () {
+    call Hilti::print ("Hello, World!")
+}
+|}
+  in
+  let _, out = run_source src in
+  Alcotest.(check string) "output" "Hello, World!\n" out
+
+let test_arith_and_blocks () =
+  let src =
+    {|
+module Main
+
+int<64> classify (int<64> x) {
+    local bool small
+    small = int.lt x 10
+    if.else small tiny big
+tiny:
+    return 1
+big:
+    return 2
+}
+|}
+  in
+  let m = Hilti_lang.Parser.parse_module src in
+  let api = Host_api.compile [ m ] in
+  Alcotest.(check int64) "tiny" 1L
+    (Value.as_int (Host_api.call api "Main::classify" [ Value.Int 3L ]));
+  Alcotest.(check int64) "big" 2L
+    (Value.as_int (Host_api.call api "Main::classify" [ Value.Int 30L ]))
+
+let test_overlay_fig4 () =
+  (* The BPF example's overlay (Fig. 4), driven over a hand-built IPv4
+     header. *)
+  let src =
+    {|
+module Main
+
+type Header = overlay {
+    version: int<8> at 0 unpack UInt8InBigEndian (4, 7),
+    hdr_len: int<8> at 0 unpack UInt8InBigEndian (0, 3),
+    src: addr at 12 unpack IPv4InNetworkOrder,
+    dst: addr at 16 unpack IPv4InNetworkOrder
+}
+
+bool filter (ref<bytes> packet) {
+    local addr a1
+    local addr a2
+    local bool b1
+    local bool b2
+    local bool b3
+    a1 = overlay.get Header src packet
+    b1 = equal a1 192.168.1.1
+    a2 = overlay.get Header dst packet
+    b2 = equal a2 192.168.1.1
+    b1 = bool.or b1 b2
+    b2 = net.contains 10.0.5.0/24 a1
+    b3 = bool.or b1 b2
+    return b3
+}
+|}
+  in
+  let m = Hilti_lang.Parser.parse_module src in
+  let api = Host_api.compile [ m ] in
+  let header ~src ~dst =
+    let open Hilti_net in
+    let s = Ipv4.encode ~protocol:6 ~src:(Hilti_types.Addr.of_string src)
+              ~dst:(Hilti_types.Addr.of_string dst) ""
+    in
+    let b = Hilti_types.Hbytes.of_string s in
+    Hilti_types.Hbytes.freeze b;
+    Value.Bytes b
+  in
+  let run src dst =
+    Value.as_bool (Host_api.call api "Main::filter" [ header ~src ~dst ])
+  in
+  Alcotest.(check bool) "host match src" true (run "192.168.1.1" "10.9.9.9");
+  Alcotest.(check bool) "host match dst" true (run "10.9.9.9" "192.168.1.1");
+  Alcotest.(check bool) "net match" true (run "10.0.5.77" "10.9.9.9");
+  Alcotest.(check bool) "no match" false (run "10.9.9.9" "10.8.8.8")
+
+let test_try_catch () =
+  let src =
+    {|
+module Main
+
+int<64> lookup (int<64> key) {
+    local ref<map<int<64>, int<64>>> m
+    local int<64> v
+    m = new map<int<64>, int<64>>
+    map.insert m 1 100
+    try {
+        v = map.get m key
+    }
+    catch ( ref<exception> e ) {
+        return -1
+    }
+    return v
+}
+|}
+  in
+  let m = Hilti_lang.Parser.parse_module src in
+  let api = Host_api.compile [ m ] in
+  Alcotest.(check int64) "hit" 100L
+    (Value.as_int (Host_api.call api "Main::lookup" [ Value.Int 1L ]));
+  Alcotest.(check int64) "miss" (-1L)
+    (Value.as_int (Host_api.call api "Main::lookup" [ Value.Int 2L ]))
+
+let test_enum_and_global () =
+  let src =
+    {|
+module Main
+
+type Color = enum { Red = 1, Green = 2, Blue = 4 }
+
+global int<64> counter
+
+void bump () {
+    counter = int.add counter 1
+}
+
+int<64> count_to (int<64> n) {
+    local bool done
+loop:
+    done = int.geq counter n
+    if.else done out again
+again:
+    call Main::bump ()
+    jump loop
+out:
+    return counter
+}
+
+int<64> color_value () {
+    local Color c
+    local int<64> v
+    c = assign Color::Green
+    v = enum.value c
+    return v
+}
+|}
+  in
+  let m = Hilti_lang.Parser.parse_module src in
+  let api = Host_api.compile [ m ] in
+  Alcotest.(check int64) "loop via global" 5L
+    (Value.as_int (Host_api.call api "Main::count_to" [ Value.Int 5L ]));
+  Alcotest.(check int64) "enum value" 2L
+    (Value.as_int (Host_api.call api "Main::color_value" []))
+
+let test_pretty_round_trip () =
+  let src =
+    {|
+module Main
+
+int<64> double_it (int<64> x) {
+    local int<64> y
+    y = int.add x x
+    return y
+}
+|}
+  in
+  let m = Hilti_lang.Parser.parse_module src in
+  let printed = Pretty.module_to_string m in
+  (* The printed form is text; make sure it mentions the essentials. *)
+  Alcotest.(check bool) "has module" true
+    (Astring_contains.contains printed "module Main");
+  Alcotest.(check bool) "has int.add" true
+    (Astring_contains.contains printed "int.add")
+
+let suite =
+  [ Alcotest.test_case "hello world (Fig. 3)" `Quick test_hello;
+    Alcotest.test_case "arith and blocks" `Quick test_arith_and_blocks;
+    Alcotest.test_case "overlay filter (Fig. 4)" `Quick test_overlay_fig4;
+    Alcotest.test_case "try/catch (Fig. 5)" `Quick test_try_catch;
+    Alcotest.test_case "enum and globals" `Quick test_enum_and_global;
+    Alcotest.test_case "pretty round trip" `Quick test_pretty_round_trip ]

@@ -1,0 +1,192 @@
+(* Frontend robustness: lexer details, parse errors with positions,
+   and less-common .hlt constructs. *)
+
+let parse = Hilti_lang.Parser.parse_module
+
+let expect_parse_error src fragment =
+  match parse src with
+  | exception Hilti_lang.Parser.Parse_error (msg, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S mentions %S" msg fragment)
+        true
+        (Astring_contains.contains msg fragment)
+  | exception Hilti_lang.Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.failf "parsed: %s" src
+
+let test_errors () =
+  expect_parse_error "void run () {}" "module";
+  expect_parse_error "module M\nvoid f ( {\n}" "type";
+  expect_parse_error "module M\nvoid f () {\n    x =\n}" "identifier"
+
+let test_comments_and_whitespace () =
+  let m =
+    parse
+      "module M\n\n# comment line\nvoid f () {  # trailing comment\n    return\n}\n"
+  in
+  Alcotest.(check int) "one function" 1 (List.length m.Module_ir.funcs)
+
+let test_string_escapes () =
+  let m =
+    parse "module M\nvoid f () {\n    call Hilti::print (\"a\\tb\\n\\x41\")\n}\n"
+  in
+  let api = Hilti_vm.Host_api.compile [ m ] in
+  let out = Buffer.create 16 in
+  Hilti_vm.Host_api.set_output api (fun s -> Buffer.add_string out s);
+  ignore (Hilti_vm.Host_api.call api "M::f" []);
+  Alcotest.(check string) "escapes decoded" "a\tb\nA" (Buffer.contents out)
+
+let test_port_and_net_literals () =
+  let src =
+    {|
+module M
+
+bool f (addr a) {
+    local bool b
+    b = net.contains 10.0.0.0/8 a
+    return b
+}
+
+int<64> g () {
+    local port p
+    local int<64> n
+    p = assign 443/tcp
+    n = port.number p
+    return n
+}
+|}
+  in
+  let api = Hilti_vm.Host_api.compile [ parse src ] in
+  Alcotest.(check bool) "net literal" true
+    (Hilti_vm.Value.as_bool
+       (Hilti_vm.Host_api.call api "M::f"
+          [ Hilti_vm.Value.Addr (Hilti_types.Addr.of_string "10.1.2.3") ]));
+  Alcotest.(check int64) "port literal" 443L
+    (Hilti_vm.Value.as_int (Hilti_vm.Host_api.call api "M::g" []))
+
+let test_hook_declaration_and_run () =
+  let src =
+    {|
+module M
+
+hook void on_thing (int<64> x) {
+    call Hilti::print (x)
+}
+
+hook 5 void on_thing (int<64> x) {
+    call Hilti::print ("high priority")
+}
+
+void f () {
+    hook.run M::on_thing (7)
+}
+|}
+  in
+  let api = Hilti_vm.Host_api.compile [ parse src ] in
+  let out = Buffer.create 16 in
+  Hilti_vm.Host_api.set_output api (fun s -> Buffer.add_string out (s ^ ";"));
+  ignore (Hilti_vm.Host_api.call api "M::f" []);
+  Alcotest.(check string) "priority order" "high priority;7;" (Buffer.contents out)
+
+let test_struct_and_tuple_syntax () =
+  let src =
+    {|
+module M
+
+type Conn = struct {
+    addr host,
+    int<64> hits
+}
+
+int<64> f () {
+    local ref<Conn> c
+    local int<64> v
+    c = new Conn
+    struct.set c hits 41
+    v = struct.get c hits
+    v = int.add v 1
+    return v
+}
+|}
+  in
+  let api = Hilti_vm.Host_api.compile [ parse src ] in
+  Alcotest.(check int64) "struct flow" 42L
+    (Hilti_vm.Value.as_int (Hilti_vm.Host_api.call api "M::f" []))
+
+let test_interval_and_timeout_syntax () =
+  (* The set.timeout line of Fig. 5, through the textual frontend. *)
+  let src =
+    {|
+module M
+
+global ref<set<tuple<addr, addr>>> dyn
+
+void init () {
+    dyn = new set<tuple<addr, addr>>
+    set.timeout dyn Hilti::ExpireStrategy::Access interval(300)
+}
+
+bool check (time t, addr a, addr b) {
+    local bool r
+    timer_mgr.advance_global t
+    r = set.exists dyn (a, b)
+    return r
+}
+
+void remember (addr a, addr b) {
+    set.insert dyn (a, b)
+}
+|}
+  in
+  let api = Hilti_vm.Host_api.compile [ parse src ] in
+  ignore (Hilti_vm.Host_api.call api "M::init" []);
+  let a = Hilti_vm.Value.Addr (Hilti_types.Addr.of_string "1.1.1.1") in
+  let b = Hilti_vm.Value.Addr (Hilti_types.Addr.of_string "2.2.2.2") in
+  let t s = Hilti_vm.Value.Time (Hilti_types.Time_ns.of_secs s) in
+  ignore (Hilti_vm.Host_api.call api "M::check" [ t 0; a; b ]);
+  ignore (Hilti_vm.Host_api.call api "M::remember" [ a; b ]);
+  Alcotest.(check bool) "present" true
+    (Hilti_vm.Value.as_bool (Hilti_vm.Host_api.call api "M::check" [ t 100; a; b ]));
+  Alcotest.(check bool) "expired after 301s idle" false
+    (Hilti_vm.Value.as_bool (Hilti_vm.Host_api.call api "M::check" [ t 500; a; b ]))
+
+let suite =
+  [ Alcotest.test_case "parse errors" `Quick test_errors;
+    Alcotest.test_case "comments/whitespace" `Quick test_comments_and_whitespace;
+    Alcotest.test_case "string escapes" `Quick test_string_escapes;
+    Alcotest.test_case "port and net literals" `Quick test_port_and_net_literals;
+    Alcotest.test_case "hooks with priorities" `Quick test_hook_declaration_and_run;
+    Alcotest.test_case "struct declarations" `Quick test_struct_and_tuple_syntax;
+    Alcotest.test_case "Fig. 5 timeout syntax" `Quick test_interval_and_timeout_syntax ]
+
+(* The Fig. 5 firewall, loaded from its .hlt source file, behaves exactly
+   like the Builder-generated one. *)
+let test_fig5_hlt_file () =
+  let read_file f =
+    let ic = open_in_bin f in
+    Fun.protect ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let path =
+    (* dune runs tests from the build sandbox; reach back to the source. *)
+    List.find Sys.file_exists
+      [ "examples/data/firewall.hlt"; "../examples/data/firewall.hlt";
+        "../../examples/data/firewall.hlt"; "../../../examples/data/firewall.hlt";
+        "../../../../examples/data/firewall.hlt" ]
+  in
+  let api = Hilti_vm.Host_api.compile [ parse (read_file path) ] in
+  ignore (Hilti_vm.Host_api.call api "Firewall::init_classifier" []);
+  let check when_ src dst =
+    Hilti_vm.Value.as_bool
+      (Hilti_vm.Host_api.call api "Firewall::match_packet"
+         [ Hilti_vm.Value.Time (Hilti_types.Time_ns.of_secs when_);
+           Hilti_vm.Value.Addr (Hilti_types.Addr.of_string src);
+           Hilti_vm.Value.Addr (Hilti_types.Addr.of_string dst) ])
+  in
+  Alcotest.(check bool) "rule 1 allow" true (check 0 "10.3.2.1" "10.1.9.9");
+  Alcotest.(check bool) "rule 2 deny" false (check 1 "10.12.5.5" "10.1.9.9");
+  Alcotest.(check bool) "wildcard allow" true (check 2 "10.1.6.1" "8.8.8.8");
+  Alcotest.(check bool) "reverse dynamic" true (check 3 "8.8.8.8" "10.1.6.1");
+  Alcotest.(check bool) "default deny" false (check 4 "9.9.9.9" "8.8.8.8");
+  Alcotest.(check bool) "dynamic expiry" false (check 400 "8.8.8.8" "10.1.6.1")
+
+let suite = suite @ [ Alcotest.test_case "Fig. 5 firewall from .hlt file" `Quick test_fig5_hlt_file ]

@@ -1,0 +1,246 @@
+(* The domain-specific first-class types (§3.2 "Rich Data Types"). *)
+
+open Hilti_types
+
+let qt name gen prop = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:200 gen prop)
+
+(* ---- Addresses ---------------------------------------------------------------- *)
+
+let test_addr_v4 () =
+  let a = Addr.of_string "192.168.1.1" in
+  Alcotest.(check string) "roundtrip" "192.168.1.1" (Addr.to_string a);
+  Alcotest.(check bool) "is v4" true (Addr.is_ipv4 a);
+  Alcotest.(check bool) "self equal" true (Addr.equal a (Addr.of_string "192.168.1.1"));
+  Alcotest.(check bool) "others differ" false (Addr.equal a (Addr.of_string "192.168.1.2"))
+
+let test_addr_v6 () =
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string) input expected (Addr.to_string (Addr.of_string input)))
+    [ ("2001:db8::1", "2001:db8::1");
+      ("::1", "::1");
+      ("::", "::");
+      ("fe80:0:0:0:0:0:0:1", "fe80::1");
+      ("2001:0db8:0000:0000:0000:ff00:0042:8329", "2001:db8::ff00:42:8329") ];
+  Alcotest.(check bool) "v6 family" false (Addr.is_ipv4 (Addr.of_string "::1"))
+
+let test_addr_bad () =
+  List.iter
+    (fun s ->
+      match Addr.of_string_opt s with
+      | None -> ()
+      | Some _ -> Alcotest.failf "accepted %s" s)
+    [ "1.2.3"; "1.2.3.4.5"; "300.1.1.1"; "x.y.z.w"; "1:2:3:4:5:6:7:8:9"; "::1::2" ]
+
+let test_addr_mask () =
+  let a = Addr.of_string "192.168.171.205" in
+  Alcotest.(check string) "/24" "192.168.171.0" (Addr.to_string (Addr.mask a 24));
+  Alcotest.(check string) "/16" "192.168.0.0" (Addr.to_string (Addr.mask a 16));
+  Alcotest.(check string) "/0" "0.0.0.0" (Addr.to_string (Addr.mask a 0));
+  Alcotest.(check string) "/32" "192.168.171.205" (Addr.to_string (Addr.mask a 32))
+
+let addr_gen =
+  QCheck.Gen.(
+    map
+      (fun ((a, b), (c, d)) -> Addr.of_ipv4_octets a b c d)
+      (pair (pair (int_range 0 255) (int_range 0 255))
+         (pair (int_range 0 255) (int_range 0 255))))
+
+let addr_arb = QCheck.make ~print:Addr.to_string addr_gen
+
+let prop_addr_roundtrip =
+  qt "addr: parse(print(a)) = a" addr_arb (fun a ->
+      Addr.equal a (Addr.of_string (Addr.to_string a)))
+
+let prop_addr_mask_idempotent =
+  qt "addr: mask is idempotent"
+    QCheck.(pair addr_arb (int_range 0 32))
+    (fun (a, len) ->
+      let m = Addr.mask a len in
+      Addr.equal m (Addr.mask m len))
+
+(* ---- Networks ------------------------------------------------------------------ *)
+
+let test_network () =
+  let n = Network.of_string "10.0.5.0/24" in
+  Alcotest.(check string) "print" "10.0.5.0/24" (Network.to_string n);
+  Alcotest.(check bool) "contains member" true (Network.contains n (Addr.of_string "10.0.5.200"));
+  Alcotest.(check bool) "excludes outside" false (Network.contains n (Addr.of_string "10.0.6.1"));
+  Alcotest.(check bool) "excludes v6" false (Network.contains n (Addr.of_string "::1"));
+  (* prefix bits beyond the mask are dropped on construction *)
+  Alcotest.(check string) "normalizes" "10.0.5.0/24"
+    (Network.to_string (Network.of_string "10.0.5.77/24"))
+
+let prop_network_contains_prefix =
+  qt "net: network contains its own prefix"
+    QCheck.(pair addr_arb (int_range 0 32))
+    (fun (a, len) ->
+      let n = Network.make a len in
+      Network.contains n (Network.prefix n))
+
+let prop_network_masked_member =
+  qt "net: a is in a/len"
+    QCheck.(pair addr_arb (int_range 0 32))
+    (fun (a, len) -> Network.contains (Network.make a len) a)
+
+(* ---- Ports / time / intervals ----------------------------------------------------- *)
+
+let test_port () =
+  let p = Port.of_string "80/tcp" in
+  Alcotest.(check int) "number" 80 (Port.number p);
+  Alcotest.(check string) "print" "80/tcp" (Port.to_string p);
+  Alcotest.(check bool) "udp differs" false (Port.equal p (Port.udp 80));
+  (match Port.of_string "99999/tcp" with
+  | exception Port.Invalid _ -> ()
+  | _ -> Alcotest.fail "accepted out-of-range port");
+  match Port.of_string "80" with
+  | exception Port.Invalid _ -> ()
+  | _ -> Alcotest.fail "accepted protocol-less port"
+
+let test_time_interval () =
+  let t = Time_ns.of_secs 1_000 in
+  let i = Interval_ns.of_float 2.5 in
+  let t2 = Time_ns.add t (Interval_ns.to_ns i) in
+  Alcotest.(check string) "time print" "1002.500000" (Time_ns.to_string t2);
+  Alcotest.(check bool) "ordering" true (Time_ns.compare t t2 < 0);
+  let diff = Time_ns.diff t2 t in
+  Alcotest.(check bool) "diff = interval" true
+    (Interval_ns.equal (Interval_ns.of_ns diff) i);
+  Alcotest.(check string) "interval mul" "7.500000"
+    (Interval_ns.to_string (Interval_ns.mul i 3))
+
+(* ---- Bitsets and enums ------------------------------------------------------------- *)
+
+let test_bitset () =
+  let d = Bitset.declare ~name:"Flags" [ ("A", None); ("B", None); ("C", Some 7) ] in
+  let v = Bitset.set d Bitset.empty "A" in
+  let v = Bitset.set d v "C" in
+  Alcotest.(check bool) "has A" true (Bitset.has d v "A");
+  Alcotest.(check bool) "no B" false (Bitset.has d v "B");
+  Alcotest.(check string) "print" "Flags(A|C)" (Bitset.to_string d v);
+  let v = Bitset.clear d v "A" in
+  Alcotest.(check bool) "cleared" false (Bitset.has d v "A");
+  match Bitset.bit_of d "Z" with
+  | exception Bitset.Unknown_label _ -> ()
+  | _ -> Alcotest.fail "unknown label accepted"
+
+let test_enum () =
+  let d = Henum.declare ~name:"Color" [ ("Red", Some 1); ("Green", None); ("Blue", None) ] in
+  let g = Henum.of_label d "Green" in
+  Alcotest.(check int) "auto value" 2 (Henum.value g);
+  Alcotest.(check string) "print" "Color::Green" (Henum.to_string g);
+  let u = Henum.of_value d 99 in
+  Alcotest.(check bool) "unknown is undef" true (Henum.is_undef u);
+  Alcotest.(check bool) "undef < defined" true (Henum.compare u g < 0)
+
+(* ---- Bytes: the incremental-parsing substrate ---------------------------------------- *)
+
+let test_hbytes_basics () =
+  let b = Hbytes.create () in
+  Hbytes.append b "hello ";
+  Hbytes.append b "world";
+  Alcotest.(check int) "length" 11 (Hbytes.length b);
+  Alcotest.(check string) "contents" "hello world" (Hbytes.to_string b);
+  let it = Hbytes.begin_ b in
+  Alcotest.(check int) "first byte" (Char.code 'h') (Hbytes.get it);
+  let it5 = Hbytes.advance it 6 in
+  Alcotest.(check string) "sub" "world" (Hbytes.sub it5 (Hbytes.end_ b))
+
+let test_hbytes_blocking_and_freeze () =
+  let b = Hbytes.of_string "ab" in
+  let it = Hbytes.advance (Hbytes.begin_ b) 2 in
+  (match Hbytes.get it with
+  | exception Hbytes.Would_block -> ()
+  | _ -> Alcotest.fail "expected Would_block on live stream");
+  Hbytes.append b "c";
+  Alcotest.(check int) "data arrived" (Char.code 'c') (Hbytes.get it);
+  Hbytes.freeze b;
+  (match Hbytes.append b "x" with
+  | exception Hbytes.Frozen -> ()
+  | _ -> Alcotest.fail "append after freeze");
+  let past = Hbytes.advance it 1 in
+  match Hbytes.get past with
+  | exception Hbytes.Out_of_range -> ()
+  | _ -> Alcotest.fail "expected Out_of_range past frozen end"
+
+let test_hbytes_trim () =
+  let b = Hbytes.of_string "0123456789" in
+  let it5 = Hbytes.iter_at b 5 in
+  Hbytes.trim b it5;
+  Alcotest.(check int) "trimmed length" 5 (Hbytes.length b);
+  Alcotest.(check string) "kept tail" "56789" (Hbytes.to_string b);
+  Alcotest.(check int) "absolute offsets preserved" (Char.code '7')
+    (Hbytes.get (Hbytes.iter_at b 7));
+  match Hbytes.get (Hbytes.iter_at b 2) with
+  | exception Hbytes.Out_of_range -> ()
+  | _ -> Alcotest.fail "read of trimmed data"
+
+let test_hbytes_find_and_prefix () =
+  let b = Hbytes.of_string "GET / HTTP/1.1\r\n" in
+  (match Hbytes.find (Hbytes.begin_ b) "\r\n" with
+  | Some it -> Alcotest.(check int) "found at" 14 (Hbytes.offset it)
+  | None -> Alcotest.fail "not found");
+  Alcotest.(check bool) "prefix yes" true (Hbytes.match_prefix (Hbytes.begin_ b) "GET ");
+  Alcotest.(check bool) "prefix no" false (Hbytes.match_prefix (Hbytes.begin_ b) "POST");
+  (* match_prefix can reject early on partial data, and blocks otherwise *)
+  let live = Hbytes.of_string "GE" in
+  Alcotest.(check bool) "partial mismatch decides" false
+    (Hbytes.match_prefix (Hbytes.begin_ live) "POST");
+  match Hbytes.match_prefix (Hbytes.begin_ live) "GET " with
+  | exception Hbytes.Would_block -> ()
+  | _ -> Alcotest.fail "expected Would_block on undecidable prefix"
+
+let test_hbytes_unpack () =
+  let b = Hbytes.of_string "\x12\x34\x56\x78" in
+  let v, _ = Hbytes.read_uint (Hbytes.begin_ b) ~width:2 ~order:Hbytes.Big in
+  Alcotest.(check int64) "u16 be" 0x1234L v;
+  let v, _ = Hbytes.read_uint (Hbytes.begin_ b) ~width:2 ~order:Hbytes.Little in
+  Alcotest.(check int64) "u16 le" 0x3412L v;
+  let v, _ = Hbytes.read_uint (Hbytes.begin_ b) ~width:4 ~order:Hbytes.Big in
+  Alcotest.(check int64) "u32 be" 0x12345678L v;
+  let s = Hbytes.of_string "\xff" in
+  let v, _ = Hbytes.read_sint (Hbytes.begin_ s) ~width:1 ~order:Hbytes.Big in
+  Alcotest.(check int64) "s8 sign extension" (-1L) v
+
+(* Property: an Hbytes built from arbitrary appends behaves like string
+   concatenation, whatever the chunking. *)
+let prop_hbytes_chunking =
+  qt "hbytes: content independent of chunking"
+    QCheck.(small_list (string_gen_of_size (Gen.int_bound 20) Gen.printable))
+    (fun chunks ->
+      let b = Hbytes.create () in
+      List.iter (Hbytes.append b) chunks;
+      Hbytes.to_string b = String.concat "" chunks)
+
+let prop_hbytes_sub_consistent =
+  qt "hbytes: sub agrees with String.sub"
+    QCheck.(pair (string_gen_of_size (Gen.int_bound 40) Gen.printable) (pair small_nat small_nat))
+    (fun (s, (i, j)) ->
+      let n = String.length s in
+      let i = if n = 0 then 0 else i mod (n + 1) in
+      let j = if n = 0 then 0 else j mod (n + 1) in
+      let lo = min i j and hi = max i j in
+      let b = Hbytes.of_string s in
+      Hbytes.sub (Hbytes.iter_at b lo) (Hbytes.iter_at b hi) = String.sub s lo (hi - lo))
+
+let suite =
+  [ Alcotest.test_case "addr v4" `Quick test_addr_v4;
+    Alcotest.test_case "addr v6" `Quick test_addr_v6;
+    Alcotest.test_case "addr rejects junk" `Quick test_addr_bad;
+    Alcotest.test_case "addr mask" `Quick test_addr_mask;
+    prop_addr_roundtrip;
+    prop_addr_mask_idempotent;
+    Alcotest.test_case "network" `Quick test_network;
+    prop_network_contains_prefix;
+    prop_network_masked_member;
+    Alcotest.test_case "port" `Quick test_port;
+    Alcotest.test_case "time and interval" `Quick test_time_interval;
+    Alcotest.test_case "bitset" `Quick test_bitset;
+    Alcotest.test_case "enum" `Quick test_enum;
+    Alcotest.test_case "hbytes basics" `Quick test_hbytes_basics;
+    Alcotest.test_case "hbytes blocking/freeze" `Quick test_hbytes_blocking_and_freeze;
+    Alcotest.test_case "hbytes trim" `Quick test_hbytes_trim;
+    Alcotest.test_case "hbytes find/prefix" `Quick test_hbytes_find_and_prefix;
+    Alcotest.test_case "hbytes unpack" `Quick test_hbytes_unpack;
+    prop_hbytes_chunking;
+    prop_hbytes_sub_consistent ]

@@ -62,31 +62,42 @@ let run () =
       trace.Hilti_traces.Dns_gen.records
   in
   let dns_m = Codegen.compile (Grammars.parse_dns ()) in
-  let run_with nthreads =
+  (* [domains = 0]: the cooperative scheduler; otherwise Hilti_par with
+     that many worker domains. *)
+  let run_with ?(domains = 0) nthreads =
     let api = Hilti_vm.Host_api.compile [ dns_m; wrapper_module () ] in
-    let recorded = ref [] in
-    Hilti_vm.Host_api.register_ctx api "Bench::record" (fun ctx args ->
-        (match args with
-        | [ Hilti_vm.Value.Int id ] ->
-            recorded := (ctx.Hilti_vm.Vm.current_thread, id) :: !recorded
-        | _ -> ());
-        Hilti_vm.Value.Null);
-    (* Thread-local state: each virtual thread compiles its own regexps. *)
-    for tid = 0 to nthreads - 1 do
-      Hilti_vm.Host_api.schedule api (Int64.of_int tid) "DNS::init" []
-    done;
-    List.iter
-      (fun (hash, payload) ->
-        let tid = Hilti_rt.Scheduler.thread_for_hash ~threads:nthreads hash in
-        let b = Hilti_types.Hbytes.of_string payload in
-        Hilti_types.Hbytes.freeze b;
-        Hilti_vm.Host_api.schedule api tid "Bench::parse_one" [ Hilti_vm.Value.Bytes b ])
-      datagrams;
-    let (), ns = Bench_util.time_ns (fun () -> Hilti_vm.Host_api.run_scheduler api) in
-    let stats = Hilti_vm.Host_api.scheduler_stats api in
-    (List.sort compare (List.map snd !recorded),
-     List.sort_uniq compare (List.map fst !recorded),
-     stats, ns)
+    let engine =
+      if domains = 0 then None
+      else Some (Hilti_par.Engine.attach api.Hilti_vm.Host_api.ctx ~domains)
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Hilti_par.Engine.detach engine)
+      (fun () ->
+        let lock = Mutex.create () in
+        let recorded = ref [] in
+        Hilti_vm.Host_api.register_ctx api "Bench::record" (fun ctx args ->
+            (match args with
+            | [ Hilti_vm.Value.Int id ] ->
+                let tid = ctx.Hilti_vm.Vm.current_thread in
+                Mutex.protect lock (fun () -> recorded := (tid, id) :: !recorded)
+            | _ -> ());
+            Hilti_vm.Value.Null);
+        (* Thread-local state: each virtual thread compiles its own regexps. *)
+        for tid = 0 to nthreads - 1 do
+          Hilti_vm.Host_api.schedule api (Int64.of_int tid) "DNS::init" []
+        done;
+        List.iter
+          (fun (hash, payload) ->
+            let tid = Hilti_rt.Scheduler.thread_for_hash ~threads:nthreads hash in
+            let b = Hilti_types.Hbytes.of_string payload in
+            Hilti_types.Hbytes.freeze b;
+            Hilti_vm.Host_api.schedule api tid "Bench::parse_one" [ Hilti_vm.Value.Bytes b ])
+          datagrams;
+        let (), ns = Bench_util.time_ns (fun () -> Hilti_vm.Host_api.run_scheduler api) in
+        let stats = Hilti_vm.Host_api.scheduler_stats api in
+        (List.sort compare (List.map snd !recorded),
+         List.sort_uniq compare (List.map fst !recorded),
+         stats, ns))
   in
   let baseline_ids, _, _, _ = run_with 1 in
   Printf.printf "%d datagrams, %d parsed on a single virtual thread\n"
@@ -105,4 +116,64 @@ let run () =
     [ 1; 2; 4; 8 ];
   Printf.printf "threaded == unthreaded: %s (paper: same parsing code supports both)\n"
     (if !ok then "yes" else "NO");
+
+  (* Cooperative vs Hilti_par (the Fig. §6.6 scaling experiment): same
+     8-way-sharded workload, executed by the cooperative loop and by the
+     domain engine at 1, 2 and 4 domains. *)
+  let shard_threads = 8 in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "\ncooperative vs OCaml-domain engine (%d virtual threads, %d core%s available)\n"
+    shard_threads cores (if cores = 1 then "" else "s");
+  let dgrams = List.length datagrams in
+  let dps ns = float_of_int dgrams /. (Int64.to_float ns /. 1e9) in
+  let coop_ids, _, _, coop_ns = run_with shard_threads in
+  Printf.printf "cooperative : %7.1f ms  %8.0f datagrams/s\n"
+    (Bench_util.ms coop_ns) (dps coop_ns);
+  let par_results =
+    List.map
+      (fun domains ->
+        let ids, _, _, ns = run_with ~domains shard_threads in
+        let same = ids = coop_ids in
+        if not same then ok := false;
+        (domains, ns, same))
+      [ 1; 2; 4 ]
+  in
+  let base_ns =
+    match par_results with (_, ns, _) :: _ -> ns | [] -> coop_ns
+  in
+  List.iter
+    (fun (domains, ns, same) ->
+      Printf.printf
+        "domains=%d   : %7.1f ms  %8.0f datagrams/s  speedup vs 1 domain: %.2fx -> %s\n"
+        domains (Bench_util.ms ns) (dps ns)
+        (Int64.to_float base_ns /. Int64.to_float ns)
+        (if same then "identical results" else "MISMATCH"))
+    par_results;
+  (* Record the scaling trajectory for CI. *)
+  let json = Buffer.create 256 in
+  Buffer.add_string json "{\n";
+  Buffer.add_string json "  \"experiment\": \"threads\",\n";
+  Printf.bprintf json "  \"datagrams\": %d,\n" dgrams;
+  Printf.bprintf json "  \"virtual_threads\": %d,\n" shard_threads;
+  Printf.bprintf json "  \"cores_available\": %d,\n" cores;
+  Printf.bprintf json "  \"identical_output\": %b,\n" !ok;
+  Buffer.add_string json "  \"configs\": [\n";
+  let entries =
+    ("cooperative", 0, coop_ns)
+    :: List.map (fun (d, ns, _) -> ("domains", d, ns)) par_results
+  in
+  List.iteri
+    (fun i (mode, domains, ns) ->
+      Printf.bprintf json
+        "    {\"mode\": \"%s\", \"domains\": %d, \"ms\": %.3f, \"datagrams_per_sec\": %.0f}%s\n"
+        mode domains (Bench_util.ms ns) (dps ns)
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Buffer.add_string json "  ]\n}\n";
+  let path = "BENCH_threads.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents json);
+  close_out oc;
+  Printf.printf "scaling data written to %s\n" path;
   !ok

@@ -20,6 +20,8 @@ analysis:
   -parsers std|pac standard hand-written or BinPAC++/HILTI parsers (default std)
   -compile-scripts run scripts compiled to HILTI instead of interpreted
   -w DIR           write http.log/files.log/dns.log into DIR (default .)
+  -j N             parse DNS datagrams on N OCaml domains (Hilti_par);
+                   logs are identical to the serial pipeline's
   -quiet           do not write logs, just report counts
   -profile FILE    dump profiler measurements to FILE (§3.3)
 
@@ -44,6 +46,7 @@ let () =
   let outdir = ref "." in
   let quiet = ref false in
   let profile = ref None in
+  let jobs = ref None in
   let evt_files = ref [] in
   let bro_files = ref [] in
   let rec parse_args = function
@@ -56,6 +59,13 @@ let () =
     | "-w" :: d :: rest -> outdir := d; parse_args rest
     | "-quiet" :: rest -> quiet := true; parse_args rest
     | "-profile" :: f :: rest -> profile := Some f; parse_args rest
+    | "-j" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> jobs := Some j
+        | _ ->
+            Printf.eprintf "-j expects a positive domain count, got %s\n" n;
+            exit 1);
+        parse_args rest
     | ("-h" | "--help") :: _ -> print_string usage; exit 0
     | f :: rest when Filename.check_suffix f ".evt" ->
         evt_files := f :: !evt_files;
@@ -147,15 +157,22 @@ let () =
         Printf.eprintf "bad -proto %s / -parsers %s\n" p k;
         exit 1
   in
+  (match (!jobs, proto) with
+  | Some _, "http" ->
+      Printf.eprintf "note: -j applies to the DNS parse stage; http runs serially\n"
+  | _ -> ());
   let result =
     Driver.evaluate ~proto:proto_kind ~engine_mode ~scripts ~logging:(not !quiet)
-      records
+      ?jobs:!jobs records
   in
   Printf.printf
-    "processed %d packets, %d connections, %d events (parsers=%s scripts=%s)\n"
+    "processed %d packets, %d connections, %d events (parsers=%s scripts=%s%s)\n"
     result.Driver.stats.Driver.packets result.Driver.stats.Driver.connections
     result.Driver.stats.Driver.events !parsers
-    (if !compiled then "compiled-to-HILTI" else "interpreted");
+    (if !compiled then "compiled-to-HILTI" else "interpreted")
+    (match !jobs with
+    | Some j when proto = "dns" -> Printf.sprintf " domains=%d" j
+    | _ -> "");
   Printf.printf "time: total %.1f ms (parse %.1f, script %.1f, glue %.1f)\n"
     (Int64.to_float result.Driver.total_ns /. 1e6)
     (Int64.to_float result.Driver.parse_ns /. 1e6)

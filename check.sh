@@ -1,0 +1,20 @@
+#!/bin/sh
+# Repo check: full build, the test suite (which includes the 1/2/4-domain
+# determinism tests of test/test_par.ml), and the §6.6 threads benchmark,
+# which writes BENCH_threads.json with per-domain-count throughput.
+set -e
+cd "$(dirname "$0")"
+
+echo "== dune build @all"
+dune build @all
+
+echo "== dune runtest"
+dune runtest
+
+echo "== parallel determinism (test_par, incl. 1/2/4-domain runs)"
+dune exec test/test_main.exe -- test par
+
+echo "== bench threads (writes BENCH_threads.json)"
+dune exec bench/main.exe -- threads --quick
+
+echo "check.sh: all green"

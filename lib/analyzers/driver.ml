@@ -205,6 +205,120 @@ let run_dns ~(kind : dns_kind) ~(sink : Events.sink) (records : Pcap.record list
   sink.Events.raise_event "bro_done" [];
   stats
 
+(* ---- Parallel DNS (Hilti_par) ------------------------------------------------------ *)
+
+type dns_outcome =
+  | D_req of Events.dns_request
+  | D_rep of Events.dns_reply
+  | D_none  (* port-53 crud: still creates the connection, like run_dns *)
+
+(* Scheduling substrate for parser kinds that carry no VM of their own. *)
+let trivial_sched_module () =
+  let m = Module_ir.create "ParDrv" in
+  let b = Builder.func m "ParDrv::noop" ~exported:true ~params:[] ~result:Htype.Void in
+  Builder.return_ b;
+  m
+
+(** [run_dns] with the datagram parse stage fanned out over [jobs] OCaml
+    domains via {!Hilti_par.Engine}, sharded by flow hash (§3.2's
+    hash-scheduling).  Event dispatch stays serial and in packet order, so
+    the produced events — and therefore the logs — are identical to the
+    sequential pipeline's. *)
+let run_dns_par ~jobs ~(kind : dns_kind) ~(sink : Events.sink)
+    (records : Pcap.record list) : stats =
+  let stats = { packets = 0; connections = 0; events = 0 } in
+  let sink = profiled_sink sink stats in
+  let api =
+    match kind with
+    | Dns_pac t -> t.Dns_pac.parser.Binpacxx.Runtime.api
+    | Dns_std -> Hilti_vm.Host_api.compile [ trivial_sched_module () ]
+  in
+  let engine = Hilti_par.Engine.attach api.Hilti_vm.Host_api.ctx ~domains:jobs in
+  Fun.protect ~finally:(fun () -> Hilti_par.Engine.detach engine) @@ fun () ->
+  (* Every virtual thread owns its own parser state (§3.2): compile its
+     regexps before any datagram lands on it (FIFO per thread). *)
+  (match kind with
+  | Dns_pac t ->
+      let gname = t.Dns_pac.parser.Binpacxx.Runtime.grammar.Binpacxx.Ast.gname in
+      for tid = 0 to jobs - 1 do
+        Hilti_vm.Host_api.schedule api (Int64.of_int tid) (gname ^ "::init") []
+      done
+  | Dns_std -> ());
+  (* Stage 1 — parallel: decode and parse each datagram on the virtual
+     thread owning its flow; results land in per-record slots. *)
+  let recs = Array.of_list records in
+  let slots : (Flow.t * dns_outcome) option array =
+    Array.make (Array.length recs) None
+  in
+  Array.iteri
+    (fun i (r : Pcap.record) ->
+      match Packet.decode_opt ~ts:r.Pcap.ts r.Pcap.data with
+      | Some pkt -> (
+          match (pkt.Packet.transport, Packet.flow pkt) with
+          | Packet.UDP (udp, payload), Some flow ->
+              let from_client = udp.Udp.dst_port = 53 in
+              let oriented = if from_client then flow else Flow.reverse flow in
+              let canon, _ = Flow.canonical oriented in
+              let tid =
+                Hilti_rt.Scheduler.thread_for_hash ~threads:jobs (Flow.hash canon)
+              in
+              Hilti_vm.Host_api.schedule_host api tid ~label:"dns-parse"
+                (fun _ctx ->
+                  let outcome =
+                    match kind with
+                    | Dns_std -> (
+                        match in_parse (fun () -> Dns_std.parse payload) with
+                        | msg ->
+                            if msg.Dns_std.is_response then
+                              D_rep (Dns_std.to_reply msg)
+                            else D_req (Dns_std.to_request msg)
+                        | exception Dns_std.Bad_dns _ -> D_none)
+                    | Dns_pac t -> (
+                        match in_parse (fun () -> Dns_pac.parse t payload) with
+                        | Dns_pac.Request rq -> D_req rq
+                        | Dns_pac.Reply rp -> D_rep rp
+                        | Dns_pac.Not_dns -> D_none)
+                  in
+                  slots.(i) <- Some (oriented, outcome))
+          | _ -> ())
+      | None -> ())
+    recs;
+  Hilti_vm.Host_api.run_scheduler api;
+  (* Stage 2 — serial, in packet order: connection tracking and event
+     dispatch, exactly as the sequential pipeline does it. *)
+  sink.Events.raise_event "bro_init" [];
+  let conns : (string, Bro_val.t) Hashtbl.t = Hashtbl.create 1024 in
+  let uid_counter = ref 0 in
+  let get_conn flow ts =
+    let canon, _ = Flow.canonical flow in
+    let key = Flow.to_string canon in
+    match Hashtbl.find_opt conns key with
+    | Some c -> c
+    | None ->
+        incr uid_counter;
+        stats.connections <- stats.connections + 1;
+        let uid = Printf.sprintf "C%d" !uid_counter in
+        let conn_val = Events.connection_val ~uid ~flow ~start_time:ts in
+        Hashtbl.add conns key conn_val;
+        Events.raise_connection_established sink conn_val;
+        conn_val
+  in
+  Array.iteri
+    (fun i (r : Pcap.record) ->
+      stats.packets <- stats.packets + 1;
+      match slots.(i) with
+      | None -> ()
+      | Some (oriented, outcome) -> (
+          sink.Events.set_time r.Pcap.ts;
+          let conn_val = get_conn oriented r.Pcap.ts in
+          match outcome with
+          | D_req rq -> Events.raise_dns_request sink conn_val rq
+          | D_rep rp -> Events.raise_dns_reply sink conn_val rp
+          | D_none -> ()))
+    recs;
+  sink.Events.raise_event "bro_done" [];
+  stats
+
 (* ---- Convenience: full evaluation runs (§6.4/§6.5) ---------------------------------- *)
 
 type run_result = {
@@ -224,10 +338,14 @@ let timed f =
 let profiler_ns name = Hilti_rt.Profiler.wall_ns (Hilti_rt.Profiler.find_or_create name)
 
 (** Run an HTTP or DNS trace end-to-end with a given parser kind and
-    script engine; returns logs and the component time breakdown. *)
+    script engine; returns logs and the component time breakdown.
+
+    @param jobs parse DNS datagrams on this many OCaml domains
+    ({!run_dns_par}); HTTP runs serially regardless (its parse state is
+    per-connection and incremental). *)
 let evaluate ~(proto : [ `Http of http_kind | `Dns of dns_kind ])
     ~(engine_mode : Bro_engine.mode) ~(scripts : Bro_ast.script)
-    ?(logging = true) (records : Pcap.record list) : run_result =
+    ?(logging = true) ?jobs (records : Pcap.record list) : run_result =
   Hilti_rt.Profiler.reset_all ();
   let logger = Bro_log.create () in
   Bro_scripts.setup_logs logger;
@@ -237,9 +355,10 @@ let evaluate ~(proto : [ `Http of http_kind | `Dns of dns_kind ])
   let sink = Events.engine_sink engine in
   let stats, total_ns =
     timed (fun () ->
-        match proto with
-        | `Http kind -> run_http ~kind ~sink records
-        | `Dns kind -> run_dns ~kind ~sink records)
+        match (proto, jobs) with
+        | `Http kind, _ -> run_http ~kind ~sink records
+        | `Dns kind, Some j when j > 0 -> run_dns_par ~jobs:j ~kind ~sink records
+        | `Dns kind, _ -> run_dns ~kind ~sink records)
   in
   {
     logger;

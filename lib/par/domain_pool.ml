@@ -1,0 +1,127 @@
+(** A fixed pool of OCaml 5 domains with per-domain run queues and work
+    stealing.
+
+    This is the substrate of {!Engine}: each worker domain owns a run
+    queue; tasks are submitted with an {e affinity} selecting the preferred
+    queue, and idle workers steal from their neighbours' queues so a skewed
+    virtual-thread placement cannot leave cores idle (the paper's scheduler
+    maps virtual threads onto a fixed set of native threads the same way,
+    §3.2/§5).
+
+    Synchronisation is a single pool mutex plus two condition variables:
+    [work] wakes sleeping workers when a task arrives, [idle] wakes
+    {!drain} when the pool may have gone quiescent.  Tasks run outside the
+    lock.  The first exception raised by a task is captured and re-raised
+    from {!drain} on the submitting domain. *)
+
+type task = int -> unit
+(** A task receives the id of the worker domain executing it. *)
+
+type t = {
+  domains : int;
+  queues : task Queue.t array;  (* one run queue per worker *)
+  lock : Mutex.t;
+  work : Condition.t;  (* a task was submitted *)
+  idle : Condition.t;  (* a worker finished a task *)
+  mutable active : int;  (* tasks currently executing *)
+  mutable running : bool;
+  mutable error : exn option;  (* first task failure, raised at drain *)
+  mutable handles : unit Domain.t list;
+}
+
+(* Take work while holding the lock: own queue first, then a stealing scan
+   over the other workers' queues starting at our right-hand neighbour. *)
+let take_locked pool wid =
+  match Queue.take_opt pool.queues.(wid) with
+  | Some t -> Some t
+  | None ->
+      let n = pool.domains in
+      let rec scan k =
+        if k >= n - 1 then None
+        else
+          match Queue.take_opt pool.queues.((wid + 1 + k) mod n) with
+          | Some t -> Some t
+          | None -> scan (k + 1)
+      in
+      scan 0
+
+let record_error pool e =
+  Mutex.protect pool.lock (fun () ->
+      if pool.error = None then pool.error <- Some e)
+
+let worker pool on_start wid =
+  (try on_start wid with e -> record_error pool e);
+  Mutex.lock pool.lock;
+  let continue = ref true in
+  while !continue do
+    match take_locked pool wid with
+    | Some task ->
+        pool.active <- pool.active + 1;
+        Mutex.unlock pool.lock;
+        (try task wid with e -> record_error pool e);
+        Mutex.lock pool.lock;
+        pool.active <- pool.active - 1;
+        if pool.active = 0 then Condition.broadcast pool.idle
+    | None ->
+        if pool.running then Condition.wait pool.work pool.lock
+        else continue := false
+  done;
+  Mutex.unlock pool.lock
+
+(** Spawn [domains] worker domains.  [on_start] runs once on each worker
+    before it begins taking tasks (the engine uses it to register the
+    worker's VM context in domain-local storage). *)
+let create ~domains ~on_start =
+  if domains < 1 then invalid_arg "Domain_pool.create: domains < 1";
+  let pool =
+    {
+      domains;
+      queues = Array.init domains (fun _ -> Queue.create ());
+      lock = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      active = 0;
+      running = true;
+      error = None;
+      handles = [];
+    }
+  in
+  pool.handles <-
+    List.init domains (fun wid -> Domain.spawn (fun () -> worker pool on_start wid));
+  pool
+
+let size pool = pool.domains
+
+(** Submit a task, preferring worker [affinity mod domains].  Any idle
+    worker may steal it. *)
+let submit pool ~affinity task =
+  Mutex.protect pool.lock (fun () ->
+      if not pool.running then invalid_arg "Domain_pool.submit: pool shut down";
+      Queue.add task pool.queues.(((affinity mod pool.domains) + pool.domains) mod pool.domains);
+      Condition.signal pool.work)
+
+(** Block until every queue is empty and no task is executing, then re-raise
+    the first task failure, if any.  Tasks may submit further tasks; drain
+    waits for the transitive closure. *)
+let drain pool =
+  Mutex.lock pool.lock;
+  let quiescent () =
+    pool.active = 0 && Array.for_all Queue.is_empty pool.queues
+  in
+  while not (quiescent ()) do
+    Condition.wait pool.idle pool.lock
+  done;
+  let err = pool.error in
+  pool.error <- None;
+  Mutex.unlock pool.lock;
+  match err with Some e -> raise e | None -> ()
+
+(** Stop accepting work, let workers finish their current task, and join
+    all domains.  Queued-but-unstarted tasks are discarded. *)
+let shutdown pool =
+  Mutex.protect pool.lock (fun () ->
+      pool.running <- false;
+      Array.iter Queue.clear pool.queues;
+      Condition.broadcast pool.work);
+  List.iter Domain.join pool.handles;
+  pool.handles <- []

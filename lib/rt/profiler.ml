@@ -15,43 +15,74 @@ type t = {
   mutable snapshots : (int64 * int64) list;  (* (wall_ns, cycles) *)
 }
 
-(* The global abstract cycle counter the VM increments (plain int to keep
-   the per-instruction cost negligible). *)
-let global_cycles_int = ref 0
+(* The abstract cycle counter the VM increments.  With the parallel engine
+   (Hilti_par) VM instructions execute on several domains at once, so a
+   single plain [int ref] would drop increments under contention.  Instead
+   every charging site owns its own counter (one per VM execution context —
+   one per domain in parallel runs) registered in a shared list; the global
+   total is the sum over all registered counters, taken at snapshot time.
+   Each individual counter is only ever written by one domain, keeping the
+   per-instruction cost at a deref + store. *)
+let counters_lock = Mutex.create ()
+let counters : int ref list ref = ref []
 
-let charge_cycles n = global_cycles_int := !global_cycles_int + n
+(** Allocate a cycle counter charged into the global total.  The caller
+    must ensure each returned counter is only written from one domain. *)
+let new_counter () =
+  let r = ref 0 in
+  Mutex.protect counters_lock (fun () -> counters := r :: !counters);
+  r
 
-let global_cycles () = Int64.of_int !global_cycles_int
+(* Counter for code charging outside a VM context (one per domain). *)
+let dls_counter : int ref Domain.DLS.key = Domain.DLS.new_key new_counter
+
+let charge_cycles n =
+  let r = Domain.DLS.get dls_counter in
+  r := !r + n
+
+let global_cycles () =
+  Mutex.protect counters_lock (fun () ->
+      List.fold_left (fun acc r -> Int64.add acc (Int64.of_int !r)) 0L !counters)
 
 let monotonic_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
+(* Profiler records themselves are not guarded: a profiler name should be
+   driven from one domain at a time (concurrent use only fuzzes the
+   measurements, it cannot corrupt analysis results).  The registry that
+   holds them is shared across domains and is guarded. *)
+let registry_lock = Mutex.create ()
 let registry : (string, t) Hashtbl.t = Hashtbl.create 16
 
 let find_or_create name =
-  match Hashtbl.find_opt registry name with
-  | Some p -> p
-  | None ->
-      let p =
-        {
-          name;
-          invocations = 0;
-          wall_ns = 0L;
-          cycles = 0L;
-          started_at = None;
-          cycles_at_start = 0L;
-          snapshots = [];
-        }
-      in
-      Hashtbl.add registry name p;
-      p
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some p -> p
+      | None ->
+          let p =
+            {
+              name;
+              invocations = 0;
+              wall_ns = 0L;
+              cycles = 0L;
+              started_at = None;
+              cycles_at_start = 0L;
+              snapshots = [];
+            }
+          in
+          Hashtbl.add registry name p;
+          p)
 
 let name t = t.name
 let invocations t = t.invocations
 let wall_ns t = t.wall_ns
 let cycles t = t.cycles
 
-(* Stack of currently-running profilers, for exclusive accounting. *)
-let running : t list ref = ref []
+(* Stack of currently-running profilers, for exclusive accounting.  The
+   stack is per-domain: exclusive windows on one domain must not pause
+   profilers running on another. *)
+let running_key : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let running () = Domain.DLS.get running_key
 
 let start_raw t =
   t.started_at <- Some (monotonic_ns ());
@@ -67,11 +98,13 @@ let stop_raw t =
 
 let start t =
   t.invocations <- t.invocations + 1;
+  let running = running () in
   running := t :: !running;
   start_raw t
 
 let stop t =
   stop_raw t;
+  let running = running () in
   running := List.filter (fun p -> p != t) !running
 
 (** Record the current totals as a snapshot (HILTI writes these to disk at
@@ -91,6 +124,7 @@ let time name f =
     exclusive, so they can be summed into a breakdown (the Figure 9/10
     accounting). *)
 let time_exclusive name f =
+  let running = running () in
   let saved = !running in
   List.iter stop_raw saved;
   let p = find_or_create name in
@@ -105,12 +139,15 @@ let time_exclusive name f =
     f
 
 let reset_all () =
-  Hashtbl.reset registry;
-  running := [];
-  global_cycles_int := 0
+  Mutex.protect registry_lock (fun () -> Hashtbl.reset registry);
+  (running ()) := [];
+  Mutex.protect counters_lock (fun () -> List.iter (fun r -> r := 0) !counters)
 
 let report () =
-  let entries = Hashtbl.fold (fun _ p acc -> p :: acc) registry [] in
+  let entries =
+    Mutex.protect registry_lock (fun () ->
+        Hashtbl.fold (fun _ p acc -> p :: acc) registry [])
+  in
   let entries = List.sort (fun a b -> compare a.name b.name) entries in
   List.map
     (fun p ->
@@ -129,12 +166,16 @@ let write_report path =
     (fun () ->
       output_string oc "#profiler\tcalls\twall_ms\tcycles\n";
       List.iter (fun line -> output_string oc (line ^ "\n")) (report ());
-      Hashtbl.iter
-        (fun _ p ->
+      let entries =
+        Mutex.protect registry_lock (fun () ->
+            Hashtbl.fold (fun _ p acc -> p :: acc) registry [])
+      in
+      List.iter
+        (fun p ->
           List.iteri
             (fun i (wall, cyc) ->
               Printf.fprintf oc "#snapshot\t%s\t%d\t%.3f\t%Ld\n" p.name i
                 (Int64.to_float wall /. 1e6)
                 cyc)
             (snapshots p))
-        registry)
+        entries)

@@ -11,7 +11,12 @@
     thread, with round-robin service across threads holding pending work —
     deterministic, which the tests rely on.  Each virtual thread owns a
     context: its job queue, its own {!Timer_mgr}, and a scratch table of
-    thread-local variables managed by the VM. *)
+    thread-local variables managed by the VM.
+
+    A {!backend} can replace the cooperative loop with a different
+    execution strategy behind the same interface; [Hilti_par] uses this to
+    run virtual threads on a pool of OCaml 5 domains (the paper's native
+    hardware threads). *)
 
 type job = { fn : unit -> unit; label : string }
 
@@ -23,6 +28,24 @@ type vthread = {
   mutable jobs_run : int;
 }
 
+type stats = { vthreads : int; total_jobs : int }
+
+(** A pluggable execution backend.  When installed, the public scheduling
+    operations delegate to it instead of the built-in cooperative loop —
+    this is how {b Hilti_par} maps virtual threads onto OCaml domains while
+    the VM, [Mini_bro] and the analyzers keep calling the same [Scheduler]
+    interface.  The command queue stays local: serialized operations (file
+    writes, ...) always run on whichever domain drains them, under the
+    scheduler's own lock. *)
+type backend = {
+  b_schedule : int64 -> label:string -> (unit -> unit) -> unit;
+  b_run : unit -> unit;
+  b_advance : Hilti_types.Time_ns.t -> unit;
+  b_timers : int64 -> Timer_mgr.t;
+  b_stats : unit -> stats;
+  b_pending : unit -> int;
+}
+
 type t = {
   threads : (int64, vthread) Hashtbl.t;
   mutable vthread_count : int;  (* stable stat *)
@@ -31,6 +54,9 @@ type t = {
   command_queue : job Queue.t;
       (** serialized operations executed between job steps, standing in for
           HILTI's dedicated manager thread (§5 "Runtime Library") *)
+  cmd_lock : Mutex.t;
+      (** commands may be submitted from any domain in parallel mode *)
+  mutable backend : backend option;
 }
 
 let create () =
@@ -40,7 +66,13 @@ let create () =
     total_jobs = 0;
     running = false;
     command_queue = Queue.create ();
+    cmd_lock = Mutex.create ();
+    backend = None;
   }
+
+let set_backend t b = t.backend <- Some b
+let clear_backend t = t.backend <- None
+let backend t = t.backend
 
 let vthread t id =
   match Hashtbl.find_opt t.threads id with
@@ -62,21 +94,47 @@ let vthread t id =
 (** Schedule [fn] for asynchronous execution on virtual thread [id]
     ([thread.schedule]).  FIFO within a thread. *)
 let schedule t id ?(label = "") fn =
-  let vt = vthread t id in
-  Queue.add { fn; label } vt.queue;
-  t.total_jobs <- t.total_jobs + 1
+  match t.backend with
+  | Some b -> b.b_schedule id ~label fn
+  | None ->
+      let vt = vthread t id in
+      Queue.add { fn; label } vt.queue;
+      t.total_jobs <- t.total_jobs + 1
 
-(** Submit a serialized command (e.g. a file write) to the manager queue. *)
-let command t ?(label = "cmd") fn = Queue.add { fn; label } t.command_queue
+(** The timer manager of virtual thread [id] (per-domain in parallel
+    mode — timers always fire on the domain owning the thread). *)
+let timers_for t id =
+  match t.backend with
+  | Some b -> b.b_timers id
+  | None -> (vthread t id).timers
+
+(** Submit a serialized command (e.g. a file write) to the manager queue.
+    Safe to call from any domain. *)
+let command t ?(label = "cmd") fn =
+  Mutex.protect t.cmd_lock (fun () -> Queue.add { fn; label } t.command_queue)
+
+(** Number of queued serialized commands (any domain). *)
+let commands_pending t =
+  Mutex.protect t.cmd_lock (fun () -> Queue.length t.command_queue)
 
 let pending t =
-  Hashtbl.fold (fun _ vt acc -> acc + Queue.length vt.queue) t.threads 0
-  + Queue.length t.command_queue
+  match t.backend with
+  | Some b -> b.b_pending ()
+  | None ->
+      Hashtbl.fold (fun _ vt acc -> acc + Queue.length vt.queue) t.threads 0
+      + Mutex.protect t.cmd_lock (fun () -> Queue.length t.command_queue)
 
+(** Pop-and-run every queued command.  Commands run outside the lock (they
+    may submit further commands). *)
 let drain_commands t =
-  while not (Queue.is_empty t.command_queue) do
-    (Queue.take t.command_queue).fn ()
-  done
+  let rec go () =
+    match Mutex.protect t.cmd_lock (fun () -> Queue.take_opt t.command_queue) with
+    | Some job ->
+        job.fn ();
+        go ()
+    | None -> ()
+  in
+  go ()
 
 (** Run until all queues are empty.  Jobs may schedule further jobs.  Every
     job runs with its virtual thread's context current (see {!current}). *)
@@ -96,7 +154,12 @@ let run_one_job vt =
       vt.jobs_run <- vt.jobs_run + 1;
       true
 
-let run t =
+let rec run t =
+  match t.backend with
+  | Some b -> b.b_run ()
+  | None -> run_cooperative t
+
+and run_cooperative t =
   if t.running then invalid_arg "Scheduler.run: reentrant";
   t.running <- true;
   Fun.protect
@@ -122,11 +185,17 @@ let run t =
 (** Advance every virtual thread's timer manager to [time] (global time
     advance broadcast). *)
 let advance_time t time =
-  Hashtbl.iter (fun _ vt -> ignore (Timer_mgr.advance vt.timers time)) t.threads
+  match t.backend with
+  | Some b -> b.b_advance time
+  | None ->
+      Hashtbl.iter
+        (fun _ vt -> ignore (Timer_mgr.advance vt.timers time))
+        t.threads
 
-type stats = { vthreads : int; total_jobs : int }
-
-let stats t = { vthreads = t.vthread_count; total_jobs = t.total_jobs }
+let stats t =
+  match t.backend with
+  | Some b -> b.b_stats ()
+  | None -> { vthreads = t.vthread_count; total_jobs = t.total_jobs }
 
 (** The hash-based load-balancing helper the paper describes: map a flow
     key to a virtual thread id in [0, n). *)

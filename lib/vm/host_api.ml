@@ -104,22 +104,28 @@ let cancel (run : parse_run) = Hilti_rt.Fiber.cancel run.fiber
     thread [tid] ([thread.schedule] from the host side).  Arguments are
     deep-copied, preserving the isolation model of §3.2. *)
 let schedule t tid name args =
-  let ctx = t.ctx in
-  match Bytecode.find_func ctx.Vm.program name with
+  match Bytecode.find_func t.ctx.Vm.program name with
   | Some idx ->
       (* Copy at schedule time, as [thread.schedule] does: the sender can
          keep mutating its own data afterwards. *)
       let args = List.map Value.deep_copy args in
-      Hilti_rt.Scheduler.schedule ctx.Vm.scheduler tid ~label:name (fun () ->
-          let saved = ctx.Vm.current_thread in
-          ctx.Vm.current_thread <- tid;
-          Fun.protect
-            ~finally:(fun () -> ctx.Vm.current_thread <- saved)
-            (fun () -> ignore (Vm.exec_func ctx idx args)))
+      Vm.schedule_job t.ctx tid idx args
   | None -> raise (Vm.Runtime_error ("unknown function " ^ name))
 
+(** Schedule an arbitrary host-side closure on virtual thread [tid].  Under
+    [Hilti_par] it runs on whichever domain owns the thread; [fn] receives
+    that domain's execution context with [current_thread] set to [tid]. *)
+let schedule_host t tid ~label fn =
+  Hilti_rt.Scheduler.schedule t.ctx.Vm.scheduler tid ~label (fun () ->
+      let ctx = Vm.exec_context t.ctx in
+      let saved = ctx.Vm.current_thread in
+      ctx.Vm.current_thread <- tid;
+      Fun.protect
+        ~finally:(fun () -> ctx.Vm.current_thread <- saved)
+        (fun () -> fn ctx))
+
 (** The virtual thread currently executing (for host callbacks). *)
-let current_thread t = t.ctx.Vm.current_thread
+let current_thread t = (Vm.exec_context t.ctx).Vm.current_thread
 
 (** Drain all scheduled virtual-thread jobs. *)
 let run_scheduler t = Vm.run_scheduler t.ctx

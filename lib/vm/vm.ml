@@ -29,7 +29,9 @@ type context = {
   mutable cached_tid : int64;          (* thread whose globals are cached *)
   mutable cached_globals : Value.t array;
   mutable instr_count : int;
+  cycles : int ref;                    (* per-context abstract cycle counter *)
   mutable debug_sink : string -> unit;
+  parent : context option;             (* Some root for per-domain clones *)
 }
 
 let main_thread_id = 0L
@@ -44,12 +46,58 @@ let create program =
     cached_tid = Int64.min_int;
     cached_globals = [||];
     instr_count = 0;
+    cycles = Hilti_rt.Profiler.new_counter ();
     debug_sink = (fun s -> print_endline s);
+    parent = None;
   }
 
 let register_host ctx name fn = Hashtbl.replace ctx.host_funcs name fn
 
 let instr_count ctx = Int64.of_int ctx.instr_count
+
+(* ---- Per-domain execution contexts (the parallel engine) --------------------- *)
+
+(* A domain clone shares the immutable program, the host-function table and
+   the scheduler, but owns the mutable execution state (current thread,
+   globals table/cache, instruction counter).  [Hilti_par] makes one clone
+   per worker domain and registers it in domain-local storage; every VM
+   entry point then resolves the context it was handed to the clone of the
+   domain it is actually executing on, so jobs, callables and fibers can
+   migrate between domains without sharing mutable state. *)
+
+let clone_for_domain ctx =
+  if ctx.parent <> None then invalid_arg "Vm.clone_for_domain: already a clone";
+  {
+    ctx with
+    vthread_globals = Hashtbl.create 8;
+    current_thread = main_thread_id;
+    cached_tid = Int64.min_int;
+    cached_globals = [||];
+    instr_count = 0;
+    cycles = Hilti_rt.Profiler.new_counter ();
+    parent = Some ctx;
+  }
+
+let domain_contexts : (context * context) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+(** Register [clone] as the executing domain's context for [root]
+    (called once per worker domain by the parallel engine). *)
+let set_domain_context ~root ~clone =
+  let l = Domain.DLS.get domain_contexts in
+  l := (root, clone) :: List.filter (fun (r, _) -> r != root) !l
+
+(** Resolve [ctx] (root or any clone of it) to the context owned by the
+    executing domain: the registered clone on an engine worker, the root
+    everywhere else. *)
+let exec_context ctx =
+  let root = match ctx.parent with Some r -> r | None -> ctx in
+  match !(Domain.DLS.get domain_contexts) with
+  | [] -> root
+  | l -> (
+      match List.find_opt (fun (r, _) -> r == root) l with
+      | Some (_, clone) -> clone
+      | None -> root)
 
 (** The executing virtual thread's globals array (created on demand). *)
 let globals_for ctx tid =
@@ -71,7 +119,7 @@ let current_globals ctx =
 
 (** The executing virtual thread's timer manager. *)
 let current_timer_mgr ctx =
-  (Hilti_rt.Scheduler.vthread ctx.scheduler ctx.current_thread).Hilti_rt.Scheduler.timers
+  Hilti_rt.Scheduler.timers_for ctx.scheduler ctx.current_thread
 
 (* ---- Blocking operations ---------------------------------------------------- *)
 
@@ -1029,7 +1077,7 @@ and exec_func ctx (fidx : int) (args : Value.t list) : Value.t =
   while !running do
     let i = code.(frame.pc) in
     ctx.instr_count <- ctx.instr_count + 1;
-    Hilti_rt.Profiler.charge_cycles 1;
+    ctx.cycles := !(ctx.cycles) + 1;
     let next = frame.pc + 1 in
     (try
        match i with
@@ -1099,20 +1147,19 @@ and exec_func ctx (fidx : int) (args : Value.t list) : Value.t =
            let args =
              Array.to_list (Array.map (fun r -> Value.deep_copy (reg frame r)) arg_regs)
            in
-           let label = ctx.program.funcs.(callee).name in
-           Hilti_rt.Scheduler.schedule ctx.scheduler tid ~label (fun () ->
-               let saved = ctx.current_thread in
-               ctx.current_thread <- tid;
-               Fun.protect
-                 ~finally:(fun () -> ctx.current_thread <- saved)
-                 (fun () -> ignore (exec_func ctx callee args)));
+           schedule_job ctx tid callee args;
            frame.pc <- next
        | Bind (callee, arg_regs, dst) ->
            let args = Array.to_list (Array.map (reg frame) arg_regs) in
            let name = ctx.program.funcs.(callee).name in
            setreg frame dst
              (Value.Callable
-                { description = name; invoke = (fun () -> exec_func ctx callee args) });
+                {
+                  description = name;
+                  (* Resolve at invocation: the callable may fire later on a
+                     different domain (e.g. from a migrated timer). *)
+                  invoke = (fun () -> exec_func (exec_context ctx) callee args);
+                });
            frame.pc <- next
        | Prim (p, arg_regs, dst) ->
            let args = Array.map (reg frame) arg_regs in
@@ -1144,8 +1191,24 @@ and run_hook ctx name args =
       try List.iter (fun idx -> ignore (exec_func ctx idx args)) idxs
       with Value.Hilti_error e when e.Value.ename = "Hilti::HookStop" -> ())
 
-(** Call a HILTI function by name (the generated C-stub entry point). *)
+(** Schedule bytecode function [callee] on virtual thread [tid]
+    ([thread.schedule]).  The caller must have deep-copied [args] already.
+    The job resolves its execution context when it runs: under [Hilti_par]
+    that is the clone owned by whichever domain the thread landed on. *)
+and schedule_job ctx tid callee (args : Value.t list) =
+  let label = ctx.program.funcs.(callee).name in
+  Hilti_rt.Scheduler.schedule ctx.scheduler tid ~label (fun () ->
+      let ctx = exec_context ctx in
+      let saved = ctx.current_thread in
+      ctx.current_thread <- tid;
+      Fun.protect
+        ~finally:(fun () -> ctx.current_thread <- saved)
+        (fun () -> ignore (exec_func ctx callee args)))
+
+(** Call a HILTI function by name (the generated C-stub entry point).
+    Runs on the current domain's execution context. *)
 let call ctx name args =
+  let ctx = exec_context ctx in
   match Bytecode.find_func ctx.program name with
   | Some idx -> exec_func ctx idx args
   | None -> fail "unknown function %s" name

@@ -1,0 +1,140 @@
+(** Streaming-pipeline memory bench: the tentpole claim of the Iosrc
+    refactor is that memory is bounded by *trace-independent* state (live
+    connections + one in-flight message per side), not by trace length.
+
+    We run the HTTP analyzer over synthetic traces growing 1x/4x/16x,
+    once through the streaming path (generator iosrc -> evaluate_src with
+    an idle timeout) and once through the materialised list path, and
+    record the peak live heap and throughput of each.  Streaming peaks
+    should stay near-flat while the list path grows with the trace.
+
+    Peak heap is measured precisely: the packet source is tapped and every
+    [sample_every] packets a full major collection runs before reading
+    live words, so floating garbage (which scales with allocation rate,
+    not retention) cannot inflate the number.  Throughput comes from a
+    separate untapped run. *)
+
+let scripts = lazy (Mini_bro.Bro_scripts.parse_all ())
+
+let idle_timeout = Hilti_types.Interval_ns.of_msecs 50
+
+let sample_every = 500
+
+(* Wrap a source so [sample] runs every [sample_every] packets. *)
+let tapped sample (src : Hilti_rt.Iosrc.t) : Hilti_rt.Iosrc.t =
+  let count = ref 0 in
+  Hilti_rt.Iosrc.create ~kind:(Hilti_rt.Iosrc.kind src) (fun () ->
+      incr count;
+      if !count mod sample_every = 0 then sample ();
+      Hilti_rt.Iosrc.read src)
+
+(* Peak *live* major-heap words across [f ~tap]: [tap] forces a major
+   collection and reads what is actually reachable. *)
+let peak_live_words f =
+  (* Settle the heap first: a single compaction can still report words the
+     next major cycle would free (live_words lags a cycle). *)
+  Gc.compact ();
+  Gc.full_major ();
+  Gc.full_major ();
+  let peak = ref (Gc.quick_stat ()).Gc.live_words in
+  let sample () =
+    Gc.full_major ();
+    let lw = (Gc.quick_stat ()).Gc.live_words in
+    if lw > !peak then peak := lw
+  in
+  let r = f ~tap:(tapped sample) in
+  sample ();
+  (r, !peak)
+
+let evaluate ?idle_timeout src =
+  Hilti_analyzers.Driver.evaluate_src
+    ~proto:(`Http Hilti_analyzers.Driver.Http_std)
+    ~engine_mode:Mini_bro.Bro_engine.Interpreted ~scripts:(Lazy.force scripts)
+    ~logging:false ?idle_timeout src
+
+(* Streaming path: synthesize on demand, evict idle connections. *)
+let run_streaming ~tap sessions =
+  let cfg = { Hilti_traces.Http_gen.default with sessions } in
+  evaluate ~idle_timeout (tap (Hilti_traces.Http_gen.iosrc cfg))
+
+(* List path: materialise the whole trace first (the closure keeps the
+   record list alive for the duration), no eviction — the old pipeline. *)
+let run_list ~tap sessions =
+  let cfg = { Hilti_traces.Http_gen.default with sessions } in
+  let records = (Hilti_traces.Http_gen.generate cfg).Hilti_traces.Http_gen.records in
+  evaluate (tap (Hilti_net.Pcap.iosrc_of_records records))
+
+let mib words = float_of_int words *. float_of_int (Sys.word_size / 8) /. 1048576.0
+
+let run ?(base = 150) () =
+  Bench_util.header "Streaming pipeline: peak heap vs trace size";
+  Printf.printf "%-10s %6s %9s %12s %12s %12s\n" "mode" "scale" "packets"
+    "peak MiB" "ms" "pkts/s";
+  let no_tap src = src in
+  let measure mode scale f =
+    Bench_util.gc_normalize ();
+    let result, peak = peak_live_words f in
+    (* Time a second, untapped run: forced majors would poison it. *)
+    let _, ns = Bench_util.time_ns (fun () -> f ~tap:no_tap) in
+    let packets = result.Hilti_analyzers.Driver.stats.Hilti_analyzers.Driver.packets in
+    let secs = Int64.to_float ns /. 1e9 in
+    Printf.printf "%-10s %6dx %9d %12.2f %12.1f %12.0f\n%!" mode scale packets
+      (mib peak) (Bench_util.ms ns)
+      (float_of_int packets /. secs);
+    (packets, peak, ns)
+  in
+  let scales = [ 1; 4; 16 ] in
+  let stream =
+    List.map
+      (fun s -> (s, measure "stream" s (fun ~tap -> run_streaming ~tap (base * s))))
+      scales
+  in
+  (* The list path only needs the endpoints to show the contrast. *)
+  let listed =
+    List.map
+      (fun s -> (s, measure "list" s (fun ~tap -> run_list ~tap (base * s))))
+      [ 1; 16 ]
+  in
+  let peak_of results s =
+    let _, (_, peak, _) = List.find (fun (s', _) -> s' = s) results in
+    peak
+  in
+  let stream_growth =
+    float_of_int (peak_of stream 16) /. float_of_int (peak_of stream 1)
+  in
+  let list_growth =
+    float_of_int (peak_of listed 16) /. float_of_int (peak_of listed 1)
+  in
+  let bounded = stream_growth < 2.0 in
+  Printf.printf
+    "peak heap growth at 16x trace: streaming %.2fx, list %.2fx -> %s\n"
+    stream_growth list_growth
+    (if bounded then "bounded" else "NOT BOUNDED");
+  (* Record the trajectory for CI. *)
+  let json = Buffer.create 256 in
+  Buffer.add_string json "{\n";
+  Buffer.add_string json "  \"experiment\": \"stream\",\n";
+  Printf.bprintf json "  \"base_sessions\": %d,\n" base;
+  Printf.bprintf json "  \"stream_peak_growth_16x\": %.3f,\n" stream_growth;
+  Printf.bprintf json "  \"list_peak_growth_16x\": %.3f,\n" list_growth;
+  Printf.bprintf json "  \"bounded\": %b,\n" bounded;
+  Buffer.add_string json "  \"runs\": [\n";
+  let entries =
+    List.map (fun (s, m) -> ("stream", s, m)) stream
+    @ List.map (fun (s, m) -> ("list", s, m)) listed
+  in
+  List.iteri
+    (fun i (mode, scale, (packets, peak, ns)) ->
+      Printf.bprintf json
+        "    {\"mode\": \"%s\", \"scale\": %d, \"packets\": %d, \"peak_mib\": \
+         %.3f, \"ms\": %.3f}%s\n"
+        mode scale packets (mib peak) (Bench_util.ms ns)
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Buffer.add_string json "  ]\n}\n";
+  let path = "BENCH_stream.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents json);
+  close_out oc;
+  Printf.printf "memory trajectory written to %s\n" path;
+  bounded

@@ -14,6 +14,7 @@ let experiments =
     ("parsers", "§6.4 protocol parsing: Table 2 + Figure 9");
     ("scripts", "§6.5 script compiler: Table 3 + Figure 10 + fib");
     ("threads", "§6.6 virtual-thread load balancing");
+    ("stream", "streaming pipeline: peak heap vs trace size");
     ("ablations", "design-choice ablations") ]
 
 let () =
@@ -35,6 +36,7 @@ let () =
       | "parsers" -> ignore (Bench_parsers.run ~http_sessions ~dns_transactions ())
       | "scripts" -> ignore (Bench_scripts.run ~http_sessions ~dns_transactions ())
       | "threads" -> ignore (Bench_threads.run ())
+      | "stream" -> ignore (Bench_stream.run ~base:(if quick then 40 else 150) ())
       | "ablations" -> Bench_ablations.run ()
       | other ->
           Printf.eprintf "unknown experiment %s; known:\n" other;

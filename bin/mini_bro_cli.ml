@@ -22,8 +22,13 @@ analysis:
   -w DIR           write http.log/files.log/dns.log into DIR (default .)
   -j N             parse DNS datagrams on N OCaml domains (Hilti_par);
                    logs are identical to the serial pipeline's
+  -timeout MS      evict connections idle for MS milliseconds of trace time,
+                   bounding the session table by the live flows
   -quiet           do not write logs, just report counts
   -profile FILE    dump profiler measurements to FILE (§3.3)
+
+Input is streamed: packets are pulled from the trace (or synthesized) one
+at a time, so memory is bounded by the live connections, not trace size.
 
 Fig. 7(d) mode — positional files instead of -proto:
   mini-bro -r ssh.trace ssh.evt ssh.bro
@@ -47,6 +52,7 @@ let () =
   let quiet = ref false in
   let profile = ref None in
   let jobs = ref None in
+  let idle_timeout = ref None in
   let evt_files = ref [] in
   let bro_files = ref [] in
   let rec parse_args = function
@@ -66,6 +72,14 @@ let () =
             Printf.eprintf "-j expects a positive domain count, got %s\n" n;
             exit 1);
         parse_args rest
+    | "-timeout" :: ms :: rest ->
+        (match int_of_string_opt ms with
+        | Some m when m >= 1 ->
+            idle_timeout := Some (Hilti_types.Interval_ns.of_msecs m)
+        | _ ->
+            Printf.eprintf "-timeout expects a positive millisecond count, got %s\n" ms;
+            exit 1);
+        parse_args rest
     | ("-h" | "--help") :: _ -> print_string usage; exit 0
     | f :: rest when Filename.check_suffix f ".evt" ->
         evt_files := f :: !evt_files;
@@ -78,32 +92,36 @@ let () =
         exit 1
   in
   parse_args (List.tl (Array.to_list Sys.argv));
-  let records, default_proto =
+  (* A re-creatable streaming source: packets are pulled on demand (from
+     the trace file or synthesized), never materialised as a list.  The
+     thunk lets the Fig. 7(d) mode replay the input once per .evt file. *)
+  let make_src, default_proto =
     match !input with
-    | Some (`Pcap f) -> (Hilti_net.Pcap.read_file f, "http")
+    | Some (`Pcap f) ->
+        ((fun () -> Hilti_net.Pcap.iosrc_of_file f), "http")
     | Some (`Gen spec) -> (
         match String.split_on_char ':' spec with
         | "http" :: rest ->
             let sessions =
               match rest with [ n ] -> int_of_string n | _ -> 200
             in
-            ( (Hilti_traces.Http_gen.generate
-                 { Hilti_traces.Http_gen.default with sessions })
-                .Hilti_traces.Http_gen.records,
+            ( (fun () ->
+                Hilti_traces.Http_gen.iosrc
+                  { Hilti_traces.Http_gen.default with sessions }),
               "http" )
         | "dns" :: rest ->
             let transactions =
               match rest with [ n ] -> int_of_string n | _ -> 2000
             in
-            ( (Hilti_traces.Dns_gen.generate
-                 { Hilti_traces.Dns_gen.default with transactions })
-                .Hilti_traces.Dns_gen.records,
+            ( (fun () ->
+                Hilti_traces.Dns_gen.iosrc
+                  { Hilti_traces.Dns_gen.default with transactions }),
               "dns" )
         | "ssh" :: rest ->
             let sessions = match rest with [ n ] -> int_of_string n | _ -> 20 in
-            ( (Hilti_traces.Ssh_gen.generate
-                 { Hilti_traces.Ssh_gen.default with sessions })
-                .Hilti_traces.Ssh_gen.records,
+            ( (fun () ->
+                Hilti_traces.Ssh_gen.iosrc
+                  { Hilti_traces.Ssh_gen.default with sessions }),
               "evt" )
         | _ ->
             Printf.eprintf "bad -g spec %s\n" spec;
@@ -132,7 +150,7 @@ let () =
         in
         let grammar = Binpacxx.Grammar_parser.parse (read_file grammar_path) in
         let loaded = Hilti_analyzers.Evt.load cfg grammar in
-        let stats = Hilti_analyzers.Driver.run_evt ~loaded ~sink records in
+        let stats = Hilti_analyzers.Driver.run_evt_src ~loaded ~sink (make_src ()) in
         Printf.eprintf "%s: %d packets, %d connections, %d events\n" evt_file
           stats.Hilti_analyzers.Driver.packets
           stats.Hilti_analyzers.Driver.connections
@@ -162,8 +180,9 @@ let () =
       Printf.eprintf "note: -j applies to the DNS parse stage; http runs serially\n"
   | _ -> ());
   let result =
-    Driver.evaluate ~proto:proto_kind ~engine_mode ~scripts ~logging:(not !quiet)
-      ?jobs:!jobs records
+    Driver.evaluate_src ~proto:proto_kind ~engine_mode ~scripts
+      ~logging:(not !quiet) ?jobs:!jobs ?idle_timeout:!idle_timeout
+      (make_src ())
   in
   Printf.printf
     "processed %d packets, %d connections, %d events (parsers=%s scripts=%s%s)\n"
@@ -173,6 +192,11 @@ let () =
     (match !jobs with
     | Some j when proto = "dns" -> Printf.sprintf " domains=%d" j
     | _ -> "");
+  (match !idle_timeout with
+  | Some _ ->
+      Printf.printf "evicted %d idle connections\n"
+        result.Driver.stats.Driver.evicted
+  | None -> ());
   Printf.printf "time: total %.1f ms (parse %.1f, script %.1f, glue %.1f)\n"
     (Int64.to_float result.Driver.total_ns /. 1e6)
     (Int64.to_float result.Driver.parse_ns /. 1e6)

@@ -14,7 +14,13 @@ dune runtest
 echo "== parallel determinism (test_par, incl. 1/2/4-domain runs)"
 dune exec test/test_main.exe -- test par
 
+echo "== streaming pipeline suite (test_stream)"
+dune exec test/test_main.exe -- test stream
+
 echo "== bench threads (writes BENCH_threads.json)"
 dune exec bench/main.exe -- threads --quick
+
+echo "== bench stream (writes BENCH_stream.json)"
+dune exec bench/main.exe -- stream --quick
 
 echo "check.sh: all green"

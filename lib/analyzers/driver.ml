@@ -2,6 +2,13 @@
     through flow tracking, TCP reassembly, and a protocol parser (standard
     or BinPAC++), raising events into a Mini-Bro engine (§6.1's pipeline).
 
+    All entry points fold over a {!Hilti_rt.Iosrc.t} — the canonical packet
+    interface — so the pipeline's state is bounded by the live connections,
+    not by the trace length: packets are pulled one at a time, consumed
+    parser input is trimmed, and idle connections can be evicted through
+    {!Flow_table} timeouts ([?idle_timeout]).  The [record list] entry
+    points remain as thin wrappers and behave exactly as before.
+
     Component costs are recorded under the profilers
     ["analyzer/parse"] (protocol parsing), ["analyzer/script"] (event
     dispatch = script execution), and ["bro/glue"] (value conversion,
@@ -17,6 +24,7 @@ type stats = {
   mutable packets : int;
   mutable connections : int;
   mutable events : int;
+  mutable evicted : int;  (** connections torn down by idle timeout *)
 }
 
 let parse_profiler = "analyzer/parse"
@@ -37,6 +45,8 @@ let profiled_sink (sink : Events.sink) (stats : stats) : Events.sink =
 
 let in_parse f = Hilti_rt.Profiler.time parse_profiler f
 
+let fresh_stats () = { packets = 0; connections = 0; events = 0; evicted = 0 }
+
 (* ---- HTTP ------------------------------------------------------------------------ *)
 
 type http_side =
@@ -49,7 +59,7 @@ type http_conn = {
   rep_side : http_side;
   req_rs : Reassembly.t;
   rep_rs : Reassembly.t;
-  h_flow : Flow.t;  (** as first seen: src = originator *)
+  seq : int;  (** creation order, for the deterministic end-of-trace flush *)
   mutable established : bool;
 }
 
@@ -61,64 +71,80 @@ let feed_side side data =
 let eof_side side =
   match side with Hs_std p -> Http_std.eof p | Hs_pac s -> Http_pac.eof s
 
-(** Run an HTTP trace through the pipeline. *)
-let run_http ~(kind : http_kind) ~(sink : Events.sink) (records : Pcap.record list) :
-    stats =
-  let stats = { packets = 0; connections = 0; events = 0 } in
+(** Stream an HTTP source through the pipeline.  With [?idle_timeout],
+    connections idle for that long (in trace time) are flushed and evicted
+    as the clock advances, keeping the session table bounded by the live
+    flows; without it the table drains only at end of trace, matching the
+    list-based path event for event. *)
+let run_http_src ~(kind : http_kind) ~(sink : Events.sink) ?idle_timeout
+    (src : Hilti_rt.Iosrc.t) : stats =
+  let stats = fresh_stats () in
   let sink = profiled_sink sink stats in
   (match kind with
   | Http_pac t -> t.Http_pac.sink <- sink
   | Http_std -> ());
   sink.Events.raise_event "bro_init" [];
-  let conns : (string, http_conn) Hashtbl.t = Hashtbl.create 256 in
-  let order : http_conn list ref = ref [] in
+  let timer_mgr = Hilti_rt.Timer_mgr.create () in
   let uid_counter = ref 0 in
-  let get_conn flow ts =
-    let canon, _ = Flow.canonical flow in
-    let key = Flow.to_string canon in
-    match Hashtbl.find_opt conns key with
-    | Some c -> c
-    | None ->
-        incr uid_counter;
-        stats.connections <- stats.connections + 1;
-        let uid = Printf.sprintf "C%d" !uid_counter in
-        let conn_val = Events.connection_val ~uid ~flow ~start_time:ts in
-        let mk_side ~is_request =
-          match kind with
-          | Http_std ->
-              Hs_std
-                (Http_std.create ~is_request
-                   ~on_request:(fun r -> Events.raise_http_request sink conn_val r)
-                   ~on_reply:(fun r -> Events.raise_http_reply sink conn_val r))
-          | Http_pac t -> Hs_pac (Http_pac.session t ~conn:conn_val ~is_request)
-        in
-        let req_side = mk_side ~is_request:true in
-        let rep_side = mk_side ~is_request:false in
-        let c =
-          {
-            conn_val;
-            req_side;
-            rep_side;
-            req_rs = Reassembly.create (fun data -> in_parse (fun () -> feed_side req_side data));
-            rep_rs = Reassembly.create (fun data -> in_parse (fun () -> feed_side rep_side data));
-            h_flow = flow;
-            established = false;
-          }
-        in
-        Hashtbl.add conns key c;
-        order := c :: !order;
-        c
+  let fresh flow ts =
+    incr uid_counter;
+    stats.connections <- stats.connections + 1;
+    let uid = Printf.sprintf "C%d" !uid_counter in
+    let conn_val = Events.connection_val ~uid ~flow ~start_time:ts in
+    let mk_side ~is_request =
+      match kind with
+      | Http_std ->
+          Hs_std
+            (Http_std.create ~is_request
+               ~on_request:(fun r -> Events.raise_http_request sink conn_val r)
+               ~on_reply:(fun r -> Events.raise_http_reply sink conn_val r))
+      | Http_pac t -> Hs_pac (Http_pac.session t ~conn:conn_val ~is_request)
+    in
+    let req_side = mk_side ~is_request:true in
+    let rep_side = mk_side ~is_request:false in
+    {
+      conn_val;
+      req_side;
+      rep_side;
+      req_rs =
+        Reassembly.create (fun data -> in_parse (fun () -> feed_side req_side data));
+      rep_rs =
+        Reassembly.create (fun data -> in_parse (fun () -> feed_side rep_side data));
+      seq = !uid_counter;
+      established = false;
+    }
   in
-  List.iter
-    (fun (r : Pcap.record) ->
+  let table =
+    match idle_timeout with
+    | Some ival -> Flow_table.create ~timeout:ival ~timer_mgr fresh
+    | None -> Flow_table.create fresh
+  in
+  let finish (c : http_conn) =
+    Reassembly.finish c.req_rs;
+    Reassembly.finish c.rep_rs;
+    in_parse (fun () -> eof_side c.req_side);
+    in_parse (fun () -> eof_side c.rep_side);
+    Events.raise_connection_state_remove sink c.conn_val
+  in
+  Flow_table.on_remove table (fun conn ->
+      stats.evicted <- stats.evicted + 1;
+      finish conn.Flow_table.state);
+  Hilti_rt.Iosrc.iter
+    (fun (p : Hilti_rt.Iosrc.packet) ->
       stats.packets <- stats.packets + 1;
-      match Packet.decode_opt ~ts:r.Pcap.ts r.Pcap.data with
+      let ts = p.Hilti_rt.Iosrc.ts in
+      if idle_timeout <> None then begin
+        sink.Events.set_time ts;
+        ignore (Hilti_rt.Timer_mgr.advance timer_mgr ts)
+      end;
+      match Packet.decode_opt ~ts p.Hilti_rt.Iosrc.data with
       | Some pkt -> (
           match (pkt.Packet.transport, Packet.flow pkt) with
           | Packet.TCP (tcp, payload), Some flow ->
-              sink.Events.set_time r.Pcap.ts;
-              let c = get_conn flow r.Pcap.ts in
-              let from_orig = Flow.equal flow c.h_flow in
+              sink.Events.set_time ts;
+              let conn, _ = Flow_table.lookup table ~ts flow in
+              let c = conn.Flow_table.state in
+              let from_orig = Flow.equal flow conn.Flow_table.flow in
               (* connection_established on the responder's SYN+ACK. *)
               if
                 (not c.established)
@@ -136,55 +162,60 @@ let run_http ~(kind : http_kind) ~(sink : Events.sink) (records : Pcap.record li
                 payload
           | _ -> ())
       | None -> ())
-    records;
-  (* Trace over: flush streams, close parsers, tear down connections. *)
-  List.iter
-    (fun c ->
-      Reassembly.finish c.req_rs;
-      Reassembly.finish c.rep_rs;
-      in_parse (fun () -> eof_side c.req_side);
-      in_parse (fun () -> eof_side c.rep_side);
-      Events.raise_connection_state_remove sink c.conn_val)
-    (List.rev !order);
+    src;
+  (* Trace over: flush the still-live connections in creation order. *)
+  let live = Flow_table.fold (fun conn acc -> conn.Flow_table.state :: acc) table [] in
+  List.iter finish (List.sort (fun a b -> compare a.seq b.seq) live);
   sink.Events.raise_event "bro_done" [];
   stats
 
+(** Run an HTTP trace through the pipeline (list compat wrapper). *)
+let run_http ~(kind : http_kind) ~(sink : Events.sink) (records : Pcap.record list) :
+    stats =
+  run_http_src ~kind ~sink (Pcap.iosrc_of_records records)
+
 (* ---- DNS ------------------------------------------------------------------------- *)
 
-(** Run a DNS trace through the pipeline. *)
-let run_dns ~(kind : dns_kind) ~(sink : Events.sink) (records : Pcap.record list) :
-    stats =
-  let stats = { packets = 0; connections = 0; events = 0 } in
+(** Stream a DNS source through the pipeline.  [?idle_timeout] bounds the
+    per-flow connection-value table the same way as for HTTP (DNS has no
+    teardown events, so eviction only releases state). *)
+let run_dns_src ~(kind : dns_kind) ~(sink : Events.sink) ?idle_timeout
+    (src : Hilti_rt.Iosrc.t) : stats =
+  let stats = fresh_stats () in
   let sink = profiled_sink sink stats in
   sink.Events.raise_event "bro_init" [];
-  let conns : (string, Bro_val.t) Hashtbl.t = Hashtbl.create 1024 in
+  let timer_mgr = Hilti_rt.Timer_mgr.create () in
   let uid_counter = ref 0 in
-  let get_conn flow ts =
-    let canon, _ = Flow.canonical flow in
-    let key = Flow.to_string canon in
-    match Hashtbl.find_opt conns key with
-    | Some c -> c
-    | None ->
-        incr uid_counter;
-        stats.connections <- stats.connections + 1;
-        let uid = Printf.sprintf "C%d" !uid_counter in
-        let conn_val = Events.connection_val ~uid ~flow ~start_time:ts in
-        Hashtbl.add conns key conn_val;
-        Events.raise_connection_established sink conn_val;
-        conn_val
+  let fresh flow ts =
+    incr uid_counter;
+    stats.connections <- stats.connections + 1;
+    let uid = Printf.sprintf "C%d" !uid_counter in
+    let conn_val = Events.connection_val ~uid ~flow ~start_time:ts in
+    Events.raise_connection_established sink conn_val;
+    conn_val
   in
-  List.iter
-    (fun (r : Pcap.record) ->
+  let table =
+    match idle_timeout with
+    | Some ival -> Flow_table.create ~timeout:ival ~timer_mgr fresh
+    | None -> Flow_table.create fresh
+  in
+  Flow_table.on_remove table (fun _ -> stats.evicted <- stats.evicted + 1);
+  Hilti_rt.Iosrc.iter
+    (fun (p : Hilti_rt.Iosrc.packet) ->
       stats.packets <- stats.packets + 1;
-      match Packet.decode_opt ~ts:r.Pcap.ts r.Pcap.data with
+      let ts = p.Hilti_rt.Iosrc.ts in
+      if idle_timeout <> None then
+        ignore (Hilti_rt.Timer_mgr.advance timer_mgr ts);
+      match Packet.decode_opt ~ts p.Hilti_rt.Iosrc.data with
       | Some pkt -> (
           match (pkt.Packet.transport, Packet.flow pkt) with
           | Packet.UDP (udp, payload), Some flow ->
-              sink.Events.set_time r.Pcap.ts;
+              sink.Events.set_time ts;
               (* Orient the connection client -> resolver. *)
               let from_client = udp.Udp.dst_port = 53 in
               let oriented = if from_client then flow else Flow.reverse flow in
-              let conn_val = get_conn oriented r.Pcap.ts in
+              let conn, _ = Flow_table.lookup table ~ts oriented in
+              let conn_val = conn.Flow_table.state in
               (match kind with
               | Dns_std -> (
                   match in_parse (fun () -> Dns_std.parse payload) with
@@ -201,9 +232,14 @@ let run_dns ~(kind : dns_kind) ~(sink : Events.sink) (records : Pcap.record list
                   | Dns_pac.Not_dns -> ()))
           | _ -> ())
       | None -> ())
-    records;
+    src;
   sink.Events.raise_event "bro_done" [];
   stats
+
+(** Run a DNS trace through the pipeline (list compat wrapper). *)
+let run_dns ~(kind : dns_kind) ~(sink : Events.sink) (records : Pcap.record list) :
+    stats =
+  run_dns_src ~kind ~sink (Pcap.iosrc_of_records records)
 
 (* ---- Parallel DNS (Hilti_par) ------------------------------------------------------ *)
 
@@ -219,14 +255,18 @@ let trivial_sched_module () =
   Builder.return_ b;
   m
 
-(** [run_dns] with the datagram parse stage fanned out over [jobs] OCaml
-    domains via {!Hilti_par.Engine}, sharded by flow hash (§3.2's
-    hash-scheduling).  Event dispatch stays serial and in packet order, so
-    the produced events — and therefore the logs — are identical to the
-    sequential pipeline's. *)
-let run_dns_par ~jobs ~(kind : dns_kind) ~(sink : Events.sink)
-    (records : Pcap.record list) : stats =
-  let stats = { packets = 0; connections = 0; events = 0 } in
+(** [run_dns_src] with the datagram parse stage fanned out over [jobs]
+    OCaml domains via {!Hilti_par.Engine}, sharded by flow hash (§3.2's
+    hash-scheduling).  The source is consumed in bounded batches of
+    [?batch] packets: each batch is scheduled, drained ([run_scheduler] is
+    the backpressure point), then dispatched serially in packet order — so
+    at most one batch is in flight and the produced events, and therefore
+    the logs, are identical to the sequential pipeline's while memory stays
+    O(batch + live flows) instead of O(trace). *)
+let run_dns_par_src ?(batch = 1024) ~jobs ~(kind : dns_kind)
+    ~(sink : Events.sink) (src : Hilti_rt.Iosrc.t) : stats =
+  if batch < 1 then invalid_arg "Driver.run_dns_par_src: batch must be >= 1";
+  let stats = fresh_stats () in
   let sink = profiled_sink sink stats in
   let api =
     match kind with
@@ -244,48 +284,6 @@ let run_dns_par ~jobs ~(kind : dns_kind) ~(sink : Events.sink)
         Hilti_vm.Host_api.schedule api (Int64.of_int tid) (gname ^ "::init") []
       done
   | Dns_std -> ());
-  (* Stage 1 — parallel: decode and parse each datagram on the virtual
-     thread owning its flow; results land in per-record slots. *)
-  let recs = Array.of_list records in
-  let slots : (Flow.t * dns_outcome) option array =
-    Array.make (Array.length recs) None
-  in
-  Array.iteri
-    (fun i (r : Pcap.record) ->
-      match Packet.decode_opt ~ts:r.Pcap.ts r.Pcap.data with
-      | Some pkt -> (
-          match (pkt.Packet.transport, Packet.flow pkt) with
-          | Packet.UDP (udp, payload), Some flow ->
-              let from_client = udp.Udp.dst_port = 53 in
-              let oriented = if from_client then flow else Flow.reverse flow in
-              let canon, _ = Flow.canonical oriented in
-              let tid =
-                Hilti_rt.Scheduler.thread_for_hash ~threads:jobs (Flow.hash canon)
-              in
-              Hilti_vm.Host_api.schedule_host api tid ~label:"dns-parse"
-                (fun _ctx ->
-                  let outcome =
-                    match kind with
-                    | Dns_std -> (
-                        match in_parse (fun () -> Dns_std.parse payload) with
-                        | msg ->
-                            if msg.Dns_std.is_response then
-                              D_rep (Dns_std.to_reply msg)
-                            else D_req (Dns_std.to_request msg)
-                        | exception Dns_std.Bad_dns _ -> D_none)
-                    | Dns_pac t -> (
-                        match in_parse (fun () -> Dns_pac.parse t payload) with
-                        | Dns_pac.Request rq -> D_req rq
-                        | Dns_pac.Reply rp -> D_rep rp
-                        | Dns_pac.Not_dns -> D_none)
-                  in
-                  slots.(i) <- Some (oriented, outcome))
-          | _ -> ())
-      | None -> ())
-    recs;
-  Hilti_vm.Host_api.run_scheduler api;
-  (* Stage 2 — serial, in packet order: connection tracking and event
-     dispatch, exactly as the sequential pipeline does it. *)
   sink.Events.raise_event "bro_init" [];
   let conns : (string, Bro_val.t) Hashtbl.t = Hashtbl.create 1024 in
   let uid_counter = ref 0 in
@@ -303,21 +301,85 @@ let run_dns_par ~jobs ~(kind : dns_kind) ~(sink : Events.sink)
         Events.raise_connection_established sink conn_val;
         conn_val
   in
-  Array.iteri
-    (fun i (r : Pcap.record) ->
-      stats.packets <- stats.packets + 1;
-      match slots.(i) with
-      | None -> ()
-      | Some (oriented, outcome) -> (
-          sink.Events.set_time r.Pcap.ts;
-          let conn_val = get_conn oriented r.Pcap.ts in
-          match outcome with
-          | D_req rq -> Events.raise_dns_request sink conn_val rq
-          | D_rep rp -> Events.raise_dns_reply sink conn_val rp
-          | D_none -> ()))
-    recs;
+  let recs = Array.make batch None in
+  let rec batch_loop () =
+    let n = ref 0 in
+    let eof = ref false in
+    while (not !eof) && !n < batch do
+      match Hilti_rt.Iosrc.read src with
+      | Some p ->
+          recs.(!n) <- Some p;
+          incr n
+      | None -> eof := true
+    done;
+    let n = !n in
+    if n > 0 then begin
+      (* Stage 1 — parallel: decode and parse each datagram of the batch on
+         the virtual thread owning its flow; results land in per-slot
+         cells. *)
+      let slots : (Flow.t * dns_outcome) option array = Array.make n None in
+      for i = 0 to n - 1 do
+        let p = Option.get recs.(i) in
+        let ts = p.Hilti_rt.Iosrc.ts in
+        match Packet.decode_opt ~ts p.Hilti_rt.Iosrc.data with
+        | Some pkt -> (
+            match (pkt.Packet.transport, Packet.flow pkt) with
+            | Packet.UDP (udp, payload), Some flow ->
+                let from_client = udp.Udp.dst_port = 53 in
+                let oriented = if from_client then flow else Flow.reverse flow in
+                let canon, _ = Flow.canonical oriented in
+                let tid =
+                  Hilti_rt.Scheduler.thread_for_hash ~threads:jobs (Flow.hash canon)
+                in
+                Hilti_vm.Host_api.schedule_host api tid ~label:"dns-parse"
+                  (fun _ctx ->
+                    let outcome =
+                      match kind with
+                      | Dns_std -> (
+                          match in_parse (fun () -> Dns_std.parse payload) with
+                          | msg ->
+                              if msg.Dns_std.is_response then
+                                D_rep (Dns_std.to_reply msg)
+                              else D_req (Dns_std.to_request msg)
+                          | exception Dns_std.Bad_dns _ -> D_none)
+                      | Dns_pac t -> (
+                          match in_parse (fun () -> Dns_pac.parse t payload) with
+                          | Dns_pac.Request rq -> D_req rq
+                          | Dns_pac.Reply rp -> D_rep rp
+                          | Dns_pac.Not_dns -> D_none)
+                    in
+                    slots.(i) <- Some (oriented, outcome))
+            | _ -> ())
+        | None -> ()
+      done;
+      Hilti_vm.Host_api.run_scheduler api;
+      (* Stage 2 — serial, in packet order: connection tracking and event
+         dispatch, exactly as the sequential pipeline does it. *)
+      for i = 0 to n - 1 do
+        let p = Option.get recs.(i) in
+        stats.packets <- stats.packets + 1;
+        match slots.(i) with
+        | None -> ()
+        | Some (oriented, outcome) -> (
+            sink.Events.set_time p.Hilti_rt.Iosrc.ts;
+            let conn_val = get_conn oriented p.Hilti_rt.Iosrc.ts in
+            match outcome with
+            | D_req rq -> Events.raise_dns_request sink conn_val rq
+            | D_rep rp -> Events.raise_dns_reply sink conn_val rp
+            | D_none -> ())
+      done;
+      Array.fill recs 0 n None;
+      if not !eof then batch_loop ()
+    end
+  in
+  batch_loop ();
   sink.Events.raise_event "bro_done" [];
   stats
+
+(** [run_dns] with the parse stage on [jobs] domains (list compat wrapper). *)
+let run_dns_par ~jobs ~(kind : dns_kind) ~(sink : Events.sink)
+    (records : Pcap.record list) : stats =
+  run_dns_par_src ~jobs ~kind ~sink (Pcap.iosrc_of_records records)
 
 (* ---- Convenience: full evaluation runs (§6.4/§6.5) ---------------------------------- *)
 
@@ -337,15 +399,17 @@ let timed f =
 
 let profiler_ns name = Hilti_rt.Profiler.wall_ns (Hilti_rt.Profiler.find_or_create name)
 
-(** Run an HTTP or DNS trace end-to-end with a given parser kind and
+(** Run an HTTP or DNS source end-to-end with a given parser kind and
     script engine; returns logs and the component time breakdown.
 
     @param jobs parse DNS datagrams on this many OCaml domains
-    ({!run_dns_par}); HTTP runs serially regardless (its parse state is
-    per-connection and incremental). *)
-let evaluate ~(proto : [ `Http of http_kind | `Dns of dns_kind ])
+    ({!run_dns_par_src}); HTTP runs serially regardless (its parse state is
+    per-connection and incremental).
+    @param idle_timeout evict connections idle for this long (trace time);
+    ignored by the parallel DNS stage, whose table holds only values. *)
+let evaluate_src ~(proto : [ `Http of http_kind | `Dns of dns_kind ])
     ~(engine_mode : Bro_engine.mode) ~(scripts : Bro_ast.script)
-    ?(logging = true) ?jobs (records : Pcap.record list) : run_result =
+    ?(logging = true) ?jobs ?idle_timeout (src : Hilti_rt.Iosrc.t) : run_result =
   Hilti_rt.Profiler.reset_all ();
   let logger = Bro_log.create () in
   Bro_scripts.setup_logs logger;
@@ -356,9 +420,9 @@ let evaluate ~(proto : [ `Http of http_kind | `Dns of dns_kind ])
   let stats, total_ns =
     timed (fun () ->
         match (proto, jobs) with
-        | `Http kind, _ -> run_http ~kind ~sink records
-        | `Dns kind, Some j when j > 0 -> run_dns_par ~jobs:j ~kind ~sink records
-        | `Dns kind, _ -> run_dns ~kind ~sink records)
+        | `Http kind, _ -> run_http_src ~kind ~sink ?idle_timeout src
+        | `Dns kind, Some j when j > 0 -> run_dns_par_src ~jobs:j ~kind ~sink src
+        | `Dns kind, _ -> run_dns_src ~kind ~sink ?idle_timeout src)
   in
   {
     logger;
@@ -369,14 +433,21 @@ let evaluate ~(proto : [ `Http of http_kind | `Dns of dns_kind ])
     total_ns;
   }
 
+(** [evaluate_src] over an in-memory record list (compat wrapper). *)
+let evaluate ~(proto : [ `Http of http_kind | `Dns of dns_kind ])
+    ~(engine_mode : Bro_engine.mode) ~(scripts : Bro_ast.script)
+    ?(logging = true) ?jobs (records : Pcap.record list) : run_result =
+  evaluate_src ~proto ~engine_mode ~scripts ~logging ?jobs
+    (Pcap.iosrc_of_records records)
+
 (* ---- Event-configuration-driven analysis (Fig. 7) --------------------------------- *)
 
-(** Run a TCP trace through an .evt-configured BinPAC++ analyzer: flows on
-    the configured port are reassembled and each direction handed to the
+(** Stream a TCP source through an .evt-configured BinPAC++ analyzer: flows
+    on the configured port are reassembled and each direction handed to the
     parser, whose unit hooks raise the configured events into [sink]. *)
-let run_evt ~(loaded : Evt.loaded) ~(sink : Events.sink) (records : Pcap.record list)
-    : stats =
-  let stats = { packets = 0; connections = 0; events = 0 } in
+let run_evt_src ~(loaded : Evt.loaded) ~(sink : Events.sink)
+    (src : Hilti_rt.Iosrc.t) : stats =
+  let stats = fresh_stats () in
   loaded.Evt.sink <- profiled_sink sink stats;
   let want_port = Hilti_types.Port.number loaded.Evt.config.Evt.port in
   let conns :
@@ -389,10 +460,10 @@ let run_evt ~(loaded : Evt.loaded) ~(sink : Events.sink) (records : Pcap.record 
     let buf = Buffer.create 256 in
     (Reassembly.create (Buffer.add_string buf), buf)
   in
-  List.iter
-    (fun (r : Pcap.record) ->
+  Hilti_rt.Iosrc.iter
+    (fun (p : Hilti_rt.Iosrc.packet) ->
       stats.packets <- stats.packets + 1;
-      match Packet.decode_opt ~ts:r.Pcap.ts r.Pcap.data with
+      match Packet.decode_opt ~ts:p.Hilti_rt.Iosrc.ts p.Hilti_rt.Iosrc.data with
       | Some ({ Packet.transport = Packet.TCP (tcp, payload); _ } as pkt) -> (
           match Packet.flow pkt with
           | Some flow
@@ -416,7 +487,7 @@ let run_evt ~(loaded : Evt.loaded) ~(sink : Events.sink) (records : Pcap.record 
                 payload
           | _ -> ())
       | _ -> ())
-    records;
+    src;
   (* Parse each direction of each connection, server side first (in SSH
      the server speaks first). *)
   List.iter
@@ -430,3 +501,8 @@ let run_evt ~(loaded : Evt.loaded) ~(sink : Events.sink) (records : Pcap.record 
         [ resp_buf; orig_buf ])
     (List.rev !order);
   stats
+
+(** [run_evt_src] over an in-memory record list (compat wrapper). *)
+let run_evt ~(loaded : Evt.loaded) ~(sink : Events.sink) (records : Pcap.record list)
+    : stats =
+  run_evt_src ~loaded ~sink (Pcap.iosrc_of_records records)

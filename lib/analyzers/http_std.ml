@@ -31,7 +31,8 @@ type t = {
   is_request : bool;
   on_request : Events.http_request -> unit;
   on_reply : Events.http_reply -> unit;
-  mutable buf : string;        (** unconsumed stream data *)
+  buf : Hilti_types.Hbytes.t;  (** stream data; consumed prefix trimmed away *)
+  mutable pos : int;           (** absolute offset of first unconsumed byte *)
   mutable phase : phase;
   (* current-message scratch *)
   mutable line1 : string list; (** split start line *)
@@ -45,13 +46,18 @@ let create ~is_request ~on_request ~on_reply =
     is_request;
     on_request;
     on_reply;
-    buf = "";
+    buf = Hilti_types.Hbytes.create ();
+    pos = 0;
     phase = Start_line;
     line1 = [];
     headers = [];
     body = Buffer.create 256;
     messages = 0;
   }
+
+(** Stream bytes currently held — stays bounded by one in-flight message
+    because consumed input is trimmed after every drain. *)
+let retained t = Hilti_types.Hbytes.length t.buf
 
 let header t name =
   let name = String.lowercase_ascii name in
@@ -63,25 +69,37 @@ let reset_message t =
   t.body <- Buffer.create 256;
   t.phase <- Start_line
 
+let cursor t = Hilti_types.Hbytes.iter_at t.buf t.pos
+
 (* Consume up to the next CRLF (or LF); None if no full line buffered. *)
 let take_line t =
-  match String.index_opt t.buf '\n' with
+  let it = cursor t in
+  match Hilti_types.Hbytes.find it "\n" with
   | None -> None
-  | Some i ->
+  | Some nl ->
+      let line = Hilti_types.Hbytes.sub it nl in
       let line =
-        if i > 0 && t.buf.[i - 1] = '\r' then String.sub t.buf 0 (i - 1)
-        else String.sub t.buf 0 i
+        let n = String.length line in
+        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
       in
-      t.buf <- String.sub t.buf (i + 1) (String.length t.buf - i - 1);
+      t.pos <- Hilti_types.Hbytes.offset nl + 1;
       Some line
 
 let take_bytes t n =
-  if String.length t.buf < n then None
+  let it = cursor t in
+  if Hilti_types.Hbytes.available it < n then None
   else begin
-    let data = String.sub t.buf 0 n in
-    t.buf <- String.sub t.buf n (String.length t.buf - n);
+    let data = Hilti_types.Hbytes.sub it (Hilti_types.Hbytes.advance it n) in
+    t.pos <- t.pos + n;
     Some data
   end
+
+(* Move everything still buffered into the body accumulator (Until_close). *)
+let take_all t =
+  let it = cursor t in
+  let data = Hilti_types.Hbytes.sub it (Hilti_types.Hbytes.end_ t.buf) in
+  t.pos <- Hilti_types.Hbytes.end_offset t.buf;
+  data
 
 let split_ws s =
   String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
@@ -243,25 +261,27 @@ let rec step t : bool =
 
 and drain t = if step t then drain t
 
+(* Drop consumed input so retention is bounded by the message in flight. *)
+let trim t = Hilti_types.Hbytes.trim t.buf (cursor t)
+
 (** Feed reassembled stream data. *)
 let feed t data =
   if t.phase <> Failed then begin
-    t.buf <- t.buf ^ data;
+    Hilti_types.Hbytes.append t.buf data;
     (match t.phase with
-    | In_body Until_close ->
-        Buffer.add_string t.body t.buf;
-        t.buf <- ""
+    | In_body Until_close -> Buffer.add_string t.body (take_all t)
     | _ -> ());
-    drain t
+    drain t;
+    trim t
   end
 
 (** The stream is over (FIN/RST/trace end). *)
 let eof t =
-  match t.phase with
+  (match t.phase with
   | In_body Until_close ->
-      Buffer.add_string t.body t.buf;
-      t.buf <- "";
+      Buffer.add_string t.body (take_all t);
       finish_message t
-  | _ -> drain t
+  | _ -> drain t);
+  trim t
 
 let messages t = t.messages

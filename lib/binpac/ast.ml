@@ -42,7 +42,11 @@ type parse_spec =
   | P_bytes_eod                   (** everything until definite end of data *)
   | P_unit of string              (** sub-unit by name *)
   | P_dnsname                     (** DNS name with compression pointers *)
-  | P_list of parse_spec * list_stop
+  | P_list of parse_spec * list_stop * bool
+      (** elem spec, stop condition, &trim: discard consumed input after
+          each element so a stream-level unit holds O(1) buffered bytes.
+          Only safe when no other field re-reads earlier input (e.g. DNS
+          compression pointers must not set it). *)
 
 type var_type = V_int | V_bool | V_bytes
 

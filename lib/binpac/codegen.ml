@@ -57,7 +57,7 @@ let rec field_htype ctx (spec : parse_spec) : Htype.t =
       Htype.Bytes
   | P_uint _ -> Htype.Int 64
   | P_unit n -> Htype.Ref (Htype.Struct (qualified ctx n))
-  | P_list (s, _) -> Htype.Ref (Htype.List (field_htype ctx s))
+  | P_list (s, _, _) -> Htype.Ref (Htype.List (field_htype ctx s))
 
 let var_htype = function
   | V_int -> Htype.Int 64
@@ -334,7 +334,7 @@ let rec emit_parse ctx b (u : unit_decl) ~cur (spec : parse_spec) : Instr.operan
       in
       Builder.instr b ~target:cur "assign" [ after ];
       v
-  | P_list (elem_spec, stop) ->
+  | P_list (elem_spec, stop, trim) ->
       let elem_ty = field_htype ctx elem_spec in
       let lst =
         Builder.emit b
@@ -398,6 +398,11 @@ let rec emit_parse ctx b (u : unit_decl) ~cur (spec : parse_spec) : Instr.operan
       let ev_local = Builder.tmp b elem_ty in
       Builder.instr b ~target:ev_local "assign" [ ev ];
       Builder.instr b "list.append" [ Instr.Local lst_local; Instr.Local ev_local ];
+      (* &trim: the element is fully parsed and stored (element values are
+         fresh copies, never views into the input), so everything before
+         [cur] can be dropped from the stream buffer. *)
+      if trim then
+        Builder.instr b "bytes.trim" [ Instr.Local cur; Instr.Local cur ];
       let one = Builder.emit b (Htype.Int 64) "int.add" [ Instr.Local counter; Builder.const_int 1 ] in
       Builder.instr b ~target:counter "assign" [ one ];
       (match stop with

@@ -274,12 +274,13 @@ type attrs = {
   mutable a_until_elem : expr option;
   mutable a_eod : bool;
   mutable a_little : bool;
+  mutable a_trim : bool;
 }
 
 let parse_attrs p =
   let a =
     { a_length = None; a_count = None; a_until_literal = None;
-      a_until_elem = None; a_eod = false; a_little = false }
+      a_until_elem = None; a_eod = false; a_little = false; a_trim = false }
   in
   while peek p = PUNCT "&" do
     ignore (next p);
@@ -300,6 +301,7 @@ let parse_attrs p =
         a.a_until_elem <- Some (parse_expr p)
     | "eod" -> a.a_eod <- true
     | "little" -> a.a_little <- true
+    | "trim" -> a.a_trim <- true
     | x -> fail p "unknown attribute &%s" x
   done;
   a
@@ -341,9 +343,12 @@ let refine_spec p spec (a : attrs) ~is_list =
       else if a.a_eod then Stop_eod
       else fail p "list field needs &count, &until_literal, &until_elem or &eod"
     in
-    P_list (base, stop)
+    P_list (base, stop, a.a_trim)
   end
-  else base
+  else begin
+    if a.a_trim then fail p "&trim only applies to list fields";
+    base
+  end
 
 let parse_field p grammar_consts ~fname : field =
   let spec = parse_base_spec p grammar_consts in

@@ -94,13 +94,15 @@ type Reply = unit {
         if (len(self.clen) == 0 && self.te != "chunked" && self.conn == "close");
 };
 
-# Stream-level units: one per connection direction.
+# Stream-level units: one per connection direction.  &trim drops consumed
+# input after every parsed message, so a long-lived connection buffers only
+# the transaction in flight (HTTP never re-reads earlier stream bytes).
 type Requests = unit {
-    requests: Request[] &eod;
+    requests: Request[] &eod &trim;
 };
 
 type Replies = unit {
-    replies: Reply[] &eod;
+    replies: Reply[] &eod &trim;
 };
 |}
 

@@ -84,6 +84,11 @@ let finish s : status =
 
 let cancel s = Host_api.cancel s.run
 
+(** Bytes the session still buffers: the unconsumed parse window.  Grammars
+    that trim (e.g. HTTP's stream units) keep this bounded by one message
+    regardless of how much has been fed. *)
+let retained s = Hilti_types.Hbytes.length s.data
+
 (* ---- Struct access helpers (the "C API" of Fig. 6(b)) ---------------------------- *)
 
 let field (st : Value.t) name : Value.t option =

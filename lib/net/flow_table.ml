@@ -30,9 +30,17 @@ let create ?timeout ?timer_mgr fresh =
   | Some ival, Some mgr ->
       Hilti_rt.Exp_map.set_timeout table (Hilti_rt.Expire.Access ival) mgr
   | _ -> ());
-  { table; fresh; created = 0; removed_cb = None }
+  let t = { table; fresh; created = 0; removed_cb = None } in
+  (* Idle eviction flushes connection state through the same callback as a
+     manual removal, so analyzers see a uniform teardown path. *)
+  Hilti_rt.Exp_map.set_on_expire table (fun _canon conn ->
+      match t.removed_cb with Some cb -> cb conn | None -> ());
+  t
 
 let on_remove t cb = t.removed_cb <- Some cb
+
+(** Connections dropped by idle timeout so far. *)
+let expired t = Hilti_rt.Exp_map.expired_total t.table
 
 let size t = Hilti_rt.Exp_map.size t.table
 

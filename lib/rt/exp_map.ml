@@ -18,6 +18,7 @@ type ('k, 'v) t = {
   mutable mgr : Timer_mgr.t option;
   mutable default : ('k -> 'v) option;
   mutable expired_total : int;
+  mutable on_expire : ('k -> 'v -> unit) option;
 }
 
 (* Keys are hashed structurally; HILTI map keys are value types, so
@@ -29,6 +30,7 @@ let create () =
     mgr = None;
     default = None;
     expired_total = 0;
+    on_expire = None;
   }
 
 (** Set a default constructor: lookups of missing keys return (and insert)
@@ -40,6 +42,11 @@ let set_timeout t strategy mgr =
   t.strategy <- strategy;
   t.mgr <- Some mgr
 
+(** Called with (key, value) after an entry is dropped by timer expiry —
+    the hook session tables use to flush evicted connection state.  Manual
+    [remove] does not fire it. *)
+let set_on_expire t cb = t.on_expire <- Some cb
+
 let size t = Hashtbl.length t.buckets
 let expired_total t = t.expired_total
 
@@ -50,7 +57,10 @@ let schedule_expiry t (entry : ('k, 'v) entry) =
       let fire () =
         if entry.gen = gen && Hashtbl.mem t.buckets entry.key then begin
           Hashtbl.remove t.buckets entry.key;
-          t.expired_total <- t.expired_total + 1
+          t.expired_total <- t.expired_total + 1;
+          match t.on_expire with
+          | Some cb -> cb entry.key entry.value
+          | None -> ()
         end
       in
       ignore (Timer_mgr.schedule_in mgr fire ival)

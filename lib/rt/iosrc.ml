@@ -45,6 +45,9 @@ let fold f t init =
   iter (fun p -> acc := f !acc p) t;
   !acc
 
+(** Collect all remaining packets into a list (testing / compat shims). *)
+let to_list t = List.rev (fold (fun acc p -> p :: acc) t [])
+
 (** Build a source from an in-memory list (testing). *)
 let of_list ?(kind = "list") packets =
   let remaining = ref packets in

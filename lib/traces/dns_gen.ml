@@ -265,30 +265,62 @@ let datagram ~ts ~src ~dst ~src_port ~dst_port payload =
   let frame = Packet.encode_udp ~src ~dst ~src_port ~dst_port payload in
   { Pcap.ts; orig_len = String.length frame; data = frame }
 
-let generate (cfg : config) : trace =
+(* Mean spacing between transaction starts; replies lag their query by up
+   to ~30 ms, so the reorder window must span a few hundred packets. *)
+let mean_gap_ns = 300_000
+
+(** Transaction-by-transaction producer shared by [generate] and [iosrc]:
+    each call yields one transaction's datagrams (query then reply, or a
+    single crud datagram, with [None] ground truth). *)
+let transaction_stream (cfg : config) :
+    unit -> (Pcap.record list * transaction option) option =
   let rng = Rng.create cfg.seed in
-  let records = ref [] and txs = ref [] in
-  let window_ns = cfg.transactions * 300_000 in
-  for _ = 1 to cfg.transactions do
-    let ts = Time_ns.add cfg.start_ts (Int64.of_int (Rng.int rng (max 1 window_ns))) in
-    if Rng.chance rng cfg.crud_prob then begin
-      (* Junk on port 53 that is not DNS. *)
-      let src = Addr.of_ipv4_octets 10 9 9 (1 + Rng.int rng 250) in
-      let dst = Addr.of_ipv4_octets 192 168 200 1 in
-      let junk = Rng.label rng ~lo:3 ~hi:11 in
-      records := datagram ~ts ~src ~dst ~src_port:(20000 + Rng.int rng 1000)
-                   ~dst_port:53 junk :: !records
-    end
+  let arrival = ref cfg.start_ts in
+  let i = ref 0 in
+  fun () ->
+    if !i >= cfg.transactions then None
     else begin
-      let tx = gen_transaction rng cfg ~ts in
-      records :=
-        datagram ~ts:tx.ts_reply ~src:tx.resolver ~dst:tx.client ~src_port:53
-          ~dst_port:tx.cport (encode_message tx.reply)
-        :: datagram ~ts:tx.ts_query ~src:tx.client ~dst:tx.resolver
-             ~src_port:tx.cport ~dst_port:53 (encode_message tx.query)
-        :: !records;
-      txs := tx :: !txs
+      incr i;
+      arrival := Time_ns.add !arrival (Int64.of_int (Rng.int rng (2 * mean_gap_ns)));
+      let ts = !arrival in
+      if Rng.chance rng cfg.crud_prob then begin
+        (* Junk on port 53 that is not DNS. *)
+        let src = Addr.of_ipv4_octets 10 9 9 (1 + Rng.int rng 250) in
+        let dst = Addr.of_ipv4_octets 192 168 200 1 in
+        let junk = Rng.label rng ~lo:3 ~hi:11 in
+        Some
+          ( [ datagram ~ts ~src ~dst ~src_port:(20000 + Rng.int rng 1000)
+                ~dst_port:53 junk ],
+            None )
+      end
+      else
+        let tx = gen_transaction rng cfg ~ts in
+        Some
+          ( [ datagram ~ts:tx.ts_query ~src:tx.client ~dst:tx.resolver
+                ~src_port:tx.cport ~dst_port:53 (encode_message tx.query);
+              datagram ~ts:tx.ts_reply ~src:tx.resolver ~dst:tx.client
+                ~src_port:53 ~dst_port:tx.cport (encode_message tx.reply) ],
+            Some tx )
     end
-  done;
+
+(** Synthesize datagrams on demand as an [Iosrc.t] with bounded memory. *)
+let iosrc ?(window = 1024) (cfg : config) : Hilti_rt.Iosrc.t =
+  let next = transaction_stream cfg in
+  Gen_stream.iosrc ~kind:"synthetic-dns" ~window (fun () ->
+      Option.map fst (next ()))
+
+let generate (cfg : config) : trace =
+  let next = transaction_stream cfg in
+  let records = ref [] and txs = ref [] in
+  let rec go () =
+    match next () with
+    | None -> ()
+    | Some (recs, tx) ->
+        records := List.rev_append recs !records;
+        (match tx with Some t -> txs := t :: !txs | None -> ());
+        go ()
+  in
+  go ();
   let by_ts (a : Pcap.record) (b : Pcap.record) = Time_ns.compare a.Pcap.ts b.Pcap.ts in
-  { records = List.stable_sort by_ts !records; transactions = List.rev !txs }
+  { records = List.stable_sort by_ts (List.rev !records);
+    transactions = List.rev !txs }

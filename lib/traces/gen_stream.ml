@@ -1,0 +1,138 @@
+(** Streaming assembly of generated traces.
+
+    The list-based generators interleave concurrent sessions by collecting
+    every packet and stable-sorting by timestamp — O(trace) memory.  The
+    streaming constructors instead pull whole sessions ("bursts") on demand
+    and merge them through a bounded reorder buffer: a min-heap keyed by
+    (timestamp, insertion order) holding at most [window] packets.  With a
+    window no smaller than the trace this reproduces the sorted list
+    exactly; with a bounded window the output is sorted whenever no session
+    spans more than [window] in-flight packets, and per-session packet
+    order is always preserved (insertion order breaks timestamp ties the
+    same way the stable sort does). *)
+
+open Hilti_types
+open Hilti_net
+
+type entry = { e_ts : Time_ns.t; e_seq : int; e_rec : Pcap.record }
+
+let before a b =
+  let c = Time_ns.compare a.e_ts b.e_ts in
+  if c <> 0 then c < 0 else a.e_seq < b.e_seq
+
+(* A plain array-backed binary min-heap; grows to the window size. *)
+type heap = { mutable items : entry array; mutable size : int }
+
+let heap_create () = { items = [||]; size = 0 }
+
+let heap_push h e =
+  if h.size = Array.length h.items then begin
+    let cap = max 16 (2 * Array.length h.items) in
+    let items = Array.make cap e in
+    Array.blit h.items 0 items 0 h.size;
+    h.items <- items
+  end;
+  h.items.(h.size) <- e;
+  h.size <- h.size + 1;
+  let i = ref (h.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    if before h.items.(!i) h.items.(parent) then begin
+      let tmp = h.items.(parent) in
+      h.items.(parent) <- h.items.(!i);
+      h.items.(!i) <- tmp;
+      i := parent;
+      true
+    end
+    else false
+  do
+    ()
+  done
+
+let heap_pop h =
+  let top = h.items.(0) in
+  h.size <- h.size - 1;
+  h.items.(0) <- h.items.(h.size);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < h.size && before h.items.(l) h.items.(!smallest) then smallest := l;
+    if r < h.size && before h.items.(r) h.items.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = h.items.(!smallest) in
+      h.items.(!smallest) <- h.items.(!i);
+      h.items.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done;
+  top
+
+(** Build an [Iosrc.t] from a burst producer.  [next_burst ()] returns the
+    next session's packets (in their own order) or [None] when the
+    generator is exhausted.  At most [window] packets are buffered. *)
+let iosrc ?(kind = "synthetic") ~window (next_burst : unit -> Pcap.record list option)
+    : Hilti_rt.Iosrc.t =
+  if window < 1 then invalid_arg "Gen_stream.iosrc: window must be >= 1";
+  let heap = heap_create () in
+  let seq = ref 0 in
+  let exhausted = ref false in
+  let push_burst recs =
+    List.iter
+      (fun (r : Pcap.record) ->
+        heap_push heap { e_ts = r.Pcap.ts; e_seq = !seq; e_rec = r };
+        incr seq)
+      recs
+  in
+  Hilti_rt.Iosrc.create ~kind (fun () ->
+      while (not !exhausted) && heap.size < window do
+        match next_burst () with
+        | Some recs -> push_burst recs
+        | None -> exhausted := true
+      done;
+      if heap.size = 0 then None
+      else
+        let e = heap_pop heap in
+        Some { Hilti_rt.Iosrc.ts = e.e_rec.Pcap.ts; data = e.e_rec.Pcap.data })
+
+(** Merge already-sorted sources into one sorted stream, holding one
+    look-ahead packet per source.  Timestamp ties go to the earlier source
+    in the list — the same order a stable sort gives the concatenation. *)
+let merge ?(kind = "synthetic-mix") (srcs : Hilti_rt.Iosrc.t list) : Hilti_rt.Iosrc.t =
+  let srcs = Array.of_list srcs in
+  let heads = Array.map Hilti_rt.Iosrc.read srcs in
+  Hilti_rt.Iosrc.create ~kind (fun () ->
+      let best = ref (-1) in
+      Array.iteri
+        (fun i head ->
+          match (head, !best) with
+          | None, _ -> ()
+          | Some _, -1 -> best := i
+          | Some p, b -> (
+              match heads.(b) with
+              | Some q ->
+                  if Time_ns.compare p.Hilti_rt.Iosrc.ts q.Hilti_rt.Iosrc.ts < 0
+                  then best := i
+              | None -> assert false))
+        heads;
+      if !best < 0 then None
+      else begin
+        let p = heads.(!best) in
+        heads.(!best) <- Hilti_rt.Iosrc.read srcs.(!best);
+        p
+      end)
+
+(** Collect a whole streaming source back into a record list (testing). *)
+let to_records (src : Hilti_rt.Iosrc.t) : Pcap.record list =
+  List.rev
+    (Hilti_rt.Iosrc.fold
+       (fun acc (p : Hilti_rt.Iosrc.packet) ->
+         { Pcap.ts = p.Hilti_rt.Iosrc.ts;
+           orig_len = String.length p.Hilti_rt.Iosrc.data;
+           data = p.Hilti_rt.Iosrc.data }
+         :: acc)
+       src [])

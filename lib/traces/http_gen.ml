@@ -294,35 +294,67 @@ type trace = {
 let client_addr i = Addr.of_ipv4_octets 10 1 (i / 250) (1 + (i mod 250))
 let server_addr i = Addr.of_ipv4_octets 192 168 (i / 250) (1 + (i mod 250))
 
-(** Generate a full trace per [config].  Sessions start at randomized
+(* Mean spacing between session starts: sessions overlap like live traffic
+   (several in flight at once) while arrivals stay monotone, so a bounded
+   reorder window suffices to interleave them in timestamp order. *)
+let mean_gap_ns = 1_500_000
+
+(** The session-by-session producer both [generate] and [iosrc] consume:
+    every call yields one connection's packets (and its ground-truth
+    transactions, [None] for crud), drawing from a single sequential RNG so
+    list and streaming traces are identical. *)
+let session_stream (cfg : config) :
+    unit -> (session_packets * (endpoints * transaction list) option) option =
+  let rng = Rng.create cfg.seed in
+  let arrival = ref cfg.start_ts in
+  let i = ref 0 in
+  fun () ->
+    if !i >= cfg.sessions then None
+    else begin
+      let idx = !i in
+      incr i;
+      let ep =
+        {
+          client = client_addr (Rng.int rng cfg.clients);
+          server = server_addr (Rng.int rng cfg.servers);
+          cport = 29000 + ((idx * 13) mod 30000);
+          sport = 80;
+        }
+      in
+      arrival := Time_ns.add !arrival (Int64.of_int (Rng.int rng (2 * mean_gap_ns)));
+      let ts_ref = ref !arrival in
+      if Rng.chance rng cfg.crud_prob then
+        Some (gen_crud_session rng cfg ~ts_ref ~ep, None)
+      else
+        let pkts, session_txs = gen_session rng cfg ~ts_ref ~ep in
+        Some (pkts, Some (ep, session_txs))
+    end
+
+(** Synthesize packets on demand as an [Iosrc.t]: memory stays bounded by
+    the reorder [window] instead of the trace length.  The default window
+    spans ~55ms of arrivals — several times the longest session — so the
+    merged stream matches the sorted list exactly. *)
+let iosrc ?(window = 512) (cfg : config) : Hilti_rt.Iosrc.t =
+  let next = session_stream cfg in
+  Gen_stream.iosrc ~kind:"synthetic-http" ~window (fun () ->
+      Option.map fst (next ()))
+
+(** Generate a full trace per [config].  Sessions start at staggered
     offsets and their packets are merged in timestamp order, so many
     connections are in flight simultaneously — exercising concurrent
     per-session state exactly like live traffic. *)
 let generate (cfg : config) : trace =
-  let rng = Rng.create cfg.seed in
+  let next = session_stream cfg in
   let records = ref [] and txs = ref [] in
-  (* Sessions spread over a window proportional to their count. *)
-  let window_ns = cfg.sessions * 1_500_000 in
-  for i = 0 to cfg.sessions - 1 do
-    let ep =
-      {
-        client = client_addr (Rng.int rng cfg.clients);
-        server = server_addr (Rng.int rng cfg.servers);
-        cport = 29000 + ((i * 13) mod 30000);
-        sport = 80;
-      }
-    in
-    let ts_ref =
-      ref (Time_ns.add cfg.start_ts (Int64.of_int (Rng.int rng (max 1 window_ns))))
-    in
-    if Rng.chance rng cfg.crud_prob then
-      records := List.rev_append (gen_crud_session rng cfg ~ts_ref ~ep) !records
-    else begin
-      let pkts, session_txs = gen_session rng cfg ~ts_ref ~ep in
-      records := List.rev_append pkts !records;
-      txs := (ep, session_txs) :: !txs
-    end
-  done;
+  let rec go () =
+    match next () with
+    | None -> ()
+    | Some (pkts, session_txs) ->
+        records := List.rev_append pkts !records;
+        (match session_txs with Some t -> txs := t :: !txs | None -> ());
+        go ()
+  in
+  go ();
   let by_ts (a : Pcap.record) (b : Pcap.record) = Time_ns.compare a.Pcap.ts b.Pcap.ts in
   { records = List.stable_sort by_ts (List.rev !records);
     transactions = List.rev !txs }

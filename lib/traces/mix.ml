@@ -36,3 +36,17 @@ let generate (cfg : config) : Pcap.record list =
   List.stable_sort
     (fun (a : Pcap.record) b -> Hilti_types.Time_ns.compare a.Pcap.ts b.Pcap.ts)
     (http @ dns @ ssh)
+
+(** Stream the same mix without materialising it: each protocol generator
+    runs as its own bounded [Iosrc.t] and the three sorted streams merge
+    on the fly.  Tie-break order (http, dns, ssh) matches [generate]. *)
+let iosrc ?window (cfg : config) : Hilti_rt.Iosrc.t =
+  let srcs =
+    List.filter_map Fun.id
+      [
+        Option.map (fun c -> Http_gen.iosrc ?window c) cfg.http;
+        Option.map (fun c -> Dns_gen.iosrc ?window c) cfg.dns;
+        Option.map (fun c -> Ssh_gen.iosrc ?window c) cfg.ssh;
+      ]
+  in
+  Gen_stream.merge ~kind:"synthetic-mix" srcs

@@ -22,43 +22,76 @@ type session = { client_banner : string; server_banner : string }
 
 type trace = { records : Pcap.record list; sessions_meta : session list }
 
-let generate (cfg : config) : trace =
+(** Session-by-session producer shared by [generate] and [iosrc].  The
+    sessions share one monotone clock, so each burst starts after the
+    previous one ended and the stream is sorted as generated. *)
+let session_stream (cfg : config) : unit -> (Pcap.record list * session) option =
   let rng = Rng.create cfg.seed in
-  let records = ref [] and meta = ref [] in
   let ts = ref cfg.start_ts in
   let step n = ts := Time_ns.add !ts (Int64.of_int n) in
-  for i = 0 to cfg.sessions - 1 do
-    let client = Addr.of_ipv4_octets 10 4 0 (1 + (i mod 250)) in
-    let server = Addr.of_ipv4_octets 192 168 7 (1 + (i mod 100)) in
-    let cport = 40000 + i in
-    let banner who =
-      Printf.sprintf "SSH-%s-%s\r\n" (Rng.choose rng versions) (Rng.choose rng software)
-      |> fun b -> (b, who)
-    in
-    let cb, _ = banner `C and sb, _ = banner `S in
-    meta :=
-      { client_banner = String.trim cb; server_banner = String.trim sb } :: !meta;
-    let seg ~from_client ~seq ~flags data =
-      let src, dst, sp, dp =
-        if from_client then (client, server, cport, 22) else (server, client, 22, cport)
+  let i = ref 0 in
+  fun () ->
+    if !i >= cfg.sessions then None
+    else begin
+      let idx = !i in
+      incr i;
+      let client = Addr.of_ipv4_octets 10 4 0 (1 + (idx mod 250)) in
+      let server = Addr.of_ipv4_octets 192 168 7 (1 + (idx mod 100)) in
+      let cport = 40000 + idx in
+      let banner who =
+        Printf.sprintf "SSH-%s-%s\r\n" (Rng.choose rng versions)
+          (Rng.choose rng software)
+        |> fun b -> (b, who)
       in
-      step (50_000 + Rng.int rng 200_000);
-      let frame =
-        Packet.encode_tcp ~src ~dst ~src_port:sp ~dst_port:dp ~seq ~ack:0l ~flags data
+      let cb, _ = banner `C and sb, _ = banner `S in
+      let records = ref [] in
+      let seg ~from_client ~seq ~flags data =
+        let src, dst, sp, dp =
+          if from_client then (client, server, cport, 22)
+          else (server, client, 22, cport)
+        in
+        step (50_000 + Rng.int rng 200_000);
+        let frame =
+          Packet.encode_tcp ~src ~dst ~src_port:sp ~dst_port:dp ~seq ~ack:0l
+            ~flags data
+        in
+        records :=
+          { Pcap.ts = !ts; orig_len = String.length frame; data = frame }
+          :: !records
       in
-      records := { Pcap.ts = !ts; orig_len = String.length frame; data = frame } :: !records
-    in
-    seg ~from_client:true ~seq:100l ~flags:Tcp.flag_syn "";
-    seg ~from_client:false ~seq:500l ~flags:(Tcp.flag_syn lor Tcp.flag_ack) "";
-    seg ~from_client:true ~seq:101l ~flags:Tcp.flag_ack "";
-    (* Server speaks first in SSH. *)
-    seg ~from_client:false ~seq:501l ~flags:Tcp.flag_ack sb;
-    seg ~from_client:true ~seq:101l ~flags:Tcp.flag_ack cb;
-    seg ~from_client:true
-      ~seq:(Int32.add 101l (Int32.of_int (String.length cb)))
-      ~flags:(Tcp.flag_fin lor Tcp.flag_ack) "";
-    seg ~from_client:false
-      ~seq:(Int32.add 501l (Int32.of_int (String.length sb)))
-      ~flags:(Tcp.flag_fin lor Tcp.flag_ack) ""
-  done;
+      seg ~from_client:true ~seq:100l ~flags:Tcp.flag_syn "";
+      seg ~from_client:false ~seq:500l ~flags:(Tcp.flag_syn lor Tcp.flag_ack) "";
+      seg ~from_client:true ~seq:101l ~flags:Tcp.flag_ack "";
+      (* Server speaks first in SSH. *)
+      seg ~from_client:false ~seq:501l ~flags:Tcp.flag_ack sb;
+      seg ~from_client:true ~seq:101l ~flags:Tcp.flag_ack cb;
+      seg ~from_client:true
+        ~seq:(Int32.add 101l (Int32.of_int (String.length cb)))
+        ~flags:(Tcp.flag_fin lor Tcp.flag_ack) "";
+      seg ~from_client:false
+        ~seq:(Int32.add 501l (Int32.of_int (String.length sb)))
+        ~flags:(Tcp.flag_fin lor Tcp.flag_ack) "";
+      Some
+        ( List.rev !records,
+          { client_banner = String.trim cb; server_banner = String.trim sb } )
+    end
+
+(** Synthesize sessions on demand as an [Iosrc.t] with bounded memory. *)
+let iosrc ?(window = 16) (cfg : config) : Hilti_rt.Iosrc.t =
+  let next = session_stream cfg in
+  Gen_stream.iosrc ~kind:"synthetic-ssh" ~window (fun () ->
+      Option.map fst (next ()))
+
+let generate (cfg : config) : trace =
+  let next = session_stream cfg in
+  let records = ref [] and meta = ref [] in
+  let rec go () =
+    match next () with
+    | None -> ()
+    | Some (recs, m) ->
+        records := List.rev_append recs !records;
+        meta := m :: !meta;
+        go ()
+  in
+  go ();
   { records = List.rev !records; sessions_meta = List.rev !meta }

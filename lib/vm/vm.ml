@@ -462,7 +462,15 @@ and exec_bytes op args =
       Value.Null
   | B_is_frozen -> Value.Bool (Hbytes.is_frozen (Value.as_bytes (a 0)))
   | B_trim ->
-      Hbytes.trim (Value.as_bytes (a 0)) (Value.as_bytes_iter (a 1));
+      (* Accepts the bytes object itself or any iterator into it: generated
+         parsers only hold iterators, never the underlying stream value. *)
+      let target =
+        match a 0 with
+        | Value.Bytes b -> b
+        | Value.Iter (Value.Ibytes it) -> it.Hbytes.bytes
+        | v -> raise (Value.type_error ("bytes.trim: " ^ Value.to_string v))
+      in
+      Hbytes.trim target (Value.as_bytes_iter (a 1));
       Value.Null
   | B_sub ->
       let i1 = Value.as_bytes_iter (a 0) and i2 = Value.as_bytes_iter (a 1) in

@@ -133,8 +133,6 @@ let run ?(base = 150) () =
     entries;
   Buffer.add_string json "  ]\n}\n";
   let path = "BENCH_stream.json" in
-  let oc = open_out path in
-  output_string oc (Buffer.contents json);
-  close_out oc;
+  Bench_util.write_file_atomic path (Buffer.contents json);
   Printf.printf "memory trajectory written to %s\n" path;
   bounded

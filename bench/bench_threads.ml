@@ -172,8 +172,6 @@ let run () =
     entries;
   Buffer.add_string json "  ]\n}\n";
   let path = "BENCH_threads.json" in
-  let oc = open_out path in
-  output_string oc (Buffer.contents json);
-  close_out oc;
+  Bench_util.write_file_atomic path (Buffer.contents json);
   Printf.printf "scaling data written to %s\n" path;
   !ok

@@ -26,6 +26,10 @@ let best_of ?(n = 3) f =
 
 let ms ns = Int64.to_float ns /. 1e6
 
+(** Write a result file atomically (temp + rename): an interrupted bench
+    run can never leave a truncated BENCH_*.json behind. *)
+let write_file_atomic = Hilti_obs.Export.write_file_atomic
+
 let ratio a b = if Int64.equal b 0L then nan else Int64.to_float a /. Int64.to_float b
 
 (* ---- Bechamel micro benches --------------------------------------------------- *)

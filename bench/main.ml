@@ -15,6 +15,7 @@ let experiments =
     ("scripts", "§6.5 script compiler: Table 3 + Figure 10 + fib");
     ("threads", "§6.6 virtual-thread load balancing");
     ("stream", "streaming pipeline: peak heap vs trace size");
+    ("obs", "observability: instrumentation overhead off vs on");
     ("ablations", "design-choice ablations") ]
 
 let () =
@@ -37,6 +38,7 @@ let () =
       | "scripts" -> ignore (Bench_scripts.run ~http_sessions ~dns_transactions ())
       | "threads" -> ignore (Bench_threads.run ())
       | "stream" -> ignore (Bench_stream.run ~base:(if quick then 40 else 150) ())
+      | "obs" -> ignore (Bench_obs.run ~dns_transactions ())
       | "ablations" -> Bench_ablations.run ()
       | other ->
           Printf.eprintf "unknown experiment %s; known:\n" other;

@@ -27,6 +27,14 @@ analysis:
   -quiet           do not write logs, just report counts
   -profile FILE    dump profiler measurements to FILE (§3.3)
 
+observability:
+  -metrics PATH       enable metrics and write PATH.metrics.jsonl (one
+                      snapshot per line) plus PATH.prom (Prometheus text);
+                      a final snapshot is always taken at end of run
+  -stats-interval MS  also snapshot every MS milliseconds of trace time
+  -trace-spans        record trace spans; written to PATH.trace.json
+                      (Chrome trace-event format; requires -metrics)
+
 Input is streamed: packets are pulled from the trace (or synthesized) one
 at a time, so memory is bounded by the live connections, not trace size.
 
@@ -53,6 +61,9 @@ let () =
   let profile = ref None in
   let jobs = ref None in
   let idle_timeout = ref None in
+  let metrics = ref None in
+  let stats_interval = ref None in
+  let trace_spans = ref false in
   let evt_files = ref [] in
   let bro_files = ref [] in
   let rec parse_args = function
@@ -65,6 +76,17 @@ let () =
     | "-w" :: d :: rest -> outdir := d; parse_args rest
     | "-quiet" :: rest -> quiet := true; parse_args rest
     | "-profile" :: f :: rest -> profile := Some f; parse_args rest
+    | "-metrics" :: p :: rest -> metrics := Some p; parse_args rest
+    | "-trace-spans" :: rest -> trace_spans := true; parse_args rest
+    | "-stats-interval" :: ms :: rest ->
+        (match int_of_string_opt ms with
+        | Some m when m >= 1 ->
+            stats_interval := Some (Hilti_types.Interval_ns.of_msecs m)
+        | _ ->
+            Printf.eprintf
+              "-stats-interval expects a positive millisecond count, got %s\n" ms;
+            exit 1);
+        parse_args rest
     | "-j" :: n :: rest ->
         (match int_of_string_opt n with
         | Some j when j >= 1 -> jobs := Some j
@@ -92,6 +114,31 @@ let () =
         exit 1
   in
   parse_args (List.tl (Array.to_list Sys.argv));
+  (* Observability: -metrics enables recording and owns the export files;
+     -stats-interval adds periodic trace-time snapshots on top. *)
+  let exporter =
+    match !metrics with
+    | Some prefix ->
+        Hilti_obs.Metrics.set_enabled true;
+        if !trace_spans then Hilti_obs.Trace.set_enabled true;
+        Some (Hilti_obs.Export.create ~prefix)
+    | None ->
+        if !stats_interval <> None || !trace_spans then
+          Printf.eprintf "note: -stats-interval/-trace-spans require -metrics\n";
+        None
+  in
+  let stats_export =
+    match (exporter, !stats_interval) with
+    | Some ex, Some ival -> Some (ival, fun () -> Hilti_obs.Export.scrape ex)
+    | _ -> None
+  in
+  let finish_metrics () =
+    match (exporter, !metrics) with
+    | Some ex, Some prefix ->
+        Hilti_obs.Export.close ex;
+        Printf.printf "wrote metrics to %s.metrics.jsonl / %s.prom\n" prefix prefix
+    | _ -> ()
+  in
   (* A re-creatable streaming source: packets are pulled on demand (from
      the trace file or synthesized), never materialised as a list.  The
      thunk lets the Fig. 7(d) mode replay the input once per .evt file. *)
@@ -156,6 +203,7 @@ let () =
           stats.Hilti_analyzers.Driver.connections
           stats.Hilti_analyzers.Driver.events)
       (List.rev !evt_files);
+    finish_metrics ();
     exit 0
   end;
   let proto = Option.value ~default:default_proto !proto in
@@ -181,9 +229,10 @@ let () =
   | _ -> ());
   let result =
     Driver.evaluate_src ~proto:proto_kind ~engine_mode ~scripts
-      ~logging:(not !quiet) ?jobs:!jobs ?idle_timeout:!idle_timeout
+      ~logging:(not !quiet) ?jobs:!jobs ?idle_timeout:!idle_timeout ?stats_export
       (make_src ())
   in
+  finish_metrics ();
   Printf.printf
     "processed %d packets, %d connections, %d events (parsers=%s scripts=%s%s)\n"
     result.Driver.stats.Driver.packets result.Driver.stats.Driver.connections

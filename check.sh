@@ -23,4 +23,13 @@ dune exec bench/main.exe -- threads --quick
 echo "== bench stream (writes BENCH_stream.json)"
 dune exec bench/main.exe -- stream --quick
 
+echo "== observability suite (test_obs: sharding exactness, export formats)"
+dune exec test/test_main.exe -- test obs
+
+echo "== bench obs (writes BENCH_obs.json)"
+dune exec bench/main.exe -- obs --quick
+grep -q '"overhead_pct_1"' BENCH_obs.json
+grep -q '"overhead_pct_4"' BENCH_obs.json
+grep -q '"disabled_alloc_words_per_100k"' BENCH_obs.json
+
 echo "check.sh: all green"

@@ -30,6 +30,23 @@ type stats = {
 let parse_profiler = "analyzer/parse"
 let script_profiler = "analyzer/script"
 
+let m_events =
+  Hilti_obs.Metrics.counter "events_raised"
+    ~help:"Events dispatched into the script engine"
+
+let m_parse_errors =
+  Hilti_obs.Metrics.counter "parse_errors"
+    ~help:"Datagrams rejected by a protocol parser"
+
+let m_bytes_trimmed =
+  Hilti_obs.Metrics.counter "bytes_trimmed"
+    ~help:"Consumed parser input released by Hbytes.trim"
+
+(* The bytes layer sits below the metrics library, so it exposes a hook
+   instead of counting trims itself; the driver wires it up once. *)
+let () =
+  Hilti_types.Hbytes.set_on_trim (fun n -> Hilti_obs.Metrics.add m_bytes_trimmed n)
+
 (* Wrap a sink so every event dispatch is timed as "script execution";
    exclusive timing pauses the parse profiler when events fire from inside
    a parse, keeping the components additive. *)
@@ -38,12 +55,36 @@ let profiled_sink (sink : Events.sink) (stats : stats) : Events.sink =
     Events.raise_event =
       (fun name args ->
         stats.events <- stats.events + 1;
+        Hilti_obs.Metrics.incr m_events;
         Hilti_rt.Profiler.time_exclusive script_profiler (fun () ->
             sink.Events.raise_event name args));
     set_time = sink.Events.set_time;
   }
 
-let in_parse f = Hilti_rt.Profiler.time parse_profiler f
+let in_parse f =
+  Hilti_obs.Trace.with_span ~cat:"analyzer" "parse" (fun () ->
+      Hilti_rt.Profiler.time parse_profiler f)
+
+(* ---- Periodic stats export ---------------------------------------------------------- *)
+
+(* A stats request is (interval of trace time, scrape callback); the driver
+   arms a rearming timer on the run's timer manager, so exports line up
+   with the trace clock exactly like HILTI's periodic profiler dumps. *)
+type stats_export = Hilti_types.Interval_ns.t * (unit -> unit)
+
+let arm_stats timer_mgr (stats : stats_export option) =
+  match stats with
+  | None -> ()
+  | Some (ival, cb) ->
+      let rec arm () =
+        ignore
+          (Hilti_rt.Timer_mgr.schedule_in timer_mgr
+             (fun () ->
+               cb ();
+               arm ())
+             ival)
+      in
+      arm ()
 
 let fresh_stats () = { packets = 0; connections = 0; events = 0; evicted = 0 }
 
@@ -77,7 +118,7 @@ let eof_side side =
     flows; without it the table drains only at end of trace, matching the
     list-based path event for event. *)
 let run_http_src ~(kind : http_kind) ~(sink : Events.sink) ?idle_timeout
-    (src : Hilti_rt.Iosrc.t) : stats =
+    ?(stats_export : stats_export option) (src : Hilti_rt.Iosrc.t) : stats =
   let stats = fresh_stats () in
   let sink = profiled_sink sink stats in
   (match kind with
@@ -85,6 +126,7 @@ let run_http_src ~(kind : http_kind) ~(sink : Events.sink) ?idle_timeout
   | Http_std -> ());
   sink.Events.raise_event "bro_init" [];
   let timer_mgr = Hilti_rt.Timer_mgr.create () in
+  arm_stats timer_mgr stats_export;
   let uid_counter = ref 0 in
   let fresh flow ts =
     incr uid_counter;
@@ -133,10 +175,9 @@ let run_http_src ~(kind : http_kind) ~(sink : Events.sink) ?idle_timeout
     (fun (p : Hilti_rt.Iosrc.packet) ->
       stats.packets <- stats.packets + 1;
       let ts = p.Hilti_rt.Iosrc.ts in
-      if idle_timeout <> None then begin
-        sink.Events.set_time ts;
-        ignore (Hilti_rt.Timer_mgr.advance timer_mgr ts)
-      end;
+      if idle_timeout <> None then sink.Events.set_time ts;
+      if idle_timeout <> None || stats_export <> None then
+        ignore (Hilti_rt.Timer_mgr.advance timer_mgr ts);
       match Packet.decode_opt ~ts p.Hilti_rt.Iosrc.data with
       | Some pkt -> (
           match (pkt.Packet.transport, Packet.flow pkt) with
@@ -180,11 +221,12 @@ let run_http ~(kind : http_kind) ~(sink : Events.sink) (records : Pcap.record li
     per-flow connection-value table the same way as for HTTP (DNS has no
     teardown events, so eviction only releases state). *)
 let run_dns_src ~(kind : dns_kind) ~(sink : Events.sink) ?idle_timeout
-    (src : Hilti_rt.Iosrc.t) : stats =
+    ?(stats_export : stats_export option) (src : Hilti_rt.Iosrc.t) : stats =
   let stats = fresh_stats () in
   let sink = profiled_sink sink stats in
   sink.Events.raise_event "bro_init" [];
   let timer_mgr = Hilti_rt.Timer_mgr.create () in
+  arm_stats timer_mgr stats_export;
   let uid_counter = ref 0 in
   let fresh flow ts =
     incr uid_counter;
@@ -204,7 +246,7 @@ let run_dns_src ~(kind : dns_kind) ~(sink : Events.sink) ?idle_timeout
     (fun (p : Hilti_rt.Iosrc.packet) ->
       stats.packets <- stats.packets + 1;
       let ts = p.Hilti_rt.Iosrc.ts in
-      if idle_timeout <> None then
+      if idle_timeout <> None || stats_export <> None then
         ignore (Hilti_rt.Timer_mgr.advance timer_mgr ts);
       match Packet.decode_opt ~ts p.Hilti_rt.Iosrc.data with
       | Some pkt -> (
@@ -224,12 +266,13 @@ let run_dns_src ~(kind : dns_kind) ~(sink : Events.sink) ?idle_timeout
                         Events.raise_dns_reply sink conn_val (Dns_std.to_reply msg)
                       else
                         Events.raise_dns_request sink conn_val (Dns_std.to_request msg)
-                  | exception Dns_std.Bad_dns _ -> ())
+                  | exception Dns_std.Bad_dns _ ->
+                      Hilti_obs.Metrics.incr m_parse_errors)
               | Dns_pac t -> (
                   match in_parse (fun () -> Dns_pac.parse t payload) with
                   | Dns_pac.Request rq -> Events.raise_dns_request sink conn_val rq
                   | Dns_pac.Reply rp -> Events.raise_dns_reply sink conn_val rp
-                  | Dns_pac.Not_dns -> ()))
+                  | Dns_pac.Not_dns -> Hilti_obs.Metrics.incr m_parse_errors))
           | _ -> ())
       | None -> ())
     src;
@@ -264,10 +307,15 @@ let trivial_sched_module () =
     the logs, are identical to the sequential pipeline's while memory stays
     O(batch + live flows) instead of O(trace). *)
 let run_dns_par_src ?(batch = 1024) ~jobs ~(kind : dns_kind)
-    ~(sink : Events.sink) (src : Hilti_rt.Iosrc.t) : stats =
+    ?(stats_export : stats_export option) ~(sink : Events.sink)
+    (src : Hilti_rt.Iosrc.t) : stats =
   if batch < 1 then invalid_arg "Driver.run_dns_par_src: batch must be >= 1";
   let stats = fresh_stats () in
   let sink = profiled_sink sink stats in
+  (* Exports are driven from the serial dispatch stage, so scrapes see a
+     consistent picture between batches. *)
+  let stats_mgr = Hilti_rt.Timer_mgr.create () in
+  arm_stats stats_mgr stats_export;
   let api =
     match kind with
     | Dns_pac t -> t.Dns_pac.parser.Binpacxx.Runtime.api
@@ -341,12 +389,16 @@ let run_dns_par_src ?(batch = 1024) ~jobs ~(kind : dns_kind)
                               if msg.Dns_std.is_response then
                                 D_rep (Dns_std.to_reply msg)
                               else D_req (Dns_std.to_request msg)
-                          | exception Dns_std.Bad_dns _ -> D_none)
+                          | exception Dns_std.Bad_dns _ ->
+                              Hilti_obs.Metrics.incr m_parse_errors;
+                              D_none)
                       | Dns_pac t -> (
                           match in_parse (fun () -> Dns_pac.parse t payload) with
                           | Dns_pac.Request rq -> D_req rq
                           | Dns_pac.Reply rp -> D_rep rp
-                          | Dns_pac.Not_dns -> D_none)
+                          | Dns_pac.Not_dns ->
+                              Hilti_obs.Metrics.incr m_parse_errors;
+                              D_none)
                     in
                     slots.(i) <- Some (oriented, outcome))
             | _ -> ())
@@ -358,6 +410,8 @@ let run_dns_par_src ?(batch = 1024) ~jobs ~(kind : dns_kind)
       for i = 0 to n - 1 do
         let p = Option.get recs.(i) in
         stats.packets <- stats.packets + 1;
+        if stats_export <> None then
+          ignore (Hilti_rt.Timer_mgr.advance stats_mgr p.Hilti_rt.Iosrc.ts);
         match slots.(i) with
         | None -> ()
         | Some (oriented, outcome) -> (
@@ -406,10 +460,13 @@ let profiler_ns name = Hilti_rt.Profiler.wall_ns (Hilti_rt.Profiler.find_or_crea
     ({!run_dns_par_src}); HTTP runs serially regardless (its parse state is
     per-connection and incremental).
     @param idle_timeout evict connections idle for this long (trace time);
-    ignored by the parallel DNS stage, whose table holds only values. *)
+    ignored by the parallel DNS stage, whose table holds only values.
+    @param stats_export scrape callback fired at this interval of trace
+    time (the mini-bro [-stats-interval] plumbing). *)
 let evaluate_src ~(proto : [ `Http of http_kind | `Dns of dns_kind ])
     ~(engine_mode : Bro_engine.mode) ~(scripts : Bro_ast.script)
-    ?(logging = true) ?jobs ?idle_timeout (src : Hilti_rt.Iosrc.t) : run_result =
+    ?(logging = true) ?jobs ?idle_timeout ?(stats_export : stats_export option)
+    (src : Hilti_rt.Iosrc.t) : run_result =
   Hilti_rt.Profiler.reset_all ();
   let logger = Bro_log.create () in
   Bro_scripts.setup_logs logger;
@@ -420,9 +477,10 @@ let evaluate_src ~(proto : [ `Http of http_kind | `Dns of dns_kind ])
   let stats, total_ns =
     timed (fun () ->
         match (proto, jobs) with
-        | `Http kind, _ -> run_http_src ~kind ~sink ?idle_timeout src
-        | `Dns kind, Some j when j > 0 -> run_dns_par_src ~jobs:j ~kind ~sink src
-        | `Dns kind, _ -> run_dns_src ~kind ~sink ?idle_timeout src)
+        | `Http kind, _ -> run_http_src ~kind ~sink ?idle_timeout ?stats_export src
+        | `Dns kind, Some j when j > 0 ->
+            run_dns_par_src ~jobs:j ~kind ?stats_export ~sink src
+        | `Dns kind, _ -> run_dns_src ~kind ~sink ?idle_timeout ?stats_export src)
   in
   {
     logger;

@@ -24,6 +24,18 @@ type 'a t = {
   mutable removed_cb : ('a conn -> unit) option;
 }
 
+let m_created =
+  Hilti_obs.Metrics.counter "flow_connections_created"
+    ~help:"Connections instantiated by session tables"
+
+let m_live =
+  Hilti_obs.Metrics.gauge "flow_connections_live"
+    ~help:"Connections currently held in session tables"
+
+let m_evicted =
+  Hilti_obs.Metrics.counter "connections_evicted"
+    ~help:"Connections dropped by idle timeout"
+
 let create ?timeout ?timer_mgr fresh =
   let table = Hilti_rt.Exp_map.create () in
   (match (timeout, timer_mgr) with
@@ -34,6 +46,8 @@ let create ?timeout ?timer_mgr fresh =
   (* Idle eviction flushes connection state through the same callback as a
      manual removal, so analyzers see a uniform teardown path. *)
   Hilti_rt.Exp_map.set_on_expire table (fun _canon conn ->
+      Hilti_obs.Metrics.incr m_evicted;
+      Hilti_obs.Metrics.gauge_decr m_live;
       match t.removed_cb with Some cb -> cb conn | None -> ());
   t
 
@@ -70,6 +84,8 @@ let lookup t ~ts flow =
         }
       in
       t.created <- t.created + 1;
+      Hilti_obs.Metrics.incr m_created;
+      Hilti_obs.Metrics.gauge_incr m_live;
       Hilti_rt.Exp_map.insert t.table canon conn;
       (conn, Orig)
 
@@ -78,6 +94,8 @@ let remove t flow =
   (match (t.removed_cb, Hilti_rt.Exp_map.find_opt t.table canon) with
   | Some cb, Some conn -> cb conn
   | _ -> ());
+  if Hilti_rt.Exp_map.mem t.table canon then
+    Hilti_obs.Metrics.gauge_decr m_live;
   Hilti_rt.Exp_map.remove t.table canon
 
 let iter f t = Hilti_rt.Exp_map.iter (fun _ conn -> f conn) t.table

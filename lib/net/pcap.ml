@@ -25,6 +25,15 @@ exception Bad_format of string
     capture it; the default mirrors tcpdump's warning on stderr. *)
 let warn = ref (fun msg -> Printf.eprintf "pcap: warning: %s\n%!" msg)
 
+let m_records = Hilti_obs.Metrics.counter "pcap_records_read" ~help:"Pcap records decoded"
+
+let m_bytes =
+  Hilti_obs.Metrics.counter "pcap_bytes_read" ~help:"Captured payload bytes decoded from pcap"
+
+let m_truncations =
+  Hilti_obs.Metrics.counter "pcap_truncation_warnings"
+    ~help:"Truncated-tail warnings from lax pcap readers"
+
 (* ---- Writing -------------------------------------------------------------- *)
 
 let encode_global_header ?(snaplen = 65535) () =
@@ -197,6 +206,7 @@ let read_global_header r =
 let truncated r what =
   if r.strict then raise (Bad_format what)
   else begin
+    Hilti_obs.Metrics.incr m_truncations;
     !warn (Printf.sprintf "truncated trace: %s at end of input" what);
     None
   end
@@ -221,6 +231,8 @@ let read_record r =
     else begin
       let data = Bytes.sub_string r.buf (r.pos + 16) caplen in
       r.pos <- r.pos + 16 + caplen;
+      Hilti_obs.Metrics.incr m_records;
+      Hilti_obs.Metrics.add m_bytes caplen;
       let ts =
         Time_ns.of_ns
           (Int64.add

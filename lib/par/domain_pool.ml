@@ -17,6 +17,17 @@
 type task = int -> unit
 (** A task receives the id of the worker domain executing it. *)
 
+let m_tasks =
+  Hilti_obs.Metrics.counter "par_tasks_run" ~help:"Tasks executed by the domain pool"
+
+let m_steals =
+  Hilti_obs.Metrics.counter "par_steals"
+    ~help:"Tasks taken from another worker's run queue"
+
+let m_queue_depth =
+  Hilti_obs.Metrics.gauge "par_queue_depth"
+    ~help:"Tasks queued across the pool, not yet started"
+
 type t = {
   domains : int;
   queues : task Queue.t array;  (* one run queue per worker *)
@@ -40,7 +51,9 @@ let take_locked pool wid =
         if k >= n - 1 then None
         else
           match Queue.take_opt pool.queues.((wid + 1 + k) mod n) with
-          | Some t -> Some t
+          | Some t ->
+              Hilti_obs.Metrics.incr m_steals;
+              Some t
           | None -> scan (k + 1)
       in
       scan 0
@@ -58,6 +71,8 @@ let worker pool on_start wid =
     | Some task ->
         pool.active <- pool.active + 1;
         Mutex.unlock pool.lock;
+        Hilti_obs.Metrics.gauge_decr m_queue_depth;
+        Hilti_obs.Metrics.incr m_tasks;
         (try task wid with e -> record_error pool e);
         Mutex.lock pool.lock;
         pool.active <- pool.active - 1;
@@ -98,6 +113,7 @@ let submit pool ~affinity task =
   Mutex.protect pool.lock (fun () ->
       if not pool.running then invalid_arg "Domain_pool.submit: pool shut down";
       Queue.add task pool.queues.(((affinity mod pool.domains) + pool.domains) mod pool.domains);
+      Hilti_obs.Metrics.gauge_incr m_queue_depth;
       Condition.signal pool.work)
 
 (** Block until every queue is empty and no task is executing, then re-raise
@@ -122,6 +138,7 @@ let shutdown pool =
   Mutex.protect pool.lock (fun () ->
       pool.running <- false;
       Array.iter Queue.clear pool.queues;
+      Hilti_obs.Metrics.gauge_set m_queue_depth 0;
       Condition.broadcast pool.work);
   List.iter Domain.join pool.handles;
   pool.handles <- []

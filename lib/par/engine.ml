@@ -68,6 +68,14 @@ type t = {
 (* Lock ordering: engine lock < pool lock.  The pool never takes the
    engine lock. *)
 
+let m_activations =
+  Hilti_obs.Metrics.counter "par_activations"
+    ~help:"Virtual-thread activations run by the engine"
+
+let m_migrations =
+  Hilti_obs.Metrics.counter "par_thread_migrations"
+    ~help:"Activations that moved a virtual thread to a new home worker"
+
 let batch_limit = 64
 (* Jobs run per activation before the thread goes back to the pool — bounds
    how long one virtual thread can monopolise a worker. *)
@@ -103,8 +111,13 @@ let vthread_locked t vid =
 let rec activation t vt wid =
   let clone = t.clones.(wid) in
   let batch = Queue.create () in
+  Hilti_obs.Metrics.incr m_activations;
   let globals =
     Mutex.protect t.lock (fun () ->
+        (* A home change after the thread has state is a migration: its
+           globals and timers follow it to the stealing worker. *)
+        if vt.home <> wid && vt.globals <> None then
+          Hilti_obs.Metrics.incr m_migrations;
         vt.home <- wid;
         let g =
           match vt.globals with

@@ -21,6 +21,14 @@ type ('k, 'v) t = {
   mutable on_expire : ('k -> 'v -> unit) option;
 }
 
+let m_timers_scheduled =
+  Hilti_obs.Metrics.counter "exp_map_timers_scheduled"
+    ~help:"Expiration timers armed by state containers"
+
+let m_expired =
+  Hilti_obs.Metrics.counter "exp_map_expired"
+    ~help:"Container entries dropped by timer expiry"
+
 (* Keys are hashed structurally; HILTI map keys are value types, so
    structural equality is the right notion. *)
 let create () =
@@ -58,11 +66,13 @@ let schedule_expiry t (entry : ('k, 'v) entry) =
         if entry.gen = gen && Hashtbl.mem t.buckets entry.key then begin
           Hashtbl.remove t.buckets entry.key;
           t.expired_total <- t.expired_total + 1;
+          Hilti_obs.Metrics.incr m_expired;
           match t.on_expire with
           | Some cb -> cb entry.key entry.value
           | None -> ()
         end
       in
+      Hilti_obs.Metrics.incr m_timers_scheduled;
       ignore (Timer_mgr.schedule_in mgr fire ival)
   | _ -> ()
 

@@ -16,6 +16,14 @@ type t = {
   mutable delivered : int;
 }
 
+let m_packets_read =
+  Hilti_obs.Metrics.counter "packets_read"
+    ~help:"Packets delivered by all input sources"
+
+let m_bytes_read =
+  Hilti_obs.Metrics.counter "bytes_read"
+    ~help:"Payload bytes delivered by all input sources"
+
 let create ~kind next = { kind; next; delivered = 0 }
 
 let kind t = t.kind
@@ -26,6 +34,8 @@ let read t =
   match t.next () with
   | Some p ->
       t.delivered <- t.delivered + 1;
+      Hilti_obs.Metrics.incr m_packets_read;
+      Hilti_obs.Metrics.add m_bytes_read (String.length p.data);
       Some p
   | None -> None
 

@@ -12,8 +12,14 @@ type t = {
   mutable cycles : int64;           (* accumulated abstract cost *)
   mutable started_at : int64 option;  (* monotonic ns when running *)
   mutable cycles_at_start : int64;
-  mutable snapshots : (int64 * int64) list;  (* (wall_ns, cycles) *)
+  mutable snapshots : (int64 * int64) list;  (* newest first, capped *)
+  mutable snap_count : int;
 }
+
+(** Snapshot history bound: only the newest [max_snapshots] per profiler
+    are retained, so periodic snapshotting on a streaming workload uses
+    constant memory. *)
+let max_snapshots = 256
 
 (* The abstract cycle counter the VM increments.  With the parallel engine
    (Hilti_par) VM instructions execute on several domains at once, so a
@@ -67,6 +73,7 @@ let find_or_create name =
               started_at = None;
               cycles_at_start = 0L;
               snapshots = [];
+              snap_count = 0;
             }
           in
           Hashtbl.add registry name p;
@@ -108,9 +115,15 @@ let stop t =
   running := List.filter (fun p -> p != t) !running
 
 (** Record the current totals as a snapshot (HILTI writes these to disk at
-    regular intervals; we retain them in memory and render on demand). *)
-let snapshot t = t.snapshots <- (t.wall_ns, t.cycles) :: t.snapshots
+    regular intervals; we retain the newest {!max_snapshots} in memory and
+    render on demand). *)
+let snapshot t =
+  t.snapshots <- (t.wall_ns, t.cycles) :: t.snapshots;
+  if t.snap_count >= max_snapshots then
+    t.snapshots <- List.filteri (fun i _ -> i < max_snapshots) t.snapshots
+  else t.snap_count <- t.snap_count + 1
 
+(** Retained snapshots, oldest first. *)
 let snapshots t = List.rev t.snapshots
 
 (** Time a function under profiler [name]. *)
@@ -158,24 +171,60 @@ let report () =
     entries
 
 (** Write all profiler totals and their recorded snapshots to [path] —
-    HILTI's periodic measurement dumps (§3.3). *)
+    HILTI's periodic measurement dumps (§3.3).  The write is atomic
+    (temp + rename), so a crash mid-dump can't leave a torn report. *)
 let write_report path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc "#profiler\tcalls\twall_ms\tcycles\n";
-      List.iter (fun line -> output_string oc (line ^ "\n")) (report ());
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "#profiler\tcalls\twall_ms\tcycles\n";
+  List.iter (fun line -> Buffer.add_string b (line ^ "\n")) (report ());
+  let entries =
+    Mutex.protect registry_lock (fun () ->
+        Hashtbl.fold (fun _ p acc -> p :: acc) registry [])
+  in
+  List.iter
+    (fun p ->
+      List.iteri
+        (fun i (wall, cyc) ->
+          Buffer.add_string b
+            (Printf.sprintf "#snapshot\t%s\t%d\t%.3f\t%Ld\n" p.name i
+               (Int64.to_float wall /. 1e6)
+               cyc))
+        (snapshots p))
+    entries;
+  Hilti_obs.Export.write_file_atomic path (Buffer.contents b)
+
+(* Expose profiler totals through the metrics scrape, so the periodic
+   exporter subsumes the profiler's own dump format. *)
+let () =
+  Hilti_obs.Metrics.register_collector (fun () ->
       let entries =
         Mutex.protect registry_lock (fun () ->
             Hashtbl.fold (fun _ p acc -> p :: acc) registry [])
       in
-      List.iter
+      List.concat_map
         (fun p ->
-          List.iteri
-            (fun i (wall, cyc) ->
-              Printf.fprintf oc "#snapshot\t%s\t%d\t%.3f\t%Ld\n" p.name i
-                (Int64.to_float wall /. 1e6)
-                cyc)
-            (snapshots p))
+          let label = Some ("name", p.name) in
+          [
+            Hilti_obs.Metrics.
+              {
+                s_name = "profiler_calls";
+                s_help = "Invocations per profiler block";
+                s_label = label;
+                s_value = V_counter p.invocations;
+              };
+            Hilti_obs.Metrics.
+              {
+                s_name = "profiler_wall_ns";
+                s_help = "Accumulated wall time per profiler block";
+                s_label = label;
+                s_value = V_counter (Int64.to_int p.wall_ns);
+              };
+            Hilti_obs.Metrics.
+              {
+                s_name = "profiler_cycles";
+                s_help = "Accumulated abstract cycles per profiler block";
+                s_label = label;
+                s_value = V_counter (Int64.to_int p.cycles);
+              };
+          ])
         entries)

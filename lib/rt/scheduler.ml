@@ -142,6 +142,10 @@ let current_vthread : vthread option ref = ref None
 
 let current () = !current_vthread
 
+let m_jobs_run =
+  Hilti_obs.Metrics.counter "sched_jobs_run"
+    ~help:"Jobs executed by the cooperative scheduler"
+
 let run_one_job vt =
   match Queue.take_opt vt.queue with
   | None -> false
@@ -152,6 +156,7 @@ let run_one_job vt =
         ~finally:(fun () -> current_vthread := saved)
         (fun () -> job.fn ());
       vt.jobs_run <- vt.jobs_run + 1;
+      Hilti_obs.Metrics.incr m_jobs_run;
       true
 
 let rec run t =

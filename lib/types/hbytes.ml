@@ -70,6 +70,13 @@ let append_bytes t b = append t (Bytes.to_string b)
 
 let freeze t = t.frozen <- true
 
+(* Observation hook for trims.  This layer sits below the metrics library,
+   so instrumentation is injected from above (the analyzer driver installs
+   a counter increment); the default is a no-op. *)
+let on_trim : (int -> unit) ref = ref (fun _ -> ())
+
+let set_on_trim f = on_trim := f
+
 (** Drop all data strictly before iterator [it]; accessing it afterwards
     raises [Out_of_range]. *)
 let trim t (it : iter) =
@@ -78,7 +85,8 @@ let trim t (it : iter) =
     let drop = upto - t.base in
     t.off <- t.off + drop;
     t.base <- upto;
-    t.len <- t.len - drop
+    t.len <- t.len - drop;
+    if drop > 0 then !on_trim drop
   end
 
 (* Iterators --------------------------------------------------------------- *)

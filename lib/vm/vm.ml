@@ -20,6 +20,40 @@ exception Runtime_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
 
+(* ---- Dispatch observability -------------------------------------------------- *)
+
+(* Executed instructions are attributed to coarse opcode groups.  The
+   dispatch loop must stay tight, so per-activation tallies go into a
+   local array and are flushed into the sharded counters when the function
+   returns; with metrics disabled the loop carries no extra work at all. *)
+
+let opgroup_names =
+  [| "data"; "control"; "call"; "exception"; "thread"; "global"; "prim"; "misc" |]
+
+let n_opgroups = Array.length opgroup_names
+
+let opgroup_of (i : Bytecode.instr) =
+  match i with
+  | Const _ | Mov _ -> 0
+  | Jump _ | Br _ | Switch _ -> 1
+  | Call _ | CallC _ | Ret _ | Bind _ -> 2
+  | TryPush _ | TryPop | Throw _ -> 3
+  | Yield | HookRun _ | Schedule _ -> 4
+  | LoadGlobal _ | StoreGlobal _ -> 5
+  | Prim _ -> 6
+  | Nop -> 7
+
+let m_opgroup =
+  Array.map
+    (fun g ->
+      Hilti_obs.Metrics.counter "vm_instructions"
+        ~help:"VM instructions retired, by opcode group" ~label:("group", g))
+    opgroup_names
+
+let m_func_instrs =
+  Hilti_obs.Metrics.histogram "vm_func_instrs"
+    ~help:"Instructions retired per function activation"
+
 type context = {
   program : Bytecode.program;
   host_funcs : (string, context -> Value.t list -> Value.t) Hashtbl.t;
@@ -1082,10 +1116,21 @@ and exec_func ctx (fidx : int) (args : Value.t list) : Value.t =
   let code = f.code in
   let result = ref Value.Null in
   let running = ref true in
+  (* Metrics tally, allocated only when observability is on; flushed into
+     the sharded counters once per activation, not per instruction. *)
+  let obs =
+    if Hilti_obs.Metrics.enabled () then Some (Array.make n_opgroups 0) else None
+  in
+  let instrs_at_entry = ctx.instr_count in
   while !running do
     let i = code.(frame.pc) in
     ctx.instr_count <- ctx.instr_count + 1;
     ctx.cycles := !(ctx.cycles) + 1;
+    (match obs with
+    | Some ops ->
+        let g = opgroup_of i in
+        ops.(g) <- ops.(g) + 1
+    | None -> ());
     let next = frame.pc + 1 in
     (try
        match i with
@@ -1190,6 +1235,13 @@ and exec_func ctx (fidx : int) (args : Value.t list) : Value.t =
        setreg frame exc_reg (Value.Exception e);
        frame.pc <- handler)
   done;
+  (match obs with
+  | Some ops ->
+      Array.iteri
+        (fun g n -> if n > 0 then Hilti_obs.Metrics.add m_opgroup.(g) n)
+        ops;
+      Hilti_obs.Metrics.observe m_func_instrs (ctx.instr_count - instrs_at_entry)
+  | None -> ());
   !result
 
 and run_hook ctx name args =

@@ -38,6 +38,80 @@ let fiber_cycle_rate () =
   in
   float_of_int n /. (Int64.to_float ns /. 1e9)
 
+(* ---- Verified-dispatch benchmark ---------------------------------------- *)
+
+(* A hot arithmetic/branch loop: exactly the register reads/writes,
+   branches and calls whose bounds/definedness checks the bytecode
+   verifier discharges, so it isolates the payoff of the VM's verified
+   fast path over the always-checked loop. *)
+let hot_loop_module () =
+  let m = Module_ir.create "Hot" in
+  let b =
+    Builder.func m "Hot::spin" ~params:[ ("n", Htype.Int 64) ]
+      ~result:(Htype.Int 64)
+  in
+  let acc = Builder.local b "acc" (Htype.Int 64) in
+  let i = Builder.local b "i" (Htype.Int 64) in
+  Builder.assign b ~target:acc (Builder.const_int 0);
+  Builder.assign b ~target:i (Builder.const_int 0);
+  Builder.jump b "head";
+  Builder.set_block b "head";
+  let c = Builder.emit b Htype.Bool "int.lt" [ Instr.Local i; Instr.Local "n" ] in
+  Builder.if_else b c ~then_:"body" ~else_:"exit";
+  Builder.set_block b "body";
+  let x = Builder.emit b (Htype.Int 64) "int.mul" [ Instr.Local i; Builder.const_int 3 ] in
+  let x = Builder.emit b (Htype.Int 64) "int.xor" [ x; Instr.Local acc ] in
+  let par = Builder.emit b (Htype.Int 64) "int.and" [ x; Builder.const_int 1 ] in
+  let even = Builder.emit b Htype.Bool "int.eq" [ par; Builder.const_int 0 ] in
+  Builder.if_else b even ~then_:"even" ~else_:"odd";
+  Builder.set_block b "even";
+  let e = Builder.emit b (Htype.Int 64) "int.add" [ Instr.Local acc; x ] in
+  Builder.assign b ~target:acc e;
+  Builder.jump b "latch";
+  Builder.set_block b "odd";
+  let o = Builder.emit b (Htype.Int 64) "int.sub" [ Instr.Local acc; x ] in
+  Builder.assign b ~target:acc o;
+  Builder.jump b "latch";
+  Builder.set_block b "latch";
+  let i' = Builder.emit b (Htype.Int 64) "int.add" [ Instr.Local i; Builder.const_int 1 ] in
+  Builder.assign b ~target:i i';
+  Builder.jump b "head";
+  Builder.set_block b "exit";
+  Builder.return_result b (Instr.Local acc);
+  m
+
+let verified_dispatch_bench () =
+  Bench_util.header "bytecode verifier: checked vs verified dispatch";
+  let iters = 400_000L in
+  let module H = Hilti_vm.Host_api in
+  let api_checked = H.compile ~verify:false [ hot_loop_module () ] in
+  let api_verified = H.compile [ hot_loop_module () ] in
+  assert api_verified.H.ctx.Hilti_vm.Vm.program.Hilti_vm.Bytecode.verified;
+  assert (not api_checked.H.ctx.Hilti_vm.Vm.program.Hilti_vm.Bytecode.verified);
+  let spin api () =
+    Hilti_vm.Value.as_int (H.call api "Hot::spin" [ Hilti_vm.Value.Int iters ])
+  in
+  Bench_util.gc_normalize ();
+  let r_checked, ns_checked = Bench_util.best_of ~n:5 (spin api_checked) in
+  Bench_util.gc_normalize ();
+  let r_verified, ns_verified = Bench_util.best_of ~n:5 (spin api_verified) in
+  assert (r_checked = r_verified);
+  let speedup = Bench_util.ratio ns_checked ns_verified in
+  Printf.printf "hot loop, %Ld iterations (best of 5):\n" iters;
+  Printf.printf "  checked dispatch  (verified=false): %8.2f ms\n"
+    (Bench_util.ms ns_checked);
+  Printf.printf "  verified dispatch (verified=true):  %8.2f ms\n"
+    (Bench_util.ms ns_verified);
+  Printf.printf "  speedup: %.2fx\n" speedup;
+  let json =
+    Printf.sprintf
+      "{\n  \"experiment\": \"verified_dispatch\",\n  \"iters\": %Ld,\n  \
+       \"checked_ms\": %.3f,\n  \"verified_ms\": %.3f,\n  \"speedup\": %.3f\n}\n"
+      iters (Bench_util.ms ns_checked) (Bench_util.ms ns_verified) speedup
+  in
+  Bench_util.write_file_atomic "BENCH_micro.json" json;
+  print_endline "dispatch data written to BENCH_micro.json"
+
 let run () =
   Bench_util.header "§5 fiber micro-benchmark";
   let switches = fiber_switch_rate () in
@@ -85,4 +159,6 @@ let run () =
             ignore (Timer_mgr.advance_by timers (Hilti_types.Interval_ns.of_secs 1))) ]
   in
   Printf.printf "\nruntime primitives (Bechamel, ns/op):\n";
-  List.iter (fun (name, est) -> Printf.printf "  %-28s %10.1f ns\n" name est) results
+  List.iter (fun (name, est) -> Printf.printf "  %-28s %10.1f ns\n" name est) results;
+  print_newline ();
+  verified_dispatch_bench ()

@@ -16,7 +16,53 @@ options:
   -e NAME    entry point to call (default: <module>::run)
   -O0        disable the HILTI-level optimization pipeline
   -v         print compilation statistics
+  -analyze   lint the modules instead of executing: run validation, the
+             dataflow analyses and the bytecode verifier, print one
+             tab-separated finding per line (severity rule func where
+             message) and exit 1 if any finding has error severity
+  -analyze-bundled
+             like -analyze, but over the compiled IR of the bundled
+             BinPAC++ grammars (ssh/http/dns) and Bro scripts
+             (track/http/dns/scan/fib); takes no input files
 |}
+
+(* ---- Lint mode (-analyze / -analyze-bundled) --------------------------- *)
+
+(* Lint one named unit (a list of modules compiled together) and print its
+   findings.  Returns the number of error-severity findings. *)
+let lint_unit ~warnings name modules =
+  let findings = Hilti_analysis.Lint.analyze modules in
+  let findings =
+    if warnings then findings else Hilti_analysis.Lint.errors findings
+  in
+  List.iter
+    (fun f ->
+      Printf.printf "%s\t%s\n" name (Hilti_analysis.Lint.to_line f))
+    findings;
+  List.length (Hilti_analysis.Lint.errors findings)
+
+(* The units behind -analyze-bundled: every bundled BinPAC++ grammar and
+   every bundled Bro script, each compiled to IR exactly as the runtime
+   would and linted as its own unit. *)
+let bundled_units () =
+  let grammar name parse =
+    ( "binpac:" ^ name,
+      fun () -> [ Binpacxx.Codegen.compile (parse ()) ] )
+  in
+  let bro name src =
+    ( "bro:" ^ name,
+      fun () -> [ Mini_bro.Bro_compile.compile (Mini_bro.Bro_parse.parse src) ] )
+  in
+  [
+    grammar "ssh" Binpacxx.Grammars.parse_ssh;
+    grammar "http" Binpacxx.Grammars.parse_http;
+    grammar "dns" Binpacxx.Grammars.parse_dns;
+    bro "track" Mini_bro.Bro_scripts.track;
+    bro "http" Mini_bro.Bro_scripts.http;
+    bro "dns" Mini_bro.Bro_scripts.dns;
+    bro "scan" Mini_bro.Bro_scripts.scan;
+    bro "fib" Mini_bro.Bro_scripts.fib;
+  ]
 
 let () =
   let files = ref [] in
@@ -26,6 +72,9 @@ let () =
   let optimize = ref true in
   let verbose = ref false in
   let entry = ref None in
+  let analyze = ref false in
+  let analyze_bundled = ref false in
+  let no_warnings = ref false in
   let rec parse_args = function
     | [] -> ()
     | "-p" :: rest -> print_ir := true; parse_args rest
@@ -34,11 +83,28 @@ let () =
     | "-O0" :: rest -> optimize := false; parse_args rest
     | "-v" :: rest -> verbose := true; parse_args rest
     | "-e" :: name :: rest -> entry := Some name; parse_args rest
+    | "-analyze" :: rest -> analyze := true; parse_args rest
+    | "-analyze-bundled" :: rest -> analyze_bundled := true; parse_args rest
+    | "-no-warnings" :: rest -> no_warnings := true; parse_args rest
     | ("-h" | "--help") :: _ -> print_string usage; exit 0
     | f :: rest -> files := f :: !files; parse_args rest
   in
   parse_args (List.tl (Array.to_list Sys.argv));
   let files = List.rev !files in
+  if !analyze_bundled then begin
+    let nerrors =
+      List.fold_left
+        (fun acc (name, build) ->
+          match build () with
+          | modules -> acc + lint_unit ~warnings:(not !no_warnings) name modules
+          | exception exn ->
+              Printf.printf "%s\terror\tbuild\t-\t-\t%s\n" name
+                (Printexc.to_string exn);
+              acc + 1)
+        0 (bundled_units ())
+    in
+    exit (if nerrors > 0 then 1 else 0)
+  end;
   if files = [] then begin
     print_string usage;
     exit 1
@@ -56,6 +122,11 @@ let () =
     if !print_ir then begin
       List.iter (fun m -> print_string (Pretty.module_to_string m)) modules;
       exit 0
+    end;
+    if !analyze then begin
+      let name = String.concat "," files in
+      let nerrors = lint_unit ~warnings:(not !no_warnings) name modules in
+      exit (if nerrors > 0 then 1 else 0)
     end;
     let api = Hilti_vm.Host_api.compile ~optimize:!optimize modules in
     if !verbose then begin

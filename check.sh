@@ -32,4 +32,17 @@ grep -q '"overhead_pct_1"' BENCH_obs.json
 grep -q '"overhead_pct_4"' BENCH_obs.json
 grep -q '"disabled_alloc_words_per_100k"' BENCH_obs.json
 
+echo "== analysis suite (dataflow, lint, verifier, verified dispatch)"
+dune exec test/test_main.exe -- test analysis
+
+echo "== hiltic -analyze over examples (exits non-zero on error findings)"
+: > LINT_report.tsv
+for f in examples/data/*.hlt; do
+  dune exec bin/hiltic.exe -- -analyze "$f" >> LINT_report.tsv
+done
+
+echo "== hiltic -analyze-bundled (BinPAC++ grammars + Bro scripts IR)"
+dune exec bin/hiltic.exe -- -analyze-bundled >> LINT_report.tsv
+cat LINT_report.tsv
+
 echo "check.sh: all green"

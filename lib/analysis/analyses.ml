@@ -1,0 +1,4 @@
+(** Re-export of the stock IR analyses (definite initialization, liveness,
+    reaching definitions, reachability) built on {!Dataflow}. *)
+
+include Hilti_passes.Analyses

@@ -1,0 +1,4 @@
+(** Re-export of the generic worklist dataflow solver so analysis clients
+    depend on [Hilti_analysis] alone. *)
+
+include Hilti_passes.Dataflow

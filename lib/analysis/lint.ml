@@ -1,0 +1,137 @@
+(** The [hiltic -analyze] lint engine: run the whole static-analysis
+    surface over a set of IR modules and report findings.
+
+    A lint run mirrors the compile pipeline — link, validate, per-function
+    dataflow analyses, lower, bytecode verify — but never executes
+    anything and never stops at the first problem: every stage contributes
+    {!finding}s and later stages are skipped only when an earlier stage
+    left the IR in a state they cannot consume (e.g. lowering after
+    validation errors).
+
+    Output is machine-readable and stable: one tab-separated line per
+    finding ({!to_line}), sorted by {!compare} so reruns diff cleanly. *)
+
+open Module_ir
+
+type severity = Error | Warning
+
+(* Ordered so that sorting puts errors first. *)
+let severity_rank = function Error -> 0 | Warning -> 1
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+type finding = {
+  severity : severity;
+  rule : string;
+      (** stable rule id: [validate], [lower], [verify], [link],
+          [unused-local], [unreachable-block], [use-before-init],
+          [dead-store] *)
+  func : string;  (** enclosing function, or ["-"] for module-level *)
+  where : string;  (** block label (or [block@idx]), or ["-"] *)
+  message : string;
+}
+
+let compare_finding a b =
+  let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c
+    else
+      let c = String.compare a.func b.func in
+      if c <> 0 then c
+      else
+        let c = String.compare a.where b.where in
+        if c <> 0 then c else String.compare a.message b.message
+
+(** One tab-separated line: [severity<TAB>rule<TAB>func<TAB>where<TAB>message].
+    Tabs/newlines in messages are replaced so the format stays parseable. *)
+let to_line f =
+  let clean s =
+    String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s
+  in
+  Printf.sprintf "%s\t%s\t%s\t%s\t%s"
+    (severity_to_string f.severity)
+    f.rule f.func f.where (clean f.message)
+
+let errors findings = List.filter (fun f -> f.severity = Error) findings
+
+(* ---- Per-function warning analyses ------------------------------------ *)
+
+let analyze_func (f : func) : finding list =
+  let w rule where message =
+    { severity = Warning; rule; func = f.fname; where; message }
+  in
+  let unreachable =
+    List.map
+      (fun l -> w "unreachable-block" l "block is unreachable from entry")
+      (Analyses.unreachable_blocks f)
+  in
+  let unused =
+    List.map
+      (fun v -> w "unused-local" "-" (Printf.sprintf "local '%s' is never used" v))
+      (Analyses.unused_locals f)
+  in
+  let ubi =
+    List.map
+      (fun (u : Analyses.use_before_init) ->
+        w "use-before-init" u.ubi_block
+          (Printf.sprintf "local '%s' may be read before initialization (at '%s')"
+             u.ubi_var
+             (Instr.to_string u.ubi_instr)))
+      (Analyses.use_before_init f)
+  in
+  let ds =
+    List.map
+      (fun (d : Analyses.dead_store) ->
+        w "dead-store" d.ds_block
+          (Printf.sprintf "value stored to '%s' is never read (at '%s')"
+             d.ds_var
+             (Instr.to_string d.ds_instr)))
+      (Analyses.dead_stores f)
+  in
+  unreachable @ unused @ ubi @ ds
+
+(* ---- Whole-program lint ----------------------------------------------- *)
+
+(** Lint a set of modules as one linked unit.  [optimize] runs the
+    standard pipeline before lowering (defaults to off so findings refer
+    to the program as written).  Never raises: every failure mode becomes
+    an [Error] finding.  Result is sorted by {!compare_finding}. *)
+let analyze ?(optimize = false) (modules : Module_ir.t list) : finding list =
+  let err rule message = { severity = Error; rule; func = "-"; where = "-"; message } in
+  let findings =
+    match Hilti_passes.Linker.link modules with
+    | exception Hilti_passes.Linker.Link_error msg -> [ err "link" msg ]
+    | linked -> (
+        let validate_errors = Validate.check_module linked in
+        let warnings =
+          List.concat_map analyze_func (linked.funcs @ linked.hooks)
+        in
+        let structural = List.map (err "validate") validate_errors in
+        if validate_errors <> [] then structural @ warnings
+        else begin
+          if optimize then ignore (Hilti_passes.Pipeline.optimize linked);
+          match Hilti_vm.Lower.lower_module linked with
+          | exception Hilti_vm.Lower.Error msg ->
+              err "lower" msg :: warnings
+          | program ->
+              let report = Hilti_vm.Verify.verify program in
+              List.map (err "verify") report.Hilti_vm.Verify.errors @ warnings
+        end)
+  in
+  List.sort compare_finding findings
+
+(** Render a full report: one {!to_line} per finding plus a trailing
+    summary line [# errors=N warnings=M]. *)
+let report_to_string findings =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (to_line f);
+      Buffer.add_char buf '\n')
+    findings;
+  let nerr = List.length (errors findings) in
+  Buffer.add_string buf
+    (Printf.sprintf "# errors=%d warnings=%d\n" nerr
+       (List.length findings - nerr));
+  Buffer.contents buf

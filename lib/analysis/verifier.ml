@@ -1,0 +1,4 @@
+(** Re-export of the flat-bytecode verifier so lint clients get the whole
+    static-analysis surface from one library. *)
+
+include Hilti_vm.Verify

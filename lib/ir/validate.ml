@@ -50,42 +50,52 @@ let rec operand_type env (op : Instr.operand) : Htype.t option =
       else None
 
 let check_operand_refs env (i : Instr.t) =
-  List.iter
-    (fun op ->
-      match op with
-      | Instr.Local n ->
-          (* Module globals may be referenced bare; the lowerer resolves
-             them to thread-local slots. *)
-          if not (Hashtbl.mem env.vars n) && find_global env.modul n = None then
-            error env "%s: undeclared local '%s'" i.Instr.mnemonic n
-      | Instr.Global n ->
-          if find_global env.modul n = None then
-            error env "%s: undeclared global '%s'" i.Instr.mnemonic n
-      | Instr.Label l ->
-          if find_block env.func l = None then
-            error env "%s: unknown block label '%s'" i.Instr.mnemonic l
-      | Instr.Fname f ->
-          (* Names under the Hilti:: namespace are runtime-provided host
-             functions; hook names may gain bodies only at link time; any
-             other function must be declared (possibly Cc_c). *)
-          let known =
-            i.Instr.mnemonic = "hook.run"
-            || find_func env.modul f <> None
-            || List.exists (fun h -> h.fname = f) env.modul.hooks
-            || String.length f > 7 && String.sub f 0 7 = "Hilti::"
-            || List.mem f env.modul.imports
-          in
-          if not known then error env "%s: unknown function '%s'" i.Instr.mnemonic f
-      | Instr.Tuple_op ops ->
-          List.iter
-            (fun op' ->
-              match op' with
-              | Instr.Local n when not (Hashtbl.mem env.vars n) ->
-                  error env "%s: undeclared local '%s'" i.Instr.mnemonic n
-              | _ -> ())
-            ops
-      | Instr.Const _ | Instr.Member _ | Instr.Type_op _ -> ())
-    i.Instr.operands
+  (* Fully recursive: [Tuple_op] nests arbitrarily (switch cases are
+     [Tuple_op [value; Label target]]), and the labels, globals and
+     function names inside must be checked exactly like top-level
+     operands. *)
+  let rec go op =
+    match op with
+    | Instr.Local n ->
+        (* Module globals may be referenced bare; the lowerer resolves
+           them to thread-local slots. *)
+        if not (Hashtbl.mem env.vars n) && find_global env.modul n = None then
+          error env "%s: undeclared local '%s'" i.Instr.mnemonic n
+    | Instr.Global n ->
+        if find_global env.modul n = None then
+          error env "%s: undeclared global '%s'" i.Instr.mnemonic n
+    | Instr.Label l ->
+        if find_block env.func l = None then
+          error env "%s: unknown block label '%s'" i.Instr.mnemonic l
+    | Instr.Fname f ->
+        (* Names under the Hilti:: namespace are runtime-provided host
+           functions; hook names may gain bodies only at link time; any
+           other function must be declared (possibly Cc_c). *)
+        let known =
+          i.Instr.mnemonic = "hook.run"
+          || find_func env.modul f <> None
+          || List.exists (fun h -> h.fname = f) env.modul.hooks
+          || String.length f > 7 && String.sub f 0 7 = "Hilti::"
+          || List.mem f env.modul.imports
+        in
+        if not known then error env "%s: unknown function '%s'" i.Instr.mnemonic f
+    | Instr.Tuple_op ops -> List.iter go ops
+    | Instr.Const _ | Instr.Member _ | Instr.Type_op _ -> ()
+  in
+  List.iter go i.Instr.operands;
+  (* switch has a fixed shape the lowerer depends on: value operand,
+     default label, then (constant, label) case pairs. *)
+  if i.Instr.mnemonic = "switch" then
+    match i.Instr.operands with
+    | _value :: _default :: cases ->
+        List.iter
+          (function
+            | Instr.Tuple_op [ Instr.Const _; Instr.Label _ ] -> ()
+            | op ->
+                error env "switch: malformed case %s (expected (const, label))"
+                  (Instr.operand_to_string op))
+          cases
+    | _ -> ()
 
 (* First-operand kind check for container groups. *)
 let container_kind_ok group (ty : Htype.t) =

@@ -228,6 +228,13 @@ let attach (root : Vm.context) ~domains =
   if root.Vm.parent <> None then invalid_arg "Engine.attach: context is a clone";
   if Hilti_rt.Scheduler.backend root.Vm.scheduler <> None then
     invalid_arg "Engine.attach: scheduler already has a backend";
+  (* Multicore execution requires verified bytecode: the clones all run
+     the fast dispatch loop, so a program that skipped verification at
+     compile time (compile ~verify:false, or hand-built bytecode) is
+     checked here — Verify_error propagates to the caller. *)
+  if not root.Vm.program.Bytecode.verified then
+    ignore (Hilti_vm.Verify.verify_exn root.Vm.program);
+  assert root.Vm.program.Bytecode.verified;
   let clones = Array.init domains (fun _ -> Vm.clone_for_domain root) in
   let pool =
     Domain_pool.create ~domains ~on_start:(fun wid ->

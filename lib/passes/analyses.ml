@@ -1,0 +1,236 @@
+(** Concrete dataflow analyses over IR functions, built on {!Dataflow}:
+
+    - {!definite_init} / {!use_before_init}: forward must-analysis of which
+      locals are definitely assigned on {e all} paths; reads of a local not
+      definitely assigned are reported (the frame's typed defaults make
+      such a read well-defined at runtime, so this is a lint warning, not
+      undefined behaviour).
+    - {!liveness} / {!dead_stores}: backward may-analysis of which locals
+      may still be read; assignments to locals that are dead afterwards
+      are dead stores (the fuel for {!Deadstore}).
+    - {!reaching_definitions}: forward may-analysis mapping each program
+      point to the set of definition sites that may reach it.
+    - {!unreachable_blocks} / {!unused_locals}: simple derived facts. *)
+
+open Module_ir
+module StrSet = Dataflow.StrSet
+
+(* ---- Uses and definitions per instruction ------------------------------ *)
+
+let rec operand_locals (op : Instr.operand) acc =
+  match op with
+  | Instr.Local n -> StrSet.add n acc
+  | Instr.Tuple_op ops -> List.fold_left (fun acc o -> operand_locals o acc) acc ops
+  | _ -> acc
+
+(** Locals an instruction reads.  [try.push]'s second operand is a local in
+    a {e write} role (the caught exception lands there on the exceptional
+    edge), so it is a definition, not a use. *)
+let instr_uses (i : Instr.t) : StrSet.t =
+  match (i.Instr.mnemonic, i.Instr.operands) with
+  | "try.push", [ _label; Instr.Local _ ] -> StrSet.empty
+  | _ ->
+      List.fold_left (fun acc o -> operand_locals o acc) StrSet.empty i.Instr.operands
+
+(** Locals an instruction writes: its target, plus [try.push]'s exception
+    local. *)
+let instr_defs (i : Instr.t) : StrSet.t =
+  let tgt =
+    match i.Instr.target with Some t -> StrSet.singleton t | None -> StrSet.empty
+  in
+  match (i.Instr.mnemonic, i.Instr.operands) with
+  | "try.push", [ _label; Instr.Local n ] -> StrSet.add n tgt
+  | _ -> tgt
+
+(** The function's declared value names: analyses track exactly these
+    (anything else named by a [Local]/target is a module global). *)
+let declared (f : func) : StrSet.t =
+  List.fold_left
+    (fun acc (n, _) -> StrSet.add n acc)
+    StrSet.empty (f.params @ f.locals)
+
+(* ---- Definite initialization ------------------------------------------- *)
+
+module Init_flow = Dataflow.Make (Dataflow.Str_inter)
+
+(** Per-block must-be-initialized sets; parameters are initialized at
+    entry, locals only once assigned. *)
+let definite_init (f : func) : Dataflow.Str_inter.t Dataflow.result =
+  let vars = declared f in
+  let boundary =
+    Dataflow.Str_inter.Set
+      (List.fold_left (fun acc (n, _) -> StrSet.add n acc) StrSet.empty f.params)
+  in
+  let transfer (b : block) state =
+    List.fold_left
+      (fun st (i : Instr.t) ->
+        StrSet.fold Dataflow.Str_inter.add
+          (StrSet.inter (instr_defs i) vars)
+          st)
+      state b.instrs
+  in
+  Init_flow.solve ~direction:Dataflow.Forward ~boundary ~transfer f
+
+type use_before_init = {
+  ubi_block : string;
+  ubi_instr : Instr.t;
+  ubi_var : string;
+}
+
+(** Reads of locals not definitely assigned on every path from entry, in
+    reachable blocks only. *)
+let use_before_init (f : func) : use_before_init list =
+  let vars = declared f in
+  let result = definite_init f in
+  let reach = Cfg.reachable f in
+  let findings = ref [] in
+  List.iter
+    (fun (b : block) ->
+      if Hashtbl.mem reach b.label then begin
+        let state = ref (result.Dataflow.in_of b.label) in
+        List.iter
+          (fun (i : Instr.t) ->
+            StrSet.iter
+              (fun v ->
+                if StrSet.mem v vars && not (Dataflow.Str_inter.mem v !state) then
+                  findings :=
+                    { ubi_block = b.label; ubi_instr = i; ubi_var = v } :: !findings)
+              (instr_uses i);
+            state :=
+              StrSet.fold Dataflow.Str_inter.add
+                (StrSet.inter (instr_defs i) vars)
+                !state)
+          b.instrs
+      end)
+    f.blocks;
+  List.rev !findings
+
+(* ---- Liveness ---------------------------------------------------------- *)
+
+module Live_flow = Dataflow.Make (Dataflow.Str_union)
+
+(** Per-block live-in/live-out sets of declared locals. *)
+let liveness (f : func) : StrSet.t Dataflow.result =
+  let vars = declared f in
+  let transfer (b : block) live_out =
+    List.fold_right
+      (fun (i : Instr.t) live ->
+        StrSet.union
+          (StrSet.inter (instr_uses i) vars)
+          (StrSet.diff live (instr_defs i)))
+      b.instrs live_out
+  in
+  Live_flow.solve ~direction:Dataflow.Backward ~boundary:StrSet.empty ~transfer f
+
+type dead_store = { ds_block : string; ds_instr : Instr.t; ds_var : string }
+
+(** Assignments to declared locals whose value can never be read
+    afterwards.  Only side-effect-free instructions qualify ({!Purity} —
+    a dead [int.div] may still raise and must stay). *)
+let dead_stores (f : func) : dead_store list =
+  let vars = declared f in
+  let live = liveness f in
+  let reach = Cfg.reachable f in
+  let findings = ref [] in
+  List.iter
+    (fun (b : block) ->
+      if Hashtbl.mem reach b.label then begin
+        let after = ref (live.Dataflow.out_of b.label) in
+        List.iter
+          (fun (i : Instr.t) ->
+            (match i.Instr.target with
+            | Some t
+              when StrSet.mem t vars
+                   && (not (StrSet.mem t !after))
+                   && Purity.is_deletable i ->
+                findings := { ds_block = b.label; ds_instr = i; ds_var = t } :: !findings
+            | _ -> ());
+            after :=
+              StrSet.union
+                (StrSet.inter (instr_uses i) vars)
+                (StrSet.diff !after (instr_defs i)))
+          (List.rev b.instrs)
+      end)
+    f.blocks;
+  List.rev !findings
+
+(* ---- Reaching definitions ---------------------------------------------- *)
+
+module Reach_flow = Dataflow.Make (Dataflow.Site_union)
+
+type def_site = { site_id : int; site_block : string; site_instr : Instr.t }
+
+(** Numbered definition sites plus the per-block reaching-definition sets
+    (pairs of variable and site id); parameters reach from pseudo-site
+    [-1 - k]. *)
+let reaching_definitions (f : func) :
+    def_site list * Dataflow.Site_union.t Dataflow.result =
+  let vars = declared f in
+  (* Sites are numbered by position: (block, instruction index) in
+     declaration order, so ids are stable across solver iterations. *)
+  let sites = ref [] in
+  let counter = ref 0 in
+  let site_at = Hashtbl.create 64 in  (* (label, index) -> site id *)
+  List.iter
+    (fun (b : block) ->
+      List.iteri
+        (fun idx (i : Instr.t) ->
+          if not (StrSet.is_empty (StrSet.inter (instr_defs i) vars)) then begin
+            let id = !counter in
+            incr counter;
+            Hashtbl.replace site_at (b.label, idx) id;
+            sites := { site_id = id; site_block = b.label; site_instr = i } :: !sites
+          end)
+        b.instrs)
+    f.blocks;
+  let module S = Dataflow.Site_union.S in
+  let boundary =
+    List.fold_left
+      (fun (acc, k) (n, _) -> (S.add (n, -1 - k) acc, k + 1))
+      (S.empty, 0) f.params
+    |> fst
+  in
+  let transfer (b : block) state =
+    List.fold_left
+      (fun (st, idx) (i : Instr.t) ->
+        let defs = StrSet.inter (instr_defs i) vars in
+        let st =
+          if StrSet.is_empty defs then st
+          else
+            let id = Hashtbl.find site_at (b.label, idx) in
+            StrSet.fold
+              (fun v st ->
+                S.add (v, id) (S.filter (fun (v', _) -> v' <> v) st))
+              defs st
+        in
+        (st, idx + 1))
+      (state, 0) b.instrs
+    |> fst
+  in
+  let result =
+    Reach_flow.solve ~direction:Dataflow.Forward ~boundary ~transfer f
+  in
+  (List.rev !sites, result)
+
+(* ---- Derived facts ----------------------------------------------------- *)
+
+(** Blocks no path from the entry reaches (in declaration order). *)
+let unreachable_blocks (f : func) : string list =
+  let reach = Cfg.reachable f in
+  List.filter_map
+    (fun (b : block) -> if Hashtbl.mem reach b.label then None else Some b.label)
+    f.blocks
+
+(** Declared locals that appear in no instruction at all — neither read
+    nor written.  (Written-but-never-read locals surface as dead stores.) *)
+let unused_locals (f : func) : string list =
+  let touched = ref StrSet.empty in
+  List.iter
+    (fun (b : block) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          touched := StrSet.union !touched (instr_uses i);
+          touched := StrSet.union !touched (instr_defs i))
+        b.instrs)
+    f.blocks;
+  List.filter (fun (n, _) -> not (StrSet.mem n !touched)) f.locals |> List.map fst

@@ -94,7 +94,7 @@ let fold_block ~is_local (b : block) : int =
         (match i.Instr.target with Some t -> Hashtbl.remove known t | None -> ());
         (* Impure instructions (e.g. calls) may write globals behind our
            back: forget every non-local fact. *)
-        if not (Purity.is_pure i) then
+        if not (Purity.is_foldable i) then
           Hashtbl.iter
             (fun n _ -> if not (is_local n) then Hashtbl.remove known n)
             (Hashtbl.copy known);
@@ -112,7 +112,7 @@ let fold_block ~is_local (b : block) : int =
                 Instr.make "jump" [ Instr.Label (if c then lt else le) ]
             | _ -> i)
         | _ ->
-            if Purity.is_pure i && i.Instr.target <> None
+            if Purity.is_foldable i && i.Instr.target <> None
                && is_local (Option.get i.Instr.target) then begin
               let consts =
                 List.filter_map

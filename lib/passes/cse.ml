@@ -56,7 +56,7 @@ let cse_block (b : block) : int =
       (fun (i : Instr.t) ->
         (* Impure instructions may change globals: drop expressions whose
            key mentions one. *)
-        if not (Purity.is_pure i) then begin
+        if not (Purity.is_foldable i) then begin
           let stale =
             Hashtbl.fold
               (fun key _ acc ->
@@ -75,7 +75,7 @@ let cse_block (b : block) : int =
         (* The target's previous value dies first: expressions mentioning
            it are stale. *)
         (match i.Instr.target with Some t -> invalidate t | None -> ());
-        if Purity.is_pure i && i.Instr.target <> None && i.Instr.mnemonic <> "assign"
+        if Purity.is_foldable i && i.Instr.target <> None && i.Instr.mnemonic <> "assign"
         then begin
           let key = instr_key i in
           match Hashtbl.find_opt available key with

@@ -1,0 +1,195 @@
+(** Generic worklist dataflow solver over {!Cfg} (the analysis framework's
+    core, in the MFP / monotone-framework style).
+
+    A client supplies a lattice — a carrier with a [join] and an [equal] —
+    and a per-block transfer function; the solver iterates block states to
+    the least fixpoint with a worklist.  Termination holds whenever the
+    lattice has no infinite ascending chains and the transfer functions are
+    monotone: each block state only ever moves up the lattice, and a block
+    is revisited only when one of its inputs changed.  Every concrete
+    analysis we ship ({!Analyses}) uses finite powerset lattices (of
+    variables or definition sites), so chains are bounded by the lattice
+    height times the number of blocks.
+
+    Direction:
+    - {e forward}: in(b) = join over predecessors' out; out(b) = transfer b
+      in(b); the entry block additionally joins the boundary value.
+    - {e backward}: out(b) = join over successors' in; in(b) = transfer b
+      out(b); exit blocks (no successors) join the boundary value.
+
+    Edges are the CFG's normal successors plus fallthrough plus the
+    exceptional try.push handler edges, so "along all paths" includes
+    exceptional paths. *)
+
+open Module_ir
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** Identity of [join]: the initial state of every block. *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+(** The per-label CFG with both edge directions materialised. *)
+type graph = {
+  blocks : block list;  (** in declaration order *)
+  block_of : (string, block) Hashtbl.t;
+  succs : (string, string list) Hashtbl.t;
+  preds : (string, string list) Hashtbl.t;
+}
+
+let graph_of_func (f : func) : graph =
+  let block_of = Hashtbl.create 16 in
+  List.iter (fun (b : block) -> Hashtbl.replace block_of b.label b) f.blocks;
+  let falls = Cfg.fallthrough_map f in
+  let succs = Hashtbl.create 16 and preds = Hashtbl.create 16 in
+  let add tbl k v =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt tbl k) in
+    if not (List.mem v cur) then Hashtbl.replace tbl k (v :: cur)
+  in
+  List.iter
+    (fun (b : block) ->
+      let out =
+        Cfg.successors b @ Cfg.exceptional_successors b
+        @ (match Hashtbl.find_opt falls b.label with Some n -> [ n ] | None -> [])
+      in
+      List.iter
+        (fun s ->
+          (* Edges to labels that don't exist (validator errors) are
+             dropped rather than crashing the analysis. *)
+          if Hashtbl.mem block_of s then begin
+            add succs b.label s;
+            add preds s b.label
+          end)
+        out)
+    f.blocks;
+  { blocks = f.blocks; block_of; succs; preds }
+
+let edges tbl l = Option.value ~default:[] (Hashtbl.find_opt tbl l)
+
+type 'state result = {
+  in_of : string -> 'state;   (** state at block entry *)
+  out_of : string -> 'state;  (** state at block exit *)
+}
+
+module Make (L : LATTICE) = struct
+  (** [solve ~direction ~boundary ~transfer f] runs the analysis to a
+      fixpoint and returns per-block entry/exit states.  [boundary] is the
+      state at the entry block (forward) or at every exit block
+      (backward); [transfer b s] pushes state [s] through block [b] in the
+      analysis direction. *)
+  let solve ~direction ~(boundary : L.t) ~(transfer : block -> L.t -> L.t)
+      (f : func) : L.t result =
+    let g = graph_of_func f in
+    let n = List.length g.blocks in
+    let input : (string, L.t) Hashtbl.t = Hashtbl.create n in
+    let output : (string, L.t) Hashtbl.t = Hashtbl.create n in
+    let get tbl l = Option.value ~default:L.bottom (Hashtbl.find_opt tbl l) in
+    (* Feeding edges: whose result flows into this block's input. *)
+    let feeders, fed =
+      match direction with
+      | Forward -> (g.preds, g.succs)
+      | Backward -> (g.succs, g.preds)
+    in
+    let at_boundary (b : block) =
+      match direction with
+      | Forward -> (match g.blocks with [] -> false | e :: _ -> e.label = b.label)
+      | Backward -> edges g.succs b.label = []
+    in
+    (* Seed the worklist with every block: unreachable blocks still get
+       their (bottom-seeded) fixpoint, and clients filter by reachability
+       when reporting. *)
+    let queue = Queue.create () in
+    let queued = Hashtbl.create n in
+    let enqueue l =
+      if not (Hashtbl.mem queued l) then begin
+        Hashtbl.replace queued l ();
+        Queue.add l queue
+      end
+    in
+    let order =
+      match direction with Forward -> g.blocks | Backward -> List.rev g.blocks
+    in
+    List.iter (fun (b : block) -> enqueue b.label) order;
+    while not (Queue.is_empty queue) do
+      let l = Queue.pop queue in
+      Hashtbl.remove queued l;
+      let b = Hashtbl.find g.block_of l in
+      let incoming =
+        List.fold_left
+          (fun acc p -> L.join acc (get output p))
+          (if at_boundary b then boundary else L.bottom)
+          (edges feeders l)
+      in
+      Hashtbl.replace input l incoming;
+      let out = transfer b incoming in
+      if not (L.equal out (get output l)) then begin
+        Hashtbl.replace output l out;
+        List.iter enqueue (edges fed l)
+      end
+    done;
+    let in_tbl, out_tbl =
+      match direction with
+      | Forward -> (input, output)
+      | Backward -> (output, input)  (* [input]/[output] are in analysis
+                                        direction; flip back to program
+                                        order for the caller. *)
+    in
+    { in_of = get in_tbl; out_of = get out_tbl }
+end
+
+(* ---- Stock lattices ---------------------------------------------------- *)
+
+module StrSet = Set.Make (String)
+
+(** May-analysis powerset of strings (union join, empty bottom) —
+    liveness. *)
+module Str_union = struct
+  type t = StrSet.t
+
+  let bottom = StrSet.empty
+  let equal = StrSet.equal
+  let join = StrSet.union
+end
+
+(** Must-analysis powerset of strings: intersection join with an explicit
+    top ("all variables") as the identity — definite initialization. *)
+module Str_inter = struct
+  type t = All | Set of StrSet.t
+
+  let bottom = All
+  let equal a b =
+    match (a, b) with
+    | All, All -> true
+    | Set x, Set y -> StrSet.equal x y
+    | _ -> false
+
+  let join a b =
+    match (a, b) with
+    | All, x | x, All -> x
+    | Set x, Set y -> Set (StrSet.inter x y)
+
+  let mem n = function All -> true | Set s -> StrSet.mem n s
+  let add n = function All -> All | Set s -> Set (StrSet.add n s)
+end
+
+(** May-analysis powerset of definition sites (var, site id) — reaching
+    definitions. *)
+module Site_union = struct
+  module S = Set.Make (struct
+    type t = string * int
+
+    let compare = compare
+  end)
+
+  type t = S.t
+
+  let bottom = S.empty
+  let equal = S.equal
+  let join = S.union
+end

@@ -51,7 +51,8 @@ let sweep_func (f : func) : int =
             (fun (i : Instr.t) ->
               match i.Instr.target with
               | Some tgt
-                when Purity.is_pure i && is_local tgt && not (Hashtbl.mem used tgt) ->
+                when Purity.is_deletable i && is_local tgt
+                     && not (Hashtbl.mem used tgt) ->
                   incr changes;
                   again := true;
                   false

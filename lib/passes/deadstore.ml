@@ -1,0 +1,52 @@
+(** Liveness-powered dead-store elimination, strengthening {!Dce}: DCE
+    removes definitions of locals that are never read {e anywhere}; this
+    pass removes assignments whose value is overwritten (or the function
+    exits) before any read {e along every path} — the classic global DSE.
+
+    Only {!Purity.is_deletable} instructions are candidates: an unused
+    [int.div] with a possibly-zero divisor stays, because its
+    [Hilti::DivisionByZero] is observable.  The CFG behind the liveness
+    solve includes exceptional try.push edges, so values a handler might
+    read are live across the protected region. *)
+
+open Module_ir
+module StrSet = Dataflow.StrSet
+
+let sweep_func (f : func) : int =
+  let changes = ref 0 in
+  let vars = Analyses.declared f in
+  let live = Analyses.liveness f in
+  List.iter
+    (fun (b : block) ->
+      let after = ref (live.Dataflow.out_of b.label) in
+      let kept =
+        List.fold_left
+          (fun kept (i : Instr.t) ->
+            let dead =
+              match i.Instr.target with
+              | Some t ->
+                  StrSet.mem t vars
+                  && (not (StrSet.mem t !after))
+                  && Purity.is_deletable i
+              | None -> false
+            in
+            if dead then begin
+              incr changes;
+              kept  (* dropped: its operand reads die with it *)
+            end
+            else begin
+              after :=
+                StrSet.union
+                  (StrSet.inter (Analyses.instr_uses i) vars)
+                  (StrSet.diff !after (Analyses.instr_defs i));
+              i :: kept
+            end)
+          []
+          (List.rev b.instrs)
+      in
+      b.instrs <- kept)
+    f.blocks;
+  !changes
+
+let run (m : t) : int =
+  List.fold_left (fun acc f -> acc + sweep_func f) 0 (m.funcs @ m.hooks)

@@ -7,12 +7,14 @@ type stats = {
   mutable cse : int;
   mutable simplify : int;
   mutable dce : int;
+  mutable deadstore : int;
   mutable iterations : int;
 }
 
-let empty_stats () = { constfold = 0; cse = 0; simplify = 0; dce = 0; iterations = 0 }
+let empty_stats () =
+  { constfold = 0; cse = 0; simplify = 0; dce = 0; deadstore = 0; iterations = 0 }
 
-let total s = s.constfold + s.cse + s.simplify + s.dce
+let total s = s.constfold + s.cse + s.simplify + s.dce + s.deadstore
 
 (** Optimize [m] in place; returns rewrite statistics. *)
 let optimize ?(max_iterations = 8) (m : Module_ir.t) : stats =
@@ -25,6 +27,7 @@ let optimize ?(max_iterations = 8) (m : Module_ir.t) : stats =
       s.cse <- s.cse + Cse.run m;
       s.simplify <- s.simplify + Simplify_blocks.run m;
       s.dce <- s.dce + Dce.run m;
+      s.deadstore <- s.deadstore + Deadstore.run m;
       s.iterations <- s.iterations + 1;
       if total s > before then go (n + 1)
     end
@@ -33,5 +36,5 @@ let optimize ?(max_iterations = 8) (m : Module_ir.t) : stats =
   s
 
 let stats_to_string s =
-  Printf.sprintf "constfold=%d cse=%d simplify=%d dce=%d iterations=%d"
-    s.constfold s.cse s.simplify s.dce s.iterations
+  Printf.sprintf "constfold=%d cse=%d simplify=%d dce=%d deadstore=%d iterations=%d"
+    s.constfold s.cse s.simplify s.dce s.deadstore s.iterations

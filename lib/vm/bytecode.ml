@@ -150,6 +150,11 @@ type func = {
   returns_value : bool;
   exported : bool;
   reg_defaults : Value.t array;  (** typed default values for locals *)
+  entry_init : bool array;
+  (** which registers hold a meaningful value when the frame is created:
+      parameters, declared locals (typed defaults) and constant-pool
+      registers — lowering temporaries are [false] and must be proven
+      defined-before-used by {!Verify}. *)
 }
 
 type program = {
@@ -160,6 +165,10 @@ type program = {
   global_index : (string, int) Hashtbl.t;
   hooks : (string, int list) Hashtbl.t;     (** hook name -> func idxs, priority order *)
   types : (string, Module_ir.type_decl) Hashtbl.t;
+  mutable verified : bool;
+  (** set (only) by {!Verify} after every function passed the static
+      checker; the VM then selects the fast dispatch loop that elides the
+      bounds/definedness checks the verifier discharged *)
 }
 
 let find_func p name = Hashtbl.find_opt p.func_index name

@@ -17,8 +17,12 @@ exception Compile_error of string list
 (** Compile a set of modules into an execution environment.
 
     @param optimize run the HILTI-level optimization pipeline (default on)
-    @param validate reject invalid IR (default on) *)
-let compile ?(optimize = true) ?(validate = true) (modules : Module_ir.t list) : t =
+    @param validate reject invalid IR (default on)
+    @param verify run the bytecode verifier after lowering (default on);
+      on success the VM uses the fast dispatch loop that skips the checks
+      the verifier discharged *)
+let compile ?(optimize = true) ?(validate = true) ?(verify = true)
+    (modules : Module_ir.t list) : t =
   let linked = Hilti_passes.Linker.link modules in
   (* Validation runs on the linked unit, where cross-module references
      (functions, hooks, globals) are all visible. *)
@@ -31,6 +35,10 @@ let compile ?(optimize = true) ?(validate = true) (modules : Module_ir.t list) :
     if optimize then Some (Hilti_passes.Pipeline.optimize linked) else None
   in
   let program = Lower.lower_module linked in
+  if verify then begin
+    try ignore (Verify.verify_exn program)
+    with Verify.Verify_error errors -> raise (Compile_error errors)
+  end;
   let ctx = Vm.create program in
   (* The standard library surface host applications always get. *)
   Vm.register_host ctx "Hilti::print" (fun c args ->

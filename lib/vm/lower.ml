@@ -691,13 +691,20 @@ let lower_func types global_index fname_index c_funcs internal_name
   | _ -> emit ctx (P (Ret (-1))));
   let code = Array.of_list (resolve_labels (List.rev ctx.out) block_offsets) in
   let reg_defaults = Array.make (max ctx.nregs 1) Value.Null in
+  let entry_init = Array.make (max ctx.nregs 1) false in
   List.iter
     (fun (n, t) ->
       match Hashtbl.find_opt ctx.regs n with
-      | Some r -> reg_defaults.(r) <- default_value t
+      | Some r ->
+          reg_defaults.(r) <- default_value t;
+          entry_init.(r) <- true
       | None -> ())
     (f.Module_ir.params @ f.Module_ir.locals);
-  List.iter (fun (r, v) -> reg_defaults.(r) <- v) ctx.const_inits;
+  List.iter
+    (fun (r, v) ->
+      reg_defaults.(r) <- v;
+      entry_init.(r) <- true)
+    ctx.const_inits;
   {
     name = internal_name;
     nparams = List.length f.Module_ir.params;
@@ -706,6 +713,7 @@ let lower_func types global_index fname_index c_funcs internal_name
     returns_value = f.Module_ir.result <> Htype.Void;
     exported = f.Module_ir.exported;
     reg_defaults;
+    entry_init;
   }
 
 (** Lower a (linked) module into an executable program. *)
@@ -765,4 +773,5 @@ let lower_module (m : Module_ir.t) : Bytecode.program =
   let funcs = Array.of_list (lowered_funcs @ lowered_hooks) in
   let func_index = Hashtbl.create 32 in
   Array.iteri (fun i (f : Bytecode.func) -> Hashtbl.replace func_index f.name i) funcs;
-  { funcs; func_index; globals; global_defaults; global_index; hooks = hooks_table; types }
+  { funcs; func_index; globals; global_defaults; global_index; hooks = hooks_table;
+    types; verified = false }

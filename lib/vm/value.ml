@@ -67,13 +67,26 @@ exception Hilti_error of exn_value
 
 let hilti_exception name arg = Hilti_error { ename = name; earg = arg }
 
-let index_error () = hilti_exception "Hilti::IndexError" Null
-let value_error msg = hilti_exception "Hilti::ValueError" (String msg)
-let division_by_zero () = hilti_exception "Hilti::DivisionByZero" Null
-let underflow () = hilti_exception "Hilti::Underflow" Null
-let unset_field f = hilti_exception "Hilti::UnsetField" (String f)
-let exhausted () = hilti_exception "Hilti::Exhausted" Null
-let type_error msg = hilti_exception "Hilti::TypeError" (String msg)
+(* Runtime safety checks that actually fired — the dynamic counterpart of
+   the verifier's [static_discharged] count: every exception constructed
+   here is a check the verifier could not (or does not try to) discharge
+   statically.  Only the raise path pays for the counter. *)
+let m_dynamic_hit =
+  Hilti_obs.Metrics.counter "vm_safety_checks"
+    ~label:("mode", "dynamic_hit")
+    ~help:"Runtime safety checks that fired (raised a HILTI exception)"
+
+let safety_failure name arg =
+  Hilti_obs.Metrics.incr m_dynamic_hit;
+  hilti_exception name arg
+
+let index_error () = safety_failure "Hilti::IndexError" Null
+let value_error msg = safety_failure "Hilti::ValueError" (String msg)
+let division_by_zero () = safety_failure "Hilti::DivisionByZero" Null
+let underflow () = safety_failure "Hilti::Underflow" Null
+let unset_field f = safety_failure "Hilti::UnsetField" (String f)
+let exhausted () = safety_failure "Hilti::Exhausted" Null
+let type_error msg = safety_failure "Hilti::TypeError" (String msg)
 let would_block () = hilti_exception "Hilti::WouldBlock" Null
 
 (* ---- Printing --------------------------------------------------------------- *)

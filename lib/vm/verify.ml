@@ -1,0 +1,466 @@
+(** eBPF-style static verifier for lowered bytecode (run after {!Lower}).
+
+    Before a program may execute in the VM's fast path, every function is
+    checked once, statically:
+
+    - {b control flow}: every [Jump]/[Br]/[Switch]/[TryPush] target is a
+      valid instruction index, and no path falls off the end of the code
+      array (lowering always terminates functions with [Ret]);
+    - {b frame bounds}: register counts are sane and every register field
+      of every instruction is inside the frame ([-1] is the "discard"
+      destination the VM ignores); global slots and callee indices index
+      their arrays; direct calls pass exactly the callee's parameter
+      count;
+    - {b definedness}: along {e all} paths (including exceptional edges
+      from [TryPush] to its handler) every register is written before it
+      is read.  Parameters, declared locals (typed defaults) and
+      constant-pool registers are defined at entry ([entry_init]);
+      lowering temporaries must be proven;
+    - {b type tags}: a forward abstract interpretation over coarse value
+      tags (int/bool/double/string/...; [Any] for polymorphic or joined
+      states) checks primitive operands against the {!Isa}-derived
+      signatures — e.g. [P_int_arith] demands two ints, [Br] a bool.
+
+    The analysis is a joined forward dataflow at instruction granularity:
+    definedness is a must-set (bitwise AND at joins), tags join to [Any]
+    on conflict.  On success {!verify_exn} marks the program
+    {!Bytecode.program.verified}, which the VM uses to select the
+    unchecked dispatch loop; the count of statically discharged checks is
+    exported as the [vm_safety_checks{mode="static_discharged"}] metric
+    (its dynamic counterpart counts runtime check failures). *)
+
+open Bytecode
+
+exception Verify_error of string list
+
+type report = {
+  funcs : int;
+  instrs : int;
+  checks_discharged : int;  (** per-use checks proven once, statically *)
+  errors : string list;
+}
+
+let m_discharged =
+  Hilti_obs.Metrics.counter "vm_safety_checks"
+    ~label:("mode", "static_discharged")
+    ~help:"Safety checks proven statically by the bytecode verifier"
+
+(* ---- Abstract value tags ------------------------------------------------- *)
+
+type tag =
+  | Any
+  | Tnull
+  | Tbool
+  | Tint
+  | Tdouble
+  | Tstring
+  | Tbytes
+  | Taddr
+  | Tport
+  | Tnet
+  | Ttime
+  | Tinterval
+  | Tenum
+  | Tbitset
+  | Ttuple
+  | Texception
+  | Tcallable
+
+let tag_name = function
+  | Any -> "any"
+  | Tnull -> "null"
+  | Tbool -> "bool"
+  | Tint -> "int"
+  | Tdouble -> "double"
+  | Tstring -> "string"
+  | Tbytes -> "bytes"
+  | Taddr -> "addr"
+  | Tport -> "port"
+  | Tnet -> "net"
+  | Ttime -> "time"
+  | Tinterval -> "interval"
+  | Tenum -> "enum"
+  | Tbitset -> "bitset"
+  | Ttuple -> "tuple"
+  | Texception -> "exception"
+  | Tcallable -> "callable"
+
+let tag_of_value (v : Value.t) : tag =
+  match v with
+  | Value.Null -> Tnull
+  | Value.Bool _ -> Tbool
+  | Value.Int _ -> Tint
+  | Value.Double _ -> Tdouble
+  | Value.String _ -> Tstring
+  | Value.Bytes _ -> Tbytes
+  | Value.Addr _ -> Taddr
+  | Value.Port _ -> Tport
+  | Value.Net _ -> Tnet
+  | Value.Time _ -> Ttime
+  | Value.Interval _ -> Tinterval
+  | Value.Enum _ -> Tenum
+  | Value.Bitset _ -> Tbitset
+  | Value.Tuple _ -> Ttuple
+  | Value.Exception _ -> Texception
+  | Value.Callable _ -> Tcallable
+  | _ -> Any
+
+let join_tag a b = if a = b then a else Any
+
+(* [Any] is unknown (checks pass); [Tnull] is the default of
+   reference-typed slots before first assignment, and joins freely. *)
+let compatible ~expected ~actual =
+  expected = Any || actual = Any || actual = Tnull || expected = actual
+
+(** Expected operand tags for a primitive ([None] = unchecked /
+    polymorphic position) and the tag of its result.  Coarse on purpose:
+    only families whose operand kinds are fixed by the {!Isa} signature
+    are constrained. *)
+let prim_sig (p : prim) : tag option array option * tag =
+  let a1 x = Some [| x |] in
+  let a2 x y = Some [| x; y |] in
+  let t x = Some x in
+  let sig_ args ret = (Option.map (Array.map t) args, ret) in
+  match p with
+  | P_select -> (Some [| t Tbool; None; None |], Any)
+  | P_equal | P_tuple_eq -> sig_ None Tbool
+  | P_make_tuple -> sig_ None Ttuple
+  | P_bool_and | P_bool_or -> sig_ (a2 Tbool Tbool) Tbool
+  | P_bool_not -> sig_ (a1 Tbool) Tbool
+  | P_int_arith _ -> sig_ (a2 Tint Tint) Tint
+  | P_int_cmp _ -> sig_ (a2 Tint Tint) Tbool
+  | P_int_neg _ | P_int_abs -> sig_ (a1 Tint) Tint
+  | P_int_to_double -> sig_ (a1 Tint) Tdouble
+  | P_int_to_time -> sig_ (a1 Tint) Ttime
+  | P_int_to_interval -> sig_ (a1 Tint) Tinterval
+  | P_int_to_string -> (Some [| t Tint; t Tint |], Tstring)  (* base optional *)
+  | P_double_arith _ -> sig_ (a2 Tdouble Tdouble) Tdouble
+  | P_double_cmp _ -> sig_ (a2 Tdouble Tdouble) Tbool
+  | P_double_neg | P_double_abs -> sig_ (a1 Tdouble) Tdouble
+  | P_double_to_int -> sig_ (a1 Tdouble) Tint
+  | P_string op -> (
+      match op with
+      | S_concat -> sig_ (a2 Tstring Tstring) Tstring
+      | S_length -> sig_ (a1 Tstring) Tint
+      | S_eq | S_lt | S_starts_with | S_contains ->
+          sig_ (a2 Tstring Tstring) Tbool
+      | S_find -> sig_ (a2 Tstring Tstring) Tint
+      | S_substr -> (Some [| t Tstring; t Tint; t Tint |], Tstring)
+      | S_to_bytes -> sig_ (a1 Tstring) Tbytes
+      | S_upper | S_lower -> sig_ (a1 Tstring) Tstring
+      | S_split1 -> sig_ (a2 Tstring Tstring) Ttuple
+      | S_format -> (None, Tstring))  (* varargs after the format string *)
+  | P_bytes op -> (
+      (* First operand may be bytes or a bytes iterator: unchecked. *)
+      match op with
+      | B_length | B_to_int | B_offset -> (None, Tint)
+      | B_is_frozen | B_can_read | B_eq | B_starts_with | B_contains
+      | B_match_prefix ->
+          (None, Tbool)
+      | B_to_string -> (None, Tstring)
+      | B_new | B_sub -> (None, Tbytes)
+      | B_read | B_find | B_unpack_uint | B_unpack_sint ->
+          (None, Ttuple)  (* (value, rest-iterator) pairs *)
+      | _ -> (None, Any))
+  | P_iter _ -> (None, Any)
+  | P_addr op -> (
+      match op with
+      | AD_family -> sig_ (a1 Taddr) Tenum
+      | AD_eq -> sig_ (a2 Taddr Taddr) Tbool
+      | AD_mask -> (Some [| t Taddr; t Tint; t Tint |], Taddr)
+      | AD_to_string -> sig_ (a1 Taddr) Tstring)
+  | P_port op -> (
+      match op with
+      | PO_protocol -> sig_ (a1 Tport) Tenum
+      | PO_number -> sig_ (a1 Tport) Tint
+      | PO_eq -> sig_ (a2 Tport Tport) Tbool)
+  | P_net op -> (
+      match op with
+      | NE_contains -> sig_ (a2 Tnet Taddr) Tbool
+      | NE_prefix -> sig_ (a1 Tnet) Taddr
+      | NE_length -> sig_ (a1 Tnet) Tint
+      | NE_eq -> sig_ (a2 Tnet Tnet) Tbool)
+  | P_time op -> (
+      match op with
+      | TI_add -> sig_ (a2 Ttime Tinterval) Ttime
+      | TI_sub -> (None, Any)  (* time-time or time-interval *)
+      | TI_cmp _ -> sig_ (a2 Ttime Ttime) Tbool
+      | TI_wall -> sig_ (Some [||]) Ttime
+      | TI_to_double -> sig_ (a1 Ttime) Tdouble
+      | TI_nsecs -> sig_ (a1 Ttime) Tint)
+  | P_interval op -> (
+      match op with
+      | IV_add | IV_sub -> sig_ (a2 Tinterval Tinterval) Tinterval
+      | IV_mul -> sig_ (a2 Tinterval Tint) Tinterval
+      | IV_eq | IV_lt -> sig_ (a2 Tinterval Tinterval) Tbool
+      | IV_to_double -> sig_ (a1 Tinterval) Tdouble
+      | IV_nsecs -> sig_ (a1 Tinterval) Tint)
+  | P_tuple_get _ -> sig_ (a1 Ttuple) Any
+  | P_tuple_length -> sig_ (a1 Ttuple) Tint
+  | P_enum_from_int _ -> sig_ (a1 Tint) Tenum
+  | P_enum_value -> sig_ (a1 Tenum) Tint
+  | P_enum_eq -> sig_ (a2 Tenum Tenum) Tbool
+  | P_bitset_set _ | P_bitset_clear _ -> sig_ (a1 Tbitset) Tbitset
+  | P_bitset_has _ -> sig_ (a1 Tbitset) Tbool
+  | P_bitset_eq -> sig_ (a2 Tbitset Tbitset) Tbool
+  | P_exc_new -> (None, Texception)
+  | P_exc_name -> sig_ (a1 Texception) Tstring
+  | P_exc_data -> sig_ (a1 Texception) Any
+  | P_thread_id -> (None, Tint)
+  | _ -> (None, Any)
+
+(* ---- Per-function verification ------------------------------------------- *)
+
+let max_frame_regs = 1 lsl 16
+
+type state = { init : Bytes.t; tags : tag array }
+
+let copy_state s = { init = Bytes.copy s.init; tags = Array.copy s.tags }
+
+(* Meet [src] into [dst]; returns true if [dst] changed.  Definedness is a
+   must-set (AND); tags join towards [Any]. *)
+let meet_into ~src ~dst =
+  let changed = ref false in
+  Bytes.iteri
+    (fun i c ->
+      if c = '\001' && Bytes.get src.init i = '\000' then begin
+        Bytes.set dst.init i '\000';
+        changed := true
+      end)
+    dst.init;
+  Array.iteri
+    (fun i t ->
+      let j = join_tag t src.tags.(i) in
+      if j <> t then begin
+        dst.tags.(i) <- j;
+        changed := true
+      end)
+    dst.tags;
+  !changed
+
+let verify_func (p : program) (f : func) : int * string list =
+  let errors = ref [] in
+  let checks = ref 0 in
+  let err pc fmt =
+    Printf.ksprintf
+      (fun msg -> errors := Printf.sprintf "%s@%d: %s" f.name pc msg :: !errors)
+      fmt
+  in
+  let len = Array.length f.code in
+  (* Frame shape. *)
+  if f.nregs < 0 || f.nregs > max_frame_regs then
+    err (-1) "frame size %d out of bounds (max %d)" f.nregs max_frame_regs;
+  if f.nparams < 0 || f.nparams > f.nregs then
+    err (-1) "%d parameters do not fit in %d registers" f.nparams f.nregs;
+  if Array.length f.reg_defaults < max f.nregs 1 then
+    err (-1) "reg_defaults shorter than frame (%d < %d)"
+      (Array.length f.reg_defaults) f.nregs;
+  if Array.length f.entry_init < max f.nregs 1 then
+    err (-1) "entry_init shorter than frame (%d < %d)"
+      (Array.length f.entry_init) f.nregs;
+  if len = 0 then err (-1) "empty code array";
+  if !errors <> [] then (0, List.rev !errors)
+  else begin
+    let nglobals = Array.length p.globals in
+    let nfuncs = Array.length p.funcs in
+    let check_target pc t what =
+      incr checks;
+      if t < 0 || t >= len then err pc "%s target %d out of range [0,%d)" what t len
+    in
+    let check_dst pc d =
+      incr checks;
+      if d < -1 || d >= f.nregs then err pc "destination r%d out of frame" d
+    in
+    (* Instruction-granularity forward dataflow. *)
+    let entry =
+      {
+        init =
+          Bytes.init f.nregs (fun i ->
+              if i < f.nparams || f.entry_init.(i) then '\001' else '\000');
+        tags =
+          Array.init f.nregs (fun i ->
+              if i < f.nparams then Any
+              else if f.entry_init.(i) then tag_of_value f.reg_defaults.(i)
+              else Any);
+      }
+    in
+    let states : state option array = Array.make len None in
+    let work = Queue.create () in
+    let flow pc st =
+      if pc >= 0 && pc < len then
+        match states.(pc) with
+        | None ->
+            states.(pc) <- Some (copy_state st);
+            Queue.add pc work
+        | Some cur -> if meet_into ~src:st ~dst:cur then Queue.add pc work
+    in
+    flow 0 entry;
+    let use st pc r what =
+      incr checks;
+      if r < 0 || r >= f.nregs then begin
+        err pc "%s register r%d out of frame" what r;
+        Any
+      end
+      else if Bytes.get st.init r = '\000' then begin
+        err pc "register r%d used before definition (%s)" r what;
+        Any
+      end
+      else st.tags.(r)
+    in
+    let def st pc d tag =
+      check_dst pc d;
+      if d >= 0 && d < f.nregs then begin
+        Bytes.set st.init d '\001';
+        st.tags.(d) <- tag
+      end
+    in
+    let require pc what ~expected ~actual =
+      incr checks;
+      if not (compatible ~expected ~actual) then
+        err pc "%s: type tag mismatch (expected %s, got %s)" what
+          (tag_name expected) (tag_name actual)
+    in
+    while not (Queue.is_empty work) do
+      let pc = Queue.pop work in
+      let st = copy_state (Option.get states.(pc)) in
+      let fallthrough = ref true in
+      (match f.code.(pc) with
+      | Const (d, v) -> def st pc d (tag_of_value v)
+      | Mov (d, s) ->
+          let t = use st pc s "mov source" in
+          def st pc d t
+      | LoadGlobal (d, slot) ->
+          incr checks;
+          if slot < 0 || slot >= nglobals then
+            err pc "global slot %d out of range [0,%d)" slot nglobals;
+          let t =
+            if slot >= 0 && slot < nglobals then
+              match tag_of_value p.global_defaults.(slot) with
+              | Tnull -> Any  (* reference global: holds its real type later *)
+              | t -> t
+            else Any
+          in
+          def st pc d t
+      | StoreGlobal (slot, s) ->
+          incr checks;
+          if slot < 0 || slot >= nglobals then
+            err pc "global slot %d out of range [0,%d)" slot nglobals;
+          ignore (use st pc s "store.global source")
+      | Jump t ->
+          check_target pc t "jump";
+          flow t st;
+          fallthrough := false
+      | Br (c, t, e) ->
+          let ct = use st pc c "branch condition" in
+          require pc "branch condition" ~expected:Tbool ~actual:ct;
+          check_target pc t "branch-then";
+          check_target pc e "branch-else";
+          flow t st;
+          flow e st;
+          fallthrough := false
+      | Switch (v, d, cases) ->
+          ignore (use st pc v "switch value");
+          check_target pc d "switch-default";
+          flow d st;
+          Array.iter
+            (fun (_, t) ->
+              check_target pc t "switch-case";
+              flow t st)
+            cases;
+          fallthrough := false
+      | Call (fi, args, d) ->
+          incr checks;
+          if fi < 0 || fi >= nfuncs then
+            err pc "callee index %d out of range [0,%d)" fi nfuncs
+          else begin
+            let callee = p.funcs.(fi) in
+            incr checks;
+            if Array.length args <> callee.nparams then
+              err pc "call to %s passes %d args, expects %d" callee.name
+                (Array.length args) callee.nparams
+          end;
+          Array.iteri (fun i r -> ignore (use st pc r (Printf.sprintf "call arg %d" i))) args;
+          def st pc d Any
+      | CallC (_, args, d) ->
+          Array.iteri (fun i r -> ignore (use st pc r (Printf.sprintf "callc arg %d" i))) args;
+          def st pc d Any
+      | Ret r ->
+          if r >= 0 then ignore (use st pc r "return value");
+          fallthrough := false
+      | TryPush (h, r) ->
+          check_target pc h "try.push handler";
+          check_dst pc r;
+          (* On the exceptional edge the handler sees everything defined
+             at the push point, plus the caught exception. *)
+          let hstate = copy_state st in
+          def hstate pc r Texception;
+          flow h hstate
+      | TryPop -> ()
+      | Throw r ->
+          ignore (use st pc r "throw operand");
+          fallthrough := false
+      | Yield -> ()
+      | HookRun (_, args) ->
+          Array.iteri (fun i r -> ignore (use st pc r (Printf.sprintf "hook arg %d" i))) args
+      | Schedule (fi, args, tid) ->
+          incr checks;
+          if fi < 0 || fi >= nfuncs then
+            err pc "schedule callee %d out of range [0,%d)" fi nfuncs;
+          Array.iteri
+            (fun i r -> ignore (use st pc r (Printf.sprintf "schedule arg %d" i)))
+            args;
+          let tt = use st pc tid "schedule thread id" in
+          require pc "schedule thread id" ~expected:Tint ~actual:tt
+      | Bind (fi, args, d) ->
+          incr checks;
+          if fi < 0 || fi >= nfuncs then
+            err pc "bind callee %d out of range [0,%d)" fi nfuncs;
+          Array.iteri (fun i r -> ignore (use st pc r (Printf.sprintf "bind arg %d" i))) args;
+          def st pc d Tcallable
+      | Prim (prim, args, d) ->
+          let expected, ret = prim_sig prim in
+          Array.iteri
+            (fun i r ->
+              let actual = use st pc r (Printf.sprintf "prim arg %d" i) in
+              match expected with
+              | Some exp when i < Array.length exp -> (
+                  match exp.(i) with
+                  | Some e ->
+                      require pc (Printf.sprintf "prim arg %d" i) ~expected:e
+                        ~actual
+                  | None -> ())
+              | _ -> ())
+            args;
+          def st pc d ret
+      | Nop -> ());
+      if !fallthrough then begin
+        incr checks;
+        if pc + 1 >= len then err pc "control falls off the end of the code"
+        else flow (pc + 1) st
+      end
+    done;
+    (!checks, List.rev !errors)
+  end
+
+(** Verify every function; never raises, never sets the flag. *)
+let verify (p : program) : report =
+  let instrs = code_size p in
+  let checks = ref 0 and errors = ref [] in
+  Array.iter
+    (fun f ->
+      let c, e = verify_func p f in
+      checks := !checks + c;
+      errors := !errors @ e)
+    p.funcs;
+  { funcs = Array.length p.funcs; instrs; checks_discharged = !checks;
+    errors = !errors }
+
+(** Verify and, on success, mark the program verified (enabling the VM's
+    fast dispatch) and account the discharged checks; raises
+    {!Verify_error} otherwise. *)
+let verify_exn (p : program) : report =
+  let r = verify p in
+  if r.errors <> [] then raise (Verify_error r.errors);
+  Hilti_obs.Metrics.add m_discharged r.checks_discharged;
+  p.verified <- true;
+  r

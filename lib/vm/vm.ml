@@ -218,6 +218,14 @@ let reg frame i = frame.regs.(i)
 
 let setreg frame i v = if i >= 0 then frame.regs.(i) <- v
 
+(* Unchecked variants for the verified dispatch loop: {!Verify} proved
+   every register field of every instruction to be inside the frame, so
+   the bounds checks are statically discharged.  [-1] remains the
+   "discard" destination. *)
+let ureg frame i = Array.unsafe_get frame.regs i
+
+let usetreg frame i v = if i >= 0 then Array.unsafe_set frame.regs i v
+
 (* Printf-lite formatting for string.format: %s %d %f %%. *)
 let format_string fmt args =
   let buf = Buffer.create (String.length fmt + 16) in
@@ -1109,7 +1117,19 @@ and exec_file ctx op args =
 
 (* ---- The dispatch loop ------------------------------------------------------------ *)
 
+(* Two handwritten copies of the dispatch loop: [exec_func_checked] with
+   ordinary (bounds-checked) array accesses, and [exec_func_verified]
+   using [Array.unsafe_get]/[unsafe_set] for registers, code fetch and
+   globals — every one of those accesses was proven in range by {!Verify}
+   before [program.verified] was set.  A functor would express this once,
+   but without flambda the functor call stays indirect in the hottest
+   loop, which is exactly the cost verified mode exists to remove. *)
+
 and exec_func ctx (fidx : int) (args : Value.t list) : Value.t =
+  if ctx.program.verified then exec_func_verified ctx fidx args
+  else exec_func_checked ctx fidx args
+
+and exec_func_checked ctx (fidx : int) (args : Value.t list) : Value.t =
   let f = ctx.program.funcs.(fidx) in
   let frame = { regs = Array.copy f.reg_defaults; pc = 0; tries = [] } in
   List.iteri (fun i v -> if i < f.nregs then frame.regs.(i) <- v) args;
@@ -1233,6 +1253,136 @@ and exec_func ctx (fidx : int) (args : Value.t list) : Value.t =
        let handler, exc_reg = List.hd frame.tries in
        frame.tries <- List.tl frame.tries;
        setreg frame exc_reg (Value.Exception e);
+       frame.pc <- handler)
+  done;
+  (match obs with
+  | Some ops ->
+      Array.iteri
+        (fun g n -> if n > 0 then Hilti_obs.Metrics.add m_opgroup.(g) n)
+        ops;
+      Hilti_obs.Metrics.observe m_func_instrs (ctx.instr_count - instrs_at_entry)
+  | None -> ());
+  !result
+
+(* Keep in lockstep with [exec_func_checked]; only the array accesses the
+   verifier discharged differ. *)
+and exec_func_verified ctx (fidx : int) (args : Value.t list) : Value.t =
+  let f = ctx.program.funcs.(fidx) in
+  let frame = { regs = Array.copy f.reg_defaults; pc = 0; tries = [] } in
+  List.iteri (fun i v -> if i < f.nregs then frame.regs.(i) <- v) args;
+  let code = f.code in
+  let result = ref Value.Null in
+  let running = ref true in
+  let obs =
+    if Hilti_obs.Metrics.enabled () then Some (Array.make n_opgroups 0) else None
+  in
+  let instrs_at_entry = ctx.instr_count in
+  while !running do
+    let i = Array.unsafe_get code frame.pc in
+    ctx.instr_count <- ctx.instr_count + 1;
+    ctx.cycles := !(ctx.cycles) + 1;
+    (match obs with
+    | Some ops ->
+        let g = opgroup_of i in
+        ops.(g) <- ops.(g) + 1
+    | None -> ());
+    let next = frame.pc + 1 in
+    (try
+       match i with
+       | Const (dst, v) ->
+           usetreg frame dst v;
+           frame.pc <- next
+       | Mov (dst, src) ->
+           usetreg frame dst (ureg frame src);
+           frame.pc <- next
+       | LoadGlobal (dst, slot) ->
+           usetreg frame dst (Array.unsafe_get (current_globals ctx) slot);
+           frame.pc <- next
+       | StoreGlobal (slot, src) ->
+           Array.unsafe_set (current_globals ctx) slot (ureg frame src);
+           frame.pc <- next
+       | Jump pc -> frame.pc <- pc
+       | Br (c, t, e) -> frame.pc <- (if Value.as_bool (ureg frame c) then t else e)
+       | Switch (v, default, cases) ->
+           let value = ureg frame v in
+           let rec find k =
+             if k >= Array.length cases then default
+             else
+               let cv, pc = Array.unsafe_get cases k in
+               if Value.equal cv value then pc else find (k + 1)
+           in
+           frame.pc <- find 0
+       | Call (callee, arg_regs, dst) ->
+           let args = Array.to_list (Array.map (ureg frame) arg_regs) in
+           let r = exec_func_verified ctx callee args in
+           usetreg frame dst r;
+           frame.pc <- next
+       | CallC (name, arg_regs, dst) -> (
+           match Hashtbl.find_opt ctx.host_funcs name with
+           | Some fn ->
+               let args = Array.to_list (Array.map (ureg frame) arg_regs) in
+               usetreg frame dst (fn ctx args);
+               frame.pc <- next
+           | None -> fail "unresolved host function %s" name)
+       | Ret r ->
+           result := (if r >= 0 then ureg frame r else Value.Null);
+           running := false
+       | TryPush (handler, exc_reg) ->
+           frame.tries <- (handler, exc_reg) :: frame.tries;
+           frame.pc <- next
+       | TryPop ->
+           (match frame.tries with
+           | _ :: rest -> frame.tries <- rest
+           | [] -> ());
+           frame.pc <- next
+       | Throw r -> (
+           match ureg frame r with
+           | Value.Exception e -> raise (Value.Hilti_error e)
+           | v -> raise (Value.Hilti_error { ename = "Hilti::Exception"; earg = v }))
+       | Yield ->
+           (match Hilti_rt.Fiber.yield () with
+           | () -> ()
+           | exception Effect.Unhandled _ ->
+               raise (Value.would_block ()));
+           frame.pc <- next
+       | HookRun (name, arg_regs) ->
+           let args = Array.to_list (Array.map (ureg frame) arg_regs) in
+           run_hook ctx name args;
+           frame.pc <- next
+       | Schedule (callee, arg_regs, tid_reg) ->
+           let tid = Value.as_int (ureg frame tid_reg) in
+           let args =
+             Array.to_list (Array.map (fun r -> Value.deep_copy (ureg frame r)) arg_regs)
+           in
+           schedule_job ctx tid callee args;
+           frame.pc <- next
+       | Bind (callee, arg_regs, dst) ->
+           let args = Array.to_list (Array.map (ureg frame) arg_regs) in
+           let name = ctx.program.funcs.(callee).name in
+           usetreg frame dst
+             (Value.Callable
+                {
+                  description = name;
+                  invoke = (fun () -> exec_func (exec_context ctx) callee args);
+                });
+           frame.pc <- next
+       | Prim (p, arg_regs, dst) ->
+           let args = Array.map (ureg frame) arg_regs in
+           let v =
+             try exec_prim ctx p args with
+             | Hilti_types.Hbytes.Out_of_range ->
+                 raise (Value.value_error "bytes: out of range")
+             | Hilti_types.Hbytes.Frozen ->
+                 raise (Value.value_error "bytes: frozen")
+             | Hilti_rt.Regexp.Parse_error msg -> raise (Value.value_error msg)
+           in
+           usetreg frame dst v;
+           frame.pc <- next
+       | Nop -> frame.pc <- next
+     with Value.Hilti_error e when frame.tries <> [] && e.Value.ename <> "Hilti::HookStop" ->
+       let handler, exc_reg = List.hd frame.tries in
+       frame.tries <- List.tl frame.tries;
+       usetreg frame exc_reg (Value.Exception e);
        frame.pc <- handler)
   done;
   (match obs with

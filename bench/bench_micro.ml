@@ -81,13 +81,15 @@ let hot_loop_module () =
   m
 
 let verified_dispatch_bench () =
-  Bench_util.header "bytecode verifier: checked vs verified dispatch";
+  Bench_util.header "bytecode verifier: checked vs verified vs specialized dispatch";
   let iters = 400_000L in
   let module H = Hilti_vm.Host_api in
   let api_checked = H.compile ~verify:false [ hot_loop_module () ] in
-  let api_verified = H.compile [ hot_loop_module () ] in
+  let api_verified = H.compile ~specialize:false [ hot_loop_module () ] in
+  let api_spec = H.compile [ hot_loop_module () ] in
   assert api_verified.H.ctx.Hilti_vm.Vm.program.Hilti_vm.Bytecode.verified;
   assert (not api_checked.H.ctx.Hilti_vm.Vm.program.Hilti_vm.Bytecode.verified);
+  assert api_spec.H.ctx.Hilti_vm.Vm.program.Hilti_vm.Bytecode.specialized;
   let spin api () =
     Hilti_vm.Value.as_int (H.call api "Hot::spin" [ Hilti_vm.Value.Int iters ])
   in
@@ -95,22 +97,69 @@ let verified_dispatch_bench () =
   let r_checked, ns_checked = Bench_util.best_of ~n:5 (spin api_checked) in
   Bench_util.gc_normalize ();
   let r_verified, ns_verified = Bench_util.best_of ~n:5 (spin api_verified) in
-  assert (r_checked = r_verified);
+  Bench_util.gc_normalize ();
+  let r_spec, ns_spec = Bench_util.best_of ~n:5 (spin api_spec) in
+  assert (r_checked = r_verified && r_verified = r_spec);
   let speedup = Bench_util.ratio ns_checked ns_verified in
+  let speedup_spec = Bench_util.ratio ns_verified ns_spec in
   Printf.printf "hot loop, %Ld iterations (best of 5):\n" iters;
-  Printf.printf "  checked dispatch  (verified=false): %8.2f ms\n"
+  Printf.printf "  checked dispatch     (verify=false):     %8.2f ms\n"
     (Bench_util.ms ns_checked);
-  Printf.printf "  verified dispatch (verified=true):  %8.2f ms\n"
+  Printf.printf "  verified dispatch    (specialize=false): %8.2f ms\n"
     (Bench_util.ms ns_verified);
-  Printf.printf "  speedup: %.2fx\n" speedup;
+  Printf.printf "  specialized dispatch (default):          %8.2f ms\n"
+    (Bench_util.ms ns_spec);
+  Printf.printf "  verified/checked speedup:     %.2fx\n" speedup;
+  Printf.printf "  specialized/verified speedup: %.2fx\n" speedup_spec;
   let json =
     Printf.sprintf
       "{\n  \"experiment\": \"verified_dispatch\",\n  \"iters\": %Ld,\n  \
-       \"checked_ms\": %.3f,\n  \"verified_ms\": %.3f,\n  \"speedup\": %.3f\n}\n"
+       \"checked_ms\": %.3f,\n  \"verified_ms\": %.3f,\n  \"speedup\": %.3f,\n  \
+       \"specialized_ms\": %.3f,\n  \"speedup_spec\": %.3f\n}\n"
       iters (Bench_util.ms ns_checked) (Bench_util.ms ns_verified) speedup
+      (Bench_util.ms ns_spec) speedup_spec
   in
   Bench_util.write_file_atomic "BENCH_micro.json" json;
   print_endline "dispatch data written to BENCH_micro.json"
+
+(* ---- Hbytes allocation micro-benchmark ----------------------------------- *)
+
+(* The whole-window fast path in [Hbytes.to_string]/[Hbytes.sub] memoizes
+   the copy; token matching and bytes equality hit it constantly.  Measure
+   the cached path against the interior copy it avoids, and report the
+   per-call minor allocation to show the cached path is allocation-free. *)
+let hbytes_alloc_bench () =
+  Bench_util.header "hbytes: whole-window string extraction vs interior copy";
+  let module Hb = Hilti_types.Hbytes in
+  let payload = String.make 4096 'x' in
+  let frozen = Hb.of_string payload in
+  Hb.freeze frozen;
+  let a = Hb.begin_ frozen and b = Hb.end_ frozen in
+  let a1 = Hb.advance a 1 in
+  let bytes_per_call f =
+    (* [Gc.allocated_bytes] covers both heaps — a 4 KiB copy goes straight
+       to the major heap, invisible to [Gc.minor_words]. *)
+    let n = 10_000 in
+    let before = Gc.allocated_bytes () in
+    for _ = 1 to n do ignore (Sys.opaque_identity (f ())) done;
+    (Gc.allocated_bytes () -. before) /. float_of_int n
+  in
+  let w_cached = bytes_per_call (fun () -> Hb.to_string frozen) in
+  let w_whole = bytes_per_call (fun () -> Hb.sub a b) in
+  let w_interior = bytes_per_call (fun () -> Hb.sub a1 b) in
+  Printf.printf "allocated bytes/call on a frozen 4 KiB object:\n";
+  Printf.printf "  to_string (cached):        %8.1f\n" w_cached;
+  Printf.printf "  sub whole window (cached): %8.1f\n" w_whole;
+  Printf.printf "  sub interior (copies):     %8.1f\n" w_interior;
+  assert (w_cached < 8.0 && w_whole < 8.0);
+  assert (w_interior > 4096.0);
+  let results =
+    Bench_util.bechamel_run
+      [ ("hbytes to_string 4KB cached", fun () -> ignore (Hb.to_string frozen));
+        ("hbytes sub whole 4KB cached", fun () -> ignore (Hb.sub a b));
+        ("hbytes sub interior 4KB copy", fun () -> ignore (Hb.sub a1 b)) ]
+  in
+  List.iter (fun (name, est) -> Printf.printf "  %-28s %10.1f ns\n" name est) results
 
 let run () =
   Bench_util.header "§5 fiber micro-benchmark";
@@ -160,5 +209,7 @@ let run () =
   in
   Printf.printf "\nruntime primitives (Bechamel, ns/op):\n";
   List.iter (fun (name, est) -> Printf.printf "  %-28s %10.1f ns\n" name est) results;
+  print_newline ();
+  hbytes_alloc_bench ();
   print_newline ();
   verified_dispatch_bench ()

@@ -16,6 +16,7 @@ let experiments =
     ("threads", "§6.6 virtual-thread load balancing");
     ("stream", "streaming pipeline: peak heap vs trace size");
     ("obs", "observability: instrumentation overhead off vs on");
+    ("vmopt", "register-bank specialization + superinstruction fusion");
     ("ablations", "design-choice ablations") ]
 
 let () =
@@ -39,6 +40,7 @@ let () =
       | "threads" -> ignore (Bench_threads.run ())
       | "stream" -> ignore (Bench_stream.run ~base:(if quick then 40 else 150) ())
       | "obs" -> ignore (Bench_obs.run ~dns_transactions ())
+      | "vmopt" -> ignore (Bench_vmopt.run ~quick ())
       | "ablations" -> Bench_ablations.run ()
       | other ->
           Printf.eprintf "unknown experiment %s; known:\n" other;

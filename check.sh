@@ -35,6 +35,25 @@ grep -q '"disabled_alloc_words_per_100k"' BENCH_obs.json
 echo "== analysis suite (dataflow, lint, verifier, verified dispatch)"
 dune exec test/test_main.exe -- test analysis
 
+echo "== vmopt suite (typing export, specialized-opcode verification, 3-way differential)"
+dune exec test/test_main.exe -- test vmopt
+
+echo "== bench micro (writes BENCH_micro.json incl. specialized dispatch + hbytes)"
+dune exec bench/main.exe -- micro --quick
+grep -q '"specialized_ms"' BENCH_micro.json
+grep -q '"speedup_spec"' BENCH_micro.json
+
+echo "== bench vmopt (writes BENCH_vmopt.json)"
+dune exec bench/main.exe -- vmopt --quick
+grep -q '"speedup_spec_over_verified"' BENCH_vmopt.json
+grep -q '"firewall_speedup"' BENCH_vmopt.json
+grep -q '"dns_speedup"' BENCH_vmopt.json
+# Specialized dispatch must beat verified on the hot loop and must not
+# regress the end-to-end workloads (0.9 allows measurement noise).
+awk -F': ' '/"speedup_spec_over_verified"/ { if ($2+0 < 1.5) exit 1 }' BENCH_vmopt.json
+awk -F': ' '/"firewall_speedup"/ { if ($2+0 < 0.9) exit 1 }' BENCH_vmopt.json
+awk -F': ' '/"dns_speedup"/ { if ($2+0 < 0.9) exit 1 }' BENCH_vmopt.json
+
 echo "== hiltic -analyze over examples (exits non-zero on error findings)"
 : > LINT_report.tsv
 for f in examples/data/*.hlt; do

@@ -9,8 +9,8 @@ module V = Hilti_vm.Value
 
 type t = { parser : Runtime.t }
 
-let load ?(optimize = true) () : t =
-  { parser = Runtime.load ~optimize (Grammars.parse_dns ()) }
+let load ?(optimize = true) ?(specialize = true) () : t =
+  { parser = Runtime.load ~optimize ~specialize (Grammars.parse_dns ()) }
 
 let sint st name =
   match Http_pac.sfield st name with

@@ -12,10 +12,10 @@ type t = {
 
 (** Compile and load a grammar.  [prepare] can add further IR to the
     module before compilation — e.g. the Bro event bridge's hook bodies. *)
-let load ?(optimize = true) ?prepare (g : Ast.grammar) : t =
+let load ?(optimize = true) ?(specialize = true) ?prepare (g : Ast.grammar) : t =
   let m = Codegen.compile g in
   (match prepare with Some f -> f m | None -> ());
-  let api = Host_api.compile ~optimize [ m ] in
+  let api = Host_api.compile ~optimize ~specialize [ m ] in
   ignore (Host_api.call api (g.Ast.gname ^ "::init") []);
   { api; grammar = g }
 

@@ -90,9 +90,9 @@ type t = {
 
 (** Compile and load a firewall; returns a handle whose [match_packet]
     mirrors the reference matcher's interface. *)
-let load ?(optimize = true) ?idle_timeout_secs rules : t =
+let load ?(optimize = true) ?(specialize = true) ?idle_timeout_secs rules : t =
   let m = compile_module ?idle_timeout_secs rules in
-  let api = Hilti_vm.Host_api.compile ~optimize [ m ] in
+  let api = Hilti_vm.Host_api.compile ~optimize ~specialize [ m ] in
   ignore (Hilti_vm.Host_api.call api "Firewall::init_classifier" []);
   { api; matches = 0; denials = 0 }
 

@@ -235,6 +235,12 @@ let attach (root : Vm.context) ~domains =
   if not root.Vm.program.Bytecode.verified then
     ignore (Hilti_vm.Verify.verify_exn root.Vm.program);
   assert root.Vm.program.Bytecode.verified;
+  (* Register-bank specialization is equally domain-safe: the per-function
+     bank templates are immutable after [Specialize] runs, and every
+     activation copies them into fresh per-frame banks exactly as frames
+     copy [reg_defaults] — so clones share only immutable data. *)
+  if not root.Vm.program.Bytecode.specialized then
+    ignore (Hilti_vm.Specialize.specialize root.Vm.program);
   let clones = Array.init domains (fun _ -> Vm.clone_for_domain root) in
   let pool =
     Domain_pool.create ~domains ~on_start:(fun wid ->

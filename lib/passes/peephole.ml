@@ -1,0 +1,63 @@
+(** Generic peephole pair-fusion over a flat instruction array.
+
+    A superinstruction pass replaces an adjacent pair of instructions with
+    one fused instruction when a client-supplied rule matches.  The engine
+    is representation-agnostic — it works over any ['a array] — because
+    the pass pipeline ({!Pipeline}) sits above the HILTI IR while the
+    profitable fusion candidates (compare+branch, load-const+binop,
+    incr+jump backedges, identified from Hilti_obs's per-opcode-group
+    retirement counters) live in the lowered bytecode: the concrete rules
+    are supplied by [Hilti_vm.Specialize], which runs this engine after
+    register-bank specialization.
+
+    Fusing shortens the code array, so the engine also rewrites every
+    control-flow target through the client's [retarget] callback.  A pair
+    is only considered when no jump lands on its {e second} instruction
+    (the fused replacement could not reproduce entry into the middle of
+    the pair).  Greedy left-to-right matching; callers iterate to a
+    fixpoint for cascading fusions. *)
+
+(** [run ~targets_of ~retarget ~try_fuse code] returns the fused array and
+    the number of pairs fused.
+
+    - [targets_of i] lists the instruction indices [i] can transfer
+      control to (excluding fallthrough);
+    - [retarget f i] rewrites every target [t] inside [i] to [f t];
+    - [try_fuse a b] returns the fused replacement for the adjacent pair
+      [a; b], or [None]. *)
+let run ~(targets_of : 'a -> int list) ~(retarget : (int -> int) -> 'a -> 'a)
+    ~(try_fuse : 'a -> 'a -> 'a option) (code : 'a array) : 'a array * int =
+  let len = Array.length code in
+  let targeted = Array.make (max len 1) false in
+  Array.iter
+    (fun i ->
+      List.iter (fun t -> if t >= 0 && t < len then targeted.(t) <- true) (targets_of i))
+    code;
+  let out = ref [] in
+  let map = Array.make (max len 1) 0 in
+  let fused = ref 0 in
+  let emit i = out := i :: !out in
+  let n = ref 0 (* next new index *) in
+  let i = ref 0 in
+  while !i < len do
+    let here = !i in
+    map.(here) <- !n;
+    let pair =
+      if here + 1 < len && not targeted.(here + 1) then
+        try_fuse code.(here) code.(here + 1)
+      else None
+    in
+    (match pair with
+    | Some f ->
+        map.(here + 1) <- !n;
+        emit f;
+        incr fused;
+        i := here + 2
+    | None ->
+        emit code.(here);
+        i := here + 1);
+    incr n
+  done;
+  let arr = Array.of_list (List.rev !out) in
+  let remap t = if t >= 0 && t < len then map.(t) else t in
+  (Array.map (retarget remap) arr, !fused)

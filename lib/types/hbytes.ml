@@ -28,15 +28,28 @@ type t = {
   mutable base : int;     (* absolute offset of first retained byte *)
   mutable len : int;      (* number of retained bytes *)
   mutable frozen : bool;
+  mutable cached : string option;
+      (* memoized [to_string] of the current window; invalidated whenever
+         the window changes (append, trim).  Token matching and equality
+         call [to_string] on the same frozen payload repeatedly, so this
+         turns the per-call copy into a single one. *)
 }
 
 type iter = { bytes : t; pos : int }
 (** Iterators are immutable values holding an absolute stream offset. *)
 
-let create () = { buf = Bytes.create 64; off = 0; base = 0; len = 0; frozen = false }
+let create () =
+  { buf = Bytes.create 64; off = 0; base = 0; len = 0; frozen = false; cached = None }
 
 let of_string s =
-  { buf = Bytes.of_string s; off = 0; base = 0; len = String.length s; frozen = false }
+  {
+    buf = Bytes.of_string s;
+    off = 0;
+    base = 0;
+    len = String.length s;
+    frozen = false;
+    cached = Some s;
+  }
 
 let length t = t.len
 let start_offset t = t.base
@@ -64,7 +77,8 @@ let append t s =
   let n = String.length s in
   ensure_room t n;
   Bytes.blit_string s 0 t.buf (t.off + t.len) n;
-  t.len <- t.len + n
+  t.len <- t.len + n;
+  if n > 0 then t.cached <- None
 
 let append_bytes t b = append t (Bytes.to_string b)
 
@@ -86,7 +100,10 @@ let trim t (it : iter) =
     t.off <- t.off + drop;
     t.base <- upto;
     t.len <- t.len - drop;
-    if drop > 0 then !on_trim drop
+    if drop > 0 then begin
+      t.cached <- None;
+      !on_trim drop
+    end
   end
 
 (* Iterators --------------------------------------------------------------- *)
@@ -125,16 +142,33 @@ let distance (a : iter) (b : iter) = b.pos - a.pos
 let iter_equal (a : iter) (b : iter) = a.bytes == b.bytes && a.pos = b.pos
 let iter_compare (a : iter) (b : iter) = Int.compare a.pos b.pos
 
+(** All currently retained data as a string, memoized until the window
+    changes.  When the object is frozen and the window spans the whole
+    backing buffer, the buffer itself is exposed without copying: a frozen
+    object rejects appends and trimming only narrows the window (which
+    invalidates the cache), so the backing bytes can never change under
+    the returned string. *)
+let to_string t =
+  match t.cached with
+  | Some s -> s
+  | None ->
+      let s =
+        if t.frozen && t.off = 0 && t.len = Bytes.length t.buf then
+          Bytes.unsafe_to_string t.buf
+        else Bytes.sub_string t.buf t.off t.len
+      in
+      t.cached <- Some s;
+      s
+
 (** Extract the bytes in [\[a, b)] as a string.  Both iterators must point
-    into retained, available data. *)
+    into retained, available data.  A whole-window extraction reuses the
+    [to_string] cache instead of copying again. *)
 let sub (a : iter) (b : iter) =
   let t = a.bytes in
   if a.pos < t.base || b.pos > end_offset t || a.pos > b.pos then
     raise Out_of_range;
-  Bytes.sub_string t.buf (t.off + a.pos - t.base) (b.pos - a.pos)
-
-(** All currently retained data as a string. *)
-let to_string t = Bytes.sub_string t.buf t.off t.len
+  if a.pos = t.base && b.pos = end_offset t then to_string t
+  else Bytes.sub_string t.buf (t.off + a.pos - t.base) (b.pos - a.pos)
 
 (** [available it] is the number of bytes readable from [it] right now. *)
 let available (it : iter) = Stdlib.max 0 (end_offset it.bytes - it.pos)

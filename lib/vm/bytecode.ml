@@ -121,6 +121,73 @@ type prim =
   | P_debug of debug_op
   | P_callable_call
 
+(* ---- Abstract value tags --------------------------------------------------- *)
+
+(* Coarse per-value type tags.  {!Verify} runs a forward abstract
+   interpretation over these to type-check primitives, and exports a
+   per-register join (the [typing] field below) that {!Specialize} uses to
+   assign registers to unboxed banks. *)
+
+type tag =
+  | Any
+  | Tnull
+  | Tbool
+  | Tint
+  | Tdouble
+  | Tstring
+  | Tbytes
+  | Taddr
+  | Tport
+  | Tnet
+  | Ttime
+  | Tinterval
+  | Tenum
+  | Tbitset
+  | Ttuple
+  | Texception
+  | Tcallable
+
+let tag_name = function
+  | Any -> "any"
+  | Tnull -> "null"
+  | Tbool -> "bool"
+  | Tint -> "int"
+  | Tdouble -> "double"
+  | Tstring -> "string"
+  | Tbytes -> "bytes"
+  | Taddr -> "addr"
+  | Tport -> "port"
+  | Tnet -> "net"
+  | Ttime -> "time"
+  | Tinterval -> "interval"
+  | Tenum -> "enum"
+  | Tbitset -> "bitset"
+  | Ttuple -> "tuple"
+  | Texception -> "exception"
+  | Tcallable -> "callable"
+
+let tag_of_value (v : Value.t) : tag =
+  match v with
+  | Value.Null -> Tnull
+  | Value.Bool _ -> Tbool
+  | Value.Int _ -> Tint
+  | Value.Double _ -> Tdouble
+  | Value.String _ -> Tstring
+  | Value.Bytes _ -> Tbytes
+  | Value.Addr _ -> Taddr
+  | Value.Port _ -> Tport
+  | Value.Net _ -> Tnet
+  | Value.Time _ -> Ttime
+  | Value.Interval _ -> Tinterval
+  | Value.Enum _ -> Tenum
+  | Value.Bitset _ -> Tbitset
+  | Value.Tuple _ -> Ttuple
+  | Value.Exception _ -> Texception
+  | Value.Callable _ -> Tcallable
+  | _ -> Any
+
+let join_tag a b = if a = b then a else Any
+
 type instr =
   | Const of int * Value.t            (** dst <- constant *)
   | Mov of int * int                  (** dst <- src *)
@@ -141,12 +208,53 @@ type instr =
   | Bind of int * int array * int     (** func idx, arg regs, dst: make callable *)
   | Prim of prim * int array * int    (** arg regs, dst (-1 = none) *)
   | Nop
+  (* Specialized register-bank opcodes, emitted only by {!Specialize} on
+     verified programs.  Integer operands live in a per-frame unboxed
+     [Bytes.t] bank (8 bytes per slot, native endian), floats in a flat
+     [float array]; [UnboxI]/[BoxI]/[UnboxF]/[BoxF] are the only bridges
+     between a bank and the boxed {!Value.t} frame. *)
+  | IConst_u of int * int64           (** ibank[d] <- k *)
+  | IMov_u of int * int               (** ibank[d] <- ibank[s] *)
+  | UnboxI of int * int               (** ibank[d] <- as_int regs[s] (bridge) *)
+  | BoxI of int * int                 (** regs[d] <- Int ibank[s] (bridge) *)
+  | IArith_u of int_arith * int * int * int * int
+      (** op, width, dst, a, b — all int-bank slots *)
+  | IArithK_u of int_arith * int * int * int * int64
+      (** op, width, dst, a, immediate (folded constant-pool operand) *)
+  | ICmp_u of cmp * int * int * int   (** regs[d] <- Bool (ibank[a] ? ibank[b]) *)
+  | ICmpK_u of cmp * int * int * int64
+  | IBrCmp_u of cmp * int * int * int * int
+      (** fused compare+branch: a, b, then-pc, else-pc *)
+  | IBrCmpK_u of cmp * int * int64 * int * int
+  | IIncrJ_u of int * int * int64 * int
+      (** fused increment+jump backedge: width, d, k, target *)
+  | FConst_u of int * float           (** fbank[d] <- k *)
+  | FMov_u of int * int
+  | UnboxF of int * int               (** fbank[d] <- as_double regs[s] (bridge) *)
+  | BoxF of int * int                 (** regs[d] <- Double fbank[s] (bridge) *)
+  | FArith_u of int_arith * int * int * int   (** op, dst, a, b — float-bank slots *)
+  | FCmp_u of cmp * int * int * int   (** regs[d] <- Bool (fbank[a] ? fbank[b]) *)
+  | FBrCmp_u of cmp * int * int * int * int
+
+(** Per-function register-bank layout, attached by {!Specialize}.  The
+    templates are immutable after specialization: every activation copies
+    them into fresh per-frame banks (so banks clone exactly like frames do
+    under the multicore engine — nothing mutable is shared). *)
+type spec = {
+  n_int : int;                (** int-bank slots, incl. scratch *)
+  n_float : int;
+  ibank_init : Bytes.t;       (** 8*n_int bytes; constant-pool slots preloaded *)
+  fbank_init : float array;
+  int_slot : int array;       (** boxed reg -> int-bank slot, -1 if unbanked *)
+  float_slot : int array;     (** boxed reg -> float-bank slot, -1 if unbanked *)
+}
 
 type func = {
   name : string;
   nparams : int;
   nregs : int;
-  code : instr array;
+  mutable code : instr array;
+  (** rewritten in place by {!Specialize} (bank bridges + fused pairs) *)
   returns_value : bool;
   exported : bool;
   reg_defaults : Value.t array;  (** typed default values for locals *)
@@ -155,6 +263,12 @@ type func = {
       parameters, declared locals (typed defaults) and constant-pool
       registers — lowering temporaries are [false] and must be proven
       defined-before-used by {!Verify}. *)
+  mutable typing : tag array;
+  (** per-register type-tag assignment (join over all definition sites and
+      the entry state), exported by {!Verify.verify_exn}; [[||]] before
+      verification *)
+  mutable spec : spec option;
+  (** register-bank layout, set by {!Specialize}; [None] until then *)
 }
 
 type program = {
@@ -169,6 +283,10 @@ type program = {
   (** set (only) by {!Verify} after every function passed the static
       checker; the VM then selects the fast dispatch loop that elides the
       bounds/definedness checks the verifier discharged *)
+  mutable specialized : bool;
+  (** set (only) by {!Specialize} after rewriting every function onto the
+      unboxed register banks; the VM then selects the specialized dispatch
+      loop *)
 }
 
 let find_func p name = Hashtbl.find_opt p.func_index name
@@ -180,6 +298,14 @@ let code_size p =
 (* ---- Disassembly ---------------------------------------------------------- *)
 
 let regs rs = String.concat " " (List.map (Printf.sprintf "r%d") (Array.to_list rs))
+
+let int_arith_name = function
+  | A_add -> "add" | A_sub -> "sub" | A_mul -> "mul" | A_div -> "div"
+  | A_mod -> "mod" | A_shl -> "shl" | A_shr -> "shr" | A_and -> "and"
+  | A_or -> "or" | A_xor -> "xor" | A_min -> "min" | A_max -> "max"
+
+let cmp_name = function
+  | C_eq -> "eq" | C_lt -> "lt" | C_gt -> "gt" | C_leq -> "leq" | C_geq -> "geq"
 
 let instr_to_string (i : instr) =
   match i with
@@ -207,6 +333,30 @@ let instr_to_string (i : instr) =
   | Bind (f, args, d) -> Printf.sprintf "r%d <- bind #%d (%s)" d f (regs args)
   | Prim (_, args, d) -> Printf.sprintf "r%d <- prim (%s)" d (regs args)
   | Nop -> "nop"
+  | IConst_u (d, k) -> Printf.sprintf "i%d <- const %Ld" d k
+  | IMov_u (d, s) -> Printf.sprintf "i%d <- i%d" d s
+  | UnboxI (d, s) -> Printf.sprintf "i%d <- unbox r%d" d s
+  | BoxI (d, s) -> Printf.sprintf "r%d <- box i%d" d s
+  | IArith_u (op, w, d, a, b) ->
+      Printf.sprintf "i%d <- %s.%d i%d i%d" d (int_arith_name op) w a b
+  | IArithK_u (op, w, d, a, k) ->
+      Printf.sprintf "i%d <- %s.%d i%d %Ld" d (int_arith_name op) w a k
+  | ICmp_u (c, d, a, b) -> Printf.sprintf "r%d <- %s i%d i%d" d (cmp_name c) a b
+  | ICmpK_u (c, d, a, k) -> Printf.sprintf "r%d <- %s i%d %Ld" d (cmp_name c) a k
+  | IBrCmp_u (c, a, b, t, e) ->
+      Printf.sprintf "br (%s i%d i%d) ? %d : %d" (cmp_name c) a b t e
+  | IBrCmpK_u (c, a, k, t, e) ->
+      Printf.sprintf "br (%s i%d %Ld) ? %d : %d" (cmp_name c) a k t e
+  | IIncrJ_u (w, d, k, t) -> Printf.sprintf "i%d <- add.%d i%d %Ld; jump %d" d w d k t
+  | FConst_u (d, k) -> Printf.sprintf "f%d <- const %g" d k
+  | FMov_u (d, s) -> Printf.sprintf "f%d <- f%d" d s
+  | UnboxF (d, s) -> Printf.sprintf "f%d <- unbox r%d" d s
+  | BoxF (d, s) -> Printf.sprintf "r%d <- box f%d" d s
+  | FArith_u (op, d, a, b) ->
+      Printf.sprintf "f%d <- %s f%d f%d" d (int_arith_name op) a b
+  | FCmp_u (c, d, a, b) -> Printf.sprintf "r%d <- %s f%d f%d" d (cmp_name c) a b
+  | FBrCmp_u (c, a, b, t, e) ->
+      Printf.sprintf "br (%s f%d f%d) ? %d : %d" (cmp_name c) a b t e
 
 let disassemble_func (f : func) =
   let buf = Buffer.create 256 in

@@ -20,9 +20,13 @@ exception Compile_error of string list
     @param validate reject invalid IR (default on)
     @param verify run the bytecode verifier after lowering (default on);
       on success the VM uses the fast dispatch loop that skips the checks
-      the verifier discharged *)
+      the verifier discharged
+    @param specialize rewrite verified bytecode onto unboxed int/float
+      register banks and fuse hot instruction pairs (default on; effective
+      only together with [verify], whose typing export drives the bank
+      assignment) *)
 let compile ?(optimize = true) ?(validate = true) ?(verify = true)
-    (modules : Module_ir.t list) : t =
+    ?(specialize = true) (modules : Module_ir.t list) : t =
   let linked = Hilti_passes.Linker.link modules in
   (* Validation runs on the linked unit, where cross-module references
      (functions, hooks, globals) are all visible. *)
@@ -36,8 +40,9 @@ let compile ?(optimize = true) ?(validate = true) ?(verify = true)
   in
   let program = Lower.lower_module linked in
   if verify then begin
-    try ignore (Verify.verify_exn program)
-    with Verify.Verify_error errors -> raise (Compile_error errors)
+    (try ignore (Verify.verify_exn program)
+     with Verify.Verify_error errors -> raise (Compile_error errors));
+    if specialize then ignore (Specialize.specialize program)
   end;
   let ctx = Vm.create program in
   (* The standard library surface host applications always get. *)

@@ -714,6 +714,8 @@ let lower_func types global_index fname_index c_funcs internal_name
     exported = f.Module_ir.exported;
     reg_defaults;
     entry_init;
+    typing = [||];
+    spec = None;
   }
 
 (** Lower a (linked) module into an executable program. *)
@@ -774,4 +776,4 @@ let lower_module (m : Module_ir.t) : Bytecode.program =
   let func_index = Hashtbl.create 32 in
   Array.iteri (fun i (f : Bytecode.func) -> Hashtbl.replace func_index f.name i) funcs;
   { funcs; func_index; globals; global_defaults; global_index; hooks = hooks_table;
-    types; verified = false }
+    types; verified = false; specialized = false }

@@ -47,65 +47,8 @@ let m_discharged =
 
 (* ---- Abstract value tags ------------------------------------------------- *)
 
-type tag =
-  | Any
-  | Tnull
-  | Tbool
-  | Tint
-  | Tdouble
-  | Tstring
-  | Tbytes
-  | Taddr
-  | Tport
-  | Tnet
-  | Ttime
-  | Tinterval
-  | Tenum
-  | Tbitset
-  | Ttuple
-  | Texception
-  | Tcallable
-
-let tag_name = function
-  | Any -> "any"
-  | Tnull -> "null"
-  | Tbool -> "bool"
-  | Tint -> "int"
-  | Tdouble -> "double"
-  | Tstring -> "string"
-  | Tbytes -> "bytes"
-  | Taddr -> "addr"
-  | Tport -> "port"
-  | Tnet -> "net"
-  | Ttime -> "time"
-  | Tinterval -> "interval"
-  | Tenum -> "enum"
-  | Tbitset -> "bitset"
-  | Ttuple -> "tuple"
-  | Texception -> "exception"
-  | Tcallable -> "callable"
-
-let tag_of_value (v : Value.t) : tag =
-  match v with
-  | Value.Null -> Tnull
-  | Value.Bool _ -> Tbool
-  | Value.Int _ -> Tint
-  | Value.Double _ -> Tdouble
-  | Value.String _ -> Tstring
-  | Value.Bytes _ -> Tbytes
-  | Value.Addr _ -> Taddr
-  | Value.Port _ -> Tport
-  | Value.Net _ -> Tnet
-  | Value.Time _ -> Ttime
-  | Value.Interval _ -> Tinterval
-  | Value.Enum _ -> Tenum
-  | Value.Bitset _ -> Tbitset
-  | Value.Tuple _ -> Ttuple
-  | Value.Exception _ -> Texception
-  | Value.Callable _ -> Tcallable
-  | _ -> Any
-
-let join_tag a b = if a = b then a else Any
+(* The [tag] type and its helpers live in {!Bytecode} (opened above) so the
+   exported per-register [typing] can be stored on the function record. *)
 
 (* [Any] is unknown (checks pass); [Tnull] is the default of
    reference-typed slots before first assignment, and joins freely. *)
@@ -320,6 +263,26 @@ let verify_func (p : program) (f : func) : int * string list =
         err pc "%s: type tag mismatch (expected %s, got %s)" what
           (tag_name expected) (tag_name actual)
     in
+    (* Bank bounds for specialized opcodes: slots index the per-frame
+       unboxed banks whose sizes come from the {!Specialize} metadata; a
+       specialized opcode in a function without that metadata can never
+       execute safely. *)
+    let islot pc s what =
+      incr checks;
+      match f.spec with
+      | None -> err pc "%s: specialized opcode without bank metadata" what
+      | Some sp ->
+          if s < 0 || s >= sp.n_int then
+            err pc "%s: int-bank slot %d out of range [0,%d)" what s sp.n_int
+    in
+    let fslot pc s what =
+      incr checks;
+      match f.spec with
+      | None -> err pc "%s: specialized opcode without bank metadata" what
+      | Some sp ->
+          if s < 0 || s >= sp.n_float then
+            err pc "%s: float-bank slot %d out of range [0,%d)" what s sp.n_float
+    in
     while not (Queue.is_empty work) do
       let pc = Queue.pop work in
       let st = copy_state (Option.get states.(pc)) in
@@ -432,7 +395,79 @@ let verify_func (p : program) (f : func) : int * string list =
               | _ -> ())
             args;
           def st pc d ret
-      | Nop -> ());
+      | Nop -> ()
+      | IConst_u (d, _) -> islot pc d "iconst"
+      | IMov_u (d, s) ->
+          islot pc d "imov dst";
+          islot pc s "imov src"
+      | UnboxI (d, s) ->
+          islot pc d "unbox.i dst";
+          let t = use st pc s "unbox.i source" in
+          require pc "unbox.i source" ~expected:Tint ~actual:t
+      | BoxI (d, s) ->
+          islot pc s "box.i source";
+          def st pc d Tint
+      | IArith_u (_, _, d, a, b) ->
+          islot pc d "int-arith dst";
+          islot pc a "int-arith operand";
+          islot pc b "int-arith operand"
+      | IArithK_u (_, _, d, a, _) ->
+          islot pc d "int-arith dst";
+          islot pc a "int-arith operand"
+      | ICmp_u (_, d, a, b) ->
+          islot pc a "int-cmp operand";
+          islot pc b "int-cmp operand";
+          def st pc d Tbool
+      | ICmpK_u (_, d, a, _) ->
+          islot pc a "int-cmp operand";
+          def st pc d Tbool
+      | IBrCmp_u (_, a, b, t, e) ->
+          islot pc a "br-cmp operand";
+          islot pc b "br-cmp operand";
+          check_target pc t "br-cmp-then";
+          check_target pc e "br-cmp-else";
+          flow t st;
+          flow e st;
+          fallthrough := false
+      | IBrCmpK_u (_, a, _, t, e) ->
+          islot pc a "br-cmp operand";
+          check_target pc t "br-cmp-then";
+          check_target pc e "br-cmp-else";
+          flow t st;
+          flow e st;
+          fallthrough := false
+      | IIncrJ_u (_, d, _, t) ->
+          islot pc d "incr-jump counter";
+          check_target pc t "incr-jump";
+          flow t st;
+          fallthrough := false
+      | FConst_u (d, _) -> fslot pc d "fconst"
+      | FMov_u (d, s) ->
+          fslot pc d "fmov dst";
+          fslot pc s "fmov src"
+      | UnboxF (d, s) ->
+          fslot pc d "unbox.f dst";
+          let t = use st pc s "unbox.f source" in
+          require pc "unbox.f source" ~expected:Tdouble ~actual:t
+      | BoxF (d, s) ->
+          fslot pc s "box.f source";
+          def st pc d Tdouble
+      | FArith_u (_, d, a, b) ->
+          fslot pc d "float-arith dst";
+          fslot pc a "float-arith operand";
+          fslot pc b "float-arith operand"
+      | FCmp_u (_, d, a, b) ->
+          fslot pc a "float-cmp operand";
+          fslot pc b "float-cmp operand";
+          def st pc d Tbool
+      | FBrCmp_u (_, a, b, t, e) ->
+          fslot pc a "br-cmp operand";
+          fslot pc b "br-cmp operand";
+          check_target pc t "br-cmp-then";
+          check_target pc e "br-cmp-else";
+          flow t st;
+          flow e st;
+          fallthrough := false);
       if !fallthrough then begin
         incr checks;
         if pc + 1 >= len then err pc "control falls off the end of the code"
@@ -441,6 +476,63 @@ let verify_func (p : program) (f : func) : int * string list =
     done;
     (!checks, List.rev !errors)
   end
+
+(* ---- Per-register typing export ------------------------------------------- *)
+
+(** A sound, flow-insensitive per-register tag assignment: the join of the
+    entry state (parameters are [Any]; declared locals and constant-pool
+    registers carry their default's tag) with every definition site's
+    static result tag.  Definitions whose static tag is not guaranteed at
+    runtime ([LoadGlobal] — stores are not type-checked — and calls)
+    contribute [Any], so [typing.(r) = Tint] really does mean every value
+    ever held by [r] is a [Value.Int]: exactly the guarantee
+    {!Specialize} needs to move [r] into an unboxed bank.  [Mov] edges
+    are resolved by fixpoint. *)
+let compute_typing (f : func) : tag array =
+  let n = max f.nregs 1 in
+  let t = Array.make n Any in
+  let have = Array.make n false in
+  let contribute r tag =
+    if r >= 0 && r < f.nregs then
+      if not have.(r) then begin
+        t.(r) <- tag;
+        have.(r) <- true
+      end
+      else t.(r) <- join_tag t.(r) tag
+  in
+  for r = 0 to f.nregs - 1 do
+    if r < f.nparams then contribute r Any
+    else if f.entry_init.(r) then contribute r (tag_of_value f.reg_defaults.(r))
+  done;
+  let movs = ref [] in
+  Array.iter
+    (fun i ->
+      match i with
+      | Const (d, v) -> contribute d (tag_of_value v)
+      | Mov (d, s) -> movs := (d, s) :: !movs
+      | LoadGlobal (d, _) | Call (_, _, d) | CallC (_, _, d) -> contribute d Any
+      | TryPush (_, r) -> contribute r Texception
+      | Bind (_, _, d) -> contribute d Tcallable
+      | Prim (p, _, d) -> contribute d (snd (prim_sig p))
+      | BoxI (d, _) -> contribute d Tint
+      | BoxF (d, _) -> contribute d Tdouble
+      | ICmp_u (_, d, _, _) | ICmpK_u (_, d, _, _) | FCmp_u (_, d, _, _) ->
+          contribute d Tbool
+      | _ -> ())
+    f.code;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (d, s) ->
+        if s >= 0 && s < f.nregs && have.(s) && d >= 0 && d < f.nregs then begin
+          let before_have = have.(d) and before_t = t.(d) in
+          contribute d t.(s);
+          if have.(d) <> before_have || t.(d) <> before_t then changed := true
+        end)
+      !movs
+  done;
+  t
 
 (** Verify every function; never raises, never sets the flag. *)
 let verify (p : program) : report =
@@ -456,11 +548,12 @@ let verify (p : program) : report =
     errors = !errors }
 
 (** Verify and, on success, mark the program verified (enabling the VM's
-    fast dispatch) and account the discharged checks; raises
-    {!Verify_error} otherwise. *)
+    fast dispatch), export each function's register typing, and account
+    the discharged checks; raises {!Verify_error} otherwise. *)
 let verify_exn (p : program) : report =
   let r = verify p in
   if r.errors <> [] then raise (Verify_error r.errors);
+  Array.iter (fun f -> f.typing <- compute_typing f) p.funcs;
   Hilti_obs.Metrics.add m_discharged r.checks_discharged;
   p.verified <- true;
   r

@@ -28,9 +28,15 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
    returns; with metrics disabled the loop carries no extra work at all. *)
 
 let opgroup_names =
-  [| "data"; "control"; "call"; "exception"; "thread"; "global"; "prim"; "misc" |]
+  [| "data"; "control"; "call"; "exception"; "thread"; "global"; "prim"; "misc";
+     "ispec"; "fspec"; "fused"; "bridge" |]
 
 let n_opgroups = Array.length opgroup_names
+
+(* Index of the "bridge" group: box/unbox crossings between the unboxed
+   register banks and the boxed frame, also surfaced as the dedicated
+   [vm_regbank_transfers] counter. *)
+let bridge_group = 11
 
 let opgroup_of (i : Bytecode.instr) =
   match i with
@@ -42,6 +48,10 @@ let opgroup_of (i : Bytecode.instr) =
   | LoadGlobal _ | StoreGlobal _ -> 5
   | Prim _ -> 6
   | Nop -> 7
+  | IConst_u _ | IMov_u _ | IArith_u _ | IArithK_u _ | ICmp_u _ | ICmpK_u _ -> 8
+  | FConst_u _ | FMov_u _ | FArith_u _ | FCmp_u _ -> 9
+  | IBrCmp_u _ | IBrCmpK_u _ | IIncrJ_u _ | FBrCmp_u _ -> 10
+  | UnboxI _ | BoxI _ | UnboxF _ | BoxF _ -> bridge_group
 
 let m_opgroup =
   Array.map
@@ -53,6 +63,10 @@ let m_opgroup =
 let m_func_instrs =
   Hilti_obs.Metrics.histogram "vm_func_instrs"
     ~help:"Instructions retired per function activation"
+
+let m_regbank_transfers =
+  Hilti_obs.Metrics.counter "vm_regbank_transfers"
+    ~help:"Box/unbox bridge crossings between unboxed register banks and the boxed frame"
 
 type context = {
   program : Bytecode.program;
@@ -225,6 +239,19 @@ let setreg frame i v = if i >= 0 then frame.regs.(i) <- v
 let ureg frame i = Array.unsafe_get frame.regs i
 
 let usetreg frame i v = if i >= 0 then Array.unsafe_set frame.regs i v
+
+(* Unchecked 64-bit bank accesses for the specialized dispatch loop:
+   {!Verify} type-checks every specialized opcode's slot against the bank
+   sizes in [func.spec], so the bounds checks are statically discharged —
+   same contract as [ureg]/[usetreg].  These are the unboxing-aware
+   compiler primitives, so reads feed arithmetic without allocating. *)
+external ibank_get : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external ibank_set : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+(* Preallocated booleans so specialized comparisons never allocate their
+   boxed result. *)
+let vtrue = Value.Bool true
+let vfalse = Value.Bool false
 
 (* Printf-lite formatting for string.format: %s %d %f %%. *)
 let format_string fmt args =
@@ -1126,7 +1153,8 @@ and exec_file ctx op args =
    loop, which is exactly the cost verified mode exists to remove. *)
 
 and exec_func ctx (fidx : int) (args : Value.t list) : Value.t =
-  if ctx.program.verified then exec_func_verified ctx fidx args
+  if ctx.program.specialized then exec_func_spec ctx fidx args
+  else if ctx.program.verified then exec_func_verified ctx fidx args
   else exec_func_checked ctx fidx args
 
 and exec_func_checked ctx (fidx : int) (args : Value.t list) : Value.t =
@@ -1249,6 +1277,13 @@ and exec_func_checked ctx (fidx : int) (args : Value.t list) : Value.t =
            setreg frame dst v;
            frame.pc <- next
        | Nop -> frame.pc <- next
+       | IConst_u _ | IMov_u _ | UnboxI _ | BoxI _ | IArith_u _ | IArithK_u _
+       | ICmp_u _ | ICmpK_u _ | IBrCmp_u _ | IBrCmpK_u _ | IIncrJ_u _
+       | FConst_u _ | FMov_u _ | UnboxF _ | BoxF _ | FArith_u _ | FCmp_u _
+       | FBrCmp_u _ ->
+           (* Specialized programs are routed to [exec_func_spec]; a bank
+              opcode reaching this loop is a dispatch bug, not user error. *)
+           fail "specialized opcode in %s outside specialized dispatch" f.name
      with Value.Hilti_error e when frame.tries <> [] && e.Value.ename <> "Hilti::HookStop" ->
        let handler, exc_reg = List.hd frame.tries in
        frame.tries <- List.tl frame.tries;
@@ -1379,6 +1414,11 @@ and exec_func_verified ctx (fidx : int) (args : Value.t list) : Value.t =
            usetreg frame dst v;
            frame.pc <- next
        | Nop -> frame.pc <- next
+       | IConst_u _ | IMov_u _ | UnboxI _ | BoxI _ | IArith_u _ | IArithK_u _
+       | ICmp_u _ | ICmpK_u _ | IBrCmp_u _ | IBrCmpK_u _ | IIncrJ_u _
+       | FConst_u _ | FMov_u _ | UnboxF _ | BoxF _ | FArith_u _ | FCmp_u _
+       | FBrCmp_u _ ->
+           fail "specialized opcode in %s outside specialized dispatch" f.name
      with Value.Hilti_error e when frame.tries <> [] && e.Value.ename <> "Hilti::HookStop" ->
        let handler, exc_reg = List.hd frame.tries in
        frame.tries <- List.tl frame.tries;
@@ -1390,6 +1430,312 @@ and exec_func_verified ctx (fidx : int) (args : Value.t list) : Value.t =
       Array.iteri
         (fun g n -> if n > 0 then Hilti_obs.Metrics.add m_opgroup.(g) n)
         ops;
+      Hilti_obs.Metrics.observe m_func_instrs (ctx.instr_count - instrs_at_entry)
+  | None -> ());
+  !result
+
+(* The specialized dispatch loop: verified semantics plus the unboxed
+   register banks {!Specialize} attached to every function.  Each
+   activation copies the immutable bank templates, exactly as [regs]
+   copies [reg_defaults] — so under [Hilti_par] banks clone per frame and
+   nothing mutable is shared between domains.  The bank arithmetic is
+   written out inline (not via [int_arith]/[exec_prim]): without flambda a
+   helper call re-boxes its int64/float arguments, which is precisely the
+   allocation this loop exists to remove. *)
+and exec_func_spec ctx (fidx : int) (args : Value.t list) : Value.t =
+  let f = ctx.program.funcs.(fidx) in
+  let sp =
+    match f.spec with
+    | Some s -> s
+    | None -> fail "function %s has no register-bank metadata" f.name
+  in
+  let frame = { regs = Array.copy f.reg_defaults; pc = 0; tries = [] } in
+  List.iteri (fun i v -> if i < f.nregs then frame.regs.(i) <- v) args;
+  let ibank = Bytes.copy sp.ibank_init in
+  let fbank = Array.copy sp.fbank_init in
+  let code = f.code in
+  let result = ref Value.Null in
+  let running = ref true in
+  let obs =
+    if Hilti_obs.Metrics.enabled () then Some (Array.make n_opgroups 0) else None
+  in
+  let instrs_at_entry = ctx.instr_count in
+  while !running do
+    let i = Array.unsafe_get code frame.pc in
+    ctx.instr_count <- ctx.instr_count + 1;
+    ctx.cycles := !(ctx.cycles) + 1;
+    (match obs with
+    | Some ops ->
+        let g = opgroup_of i in
+        ops.(g) <- ops.(g) + 1
+    | None -> ());
+    let next = frame.pc + 1 in
+    (try
+       match i with
+       | Const (dst, v) ->
+           usetreg frame dst v;
+           frame.pc <- next
+       | Mov (dst, src) ->
+           usetreg frame dst (ureg frame src);
+           frame.pc <- next
+       | LoadGlobal (dst, slot) ->
+           usetreg frame dst (Array.unsafe_get (current_globals ctx) slot);
+           frame.pc <- next
+       | StoreGlobal (slot, src) ->
+           Array.unsafe_set (current_globals ctx) slot (ureg frame src);
+           frame.pc <- next
+       | Jump pc -> frame.pc <- pc
+       | Br (c, t, e) -> frame.pc <- (if Value.as_bool (ureg frame c) then t else e)
+       | Switch (v, default, cases) ->
+           let value = ureg frame v in
+           let rec find k =
+             if k >= Array.length cases then default
+             else
+               let cv, pc = Array.unsafe_get cases k in
+               if Value.equal cv value then pc else find (k + 1)
+           in
+           frame.pc <- find 0
+       | Call (callee, arg_regs, dst) ->
+           let args = Array.to_list (Array.map (ureg frame) arg_regs) in
+           let r = exec_func_spec ctx callee args in
+           usetreg frame dst r;
+           frame.pc <- next
+       | CallC (name, arg_regs, dst) -> (
+           match Hashtbl.find_opt ctx.host_funcs name with
+           | Some fn ->
+               let args = Array.to_list (Array.map (ureg frame) arg_regs) in
+               usetreg frame dst (fn ctx args);
+               frame.pc <- next
+           | None -> fail "unresolved host function %s" name)
+       | Ret r ->
+           result := (if r >= 0 then ureg frame r else Value.Null);
+           running := false
+       | TryPush (handler, exc_reg) ->
+           frame.tries <- (handler, exc_reg) :: frame.tries;
+           frame.pc <- next
+       | TryPop ->
+           (match frame.tries with
+           | _ :: rest -> frame.tries <- rest
+           | [] -> ());
+           frame.pc <- next
+       | Throw r -> (
+           match ureg frame r with
+           | Value.Exception e -> raise (Value.Hilti_error e)
+           | v -> raise (Value.Hilti_error { ename = "Hilti::Exception"; earg = v }))
+       | Yield ->
+           (match Hilti_rt.Fiber.yield () with
+           | () -> ()
+           | exception Effect.Unhandled _ ->
+               raise (Value.would_block ()));
+           frame.pc <- next
+       | HookRun (name, arg_regs) ->
+           let args = Array.to_list (Array.map (ureg frame) arg_regs) in
+           run_hook ctx name args;
+           frame.pc <- next
+       | Schedule (callee, arg_regs, tid_reg) ->
+           let tid = Value.as_int (ureg frame tid_reg) in
+           let args =
+             Array.to_list (Array.map (fun r -> Value.deep_copy (ureg frame r)) arg_regs)
+           in
+           schedule_job ctx tid callee args;
+           frame.pc <- next
+       | Bind (callee, arg_regs, dst) ->
+           let args = Array.to_list (Array.map (ureg frame) arg_regs) in
+           let name = ctx.program.funcs.(callee).name in
+           usetreg frame dst
+             (Value.Callable
+                {
+                  description = name;
+                  invoke = (fun () -> exec_func (exec_context ctx) callee args);
+                });
+           frame.pc <- next
+       | Prim (p, arg_regs, dst) ->
+           let args = Array.map (ureg frame) arg_regs in
+           let v =
+             try exec_prim ctx p args with
+             | Hilti_types.Hbytes.Out_of_range ->
+                 raise (Value.value_error "bytes: out of range")
+             | Hilti_types.Hbytes.Frozen ->
+                 raise (Value.value_error "bytes: frozen")
+             | Hilti_rt.Regexp.Parse_error msg -> raise (Value.value_error msg)
+           in
+           usetreg frame dst v;
+           frame.pc <- next
+       | Nop -> frame.pc <- next
+       (* ---- Int bank ---- *)
+       | IConst_u (d, k) ->
+           ibank_set ibank (d lsl 3) k;
+           frame.pc <- next
+       | IMov_u (d, s) ->
+           ibank_set ibank (d lsl 3) (ibank_get ibank (s lsl 3));
+           frame.pc <- next
+       | UnboxI (d, s) ->
+           (* Mirrors [Value.as_int] so failure counting matches the
+              generic path. *)
+           (match ureg frame s with
+           | Value.Int k -> ibank_set ibank (d lsl 3) k
+           | v -> raise (Value.type_error ("int: " ^ Value.to_string v)));
+           frame.pc <- next
+       | BoxI (d, s) ->
+           usetreg frame d (Value.Int (ibank_get ibank (s lsl 3)));
+           frame.pc <- next
+       | IArith_u (op, w, d, a, b) ->
+           let x = ibank_get ibank (a lsl 3) and y = ibank_get ibank (b lsl 3) in
+           let r =
+             match op with
+             | A_add -> Int64.add x y
+             | A_sub -> Int64.sub x y
+             | A_mul -> Int64.mul x y
+             | A_div -> if y = 0L then raise (Value.division_by_zero ()) else Int64.div x y
+             | A_mod -> if y = 0L then raise (Value.division_by_zero ()) else Int64.rem x y
+             | A_shl -> Int64.shift_left x (Int64.to_int y land 63)
+             | A_shr -> Int64.shift_right_logical x (Int64.to_int y land 63)
+             | A_and -> Int64.logand x y
+             | A_or -> Int64.logor x y
+             | A_xor -> Int64.logxor x y
+             | A_min -> if x <= y then x else y
+             | A_max -> if x >= y then x else y
+           in
+           let r =
+             if w >= 64 then r
+             else Int64.shift_right (Int64.shift_left r (64 - w)) (64 - w)
+           in
+           ibank_set ibank (d lsl 3) r;
+           frame.pc <- next
+       | IArithK_u (op, w, d, a, y) ->
+           let x = ibank_get ibank (a lsl 3) in
+           let r =
+             match op with
+             | A_add -> Int64.add x y
+             | A_sub -> Int64.sub x y
+             | A_mul -> Int64.mul x y
+             | A_div -> if y = 0L then raise (Value.division_by_zero ()) else Int64.div x y
+             | A_mod -> if y = 0L then raise (Value.division_by_zero ()) else Int64.rem x y
+             | A_shl -> Int64.shift_left x (Int64.to_int y land 63)
+             | A_shr -> Int64.shift_right_logical x (Int64.to_int y land 63)
+             | A_and -> Int64.logand x y
+             | A_or -> Int64.logor x y
+             | A_xor -> Int64.logxor x y
+             | A_min -> if x <= y then x else y
+             | A_max -> if x >= y then x else y
+           in
+           let r =
+             if w >= 64 then r
+             else Int64.shift_right (Int64.shift_left r (64 - w)) (64 - w)
+           in
+           ibank_set ibank (d lsl 3) r;
+           frame.pc <- next
+       | ICmp_u (c, d, a, b) ->
+           let x = ibank_get ibank (a lsl 3) and y = ibank_get ibank (b lsl 3) in
+           let r =
+             match c with
+             | C_eq -> Int64.equal x y
+             | C_lt -> x < y
+             | C_gt -> x > y
+             | C_leq -> x <= y
+             | C_geq -> x >= y
+           in
+           usetreg frame d (if r then vtrue else vfalse);
+           frame.pc <- next
+       | ICmpK_u (c, d, a, y) ->
+           let x = ibank_get ibank (a lsl 3) in
+           let r =
+             match c with
+             | C_eq -> Int64.equal x y
+             | C_lt -> x < y
+             | C_gt -> x > y
+             | C_leq -> x <= y
+             | C_geq -> x >= y
+           in
+           usetreg frame d (if r then vtrue else vfalse);
+           frame.pc <- next
+       | IBrCmp_u (c, a, b, t, e) ->
+           let x = ibank_get ibank (a lsl 3) and y = ibank_get ibank (b lsl 3) in
+           let r =
+             match c with
+             | C_eq -> Int64.equal x y
+             | C_lt -> x < y
+             | C_gt -> x > y
+             | C_leq -> x <= y
+             | C_geq -> x >= y
+           in
+           frame.pc <- (if r then t else e)
+       | IBrCmpK_u (c, a, y, t, e) ->
+           let x = ibank_get ibank (a lsl 3) in
+           let r =
+             match c with
+             | C_eq -> Int64.equal x y
+             | C_lt -> x < y
+             | C_gt -> x > y
+             | C_leq -> x <= y
+             | C_geq -> x >= y
+           in
+           frame.pc <- (if r then t else e)
+       | IIncrJ_u (w, d, k, t) ->
+           let r = Int64.add (ibank_get ibank (d lsl 3)) k in
+           let r =
+             if w >= 64 then r
+             else Int64.shift_right (Int64.shift_left r (64 - w)) (64 - w)
+           in
+           ibank_set ibank (d lsl 3) r;
+           frame.pc <- t
+       (* ---- Float bank ---- *)
+       | FConst_u (d, k) ->
+           Array.unsafe_set fbank d k;
+           frame.pc <- next
+       | FMov_u (d, s) ->
+           Array.unsafe_set fbank d (Array.unsafe_get fbank s);
+           frame.pc <- next
+       | UnboxF (d, s) ->
+           (* Mirrors [Value.as_double], including the int coercion. *)
+           (match ureg frame s with
+           | Value.Double x -> Array.unsafe_set fbank d x
+           | Value.Int k -> Array.unsafe_set fbank d (Int64.to_float k)
+           | v -> raise (Value.type_error ("double: " ^ Value.to_string v)));
+           frame.pc <- next
+       | BoxF (d, s) ->
+           usetreg frame d (Value.Double (Array.unsafe_get fbank s));
+           frame.pc <- next
+       | FArith_u (op, d, a, b) ->
+           let x = Array.unsafe_get fbank a and y = Array.unsafe_get fbank b in
+           let r =
+             match op with
+             | A_add -> x +. y
+             | A_sub -> x -. y
+             | A_mul -> x *. y
+             | A_div -> if y = 0. then raise (Value.division_by_zero ()) else x /. y
+             | _ -> fail "double arith"
+           in
+           Array.unsafe_set fbank d r;
+           frame.pc <- next
+       | FCmp_u (c, d, a, b) ->
+           (* Float.compare, not the native comparisons: NaN ordering must
+              match the generic [P_double_cmp] path exactly. *)
+           let r =
+             compare_by c
+               (Float.compare (Array.unsafe_get fbank a) (Array.unsafe_get fbank b))
+           in
+           usetreg frame d (if r then vtrue else vfalse);
+           frame.pc <- next
+       | FBrCmp_u (c, a, b, t, e) ->
+           let r =
+             compare_by c
+               (Float.compare (Array.unsafe_get fbank a) (Array.unsafe_get fbank b))
+           in
+           frame.pc <- (if r then t else e)
+     with Value.Hilti_error e when frame.tries <> [] && e.Value.ename <> "Hilti::HookStop" ->
+       let handler, exc_reg = List.hd frame.tries in
+       frame.tries <- List.tl frame.tries;
+       usetreg frame exc_reg (Value.Exception e);
+       frame.pc <- handler)
+  done;
+  (match obs with
+  | Some ops ->
+      Array.iteri
+        (fun g n -> if n > 0 then Hilti_obs.Metrics.add m_opgroup.(g) n)
+        ops;
+      if ops.(bridge_group) > 0 then
+        Hilti_obs.Metrics.add m_regbank_transfers ops.(bridge_group);
       Hilti_obs.Metrics.observe m_func_instrs (ctx.instr_count - instrs_at_entry)
   | None -> ());
   !result

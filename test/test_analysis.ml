@@ -226,6 +226,8 @@ let mk_func ?(name = "t") ?(nparams = 0) ?(nregs = 4) ?(entry_init = []) code =
     exported = false;
     reg_defaults = Array.make n Value.Null;
     entry_init = init;
+    typing = [||];
+    spec = None;
   }
 
 let mk_prog ?(globals = [||]) funcs =
@@ -241,6 +243,7 @@ let mk_prog ?(globals = [||]) funcs =
     hooks = Hashtbl.create 8;
     types = Hashtbl.create 8;
     verified = false;
+    specialized = false;
   }
 
 let expect_reject what p needle =

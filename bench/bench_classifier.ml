@@ -1,0 +1,239 @@
+(** Decision-diagram classifier at scale: linear first-match vs FDD vs
+    FDD lowered to HILTI bytecode, on synthesized CIDR+port ACLs of 1k /
+    10k / 100k rules (100k skipped under --quick).
+
+    The point being measured is the paper's scaling argument: linear
+    matching costs O(rules) per packet while the diagram walks at most
+    one decision per header bit (104), so the gap must widen roughly
+    linearly with the rule count.  Also measured: compile time, node
+    counts (sharing), incremental insert/remove latency through
+    {!Hilti_classifier.Table}, and a three-way differential gate.
+
+    Writes BENCH_classifier.json. *)
+
+open Hilti_types
+module Fdd = Hilti_classifier.Fdd
+module Acl = Hilti_classifier.Acl
+module Compile = Hilti_classifier.Compile
+module Table = Hilti_classifier.Table
+module Lower = Hilti_classifier.Lower_fdd
+
+(* ---- ACL synthesis: structured like real rule sets ---------------------------- *)
+
+(* Distinct port ranges are drawn from a pool, as in deployed ACLs (a
+   handful of services + broad bands), which also keeps the diagram's
+   port layers shared instead of one unique range per rule. *)
+let port_pool =
+  [| (80, 80); (443, 443); (22, 22); (53, 53); (25, 25); (3306, 3306);
+     (8000, 8080); (0, 1023); (1024, 65535); (6000, 6063) |]
+
+(* Every rule is fully specified (proto AND src AND dst AND dport) so a
+   random packet rarely matches any given rule — the deny-by-default ACL
+   shape where a linear matcher really does scan most of the list. *)
+let synth_rules st n =
+  let net ~src =
+    (* A prefix inside 10/8 (sources) or 172.16/12 (destinations). *)
+    let len = match Random.State.int st 10 with
+      | 0 | 1 -> 16
+      | 2 | 3 | 4 | 5 -> 24
+      | _ -> 32
+    in
+    let host = Random.State.int st 0x1000000 in
+    let value =
+      if src then (10 lsl 24) lor host
+      else (172 lsl 24) lor (16 lsl 20) lor (host land 0xFFFFF)
+    in
+    let masked = value land (lnot ((1 lsl (32 - len)) - 1)) in
+    Network.make (Addr.of_ipv4_int32 (Int32.of_int masked)) len
+  in
+  List.init n (fun _ ->
+      { Acl.proto = Some (if Random.State.bool st then 6 else 17);
+        src = Some (net ~src:true);
+        dst = Some (net ~src:false);
+        sport =
+          (if Random.State.int st 6 = 0 then
+             Some port_pool.(Random.State.int st (Array.length port_pool))
+           else None);
+        dport = Some port_pool.(Random.State.int st (Array.length port_pool));
+        action = Random.State.bool st })
+
+(* Half the keys are sampled from inside a uniformly chosen rule (so hits
+   land uniformly across the list: expected linear scan n/2); the other
+   half are random (scan the whole list and fall through). *)
+let synth_keys st rules n =
+  let rules = Array.of_list rules in
+  let rand_addr ~src =
+    let host = Random.State.int st 0x1000000 in
+    if src then (10 lsl 24) lor host
+    else (172 lsl 24) lor (16 lsl 20) lor (host land 0xFFFFF)
+  in
+  let in_net n =
+    let base = Addr.to_ipv4_int (Network.prefix n) in
+    let bits = 32 - Network.length n in
+    base lor (if bits = 0 then 0 else Random.State.int st (1 lsl bits))
+  in
+  let in_range (lo, hi) = lo + Random.State.int st (hi - lo + 1) in
+  Array.init n (fun i ->
+      if i land 1 = 0 || Array.length rules = 0 then
+        { Fdd.proto = (if Random.State.bool st then 6 else 17);
+          src = rand_addr ~src:true;
+          dst = rand_addr ~src:false;
+          sport = Random.State.int st 65536;
+          dport = Random.State.int st 65536 }
+      else
+        let r = rules.(Random.State.int st (Array.length rules)) in
+        { Fdd.proto = Option.value r.Acl.proto ~default:6;
+          src = (match r.Acl.src with Some n -> in_net n | None -> rand_addr ~src:true);
+          dst = (match r.Acl.dst with Some n -> in_net n | None -> rand_addr ~src:false);
+          sport =
+            (match r.Acl.sport with Some rg -> in_range rg | None -> Random.State.int st 65536);
+          dport =
+            (match r.Acl.dport with Some rg -> in_range rg | None -> Random.State.int st 65536) })
+
+let frame_of_key (k : Fdd.key) =
+  let src = Addr.of_ipv4_int32 (Int32.of_int k.Fdd.src) in
+  let dst = Addr.of_ipv4_int32 (Int32.of_int k.Fdd.dst) in
+  if k.Fdd.proto = 6 then
+    Hilti_net.Packet.encode_tcp ~src ~dst ~src_port:k.Fdd.sport
+      ~dst_port:k.Fdd.dport ~seq:1l ~ack:0l ~flags:Hilti_net.Tcp.flag_ack "x"
+  else
+    Hilti_net.Packet.encode_udp ~src ~dst ~src_port:k.Fdd.sport
+      ~dst_port:k.Fdd.dport "x"
+
+(* ns/packet of [f] applied round-robin over [keys], [evals] times. *)
+let per_packet ~evals keys f =
+  let n = Array.length keys in
+  let _, ns =
+    Bench_util.time_ns (fun () ->
+        let acc = ref 0 in
+        for i = 0 to evals - 1 do
+          if f keys.(i mod n) then incr acc
+        done;
+        !acc)
+  in
+  Int64.to_float ns /. float_of_int evals
+
+type point = {
+  n : int;
+  linear_ns : float;
+  fdd_ns : float;
+  bytecode_ns : float option;  (* lowered only at the smaller sizes *)
+  build_ms : float;
+  nodes : int;
+  depth : int;
+  insert_ms : float;
+  remove_ms : float;
+  diff_ok : bool;
+}
+
+let run_size ~lower st n =
+  Bench_util.header (Printf.sprintf "classifier: %d rules" n);
+  let rules = synth_rules st n in
+  let keys = synth_keys st rules 1024 in
+  Bench_util.gc_normalize ();
+  (* FDD compile (fresh manager: the cold-build cost). *)
+  let mgr = Fdd.create_mgr () in
+  let fdd, build_ns = Bench_util.time_ns (fun () -> Compile.of_rules mgr rules) in
+  let nodes = Fdd.size fdd and fdd_depth = Fdd.depth fdd in
+  Printf.printf "  compile: %.1f ms, %d nodes (%.2f per rule), depth %d/%d\n"
+    (Bench_util.ms build_ns) nodes
+    (float_of_int nodes /. float_of_int n)
+    fdd_depth Fdd.nvars;
+  (* Per-packet costs.  The linear matcher is O(rules) per packet, so it
+     gets proportionally fewer evaluations at the big sizes. *)
+  let lin_evals = max 64 (2_000_000 / n) in
+  Bench_util.gc_normalize ();
+  let linear_ns =
+    per_packet ~evals:lin_evals keys (fun k -> Acl.linear_match rules k)
+  in
+  Bench_util.gc_normalize ();
+  let fdd_ns = per_packet ~evals:200_000 keys (fun k -> Fdd.eval fdd k = 1) in
+  Printf.printf "  linear: %10.0f ns/pkt   (%d evals)\n" linear_ns lin_evals;
+  Printf.printf "  fdd:    %10.0f ns/pkt   (%.1fx)\n" fdd_ns (linear_ns /. fdd_ns);
+  let bytecode_ns, bc_run =
+    if lower then begin
+      let _, run = Lower.load fdd in
+      let frames = Array.map frame_of_key keys in
+      Bench_util.gc_normalize ();
+      let frames_keyed = Array.mapi (fun i k -> (k, frames.(i))) keys in
+      let ns =
+        per_packet ~evals:20_000 frames_keyed (fun (_, frame) -> run frame)
+      in
+      Printf.printf "  bytecode: %8.0f ns/pkt   (%.1fx vs linear)\n" ns
+        (linear_ns /. ns);
+      (Some ns, Some run)
+    end
+    else (None, None)
+  in
+  (* Incremental deltas through the live table. *)
+  let table = Table.create rules in
+  let hot_rule =
+    { Acl.any with Acl.proto = Some 6; dport = Some (9999, 9999); action = true }
+  in
+  let id, ins_ns = Bench_util.time_ns (fun () -> Table.insert ~pos:0 table hot_rule) in
+  let removed, rem_ns = Bench_util.time_ns (fun () -> Table.remove table id) in
+  assert removed;
+  Printf.printf "  delta recompile: insert %.2f ms, remove %.2f ms (cold build %.1f ms)\n"
+    (Bench_util.ms ins_ns) (Bench_util.ms rem_ns) (Bench_util.ms build_ns);
+  (* Differential gate over the whole key sample. *)
+  let diff_ok =
+    Array.for_all
+      (fun k ->
+        let expect = Acl.linear_match rules k in
+        expect = (Fdd.eval fdd k = 1)
+        && (match bc_run with
+           | None -> true
+           | Some run -> expect = run (frame_of_key k)))
+      keys
+  in
+  Printf.printf "  differential (linear == fdd%s): %s\n"
+    (if bc_run <> None then " == bytecode" else "")
+    (if diff_ok then "ok" else "MISMATCH");
+  {
+    n;
+    linear_ns;
+    fdd_ns;
+    bytecode_ns;
+    build_ms = Bench_util.ms build_ns;
+    nodes;
+    depth = fdd_depth;
+    insert_ms = Bench_util.ms ins_ns;
+    remove_ms = Bench_util.ms rem_ns;
+    diff_ok;
+  }
+
+let run ?(quick = false) () =
+  let st = Random.State.make [| 0xC1A55; 2026 |] in
+  let sizes = if quick then [ 1_000; 10_000 ] else [ 1_000; 10_000; 100_000 ] in
+  let points =
+    List.map (fun n -> run_size ~lower:(n <= 10_000) st n) sizes
+  in
+  let diff_ok = List.for_all (fun p -> p.diff_ok) points in
+  let point_json p =
+    let tag = Printf.sprintf "%dk" (p.n / 1000) in
+    let opt = function None -> "null" | Some v -> Printf.sprintf "%.1f" v in
+    Printf.sprintf
+      "  \"linear_ns_%s\": %.1f,\n\
+      \  \"fdd_ns_%s\": %.1f,\n\
+      \  \"bytecode_ns_%s\": %s,\n\
+      \  \"speedup_fdd_%s\": %.2f,\n\
+      \  \"build_ms_%s\": %.2f,\n\
+      \  \"nodes_%s\": %d,\n\
+      \  \"depth_%s\": %d,\n\
+      \  \"insert_ms_%s\": %.3f,\n\
+      \  \"remove_ms_%s\": %.3f"
+      tag p.linear_ns tag p.fdd_ns tag (opt p.bytecode_ns) tag
+      (p.linear_ns /. p.fdd_ns)
+      tag p.build_ms tag p.nodes tag p.depth tag p.insert_ms tag p.remove_ms
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"classifier\",\n\
+      \  \"differential_ok\": %b,\n%s\n}\n"
+      diff_ok
+      (String.concat ",\n" (List.map point_json points))
+  in
+  Bench_util.write_file_atomic "BENCH_classifier.json" json;
+  print_endline "classifier data written to BENCH_classifier.json";
+  diff_ok

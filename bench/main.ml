@@ -17,6 +17,7 @@ let experiments =
     ("stream", "streaming pipeline: peak heap vs trace size");
     ("obs", "observability: instrumentation overhead off vs on");
     ("vmopt", "register-bank specialization + superinstruction fusion");
+    ("classifier", "decision-diagram rule matching at 1k/10k/100k rules");
     ("ablations", "design-choice ablations") ]
 
 let () =
@@ -41,6 +42,7 @@ let () =
       | "stream" -> ignore (Bench_stream.run ~base:(if quick then 40 else 150) ())
       | "obs" -> ignore (Bench_obs.run ~dns_transactions ())
       | "vmopt" -> ignore (Bench_vmopt.run ~quick ())
+      | "classifier" -> ignore (Bench_classifier.run ~quick ())
       | "ablations" -> Bench_ablations.run ()
       | other ->
           Printf.eprintf "unknown experiment %s; known:\n" other;

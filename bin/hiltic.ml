@@ -24,6 +24,11 @@ options:
              like -analyze, but over the compiled IR of the bundled
              BinPAC++ grammars (ssh/http/dns) and Bro scripts
              (track/http/dns/scan/fib); takes no input files
+  -classifier FILE
+             compile the firewall rules in FILE (one "src dst action" per
+             line) into a hash-consed decision diagram and print its
+             statistics; combine with -d to disassemble the HILTI
+             bytecode the diagram lowers to
 |}
 
 (* ---- Lint mode (-analyze / -analyze-bundled) --------------------------- *)
@@ -74,6 +79,7 @@ let () =
   let entry = ref None in
   let analyze = ref false in
   let analyze_bundled = ref false in
+  let classifier = ref None in
   let no_warnings = ref false in
   let rec parse_args = function
     | [] -> ()
@@ -85,6 +91,7 @@ let () =
     | "-e" :: name :: rest -> entry := Some name; parse_args rest
     | "-analyze" :: rest -> analyze := true; parse_args rest
     | "-analyze-bundled" :: rest -> analyze_bundled := true; parse_args rest
+    | "-classifier" :: file :: rest -> classifier := Some file; parse_args rest
     | "-no-warnings" :: rest -> no_warnings := true; parse_args rest
     | ("-h" | "--help") :: _ -> print_string usage; exit 0
     | f :: rest -> files := f :: !files; parse_args rest
@@ -105,16 +112,49 @@ let () =
     in
     exit (if nerrors > 0 then 1 else 0)
   end;
-  if files = [] then begin
-    print_string usage;
-    exit 1
-  end;
   let read_file f =
     let ic = open_in_bin f in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
+  (match !classifier with
+  | Some f -> (
+      try
+        let rules = Hilti_firewall.Fw_rules.parse_rules (read_file f) in
+        let kept = Hilti_firewall.Fw_rules.normalize rules in
+        let shadowed = List.length rules - List.length kept in
+        let mgr = Hilti_classifier.Fdd.create_mgr () in
+        let fdd = Hilti_classifier.Compile.of_fw mgr kept in
+        Printf.printf "rules:      %d (%d shadowed, dropped)\n"
+          (List.length rules) shadowed;
+        Printf.printf "fdd nodes:  %d (depth %d of %d, %d allocated in manager)\n"
+          (Hilti_classifier.Fdd.size fdd)
+          (Hilti_classifier.Fdd.depth fdd)
+          Hilti_classifier.Fdd.nvars
+          (Hilti_classifier.Fdd.live_nodes mgr);
+        Printf.printf "hash-cons:  %d hits / %d misses\n"
+          (Hilti_classifier.Fdd.cache_hits mgr)
+          (Hilti_classifier.Fdd.cache_misses mgr);
+        if !disasm then begin
+          let m = Hilti_classifier.Lower_fdd.compile_module fdd in
+          let api = Hilti_vm.Host_api.compile ~optimize:false [ m ] in
+          print_string
+            (Hilti_vm.Bytecode.disassemble api.Hilti_vm.Host_api.ctx.Hilti_vm.Vm.program)
+        end;
+        exit 0
+      with
+      | Hilti_firewall.Fw_rules.Parse_error msg ->
+          Printf.eprintf "rule parse error: %s\n" msg;
+          exit 1
+      | Hilti_classifier.Acl.Unsupported msg ->
+          Printf.eprintf "unsupported rule: %s\n" msg;
+          exit 1)
+  | None -> ());
+  if files = [] then begin
+    print_string usage;
+    exit 1
+  end;
   try
     let modules =
       List.map (fun f -> Hilti_lang.Parser.parse_module (read_file f)) files

@@ -2,8 +2,13 @@
     Filter"), e.g. ["host 192.168.1.1 or src net 10.0.5.0/24"].
 
     Supported primitives: [host], [src host], [dst host], [net], [src net],
-    [dst net], [port], [src port], [dst port], [tcp], [udp], [icmp], [ip],
-    combined with [and], [or], [not], and parentheses. *)
+    [dst net], [port], [src port], [dst port], [portrange lo-hi] (with
+    [src]/[dst] variants), [tcp], [udp], [icmp], [ip], combined with
+    [and], [or], [not], and parentheses.
+
+    Malformed input raises {!Parse_error} — including trailing garbage
+    after a complete expression, empty parenthesized groups, and ports
+    outside 0..65535. *)
 
 open Hilti_types
 
@@ -13,6 +18,7 @@ type expr =
   | Host of dir * Addr.t
   | Net of dir * Network.t
   | Port of dir * int
+  | Portrange of dir * int * int  (** inclusive port range *)
   | Proto of int           (** IP protocol number *)
   | Ip                     (** any IPv4 packet *)
   | And of expr * expr
@@ -58,6 +64,30 @@ let parse_addr_or_net p dir =
   if String.contains tok '/' then Net (dir, Network.of_string tok)
   else Host (dir, Addr.of_string tok)
 
+(* A port is a decimal number in 0..65535; anything else (including the
+   silent out-of-range values old versions accepted) is a parse error. *)
+let parse_port p =
+  let tok = next p in
+  match int_of_string_opt tok with
+  | Some n when n >= 0 && n <= 65535 -> n
+  | Some n -> raise (Parse_error (Printf.sprintf "port %d out of range 0..65535" n))
+  | None -> raise (Parse_error ("bad port " ^ tok))
+
+(* "portrange 100-200" (inclusive, lo <= hi, both in 0..65535). *)
+let parse_portrange p =
+  let tok = next p in
+  let bad () = raise (Parse_error ("bad portrange " ^ tok)) in
+  match String.split_on_char '-' tok with
+  | [ lo; hi ] -> (
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi
+        when 0 <= lo && lo <= hi && hi <= 65535 ->
+          (lo, hi)
+      | Some _, Some _ ->
+          raise (Parse_error ("portrange out of range or inverted: " ^ tok))
+      | _ -> bad ())
+  | _ -> bad ()
+
 let parse_primitive p =
   match next p with
   | "host" -> parse_addr_or_net p Any_dir
@@ -77,27 +107,27 @@ let parse_primitive p =
           | _ -> raise (Parse_error ("bad net " ^ tok))
         in
         Net (Any_dir, Network.make (Addr.of_string padded) len))
-  | "port" -> (
-      match int_of_string_opt (next p) with
-      | Some n -> Port (Any_dir, n)
-      | None -> raise (Parse_error "bad port"))
+  | "port" -> Port (Any_dir, parse_port p)
+  | "portrange" ->
+      let lo, hi = parse_portrange p in
+      Portrange (Any_dir, lo, hi)
   | "src" -> (
       match next p with
       | "host" -> parse_addr_or_net p Src
       | "net" -> parse_addr_or_net p Src
-      | "port" -> (
-          match int_of_string_opt (next p) with
-          | Some n -> Port (Src, n)
-          | None -> raise (Parse_error "bad port"))
+      | "port" -> Port (Src, parse_port p)
+      | "portrange" ->
+          let lo, hi = parse_portrange p in
+          Portrange (Src, lo, hi)
       | t -> raise (Parse_error ("src " ^ t)))
   | "dst" -> (
       match next p with
       | "host" -> parse_addr_or_net p Dst
       | "net" -> parse_addr_or_net p Dst
-      | "port" -> (
-          match int_of_string_opt (next p) with
-          | Some n -> Port (Dst, n)
-          | None -> raise (Parse_error "bad port"))
+      | "port" -> Port (Dst, parse_port p)
+      | "portrange" ->
+          let lo, hi = parse_portrange p in
+          Portrange (Dst, lo, hi)
       | t -> raise (Parse_error ("dst " ^ t)))
   | "tcp" -> Proto 6
   | "udp" -> Proto 17
@@ -132,6 +162,7 @@ and parse_not p =
       Not (parse_not p)
   | Some "(" ->
       ignore (next p);
+      if peek p = Some ")" then raise (Parse_error "empty parenthesized group ()");
       let e = parse_or p in
       (match next p with
       | ")" -> ()
@@ -139,12 +170,15 @@ and parse_not p =
       e
   | _ -> parse_primitive p
 
-(** Parse a filter expression. *)
+(** Parse a filter expression.  The whole input must be consumed: tokens
+    left over after a complete expression are rejected, never silently
+    dropped. *)
 let parse s =
   let p = { toks = tokenize s } in
   let e = parse_or p in
   (match peek p with
-  | Some t -> raise (Parse_error ("trailing " ^ t))
+  | Some t ->
+      raise (Parse_error ("trailing garbage after complete expression: " ^ t))
   | None -> ());
   e
 
@@ -158,6 +192,9 @@ let rec to_string = function
   | Port (Any_dir, n) -> Printf.sprintf "port %d" n
   | Port (Src, n) -> Printf.sprintf "src port %d" n
   | Port (Dst, n) -> Printf.sprintf "dst port %d" n
+  | Portrange (Any_dir, lo, hi) -> Printf.sprintf "portrange %d-%d" lo hi
+  | Portrange (Src, lo, hi) -> Printf.sprintf "src portrange %d-%d" lo hi
+  | Portrange (Dst, lo, hi) -> Printf.sprintf "dst portrange %d-%d" lo hi
   | Proto 6 -> "tcp"
   | Proto 17 -> "udp"
   | Proto 1 -> "icmp"

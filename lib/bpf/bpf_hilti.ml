@@ -138,6 +138,30 @@ let rec compile_expr ctx e ~t ~f =
           test ~dst_side:false try_dst;
           Builder.set_block ctx.b try_dst;
           test ~dst_side:true f)
+  | Portrange (dir, lo, hi) ->
+      require_ipv4 ctx ~f;
+      let frag = get_field ctx "frag" (Htype.Int 16) in
+      let fragged = Builder.emit ctx.b Htype.Bool "int.eq" [ frag; Builder.const_int 0 ] in
+      let cont = fresh ctx "nofrag" in
+      Builder.if_else ctx.b fragged ~then_:cont ~else_:f;
+      Builder.set_block ctx.b cont;
+      let test ~dst_side next_f =
+        let v = load_port ctx ~dst_side in
+        let ge = Builder.emit ctx.b Htype.Bool "int.geq" [ v; Builder.const_int lo ] in
+        let hi_chk = fresh ctx "range_hi" in
+        Builder.if_else ctx.b ge ~then_:hi_chk ~else_:next_f;
+        Builder.set_block ctx.b hi_chk;
+        let le = Builder.emit ctx.b Htype.Bool "int.leq" [ v; Builder.const_int hi ] in
+        Builder.if_else ctx.b le ~then_:t ~else_:next_f
+      in
+      (match dir with
+      | Src -> test ~dst_side:false f
+      | Dst -> test ~dst_side:true f
+      | Any_dir ->
+          let try_dst = fresh ctx "range_dst" in
+          test ~dst_side:false try_dst;
+          Builder.set_block ctx.b try_dst;
+          test ~dst_side:true f)
   | And (a, b) ->
       let mid = fresh ctx "and" in
       compile_expr ctx a ~t:mid ~f;

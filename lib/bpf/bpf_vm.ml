@@ -15,6 +15,8 @@ type instr =
   | Ld_ind_h of int   (** A <- u16 pkt[X + k] *)
   | And_k of int      (** A <- A & k *)
   | Jeq of int * int * int  (** A = k ? +jt : +jf (relative offsets) *)
+  | Jgt of int * int * int  (** A > k ? +jt : +jf *)
+  | Jge of int * int * int  (** A >= k ? +jt : +jf *)
   | Jset of int * int * int (** A & k ? +jt : +jf *)
   | Ja of int         (** unconditional relative jump *)
   | Ret of int        (** accept this many bytes; 0 rejects *)
@@ -81,6 +83,8 @@ let run (prog : program) (pkt : string) : int =
         a := !a land k;
         incr pc
     | Jeq (k, jt, jf) -> jump jt jf (!a = k)
+    | Jgt (k, jt, jf) -> jump jt jf (!a > k)
+    | Jge (k, jt, jf) -> jump jt jf (!a >= k)
     | Jset (k, jt, jf) -> jump jt jf (!a land k <> 0)
     | Ja off -> pc := !pc + 1 + off
     | Ret k -> result := Some k)
@@ -95,6 +99,8 @@ let matches prog pkt = run prog pkt > 0
 type sym =
   | S of instr
   | S_jeq of int * string * string
+  | S_jgt of int * string * string
+  | S_jge of int * string * string
   | S_jset of int * string * string
   | S_ja of string
   | S_label of string
@@ -146,6 +152,25 @@ let rec compile_expr e ~t ~f : sym list =
             [ S (Ld_abs_w (ip_base + 12)); S (And_k mask);
               S_jeq (prefix32, t, check_dst); S_label check_dst;
               S (Ld_abs_w (ip_base + 16)); S (And_k mask); S_jeq (prefix32, t, f) ])
+  | Portrange (dir, lo, hi) ->
+      (* Same header-walk as Port, then a jge/jgt window check. *)
+      let ipok = fresh_label "L" and nofrag = fresh_label "L" in
+      let check_dst = fresh_label "L" in
+      let in_range ~t ~f =
+        let above_lo = fresh_label "L" in
+        [ S_jge (lo, above_lo, f); S_label above_lo; S_jgt (hi, f, t) ]
+      in
+      [ S (Ld_abs_h eth_proto_off); S_jeq (ipv4_ethertype, ipok, f); S_label ipok;
+        S (Ld_abs_h (ip_base + 6)); S_jset (0x1fff, f, nofrag); S_label nofrag;
+        S (Ldx_msh ip_base) ]
+      @ (match dir with
+        | Src -> [ S (Ld_ind_h ip_base) ] @ in_range ~t ~f
+        | Dst -> [ S (Ld_ind_h (ip_base + 2)) ] @ in_range ~t ~f
+        | Any_dir ->
+            [ S (Ld_ind_h ip_base) ]
+            @ in_range ~t ~f:check_dst
+            @ [ S_label check_dst; S (Ld_ind_h (ip_base + 2)) ]
+            @ in_range ~t ~f)
   | Port (dir, port) ->
       (* IPv4, not a fragment, then load ports at the dynamic IP header
          length — the classic tcpdump sequence. *)
@@ -196,6 +221,12 @@ let assemble (syms : sym list) : program =
       | S_jeq (k, t, f) ->
           out := Jeq (k, resolve !pc t, resolve !pc f) :: !out;
           incr pc
+      | S_jgt (k, t, f) ->
+          out := Jgt (k, resolve !pc t, resolve !pc f) :: !out;
+          incr pc
+      | S_jge (k, t, f) ->
+          out := Jge (k, resolve !pc t, resolve !pc f) :: !out;
+          incr pc
       | S_jset (k, t, f) ->
           out := Jset (k, resolve !pc t, resolve !pc f) :: !out;
           incr pc
@@ -221,6 +252,8 @@ let instr_to_string = function
   | Ld_ind_h k -> Printf.sprintf "ldh [x + %d]" k
   | And_k k -> Printf.sprintf "and #0x%x" k
   | Jeq (k, jt, jf) -> Printf.sprintf "jeq #0x%x jt %d jf %d" k jt jf
+  | Jgt (k, jt, jf) -> Printf.sprintf "jgt #0x%x jt %d jf %d" k jt jf
+  | Jge (k, jt, jf) -> Printf.sprintf "jge #0x%x jt %d jf %d" k jt jf
   | Jset (k, jt, jf) -> Printf.sprintf "jset #0x%x jt %d jf %d" k jt jf
   | Ja off -> Printf.sprintf "ja %d" off
   | Ret k -> Printf.sprintf "ret #%d" k

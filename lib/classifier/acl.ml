@@ -1,0 +1,126 @@
+(** The classifier's rule model: 5-tuple ACL entries.
+
+    A rule constrains any subset of {proto, src net, dst net, src port
+    range, dst port range}; [None] is a wildcard.  Rule lists use
+    {e first-match} semantics with an explicit default — exactly the
+    contract of {!Hilti_firewall.Fw_rules}, widened with the transport
+    dimensions the paper's BPF workload filters on.
+
+    IPv4 only: the decision-diagram backend classifies on the 32-bit
+    address words (see {!Fdd}); IPv6 traffic never reaches it. *)
+
+open Hilti_types
+
+type rule = {
+  proto : int option;           (** IP protocol number *)
+  src : Network.t option;
+  dst : Network.t option;
+  sport : (int * int) option;   (** inclusive port range *)
+  dport : (int * int) option;
+  action : bool;                (** [true] = allow *)
+}
+
+let any =
+  { proto = None; src = None; dst = None; sport = None; dport = None; action = false }
+
+exception Unsupported of string
+
+(** Check a network constraint is expressible (IPv4). *)
+let check_net = function
+  | Some n when not (Addr.is_ipv4 (Network.prefix n)) ->
+      raise (Unsupported (Printf.sprintf "IPv6 network %s" (Network.to_string n)))
+  | _ -> ()
+
+let check_range what = function
+  | Some (lo, hi) when not (0 <= lo && lo <= hi && hi <= 65535) ->
+      raise (Unsupported (Printf.sprintf "bad %s range %d-%d" what lo hi))
+  | _ -> ()
+
+let validate r =
+  check_net r.src;
+  check_net r.dst;
+  check_range "sport" r.sport;
+  check_range "dport" r.dport;
+  (match r.proto with
+  | Some p when p < 0 || p > 255 ->
+      raise (Unsupported (Printf.sprintf "bad protocol %d" p))
+  | _ -> ());
+  r
+
+(** Widen a firewall rule (src/dst nets only). *)
+let of_fw_rule (r : Hilti_firewall.Fw_rules.rule) =
+  validate
+    { any with
+      src = r.Hilti_firewall.Fw_rules.src;
+      dst = r.Hilti_firewall.Fw_rules.dst;
+      action = r.Hilti_firewall.Fw_rules.action = Hilti_firewall.Fw_rules.Allow }
+
+let of_fw_rules rules = List.map of_fw_rule rules
+
+let to_string r =
+  let net = function None -> "*" | Some n -> Network.to_string n in
+  let range = function None -> "*" | Some (lo, hi) -> Printf.sprintf "%d-%d" lo hi in
+  let proto = function None -> "*" | Some p -> string_of_int p in
+  Printf.sprintf "%s %s %s %s %s %s" (proto r.proto) (net r.src) (net r.dst)
+    (range r.sport) (range r.dport)
+    (if r.action then "allow" else "deny")
+
+(* ---- Linear reference matcher ------------------------------------------------ *)
+
+(** Does [rule] match the key?  The independent semantics the diagram
+    backend is differentially tested against. *)
+let rule_matches r (k : Fdd.key) =
+  let net_ok field = function
+    | None -> true
+    | Some n ->
+        Network.contains n (Addr.of_ipv4_int32 (Int32.of_int field))
+  in
+  let range_ok field = function
+    | None -> true
+    | Some (lo, hi) -> lo <= field && field <= hi
+  in
+  (match r.proto with None -> true | Some p -> p = k.Fdd.proto)
+  && net_ok k.Fdd.src r.src
+  && net_ok k.Fdd.dst r.dst
+  && range_ok k.Fdd.sport r.sport
+  && range_ok k.Fdd.dport r.dport
+
+(** First match wins; [default] if nothing matches. *)
+let linear_match ?(default = false) rules k =
+  let rec go = function
+    | [] -> default
+    | r :: rest -> if rule_matches r k then r.action else go rest
+  in
+  go rules
+
+(* ---- Packet keys ------------------------------------------------------------- *)
+
+(** The classification key of a decoded IPv4 packet ([None] for IPv6).
+    Transport protocols without ports classify with sport = dport = 0. *)
+let key_of_packet (pkt : Hilti_net.Packet.t) : Fdd.key option =
+  match pkt.Hilti_net.Packet.ip with
+  | Hilti_net.Packet.V6 _ -> None
+  | Hilti_net.Packet.V4 ih ->
+      let sport, dport =
+        match pkt.Hilti_net.Packet.transport with
+        | Hilti_net.Packet.TCP (h, _) -> (h.Hilti_net.Tcp.src_port, h.Hilti_net.Tcp.dst_port)
+        | Hilti_net.Packet.UDP (h, _) -> (h.Hilti_net.Udp.src_port, h.Hilti_net.Udp.dst_port)
+        | Hilti_net.Packet.Other _ -> (0, 0)
+      in
+      Some
+        {
+          Fdd.proto = ih.Hilti_net.Ipv4.protocol;
+          src = Addr.to_ipv4_int ih.Hilti_net.Ipv4.src;
+          dst = Addr.to_ipv4_int ih.Hilti_net.Ipv4.dst;
+          sport;
+          dport;
+        }
+
+let key ~proto ~src ~dst ~sport ~dport =
+  {
+    Fdd.proto;
+    src = Addr.to_ipv4_int src;
+    dst = Addr.to_ipv4_int dst;
+    sport;
+    dport;
+  }

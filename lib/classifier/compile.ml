@@ -1,0 +1,135 @@
+(** Compiling rule sets and filter expressions into decision diagrams.
+
+    Two front ends share the predicate constructors:
+
+    - {!pred_of_expr} turns a {!Hilti_bpf.Bpf_expr} filter into a 0/1
+      predicate diagram (boolean structure maps directly onto
+      {!Fdd.and_}/{!Fdd.or_}/{!Fdd.not_});
+    - {!of_rules} turns a first-match {!Acl} rule list into an action
+      diagram: each rule becomes [pred ? action : fallthrough] and the
+      list is folded with {!Fdd.seq} in a balanced shape, so incremental
+      recompiles of a nearly-identical list hit the manager's seq memo
+      on every untouched subtree.
+
+    Both operate on the IPv4 key space; the surrounding drivers route
+    non-IPv4 traffic to the default action before the diagram is ever
+    consulted (mirroring the ethertype guard the BPF backends emit). *)
+
+open Hilti_types
+
+let net_pred mgr ~base n =
+  Fdd.prefix mgr ~base ~width:32
+    ~value:(Addr.to_ipv4_int (Network.prefix n))
+    ~len:(Network.length n)
+
+let port_pred mgr ~base (lo, hi) =
+  if lo = hi then Fdd.field_eq mgr ~base ~width:16 lo
+  else if lo <= 0 && hi >= 65535 then Fdd.leaf_true
+  else
+    Fdd.and_ mgr
+      (Fdd.ge_bits mgr ~base ~width:16 0 lo)
+      (Fdd.le_bits mgr ~base ~width:16 0 hi)
+
+(* ---- ACL rules ---------------------------------------------------------------- *)
+
+let pred_of_rule mgr (r : Acl.rule) =
+  let conj acc = function None -> acc | Some p -> Fdd.and_ mgr acc p in
+  let acc = Fdd.leaf_true in
+  let acc =
+    conj acc (Option.map (Fdd.field_eq mgr ~base:Fdd.proto_base ~width:8) r.Acl.proto)
+  in
+  let acc = conj acc (Option.map (net_pred mgr ~base:Fdd.src_base) r.Acl.src) in
+  let acc = conj acc (Option.map (net_pred mgr ~base:Fdd.dst_base) r.Acl.dst) in
+  let acc = conj acc (Option.map (port_pred mgr ~base:Fdd.sport_base) r.Acl.sport) in
+  conj acc (Option.map (port_pred mgr ~base:Fdd.dport_base) r.Acl.dport)
+
+(** [pred ? action : fallthrough] for one rule. *)
+let rule_fdd mgr (r : Acl.rule) =
+  let action = if r.Acl.action then 1 else 0 in
+  Fdd.map_leaves mgr
+    (fun v -> if v = 1 then action else Fdd.fallthrough)
+    (pred_of_rule mgr r)
+
+(* Balanced seq-reduction: associativity of seq makes the shape free, and
+   a balanced tree maximizes memo hits when a prefix/suffix of the rule
+   list is unchanged between recompiles. *)
+let rec reduce mgr = function
+  | [] -> Fdd.leaf_fallthrough
+  | [ f ] -> f
+  | fdds ->
+      let rec halve n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> halve (n - 1) (x :: acc) rest
+      in
+      let left, right = halve (List.length fdds / 2) [] fdds in
+      Fdd.seq mgr (reduce mgr left) (reduce mgr right)
+
+(** Fold prebuilt per-rule diagrams (priority order) and resolve the
+    remaining fallthrough leaves to [default].  {!Table} keeps the
+    per-rule diagrams cached across deltas, so a recompile here is seq
+    folding plus memo lookups only. *)
+let of_rule_fdds mgr ?(default = false) (fdds : Fdd.t list) : Fdd.t =
+  let folded = reduce mgr fdds in
+  let d = if default then 1 else 0 in
+  Fdd.map_leaves mgr (fun v -> if v = Fdd.fallthrough then d else v) folded
+
+(** Compile a first-match rule list; remaining fallthrough leaves resolve
+    to [default]. *)
+let of_rules mgr ?(default = false) (rules : Acl.rule list) : Fdd.t =
+  List.iter (fun r -> ignore (Acl.validate r)) rules;
+  of_rule_fdds mgr ~default (List.map (rule_fdd mgr) rules)
+
+(** Compile a firewall rule list (first match wins, default deny). *)
+let of_fw mgr (rules : Hilti_firewall.Fw_rules.rule list) : Fdd.t =
+  of_rules mgr ~default:false (Acl.of_fw_rules rules)
+
+(* ---- BPF filter expressions ---------------------------------------------------- *)
+
+open Hilti_bpf.Bpf_expr
+
+let host_pred mgr dir a =
+  let p base = Fdd.field_eq mgr ~base ~width:32 (Addr.to_ipv4_int a) in
+  match dir with
+  | Src -> p Fdd.src_base
+  | Dst -> p Fdd.dst_base
+  | Any_dir -> Fdd.or_ mgr (p Fdd.src_base) (p Fdd.dst_base)
+
+let netdir_pred mgr dir n =
+  match dir with
+  | Src -> net_pred mgr ~base:Fdd.src_base n
+  | Dst -> net_pred mgr ~base:Fdd.dst_base n
+  | Any_dir ->
+      Fdd.or_ mgr (net_pred mgr ~base:Fdd.src_base n)
+        (net_pred mgr ~base:Fdd.dst_base n)
+
+let portdir_pred mgr dir range =
+  match dir with
+  | Src -> port_pred mgr ~base:Fdd.sport_base range
+  | Dst -> port_pred mgr ~base:Fdd.dport_base range
+  | Any_dir ->
+      Fdd.or_ mgr
+        (port_pred mgr ~base:Fdd.sport_base range)
+        (port_pred mgr ~base:Fdd.dport_base range)
+
+(** A 0/1 predicate diagram for a filter expression over IPv4 keys.
+    [Ip] is trivially true in this key space — the drivers guard the
+    ethertype outside the diagram. *)
+let rec pred_of_expr mgr (e : expr) : Fdd.t =
+  match e with
+  | Ip -> Fdd.leaf_true
+  | Proto p -> Fdd.field_eq mgr ~base:Fdd.proto_base ~width:8 p
+  | Host (dir, a) ->
+      if not (Addr.is_ipv4 a) then raise (Acl.Unsupported (Addr.to_string a));
+      host_pred mgr dir a
+  | Net (dir, n) ->
+      Acl.check_net (Some n);
+      netdir_pred mgr dir n
+  | Port (dir, p) -> portdir_pred mgr dir (p, p)
+  | Portrange (dir, lo, hi) -> portdir_pred mgr dir (lo, hi)
+  | And (a, b) -> Fdd.and_ mgr (pred_of_expr mgr a) (pred_of_expr mgr b)
+  | Or (a, b) -> Fdd.or_ mgr (pred_of_expr mgr a) (pred_of_expr mgr b)
+  | Not a -> Fdd.not_ mgr (pred_of_expr mgr a)
+
+(** Parse and compile a BPF filter string. *)
+let of_bpf mgr (filter : string) : Fdd.t = pred_of_expr mgr (parse filter)

@@ -1,0 +1,337 @@
+(** Hash-consed forwarding decision diagrams over packet header fields.
+
+    Following "A Fast Compiler for NetKAT" (Smolka et al.), rule sets are
+    compiled into a decision diagram so that match cost depends only on
+    the header layout, never on the number of rules.  The diagram is
+    field-ordered and bit-granular: every decision variable is one bit of
+    one header field, and fields appear in a fixed order
+
+      proto (8 bits) < src addr (32) < dst addr (32) < sport (16) < dport (16)
+
+    with bits within a field ordered most-significant first.  A CIDR
+    prefix test is then exactly a path of [len] bit decisions, two
+    prefixes on the same field share their common path by construction,
+    and a full match walks at most {!nvars} = 104 decisions regardless of
+    rule count.
+
+    {2 Invariants}
+
+    - {e Ordered}: along every path variables strictly increase, so no
+      field bit is ever tested twice and contradictory or subsumed CIDR
+      tests cannot appear on one path (test elimination).
+    - {e Reduced}: {!mk} collapses nodes whose branches are physically
+      equal (child merging), so irrelevant tests vanish.
+    - {e Shared}: nodes are hash-consed in a {!mgr}; two structurally
+      equal diagrams built against the same manager are physically equal
+      ([==]), which also makes equality tests and memoization O(1).
+
+    Leaves carry small integer actions; {!fallthrough} is the
+    distinguished "no rule decided yet" leaf that first-match
+    sequencing ({!seq}) resolves. *)
+
+(* ---- Variable layout -------------------------------------------------------- *)
+
+let proto_base = 0
+let src_base = 8
+let dst_base = 40
+let sport_base = 72
+let dport_base = 88
+let nvars = 104
+
+(** The header-field values a packet is classified on.  IPv4 only: the
+    address fields are the 32-bit host-order address words. *)
+type key = { proto : int; src : int; dst : int; sport : int; dport : int }
+
+(** Bit [var] of [key], per the variable layout above. *)
+let key_bit k var =
+  if var < src_base then (k.proto lsr (7 - var)) land 1
+  else if var < dst_base then (k.src lsr (src_base + 31 - var)) land 1
+  else if var < sport_base then (k.dst lsr (dst_base + 31 - var)) land 1
+  else if var < dport_base then (k.sport lsr (sport_base + 15 - var)) land 1
+  else (k.dport lsr (dport_base + 15 - var)) land 1
+
+(* ---- Nodes ------------------------------------------------------------------ *)
+
+type t =
+  | Leaf of int
+  | Node of { var : int; hi : t; lo : t; id : int }
+
+(** The "no rule matched yet" action resolved by {!seq}. *)
+let fallthrough = -1
+
+(* Leaves are canonicalized too — [mk]'s child-merging and the physical
+   equality guarantee rely on one allocation per action value.  The small
+   action range every client uses is preallocated; the tail is guarded
+   for safety under domains. *)
+let leaf_small = Array.init 10 (fun i -> Leaf (i - 2))
+let leaf_tail : (int, t) Hashtbl.t = Hashtbl.create 16
+let leaf_lock = Mutex.create ()
+
+let leaf v =
+  if v >= -2 && v < 8 then leaf_small.(v + 2)
+  else
+    Mutex.protect leaf_lock (fun () ->
+        match Hashtbl.find_opt leaf_tail v with
+        | Some l -> l
+        | None ->
+            let l = Leaf v in
+            Hashtbl.add leaf_tail v l;
+            l)
+
+let leaf_true = leaf 1
+let leaf_false = leaf 0
+let leaf_fallthrough = leaf fallthrough
+
+(** Unique id; leaves map to negative ids, nodes to their counter. *)
+let id = function Leaf v -> -2 - v | Node n -> n.id
+
+(** Root variable, [max_int] for leaves (leaves sort after any test). *)
+let var = function Leaf _ -> max_int | Node n -> n.var
+
+(* ---- The manager: hash-consing + operation memos ---------------------------- *)
+
+type mgr = {
+  unique : (int * int * int, t) Hashtbl.t;  (* (var, id hi, id lo) -> node *)
+  mutable next_id : int;
+  mutable hits : int;    (* hash-cons cache hits *)
+  mutable misses : int;  (* fresh node constructions *)
+  not_memo : (int, t) Hashtbl.t;
+  and_memo : (int * int, t) Hashtbl.t;
+  or_memo : (int * int, t) Hashtbl.t;
+  seq_memo : (int * int, t) Hashtbl.t;
+}
+
+let create_mgr () =
+  {
+    unique = Hashtbl.create 4096;
+    next_id = 0;
+    hits = 0;
+    misses = 0;
+    not_memo = Hashtbl.create 256;
+    and_memo = Hashtbl.create 1024;
+    or_memo = Hashtbl.create 1024;
+    seq_memo = Hashtbl.create 1024;
+  }
+
+(** Smart constructor: child merging + hash-consing.  The only way nodes
+    are ever built, so the invariants hold globally. *)
+let mk mgr v ~hi ~lo =
+  if hi == lo then hi
+  else begin
+    let key = (v, id hi, id lo) in
+    match Hashtbl.find_opt mgr.unique key with
+    | Some n ->
+        mgr.hits <- mgr.hits + 1;
+        n
+    | None ->
+        mgr.misses <- mgr.misses + 1;
+        let n = Node { var = v; hi; lo; id = mgr.next_id } in
+        mgr.next_id <- mgr.next_id + 1;
+        Hashtbl.add mgr.unique key n;
+        n
+  end
+
+let live_nodes mgr = Hashtbl.length mgr.unique
+let cache_hits mgr = mgr.hits
+let cache_misses mgr = mgr.misses
+
+(* ---- Predicate constructors -------------------------------------------------- *)
+
+(* A prefix test is a single path: the first [len] bits of [value] (MSB
+   first within the field) must match; any mismatch falls to Leaf 0. *)
+let prefix mgr ~base ~width ~value ~len =
+  if len < 0 || len > width then invalid_arg "Fdd.prefix";
+  let acc = ref leaf_true in
+  for i = len - 1 downto 0 do
+    let bit = (value lsr (width - 1 - i)) land 1 in
+    let v = base + i in
+    acc :=
+      if bit = 1 then mk mgr v ~hi:!acc ~lo:leaf_false
+      else mk mgr v ~hi:leaf_false ~lo:!acc
+  done;
+  !acc
+
+let field_eq mgr ~base ~width value = prefix mgr ~base ~width ~value ~len:width
+
+(* x >= bound over the [width]-bit field at [base]: standard recursive
+   threshold construction, O(width) nodes. *)
+let rec ge_bits mgr ~base ~width i bound =
+  if i >= width then leaf_true
+  else
+    let bit = (bound lsr (width - 1 - i)) land 1 in
+    let rest = ge_bits mgr ~base ~width (i + 1) bound in
+    if bit = 1 then mk mgr (base + i) ~hi:rest ~lo:leaf_false
+    else mk mgr (base + i) ~hi:leaf_true ~lo:rest
+
+let rec le_bits mgr ~base ~width i bound =
+  if i >= width then leaf_true
+  else
+    let bit = (bound lsr (width - 1 - i)) land 1 in
+    let rest = le_bits mgr ~base ~width (i + 1) bound in
+    if bit = 0 then mk mgr (base + i) ~hi:leaf_false ~lo:rest
+    else mk mgr (base + i) ~hi:rest ~lo:leaf_true
+
+(* ---- Boolean operations on predicates (leaves 0/1) --------------------------- *)
+
+let rec not_ mgr a =
+  match a with
+  | Leaf v -> if v = 0 then leaf_true else leaf_false
+  | Node n -> (
+      match Hashtbl.find_opt mgr.not_memo n.id with
+      | Some r -> r
+      | None ->
+          let r = mk mgr n.var ~hi:(not_ mgr n.hi) ~lo:(not_ mgr n.lo) in
+          Hashtbl.add mgr.not_memo n.id r;
+          r)
+
+(* Shannon co-factor helpers: descend whichever operands test the topmost
+   variable; an operand whose root variable is larger is constant in it. *)
+let cofactors v a =
+  match a with
+  | Node n when n.var = v -> (n.hi, n.lo)
+  | _ -> (a, a)
+
+let rec and_ mgr a b =
+  if a == b then a
+  else
+    match (a, b) with
+    | Leaf 0, _ | _, Leaf 0 -> leaf_false
+    | Leaf 1, x | x, Leaf 1 -> x
+    | _ ->
+        let key = if id a <= id b then (id a, id b) else (id b, id a) in
+        (match Hashtbl.find_opt mgr.and_memo key with
+        | Some r -> r
+        | None ->
+            let v = min (var a) (var b) in
+            let ah, al = cofactors v a and bh, bl = cofactors v b in
+            let r = mk mgr v ~hi:(and_ mgr ah bh) ~lo:(and_ mgr al bl) in
+            Hashtbl.add mgr.and_memo key r;
+            r)
+
+let rec or_ mgr a b =
+  if a == b then a
+  else
+    match (a, b) with
+    | Leaf 1, _ | _, Leaf 1 -> leaf_true
+    | Leaf 0, x | x, Leaf 0 -> x
+    | _ ->
+        let key = if id a <= id b then (id a, id b) else (id b, id a) in
+        (match Hashtbl.find_opt mgr.or_memo key with
+        | Some r -> r
+        | None ->
+            let v = min (var a) (var b) in
+            let ah, al = cofactors v a and bh, bl = cofactors v b in
+            let r = mk mgr v ~hi:(or_ mgr ah bh) ~lo:(or_ mgr al bl) in
+            Hashtbl.add mgr.or_memo key r;
+            r)
+
+(* ---- First-match sequencing --------------------------------------------------- *)
+
+(** [seq a b]: wherever [a] decides an action, that action stands;
+    wherever [a] falls through, [b] decides.  Associative, so rule lists
+    can be folded in any shape — the compiler uses a balanced reduction
+    for memo reuse across incremental recompiles. *)
+let rec seq mgr a b =
+  match a with
+  | Leaf v when v <> fallthrough -> a
+  | Leaf _ -> b
+  | Node _ -> (
+      match b with
+      | Leaf v when v = fallthrough -> a
+      | _ ->
+          let key = (id a, id b) in
+          (match Hashtbl.find_opt mgr.seq_memo key with
+          | Some r -> r
+          | None ->
+              let v = min (var a) (var b) in
+              let ah, al = cofactors v a and bh, bl = cofactors v b in
+              let r = mk mgr v ~hi:(seq mgr ah bh) ~lo:(seq mgr al bl) in
+              Hashtbl.add mgr.seq_memo key r;
+              r))
+
+(** Rewrite leaf actions.  Memoized per call; used to turn a 0/1
+    predicate into an (action | fallthrough) rule diagram and to resolve
+    remaining fallthrough leaves into the default action. *)
+let map_leaves mgr f fdd =
+  let memo = Hashtbl.create 64 in
+  let rec go fdd =
+    match fdd with
+    | Leaf v -> leaf (f v)
+    | Node n -> (
+        match Hashtbl.find_opt memo n.id with
+        | Some r -> r
+        | None ->
+            let r = mk mgr n.var ~hi:(go n.hi) ~lo:(go n.lo) in
+            Hashtbl.add memo n.id r;
+            r)
+  in
+  go fdd
+
+(* ---- Evaluation --------------------------------------------------------------- *)
+
+(** Classify [key]: walk at most {!nvars} decisions. *)
+let rec eval fdd k =
+  match fdd with
+  | Leaf v -> v
+  | Node n -> eval (if key_bit k n.var = 1 then n.hi else n.lo) k
+
+(** Like {!eval} but also reports the number of decisions taken (the
+    match-depth histogram feed). *)
+let eval_depth fdd k =
+  let rec go fdd d =
+    match fdd with
+    | Leaf v -> (v, d)
+    | Node n -> go (if key_bit k n.var = 1 then n.hi else n.lo) (d + 1)
+  in
+  go fdd 0
+
+(* ---- Structure reports --------------------------------------------------------- *)
+
+(** Distinct nodes reachable from [fdd] (leaves excluded). *)
+let size fdd =
+  let seen = Hashtbl.create 256 in
+  let rec go = function
+    | Leaf _ -> ()
+    | Node n ->
+        if not (Hashtbl.mem seen n.id) then begin
+          Hashtbl.add seen n.id ();
+          go n.hi;
+          go n.lo
+        end
+  in
+  go fdd;
+  Hashtbl.length seen
+
+(** Longest root-to-leaf decision chain ([<= nvars] by ordering). *)
+let depth fdd =
+  let memo = Hashtbl.create 256 in
+  let rec go = function
+    | Leaf _ -> 0
+    | Node n -> (
+        match Hashtbl.find_opt memo n.id with
+        | Some d -> d
+        | None ->
+            let d = 1 + max (go n.hi) (go n.lo) in
+            Hashtbl.add memo n.id d;
+            d)
+  in
+  go fdd
+
+(** Reachable nodes in a reverse-topological order (children before
+    parents) — the emission order the bytecode lowering wants. *)
+let postorder fdd =
+  let seen = Hashtbl.create 256 in
+  let acc = ref [] in
+  let rec go fdd =
+    match fdd with
+    | Leaf _ -> ()
+    | Node n ->
+        if not (Hashtbl.mem seen n.id) then begin
+          Hashtbl.add seen n.id ();
+          go n.hi;
+          go n.lo;
+          acc := fdd :: !acc
+        end
+  in
+  go fdd;
+  List.rev !acc

@@ -10,6 +10,7 @@ type t = {
   func : func;
   mutable current : block;
   mutable tmp_counter : int;
+  block_index : (string, block) Hashtbl.t;  (* label -> block, O(1) lookup *)
 }
 
 (** Begin a new function in [modul]; its entry block is current. *)
@@ -20,7 +21,9 @@ let func modul ?(cc = Cc_hilti) ?(hook_priority = 0) ?(exported = false) fname
     { fname; params; result; locals = []; blocks = [ entry ]; cc; hook_priority; exported }
   in
   (match cc with Cc_hook -> add_hook modul f | _ -> add_func modul f);
-  { modul; func = f; current = entry; tmp_counter = 0 }
+  let block_index = Hashtbl.create 16 in
+  Hashtbl.add block_index entry.label entry;
+  { modul; func = f; current = entry; tmp_counter = 0; block_index }
 
 (** Declare (or re-use) a local variable. *)
 let local b name ty =
@@ -36,12 +39,31 @@ let tmp b ty =
 
 (** Create a new block (without switching to it). *)
 let new_block b label =
-  match find_block b.func label with
+  match Hashtbl.find_opt b.block_index label with
   | Some blk -> blk
   | None ->
       let blk = { label; instrs = [] } in
+      Hashtbl.add b.block_index label blk;
       b.func.blocks <- b.func.blocks @ [ blk ];
       blk
+
+(** Bulk-create blocks in order with a single list append.  Generators
+    emitting many thousands of blocks (the classifier lowering) need this:
+    per-block [new_block] appends are quadratic in the block count.
+    Labels that already exist are skipped. *)
+let declare_blocks b labels =
+  let fresh =
+    List.filter_map
+      (fun label ->
+        if Hashtbl.mem b.block_index label then None
+        else begin
+          let blk = { label; instrs = [] } in
+          Hashtbl.add b.block_index label blk;
+          Some blk
+        end)
+      labels
+  in
+  b.func.blocks <- b.func.blocks @ fresh
 
 (** Switch emission to the given block, creating it if necessary. *)
 let set_block b label = b.current <- new_block b label

@@ -26,6 +26,7 @@ type env = {
   modul : t;
   func : func;
   vars : (string, Htype.t) Hashtbl.t;
+  labels : (string, unit) Hashtbl.t;  (* block labels, for O(1) target checks *)
   mutable errors : string list;
 }
 
@@ -65,7 +66,7 @@ let check_operand_refs env (i : Instr.t) =
         if find_global env.modul n = None then
           error env "%s: undeclared global '%s'" i.Instr.mnemonic n
     | Instr.Label l ->
-        if find_block env.func l = None then
+        if not (Hashtbl.mem env.labels l) then
           error env "%s: unknown block label '%s'" i.Instr.mnemonic l
     | Instr.Fname f ->
         (* Names under the Hilti:: namespace are runtime-provided host
@@ -166,7 +167,11 @@ let check_block env ~is_last (b : block) =
   go b.instrs
 
 let check_func modul (f : func) =
-  let env = { modul; func = f; vars = Hashtbl.create 16; errors = [] } in
+  let env =
+    { modul; func = f; vars = Hashtbl.create 16;
+      labels = Hashtbl.create (2 * List.length f.blocks); errors = [] }
+  in
+  List.iter (fun (b : block) -> Hashtbl.replace env.labels b.label ()) f.blocks;
   List.iter (fun (n, t) -> Hashtbl.replace env.vars n t) f.params;
   List.iter (fun (n, t) -> Hashtbl.replace env.vars n t) f.locals;
   (* Duplicate declarations. *)

@@ -97,6 +97,9 @@ type fctx = {
   regs : (string, int) Hashtbl.t;
   mutable nregs : int;
   mutable out : pre list;  (* reversed *)
+  mutable nout : int;      (* length of [out]; kept so block-offset
+                              recording is O(1) per block instead of a
+                              List.length walk (quadratic in program size) *)
   global_index : (string, int) Hashtbl.t;
   fname_index : (string, int) Hashtbl.t;  (* resolved HILTI functions *)
   c_funcs : (string, unit) Hashtbl.t;     (* declared host functions *)
@@ -106,7 +109,9 @@ type fctx = {
   mutable const_inits : (int * Value.t) list;
 }
 
-let emit ctx p = ctx.out <- p :: ctx.out
+let emit ctx p =
+  ctx.out <- p :: ctx.out;
+  ctx.nout <- ctx.nout + 1
 
 let fresh ctx =
   let r = ctx.nregs in
@@ -665,6 +670,7 @@ let lower_func types global_index fname_index c_funcs internal_name
       regs = Hashtbl.create 16;
       nregs = 0;
       out = [];
+      nout = 0;
       global_index;
       fname_index;
       c_funcs;
@@ -682,7 +688,7 @@ let lower_func types global_index fname_index c_funcs internal_name
   let block_offsets = Hashtbl.create 8 in
   List.iter
     (fun (b : Module_ir.block) ->
-      Hashtbl.replace block_offsets b.Module_ir.label (List.length ctx.out);
+      Hashtbl.replace block_offsets b.Module_ir.label ctx.nout;
       List.iter (lower_instr ctx) b.Module_ir.instrs)
     f.Module_ir.blocks;
   (* Implicit return for void functions. *)

@@ -80,6 +80,47 @@ let test_trace_agreement () =
   Alcotest.(check bool) "filter fired" true (!bpf_hits > 0);
   Alcotest.(check bool) "filter selective" true (!bpf_hits < !total)
 
+let test_parse_errors () =
+  let rejects what s =
+    match Hilti_bpf.Bpf_expr.parse s with
+    | exception Hilti_bpf.Bpf_expr.Parse_error _ -> ()
+    | _ -> Alcotest.failf "%s: %S parsed" what s
+  in
+  rejects "trailing garbage" "host 1.2.3.4 host 5.6.7.8";
+  rejects "trailing garbage after parens" "(tcp or udp) 80";
+  rejects "empty parens" "()";
+  rejects "empty parens in conjunction" "tcp and ()";
+  rejects "port out of range" "port 99999";
+  rejects "negative port" "dst port -1";
+  rejects "portrange inverted" "portrange 200-100";
+  rejects "portrange out of range" "portrange 0-70000";
+  rejects "portrange malformed" "portrange 80";
+  (* The error text must name the problem, not just fail. *)
+  (try ignore (Hilti_bpf.Bpf_expr.parse "tcp udp")
+   with Hilti_bpf.Bpf_expr.Parse_error msg ->
+     Alcotest.(check bool) "trailing-garbage message" true
+       (Astring_contains.contains msg "trailing garbage"));
+  (try ignore (Hilti_bpf.Bpf_expr.parse "()")
+   with Hilti_bpf.Bpf_expr.Parse_error msg ->
+     Alcotest.(check bool) "empty-group message" true
+       (Astring_contains.contains msg "empty parenthesized"))
+
+let test_portrange () =
+  let e = Hilti_bpf.Bpf_expr.parse "tcp and dst portrange 8000-8080" in
+  Alcotest.(check string) "round trip" "(tcp and dst portrange 8000-8080)"
+    (Hilti_bpf.Bpf_expr.to_string e);
+  check_both "dst portrange 8000-8080"
+    [ (frame ~src:"1.2.3.4" ~dst:"5.6.7.8" ~dport:8000 (), true, "low edge");
+      (frame ~src:"1.2.3.4" ~dst:"5.6.7.8" ~dport:8080 (), true, "high edge");
+      (frame ~src:"1.2.3.4" ~dst:"5.6.7.8" ~dport:8042 (), true, "inside");
+      (frame ~src:"1.2.3.4" ~dst:"5.6.7.8" ~dport:7999 (), false, "below");
+      (frame ~src:"1.2.3.4" ~dst:"5.6.7.8" ~dport:8081 (), false, "above");
+      (frame ~src:"1.2.3.4" ~dst:"5.6.7.8" ~sport:8042 ~dport:1 (), false, "src side") ];
+  check_both "portrange 53-53"
+    [ (frame ~src:"1.2.3.4" ~dst:"5.6.7.8" ~proto:`Udp ~sport:53 ~dport:9 (), true, "src hit");
+      (frame ~src:"1.2.3.4" ~dst:"5.6.7.8" ~proto:`Udp ~sport:9 ~dport:53 (), true, "dst hit");
+      (frame ~src:"1.2.3.4" ~dst:"5.6.7.8" ~proto:`Udp ~sport:9 ~dport:9 (), false, "miss") ]
+
 let test_disassemble () =
   let prog = Hilti_bpf.Bpf_vm.compile (Hilti_bpf.Bpf_expr.parse "src port 53") in
   let text = Hilti_bpf.Bpf_vm.disassemble prog in
@@ -93,4 +134,6 @@ let suite =
     Alcotest.test_case "negation" `Quick test_not;
     Alcotest.test_case "truncated packets fail safe" `Quick test_truncated_packet;
     Alcotest.test_case "trace agreement (§6.2)" `Quick test_trace_agreement;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "portrange agrees" `Quick test_portrange;
     Alcotest.test_case "disassembler" `Quick test_disassemble ]

@@ -2,4 +2,4 @@
 
 let () =
   Alcotest.run "hilti"
-    [ ("vm-smoke", Test_vm_smoke.suite); ("lang", Test_lang.suite); ("bpf", Test_bpf.suite); ("firewall", Test_firewall.suite); ("binpac", Test_binpac.suite); ("bro", Test_bro.suite); ("evaluation", Test_evaluation.suite); ("types", Test_types.suite); ("rt", Test_rt.suite); ("net", Test_net.suite); ("traces", Test_traces.suite); ("ir", Test_ir.suite); ("passes", Test_passes.suite); ("vm-instr", Test_vm_instr.suite); ("host-api", Test_host_api.suite); ("lang-edge", Test_lang_edge.suite); ("bro-lang", Test_bro_lang.suite); ("analyzers", Test_analyzers.suite); ("evt", Test_evt.suite); ("binpac-edge", Test_binpac_edge.suite); ("robustness", Test_robustness.suite); ("internals", Test_internals.suite); ("par", Test_par.suite); ("stream", Test_stream.suite); ("obs", Test_obs.suite); ("analysis", Test_analysis.suite); ("vmopt", Test_vmopt.suite) ]
+    [ ("vm-smoke", Test_vm_smoke.suite); ("lang", Test_lang.suite); ("bpf", Test_bpf.suite); ("firewall", Test_firewall.suite); ("binpac", Test_binpac.suite); ("bro", Test_bro.suite); ("evaluation", Test_evaluation.suite); ("types", Test_types.suite); ("rt", Test_rt.suite); ("net", Test_net.suite); ("traces", Test_traces.suite); ("ir", Test_ir.suite); ("passes", Test_passes.suite); ("vm-instr", Test_vm_instr.suite); ("host-api", Test_host_api.suite); ("lang-edge", Test_lang_edge.suite); ("bro-lang", Test_bro_lang.suite); ("analyzers", Test_analyzers.suite); ("evt", Test_evt.suite); ("binpac-edge", Test_binpac_edge.suite); ("robustness", Test_robustness.suite); ("internals", Test_internals.suite); ("par", Test_par.suite); ("stream", Test_stream.suite); ("obs", Test_obs.suite); ("analysis", Test_analysis.suite); ("vmopt", Test_vmopt.suite); ("classifier", Test_classifier.suite) ]

@@ -23,6 +23,15 @@ let experiments =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
+  (* --datagrams N scales the threads experiment's workload. *)
+  let rec extract_datagrams = function
+    | "--datagrams" :: n :: rest -> (int_of_string_opt n, rest)
+    | a :: rest ->
+        let d, rest = extract_datagrams rest in
+        (d, a :: rest)
+    | [] -> (None, [])
+  in
+  let datagrams, args = extract_datagrams args in
   let selected = List.filter (fun a -> a <> "--quick") args in
   let selected = if selected = [] then List.map fst experiments else selected in
   let http_sessions = if quick then 60 else 250 in
@@ -38,7 +47,7 @@ let () =
       | "firewall" -> ignore (Bench_firewall.run ())
       | "parsers" -> ignore (Bench_parsers.run ~http_sessions ~dns_transactions ())
       | "scripts" -> ignore (Bench_scripts.run ~http_sessions ~dns_transactions ())
-      | "threads" -> ignore (Bench_threads.run ())
+      | "threads" -> ignore (Bench_threads.run ~quick ?datagrams ())
       | "stream" -> ignore (Bench_stream.run ~base:(if quick then 40 else 150) ())
       | "obs" -> ignore (Bench_obs.run ~dns_transactions ())
       | "vmopt" -> ignore (Bench_vmopt.run ~quick ())

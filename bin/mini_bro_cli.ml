@@ -20,8 +20,9 @@ analysis:
   -parsers std|pac standard hand-written or BinPAC++/HILTI parsers (default std)
   -compile-scripts run scripts compiled to HILTI instead of interpreted
   -w DIR           write http.log/files.log/dns.log into DIR (default .)
-  -j N             parse DNS datagrams on N OCaml domains (Hilti_par);
-                   logs are identical to the serial pipeline's
+  -j N             shard DNS decode+parse over N OCaml domains (flow-sharded
+                   data plane; both directions of a connection stay on one
+                   shard); logs are byte-identical to the serial pipeline's
   -timeout MS      evict connections idle for MS milliseconds of trace time,
                    bounding the session table by the live flows
   -quiet           do not write logs, just report counts
@@ -239,7 +240,7 @@ let () =
     result.Driver.stats.Driver.events !parsers
     (if !compiled then "compiled-to-HILTI" else "interpreted")
     (match !jobs with
-    | Some j when proto = "dns" -> Printf.sprintf " domains=%d" j
+    | Some j when proto = "dns" -> Printf.sprintf " shards=%d" j
     | _ -> "");
   (match !idle_timeout with
   | Some _ ->

@@ -14,11 +14,29 @@ dune runtest
 echo "== parallel determinism (test_par, incl. 1/2/4-domain runs)"
 dune exec test/test_main.exe -- test par
 
+echo "== sharded data plane suite (test_shard: ring, shard hash, byte-identical logs)"
+dune exec test/test_main.exe -- test shard
+
 echo "== streaming pipeline suite (test_stream)"
 dune exec test/test_main.exe -- test stream
 
 echo "== bench threads (writes BENCH_threads.json)"
 dune exec bench/main.exe -- threads --quick
+# Serial and sharded runs must produce byte-identical event streams.
+grep -q '"identical_output": true' BENCH_threads.json
+grep -q '"cores_available"' BENCH_threads.json
+# On multi-core hardware, 2 shards must hold >= 0.9x the cooperative
+# throughput (the old engine regressed to ~0.45x); a 1-core box can only
+# measure overhead, so the gate is skipped there (the JSON carries a
+# warning instead).
+cores=$(sed -n 's/.*"cores_available": \([0-9]*\).*/\1/p' BENCH_threads.json)
+if [ "${cores:-1}" -ge 2 ]; then
+  coop=$(sed -n 's/.*"mode": "cooperative".*"datagrams_per_sec": \([0-9]*\).*/\1/p' BENCH_threads.json)
+  s2=$(sed -n 's/.*"mode": "sharded", "shards": 2.*"datagrams_per_sec": \([0-9]*\).*/\1/p' BENCH_threads.json)
+  awk -v c="$coop" -v s="$s2" 'BEGIN { if (s + 0 < 0.9 * c) exit 1 }'
+else
+  grep -q '"warning"' BENCH_threads.json
+fi
 
 echo "== bench stream (writes BENCH_stream.json)"
 dune exec bench/main.exe -- stream --quick

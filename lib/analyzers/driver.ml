@@ -88,6 +88,36 @@ let arm_stats timer_mgr (stats : stats_export option) =
 
 let fresh_stats () = { packets = 0; connections = 0; events = 0; evicted = 0 }
 
+(* ---- Session scaffold -------------------------------------------------------------- *)
+
+(* Every protocol runner used to hand-wire the same trio — a timer manager,
+   an optional stats-export timer, and a flow table with optional idle
+   eviction.  One scaffold now serves the serial paths and the collector
+   side of the sharded data plane, so the two cannot drift. *)
+type 'st session = {
+  ss_table : 'st Flow_table.t;
+  ss_tick : Hilti_types.Time_ns.t -> unit;
+      (** advance trace time (timers, exports); cheap no-op when neither
+          idle eviction nor stats export is configured *)
+}
+
+let make_session ?idle_timeout ?(stats_export : stats_export option) ?on_evict
+    (fresh : Flow.t -> Hilti_types.Time_ns.t -> 'st) : 'st session =
+  let timer_mgr = Hilti_rt.Timer_mgr.create () in
+  arm_stats timer_mgr stats_export;
+  let table =
+    match idle_timeout with
+    | Some ival -> Flow_table.create ~timeout:ival ~timer_mgr fresh
+    | None -> Flow_table.create fresh
+  in
+  (match on_evict with Some f -> Flow_table.on_remove table f | None -> ());
+  let tick =
+    if idle_timeout <> None || stats_export <> None then fun ts ->
+      ignore (Hilti_rt.Timer_mgr.advance timer_mgr ts)
+    else fun _ -> ()
+  in
+  { ss_table = table; ss_tick = tick }
+
 (* ---- HTTP ------------------------------------------------------------------------ *)
 
 type http_side =
@@ -125,8 +155,6 @@ let run_http_src ~(kind : http_kind) ~(sink : Events.sink) ?idle_timeout
   | Http_pac t -> t.Http_pac.sink <- sink
   | Http_std -> ());
   sink.Events.raise_event "bro_init" [];
-  let timer_mgr = Hilti_rt.Timer_mgr.create () in
-  arm_stats timer_mgr stats_export;
   let uid_counter = ref 0 in
   let fresh flow ts =
     incr uid_counter;
@@ -156,11 +184,6 @@ let run_http_src ~(kind : http_kind) ~(sink : Events.sink) ?idle_timeout
       established = false;
     }
   in
-  let table =
-    match idle_timeout with
-    | Some ival -> Flow_table.create ~timeout:ival ~timer_mgr fresh
-    | None -> Flow_table.create fresh
-  in
   let finish (c : http_conn) =
     Reassembly.finish c.req_rs;
     Reassembly.finish c.rep_rs;
@@ -168,22 +191,25 @@ let run_http_src ~(kind : http_kind) ~(sink : Events.sink) ?idle_timeout
     in_parse (fun () -> eof_side c.rep_side);
     Events.raise_connection_state_remove sink c.conn_val
   in
-  Flow_table.on_remove table (fun conn ->
-      stats.evicted <- stats.evicted + 1;
-      finish conn.Flow_table.state);
+  let session =
+    make_session ?idle_timeout ?stats_export
+      ~on_evict:(fun conn ->
+        stats.evicted <- stats.evicted + 1;
+        finish conn.Flow_table.state)
+      fresh
+  in
   Hilti_rt.Iosrc.iter
     (fun (p : Hilti_rt.Iosrc.packet) ->
       stats.packets <- stats.packets + 1;
       let ts = p.Hilti_rt.Iosrc.ts in
       if idle_timeout <> None then sink.Events.set_time ts;
-      if idle_timeout <> None || stats_export <> None then
-        ignore (Hilti_rt.Timer_mgr.advance timer_mgr ts);
+      session.ss_tick ts;
       match Packet.decode_opt ~ts p.Hilti_rt.Iosrc.data with
       | Some pkt -> (
           match (pkt.Packet.transport, Packet.flow pkt) with
           | Packet.TCP (tcp, payload), Some flow ->
               sink.Events.set_time ts;
-              let conn, _ = Flow_table.lookup table ~ts flow in
+              let conn, _ = Flow_table.lookup session.ss_table ~ts flow in
               let c = conn.Flow_table.state in
               let from_orig = Flow.equal flow conn.Flow_table.flow in
               (* connection_established on the responder's SYN+ACK. *)
@@ -205,7 +231,9 @@ let run_http_src ~(kind : http_kind) ~(sink : Events.sink) ?idle_timeout
       | None -> ())
     src;
   (* Trace over: flush the still-live connections in creation order. *)
-  let live = Flow_table.fold (fun conn acc -> conn.Flow_table.state :: acc) table [] in
+  let live =
+    Flow_table.fold (fun conn acc -> conn.Flow_table.state :: acc) session.ss_table []
+  in
   List.iter finish (List.sort (fun a b -> compare a.seq b.seq) live);
   sink.Events.raise_event "bro_done" [];
   stats
@@ -217,16 +245,56 @@ let run_http ~(kind : http_kind) ~(sink : Events.sink) (records : Pcap.record li
 
 (* ---- DNS ------------------------------------------------------------------------- *)
 
-(** Stream a DNS source through the pipeline.  [?idle_timeout] bounds the
-    per-flow connection-value table the same way as for HTTP (DNS has no
-    teardown events, so eviction only releases state). *)
-let run_dns_src ~(kind : dns_kind) ~(sink : Events.sink) ?idle_timeout
-    ?(stats_export : stats_export option) (src : Hilti_rt.Iosrc.t) : stats =
-  let stats = fresh_stats () in
-  let sink = profiled_sink sink stats in
-  sink.Events.raise_event "bro_init" [];
-  let timer_mgr = Hilti_rt.Timer_mgr.create () in
-  arm_stats timer_mgr stats_export;
+type dns_outcome =
+  | D_req of Events.dns_request
+  | D_rep of Events.dns_reply
+  | D_none  (* port-53 crud: still creates the connection, like run_dns *)
+
+(* Extract the DNS-relevant view of a datagram: the connection oriented
+   client -> resolver plus the UDP payload.  Pure per-packet work — it runs
+   on a shard domain in the sharded plane. *)
+let dns_datagram (p : Hilti_rt.Iosrc.packet) : (Flow.t * string) option =
+  let ts = p.Hilti_rt.Iosrc.ts in
+  match Packet.decode_opt ~ts p.Hilti_rt.Iosrc.data with
+  | Some pkt -> (
+      match (pkt.Packet.transport, Packet.flow pkt) with
+      | Packet.UDP (udp, payload), Some flow ->
+          let from_client = udp.Udp.dst_port = 53 in
+          Some ((if from_client then flow else Flow.reverse flow), payload)
+      | _ -> None)
+  | None -> None
+
+(* Parse one datagram with the given parser kind.  Also pure per-packet
+   work (parser state is per-kind instance, owned by whoever holds it). *)
+let dns_parse (kind : dns_kind) payload : dns_outcome =
+  match kind with
+  | Dns_std -> (
+      match in_parse (fun () -> Dns_std.parse payload) with
+      | msg ->
+          if msg.Dns_std.is_response then D_rep (Dns_std.to_reply msg)
+          else D_req (Dns_std.to_request msg)
+      | exception Dns_std.Bad_dns _ ->
+          Hilti_obs.Metrics.incr m_parse_errors;
+          D_none)
+  | Dns_pac t -> (
+      match in_parse (fun () -> Dns_pac.parse t payload) with
+      | Dns_pac.Request rq -> D_req rq
+      | Dns_pac.Reply rp -> D_rep rp
+      | Dns_pac.Not_dns ->
+          Hilti_obs.Metrics.incr m_parse_errors;
+          D_none)
+
+(* The serial event stage: connection tracking, uid assignment, trace-time
+   timers, and event dispatch, driven strictly in packet order.  The serial
+   and sharded DNS paths share this code verbatim — it is why their logs
+   are byte-identical. *)
+type dns_stage = {
+  ds_tick : Hilti_types.Time_ns.t -> unit;  (* every packet, in order *)
+  ds_event : ts:Hilti_types.Time_ns.t -> Flow.t * dns_outcome -> unit;
+}
+
+let dns_stage ~(sink : Events.sink) ~(stats : stats) ?idle_timeout
+    ?(stats_export : stats_export option) () : dns_stage =
   let uid_counter = ref 0 in
   let fresh flow ts =
     incr uid_counter;
@@ -236,46 +304,82 @@ let run_dns_src ~(kind : dns_kind) ~(sink : Events.sink) ?idle_timeout
     Events.raise_connection_established sink conn_val;
     conn_val
   in
-  let table =
-    match idle_timeout with
-    | Some ival -> Flow_table.create ~timeout:ival ~timer_mgr fresh
-    | None -> Flow_table.create fresh
+  let session =
+    make_session ?idle_timeout ?stats_export
+      ~on_evict:(fun _ -> stats.evicted <- stats.evicted + 1)
+      fresh
   in
-  Flow_table.on_remove table (fun _ -> stats.evicted <- stats.evicted + 1);
+  {
+    ds_tick =
+      (fun ts ->
+        stats.packets <- stats.packets + 1;
+        session.ss_tick ts);
+    ds_event =
+      (fun ~ts (oriented, outcome) ->
+        sink.Events.set_time ts;
+        let conn, _ = Flow_table.lookup session.ss_table ~ts oriented in
+        let conn_val = conn.Flow_table.state in
+        match outcome with
+        | D_req rq -> Events.raise_dns_request sink conn_val rq
+        | D_rep rp -> Events.raise_dns_reply sink conn_val rp
+        | D_none -> ());
+  }
+
+(** Stream a DNS source through the pipeline.  [?idle_timeout] bounds the
+    per-flow connection-value table the same way as for HTTP (DNS has no
+    teardown events, so eviction only releases state). *)
+let run_dns_src ~(kind : dns_kind) ~(sink : Events.sink) ?idle_timeout
+    ?(stats_export : stats_export option) (src : Hilti_rt.Iosrc.t) : stats =
+  let stats = fresh_stats () in
+  let sink = profiled_sink sink stats in
+  sink.Events.raise_event "bro_init" [];
+  let stage = dns_stage ~sink ~stats ?idle_timeout ?stats_export () in
   Hilti_rt.Iosrc.iter
     (fun (p : Hilti_rt.Iosrc.packet) ->
-      stats.packets <- stats.packets + 1;
       let ts = p.Hilti_rt.Iosrc.ts in
-      if idle_timeout <> None || stats_export <> None then
-        ignore (Hilti_rt.Timer_mgr.advance timer_mgr ts);
-      match Packet.decode_opt ~ts p.Hilti_rt.Iosrc.data with
-      | Some pkt -> (
-          match (pkt.Packet.transport, Packet.flow pkt) with
-          | Packet.UDP (udp, payload), Some flow ->
-              sink.Events.set_time ts;
-              (* Orient the connection client -> resolver. *)
-              let from_client = udp.Udp.dst_port = 53 in
-              let oriented = if from_client then flow else Flow.reverse flow in
-              let conn, _ = Flow_table.lookup table ~ts oriented in
-              let conn_val = conn.Flow_table.state in
-              (match kind with
-              | Dns_std -> (
-                  match in_parse (fun () -> Dns_std.parse payload) with
-                  | msg ->
-                      if msg.Dns_std.is_response then
-                        Events.raise_dns_reply sink conn_val (Dns_std.to_reply msg)
-                      else
-                        Events.raise_dns_request sink conn_val (Dns_std.to_request msg)
-                  | exception Dns_std.Bad_dns _ ->
-                      Hilti_obs.Metrics.incr m_parse_errors)
-              | Dns_pac t -> (
-                  match in_parse (fun () -> Dns_pac.parse t payload) with
-                  | Dns_pac.Request rq -> Events.raise_dns_request sink conn_val rq
-                  | Dns_pac.Reply rp -> Events.raise_dns_reply sink conn_val rp
-                  | Dns_pac.Not_dns -> Hilti_obs.Metrics.incr m_parse_errors))
-          | _ -> ())
+      stage.ds_tick ts;
+      match dns_datagram p with
+      | Some (oriented, payload) ->
+          stage.ds_event ~ts (oriented, dns_parse kind payload)
       | None -> ())
     src;
+  sink.Events.raise_event "bro_done" [];
+  stats
+
+(* ---- Sharded DNS (the flow-sharded data plane) -------------------------------------- *)
+
+(** [run_dns_src] with decode and parse fanned out over [shards] OCaml
+    domains through {!Hilti_par.Shard_plane}: the dispatcher hashes each
+    datagram's 5-tuple symmetrically ({!Flow.shard}) so both directions of
+    a connection land on the same shard, each shard owns a private parser
+    built by [mk_kind] (no cross-domain locks on the fast path), and the
+    collector replays connection tracking and event dispatch in global
+    packet order — the produced events, and therefore the logs, are
+    byte-identical to {!run_dns_src}'s.  [shards = 1] is the degenerate
+    case: one worker, same output, pipeline parallelism only. *)
+let run_dns_sharded_src ?batch ?ring ~shards ~(mk_kind : int -> dns_kind)
+    ?idle_timeout ?(stats_export : stats_export option) ~(sink : Events.sink)
+    (src : Hilti_rt.Iosrc.t) : stats =
+  let stats = fresh_stats () in
+  let sink = profiled_sink sink stats in
+  sink.Events.raise_event "bro_init" [];
+  let stage = dns_stage ~sink ~stats ?idle_timeout ?stats_export () in
+  let shard_of (p : Hilti_rt.Iosrc.packet) =
+    match Packet.peek_flow p.Hilti_rt.Iosrc.data with
+    | Some flow -> Flow.shard ~shards flow
+    | None -> 0
+  in
+  ignore
+    (Hilti_par.Shard_plane.run ~shards ?batch ?ring ~shard_of ~init:mk_kind
+       ~process:(fun kind ~seq:_ p ->
+         match dns_datagram p with
+         | Some (oriented, payload) ->
+             Some (p.Hilti_rt.Iosrc.ts, oriented, dns_parse kind payload)
+         | None -> None)
+       ~before:(fun ~seq:_ ~ts -> stage.ds_tick ts)
+       ~consume:(fun ~seq:_ (ts, oriented, outcome) ->
+         stage.ds_event ~ts (oriented, outcome))
+       src);
   sink.Events.raise_event "bro_done" [];
   stats
 
@@ -284,12 +388,11 @@ let run_dns ~(kind : dns_kind) ~(sink : Events.sink) (records : Pcap.record list
     stats =
   run_dns_src ~kind ~sink (Pcap.iosrc_of_records records)
 
-(* ---- Parallel DNS (Hilti_par) ------------------------------------------------------ *)
+(* ---- Parallel DNS (legacy Hilti_par.Engine path) ------------------------------------ *)
 
-type dns_outcome =
-  | D_req of Events.dns_request
-  | D_rep of Events.dns_reply
-  | D_none  (* port-53 crud: still creates the connection, like run_dns *)
+(* Kept as the differential oracle for the sharded plane: same outcome, very
+   different machinery (virtual threads over a shared run queue vs. private
+   shards over SPSC batch rings). *)
 
 (* Scheduling substrate for parser kinds that carry no VM of their own. *)
 let trivial_sched_module () =
@@ -383,27 +486,7 @@ let run_dns_par_src ?(batch = 1024) ~jobs ~(kind : dns_kind)
                   Hilti_rt.Scheduler.thread_for_hash ~threads:jobs (Flow.hash canon)
                 in
                 Hilti_vm.Host_api.schedule_host api tid ~label:"dns-parse"
-                  (fun _ctx ->
-                    let outcome =
-                      match kind with
-                      | Dns_std -> (
-                          match in_parse (fun () -> Dns_std.parse payload) with
-                          | msg ->
-                              if msg.Dns_std.is_response then
-                                D_rep (Dns_std.to_reply msg)
-                              else D_req (Dns_std.to_request msg)
-                          | exception Dns_std.Bad_dns _ ->
-                              Hilti_obs.Metrics.incr m_parse_errors;
-                              D_none)
-                      | Dns_pac t -> (
-                          match in_parse (fun () -> Dns_pac.parse t payload) with
-                          | Dns_pac.Request rq -> D_req rq
-                          | Dns_pac.Reply rp -> D_rep rp
-                          | Dns_pac.Not_dns ->
-                              Hilti_obs.Metrics.incr m_parse_errors;
-                              D_none)
-                    in
-                    slots.(i) <- Some (oriented, outcome))
+                  (fun _ctx -> slots.(i) <- Some (oriented, dns_parse kind payload))
             | _ -> ())
         | None -> ()
       done;
@@ -438,6 +521,73 @@ let run_dns_par ~jobs ~(kind : dns_kind) ~(sink : Events.sink)
     (records : Pcap.record list) : stats =
   run_dns_par_src ~jobs ~kind ~sink (Pcap.iosrc_of_records records)
 
+(* ---- Firewall -------------------------------------------------------------------- *)
+
+(* The firewall example (§4.1) gets the same serial/sharded pair as DNS.
+   Its dynamic state (the VM-side rule set and its expiry timers) is keyed
+   by host pair, so the shard key is the symmetric address-pair hash: every
+   packet between two hosts — either direction, any port — lands on the
+   shard owning that pair's state, and per-shard trace clocks advance
+   independently without changing any decision. *)
+
+let fw_line ~ts ~src ~dst allowed =
+  Printf.sprintf "%Ld %s > %s %s"
+    (Hilti_types.Time_ns.to_ns ts)
+    (Hilti_types.Addr.to_string src)
+    (Hilti_types.Addr.to_string dst)
+    (if allowed then "allow" else "deny")
+
+(** Run every frame of [src] through a compiled firewall, emitting one
+    decision line per IP packet via [emit] (in trace order). *)
+let run_firewall_src ~(fw : Hilti_firewall.Fw_hilti.t) ?(emit = fun _ -> ())
+    (src : Hilti_rt.Iosrc.t) : stats =
+  let stats = fresh_stats () in
+  Hilti_rt.Iosrc.iter
+    (fun (p : Hilti_rt.Iosrc.packet) ->
+      stats.packets <- stats.packets + 1;
+      let ts = p.Hilti_rt.Iosrc.ts in
+      match Packet.peek_addrs p.Hilti_rt.Iosrc.data with
+      | Some (src_a, dst_a) ->
+          let allowed =
+            Hilti_firewall.Fw_hilti.match_packet fw ~ts ~src:src_a ~dst:dst_a
+          in
+          stats.events <- stats.events + 1;
+          emit (fw_line ~ts ~src:src_a ~dst:dst_a allowed)
+      | None -> ())
+    src;
+  stats
+
+(** [run_firewall_src] over the sharded data plane: [mk_fw] builds each
+    shard's private firewall instance (its own VM, rule set, timers) on the
+    shard's domain; decision lines are merged back into trace order, so the
+    emitted log is byte-identical to the serial run's. *)
+let run_firewall_sharded_src ?batch ?ring ~shards
+    ~(mk_fw : int -> Hilti_firewall.Fw_hilti.t) ?(emit = fun _ -> ())
+    (src : Hilti_rt.Iosrc.t) : stats =
+  let stats = fresh_stats () in
+  let shard_of (p : Hilti_rt.Iosrc.packet) =
+    match Packet.peek_addrs p.Hilti_rt.Iosrc.data with
+    | Some (a, b) -> Flow.shard_of_hash ~shards (Flow.host_pair_hash a b)
+    | None -> 0
+  in
+  ignore
+    (Hilti_par.Shard_plane.run ~shards ?batch ?ring ~shard_of ~init:mk_fw
+       ~process:(fun fw ~seq:_ p ->
+         let ts = p.Hilti_rt.Iosrc.ts in
+         match Packet.peek_addrs p.Hilti_rt.Iosrc.data with
+         | Some (src_a, dst_a) ->
+             let allowed =
+               Hilti_firewall.Fw_hilti.match_packet fw ~ts ~src:src_a ~dst:dst_a
+             in
+             Some (fw_line ~ts ~src:src_a ~dst:dst_a allowed)
+         | None -> None)
+       ~before:(fun ~seq:_ ~ts:_ -> stats.packets <- stats.packets + 1)
+       ~consume:(fun ~seq:_ line ->
+         stats.events <- stats.events + 1;
+         emit line)
+       src);
+  stats
+
 (* ---- Convenience: full evaluation runs (§6.4/§6.5) ---------------------------------- *)
 
 type run_result = {
@@ -459,11 +609,12 @@ let profiler_ns name = Hilti_rt.Profiler.wall_ns (Hilti_rt.Profiler.find_or_crea
 (** Run an HTTP or DNS source end-to-end with a given parser kind and
     script engine; returns logs and the component time breakdown.
 
-    @param jobs parse DNS datagrams on this many OCaml domains
-    ({!run_dns_par_src}); HTTP runs serially regardless (its parse state is
-    per-connection and incremental).
+    @param jobs shard DNS decode+parse over this many OCaml domains via the
+    flow-sharded data plane ({!run_dns_sharded_src}); each shard gets its
+    own freshly-built parser.  HTTP runs serially regardless (its parse
+    state is per-connection and incremental).
     @param idle_timeout evict connections idle for this long (trace time);
-    ignored by the parallel DNS stage, whose table holds only values.
+    honored identically by the serial and sharded DNS paths.
     @param stats_export scrape callback fired at this interval of trace
     time (the mini-bro [-stats-interval] plumbing). *)
 let evaluate_src ~(proto : [ `Http of http_kind | `Dns of dns_kind ])
@@ -482,7 +633,13 @@ let evaluate_src ~(proto : [ `Http of http_kind | `Dns of dns_kind ])
         match (proto, jobs) with
         | `Http kind, _ -> run_http_src ~kind ~sink ?idle_timeout ?stats_export src
         | `Dns kind, Some j when j > 0 ->
-            run_dns_par_src ~jobs:j ~kind ?stats_export ~sink src
+            let mk_kind _shard =
+              match kind with
+              | Dns_std -> Dns_std
+              | Dns_pac _ -> Dns_pac (Dns_pac.load ())
+            in
+            run_dns_sharded_src ~shards:j ~mk_kind ?idle_timeout ?stats_export
+              ~sink src
         | `Dns kind, _ -> run_dns_src ~kind ~sink ?idle_timeout ?stats_export src)
   in
   {

@@ -51,6 +51,25 @@ let hash t =
     (Addr.hash canon.src, Addr.hash canon.dst, Port.hash canon.src_port,
      Port.hash canon.dst_port)
 
+(* ---- Shard selection (the flow-sharded data plane) ------------------------- *)
+
+(** Reduce an arbitrary hash to a shard index in [\[0, shards)]. *)
+let shard_of_hash ~shards h =
+  if shards <= 1 then 0 else (h land max_int) mod shards
+
+(** The shard owning this flow.  Symmetric: both directions of a 5-tuple
+    map to the same shard (the hash canonicalizes first), so all state for
+    a connection stays shard-local — §6's hash-scheduling invariant. *)
+let shard ~shards t = shard_of_hash ~shards (hash t)
+
+(** Symmetric hash of the unordered address pair, ignoring ports — the
+    shard key for analyses whose state is keyed by host pair rather than
+    by connection (e.g. the firewall's dynamic rule set, which installs
+    both directions of an address pair). *)
+let host_pair_hash a b =
+  let ha = Addr.hash a and hb = Addr.hash b in
+  if ha <= hb then Hashtbl.hash (ha, hb) else Hashtbl.hash (hb, ha)
+
 let to_string t =
   Printf.sprintf "%s:%d > %s:%d/%s" (Addr.to_string t.src)
     (Port.number t.src_port) (Addr.to_string t.dst) (Port.number t.dst_port)

@@ -68,6 +68,63 @@ let decode_opt ~ts frame =
               | Tcp.Bad_header _ | Udp.Bad_header _ | Unsupported _) ->
       None
 
+(* Header peeks (the sharded dispatcher's fast path) ------------------------ *)
+
+(* The dispatcher of the flow-sharded data plane must pick a shard for
+   every frame, but full decoding belongs on the shard (it materializes
+   payload strings).  These peeks read only the handful of header bytes
+   that determine the shard key, allocation-free except for the Addr
+   values, with a full-decode fallback for anything but plain IPv4. *)
+
+let ipv4_addr_at frame off =
+  Hilti_types.Addr.of_ipv4_octets
+    (Char.code frame.[off]) (Char.code frame.[off + 1])
+    (Char.code frame.[off + 2]) (Char.code frame.[off + 3])
+
+let peek_ipv4 frame =
+  (* 14-byte Ethernet header, then version/IHL, protocol at +9, addresses
+     at +12/+16 of the IP header. *)
+  if String.length frame < 34 then None
+  else if Wire.get_u16 frame 12 <> Ethernet.ethertype_ipv4 then None
+  else
+    let vihl = Char.code frame.[14] in
+    if vihl lsr 4 <> 4 then None
+    else
+      let ihl = (vihl land 0xf) * 4 in
+      if ihl < 20 || String.length frame < 14 + ihl then None
+      else
+        Some (Char.code frame.[23], ihl, ipv4_addr_at frame 26, ipv4_addr_at frame 30)
+
+(** [peek_addrs frame] is the IP source/destination pair of [frame]
+    without materializing any payload; [None] for non-IP frames. *)
+let peek_addrs frame =
+  match peek_ipv4 frame with
+  | Some (_, _, src, dst) -> Some (src, dst)
+  | None -> (
+      (* Non-IPv4 (e.g. IPv6): rare enough to take the full decoder. *)
+      match decode_opt ~ts:Hilti_types.Time_ns.epoch frame with
+      | Some pkt -> Some (src pkt, dst pkt)
+      | None -> None)
+
+(** [peek_flow frame] is the frame's 5-tuple read straight out of the
+    headers, or [None] for non-IP frames and transports without ports.
+    Agrees with [flow (decode frame)] whenever both succeed. *)
+let peek_flow frame =
+  match peek_ipv4 frame with
+  | Some (proto, ihl, src, dst)
+    when proto = Ipv4.proto_tcp || proto = Ipv4.proto_udp ->
+      let toff = 14 + ihl in
+      if String.length frame < toff + 4 then None
+      else
+        let sp = Wire.get_u16 frame toff and dp = Wire.get_u16 frame (toff + 2) in
+        let mk = if proto = Ipv4.proto_tcp then Port.tcp else Port.udp in
+        Some (Flow.make ~src ~dst ~src_port:(mk sp) ~dst_port:(mk dp))
+  | Some _ -> None
+  | None -> (
+      match decode_opt ~ts:Hilti_types.Time_ns.epoch frame with
+      | Some pkt -> flow pkt
+      | None -> None)
+
 (* Encoding helpers used by the trace generator ---------------------------- *)
 
 let encode_tcp ~src ~dst ~src_port ~dst_port ~seq ~ack ~flags payload =

@@ -1,0 +1,275 @@
+(** The flow-sharded, batch-granular data plane (§6's concurrency recipe,
+    applied end-to-end).
+
+    The PR-1 engine migrated work per-datagram through shared queues;
+    domains added synchronization instead of throughput.  This scaffold
+    partitions the packet path the way the paper's runtime partitions
+    virtual threads: a {e dispatcher} (the calling domain) pulls an
+    {!Hilti_rt.Iosrc.t}, stamps every packet with a global sequence
+    number, and fans {e batches} out to [shards] worker domains over
+    {!Hilti_rt.Spsc_ring}s, choosing the shard with a symmetric flow hash
+    so both directions of a connection land on the same worker.
+
+    Each shard owns its state outright — parser instances, session
+    tables, timer managers, and (through the domain-sharded
+    {!Hilti_obs.Metrics} shards) its metrics — and never takes a lock on
+    the fast path: the only cross-domain traffic is the batch rings.
+
+    Workers return per-packet results tagged with the packet's sequence
+    number.  The dispatcher doubles as the {e collector}: it k-way-merges
+    the shards' result logs back into global sequence order and feeds a
+    serial consumer, so a sharded run produces output byte-identical to a
+    serial run of the same per-packet function.  Ordering holds because
+    every ring preserves order, every shard receives one (possibly empty)
+    sub-batch per global batch, and results within a shard are emitted in
+    input order.
+
+    Backpressure is end-to-end: input rings bound how far the dispatcher
+    can run ahead of a slow shard, output rings bound how far shards run
+    ahead of the collector, and the dispatcher reclaims ring slots by
+    collecting the oldest in-flight batch whenever a push would block. *)
+
+open Hilti_types
+
+type in_msg = {
+  upto_ts : Time_ns.t;  (** timestamp watermark: last packet of the global batch *)
+  pkts : (int * Hilti_rt.Iosrc.packet) array;  (** (seq, packet), seq-ascending *)
+}
+
+type 'out out_msg = { outs : (int * 'out) array  (** seq-ascending *) }
+
+type stats = {
+  mutable packets : int;  (** packets merged back in sequence order *)
+  mutable batches : int;  (** global batches dispatched *)
+  mutable outputs : int;  (** shard results delivered to [consume] *)
+}
+
+let m_batches =
+  Hilti_obs.Metrics.counter "shard_batches"
+    ~help:"Global batches dispatched to the shard rings"
+
+let m_outputs =
+  Hilti_obs.Metrics.counter "shard_outputs_merged"
+    ~help:"Shard results merged back into sequence order"
+
+let m_inflight =
+  Hilti_obs.Metrics.gauge "shard_inflight_batches"
+    ~help:"Batches dispatched but not yet collected"
+
+(* Merge the shards' end-of-stream flush logs by sequence key. *)
+let merge_finals (finals : (int * 'out) array array) (emit : int -> 'out -> unit) =
+  let k = Array.length finals in
+  let idx = Array.make k 0 in
+  let rec go () =
+    let best = ref (-1) in
+    for i = 0 to k - 1 do
+      if idx.(i) < Array.length finals.(i) then
+        if
+          !best < 0
+          || fst finals.(i).(idx.(i)) < fst finals.(!best).(idx.(!best))
+        then best := i
+    done;
+    if !best >= 0 then begin
+      let i = !best in
+      let seq, out = finals.(i).(idx.(i)) in
+      idx.(i) <- idx.(i) + 1;
+      emit seq out;
+      go ()
+    end
+  in
+  go ()
+
+(** Run the sharded plane over [src].
+
+    [shard_of] picks the worker for a packet (clamped into range; use
+    {!Hilti_net.Flow.shard} on a peeked flow).  [init] builds a shard's
+    private state {e on the shard's domain}.  [process] handles one packet
+    on its shard and returns the packet's result, if any.  [tick], if
+    given, runs on the shard after each batch with the batch's timestamp
+    watermark (per-shard timer advancement).  [finish] runs on the shard
+    at end of stream and returns flush results keyed by an ordering
+    sequence.  [before] runs on the calling domain for {e every} packet in
+    global sequence order (serial per-packet bookkeeping: timers, stats);
+    [consume] runs right after the [before] of the packet that produced
+    the result — together they replay the exact serial schedule.
+
+    Exceptions raised by shard callbacks are re-raised here after the
+    plane is torn down. *)
+let run ~shards ?(batch = 256) ?(ring = 8) ~shard_of ~init ~process
+    ?(tick = fun _ _ -> ()) ?(finish = fun _ -> []) ~before ~consume
+    (src : Hilti_rt.Iosrc.t) : stats =
+  if shards < 1 then invalid_arg "Shard_plane.run: shards must be >= 1";
+  if batch < 1 then invalid_arg "Shard_plane.run: batch must be >= 1";
+  if ring < 1 then invalid_arg "Shard_plane.run: ring must be >= 1";
+  let stats = { packets = 0; batches = 0; outputs = 0 } in
+  let in_rings =
+    Array.init shards (fun _ -> Hilti_rt.Spsc_ring.create ~capacity:ring ())
+  in
+  let out_rings =
+    Array.init shards (fun _ -> Hilti_rt.Spsc_ring.create ~capacity:ring ())
+  in
+  let error : (exn * Printexc.raw_backtrace) option Atomic.t = Atomic.make None in
+  let worker sid =
+    let in_r = in_rings.(sid) and out_r = out_rings.(sid) in
+    try
+      let st = init sid in
+      let rec loop () =
+        match Hilti_rt.Spsc_ring.pop in_r with
+        | Some (msg : in_msg) ->
+            let outs = ref [] in
+            Array.iter
+              (fun (seq, p) ->
+                match process st ~seq p with
+                | Some o -> outs := (seq, o) :: !outs
+                | None -> ())
+              msg.pkts;
+            tick st msg.upto_ts;
+            Hilti_rt.Spsc_ring.push out_r
+              { outs = Array.of_list (List.rev !outs) };
+            loop ()
+        | None ->
+            (* Input closed and drained: flush, then close our side. *)
+            Hilti_rt.Spsc_ring.push out_r { outs = Array.of_list (finish st) };
+            Hilti_rt.Spsc_ring.close out_r
+      in
+      loop ()
+    with e ->
+      ignore
+        (Atomic.compare_and_set error None (Some (e, Printexc.get_raw_backtrace ())));
+      (* Fail open: close our output (the collector will notice) and keep
+         draining input so the dispatcher can never block on a dead shard. *)
+      Hilti_rt.Spsc_ring.close out_r;
+      let rec drain () =
+        match Hilti_rt.Spsc_ring.pop in_r with Some _ -> drain () | None -> ()
+      in
+      drain ()
+  in
+  let domains = Array.init shards (fun sid -> Domain.spawn (fun () -> worker sid)) in
+  (* One entry per dispatched-but-uncollected batch: for each packet its
+     (seq, ts, shard) — everything the collector needs to replay the
+     serial schedule without the packet itself. *)
+  let inflight : (int * Time_ns.t * int) array Queue.t = Queue.create () in
+  let raise_shard_error () =
+    match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> failwith "Shard_plane: shard closed its output unexpectedly"
+  in
+  let collect_one () =
+    let meta = Queue.pop inflight in
+    Hilti_obs.Metrics.gauge_set m_inflight (Queue.length inflight);
+    (* Output rings deliver exactly one record per global batch, in batch
+       order, so the heads across all shards belong to this batch. *)
+    let msgs =
+      Array.map
+        (fun r ->
+          match Hilti_rt.Spsc_ring.pop r with
+          | Some m -> m
+          | None -> raise_shard_error ())
+        out_rings
+    in
+    let idx = Array.make shards 0 in
+    Array.iter
+      (fun (seq, ts, sid) ->
+        before ~seq ~ts;
+        let m = msgs.(sid) in
+        let i = idx.(sid) in
+        if i < Array.length m.outs && fst m.outs.(i) = seq then begin
+          consume ~seq (snd m.outs.(i));
+          idx.(sid) <- i + 1;
+          stats.outputs <- stats.outputs + 1;
+          Hilti_obs.Metrics.incr m_outputs
+        end)
+      meta;
+    stats.packets <- stats.packets + Array.length meta
+  in
+  let teardown () =
+    Array.iter Hilti_rt.Spsc_ring.close in_rings;
+    Array.iter
+      (fun r ->
+        let rec d () =
+          match Hilti_rt.Spsc_ring.pop r with Some _ -> d () | None -> ()
+        in
+        d ())
+      out_rings;
+    Array.iter Domain.join domains
+  in
+  try
+    let max_inflight = 2 * ring in
+    let seq = ref 0 in
+    let eof = ref false in
+    let buf = Array.make batch None in
+    while not !eof do
+      let n = ref 0 in
+      while !n < batch && not !eof do
+        match Hilti_rt.Iosrc.read src with
+        | Some p ->
+            buf.(!n) <- Some p;
+            incr n
+        | None -> eof := true
+      done;
+      let n = !n in
+      if n > 0 then begin
+        (* Partition the batch by shard, preserving order. *)
+        let per = Array.make shards [] in
+        let last = Option.get buf.(n - 1) in
+        let meta =
+          Array.init n (fun i ->
+              let p = Option.get buf.(i) in
+              let s = shard_of p in
+              let s = if s < 0 || s >= shards then 0 else s in
+              let sq = !seq + i in
+              per.(s) <- (sq, p) :: per.(s);
+              (sq, p.Hilti_rt.Iosrc.ts, s))
+        in
+        seq := !seq + n;
+        Array.fill buf 0 n None;
+        for sid = 0 to shards - 1 do
+          let msg =
+            { upto_ts = last.Hilti_rt.Iosrc.ts;
+              pkts = Array.of_list (List.rev per.(sid)) }
+          in
+          while not (Hilti_rt.Spsc_ring.try_push in_rings.(sid) msg) do
+            (* A full ring implies at least [ring] fully-dispatched batches
+               in flight — reclaim a slot by collecting the oldest. *)
+            collect_one ()
+          done
+        done;
+        Queue.add meta inflight;
+        stats.batches <- stats.batches + 1;
+        Hilti_obs.Metrics.incr m_batches;
+        Hilti_obs.Metrics.gauge_set m_inflight (Queue.length inflight);
+        if Queue.length inflight >= max_inflight then collect_one ()
+      end
+    done;
+    Array.iter Hilti_rt.Spsc_ring.close in_rings;
+    while not (Queue.is_empty inflight) do
+      collect_one ()
+    done;
+    (* Every shard's last record is its end-of-stream flush. *)
+    let finals =
+      Array.map
+        (fun r ->
+          match Hilti_rt.Spsc_ring.pop r with
+          | Some m -> m.outs
+          | None -> raise_shard_error ())
+        out_rings
+    in
+    merge_finals finals (fun seq out ->
+        consume ~seq out;
+        stats.outputs <- stats.outputs + 1);
+    Array.iter
+      (fun r ->
+        match Hilti_rt.Spsc_ring.pop r with
+        | None -> ()
+        | Some _ -> failwith "Shard_plane: output after end-of-stream flush")
+      out_rings;
+    Array.iter Domain.join domains;
+    (match Atomic.get error with Some _ -> raise_shard_error () | None -> ());
+    stats
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    teardown ();
+    (match Atomic.get error with
+    | Some (se, sbt) when se == e -> Printexc.raise_with_backtrace se sbt
+    | _ -> ());
+    Printexc.raise_with_backtrace e bt

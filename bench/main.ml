@@ -18,6 +18,7 @@ let experiments =
     ("obs", "observability: instrumentation overhead off vs on");
     ("vmopt", "register-bank specialization + superinstruction fusion");
     ("classifier", "decision-diagram rule matching at 1k/10k/100k rules");
+    ("fuzz", "differential fuzzing: execs/sec through paired oracles");
     ("ablations", "design-choice ablations") ]
 
 let () =
@@ -52,6 +53,7 @@ let () =
       | "obs" -> ignore (Bench_obs.run ~dns_transactions ())
       | "vmopt" -> ignore (Bench_vmopt.run ~quick ())
       | "classifier" -> ignore (Bench_classifier.run ~quick ())
+      | "fuzz" -> ignore (Bench_fuzz.run ~quick ())
       | "ablations" -> Bench_ablations.run ()
       | other ->
           Printf.eprintf "unknown experiment %s; known:\n" other;

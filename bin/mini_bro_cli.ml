@@ -14,9 +14,12 @@ input (one required):
   -r FILE          read packets from a pcap trace
   -g http[:N]      generate a synthetic HTTP trace (N sessions, default 200)
   -g dns[:N]       generate a synthetic DNS trace (N transactions, default 2000)
+  -g mqtt[:N]      generate a synthetic MQTT trace (N sessions, default 120)
+  -g ftp[:N]       generate a synthetic FTP trace (N sessions, default 80)
 
 analysis:
-  -proto http|dns  which analyzer to run (default: guessed from -g, else http)
+  -proto http|dns|mqtt|ftp
+                   which analyzer to run (default: guessed from -g, else http)
   -parsers std|pac standard hand-written or BinPAC++/HILTI parsers (default std)
   -compile-scripts run scripts compiled to HILTI instead of interpreted
   -w DIR           write http.log/files.log/dns.log into DIR (default .)
@@ -35,6 +38,15 @@ observability:
   -stats-interval MS  also snapshot every MS milliseconds of trace time
   -trace-spans        record trace spans; written to PATH.trace.json
                       (Chrome trace-event format; requires -metrics)
+
+differential fuzzing (no input required):
+  -fuzz dns|mqtt|ftp|all
+                   run the grammar-aware differential fuzzer: mutated
+                   generator streams through hand-written vs BinPAC++
+                   parsers and checked vs specialized VM dispatch; writes
+                   DIR/fuzz.jsonl and exits nonzero on any finding
+  -seed N          fuzzer RNG seed (default 1); replays are deterministic
+  -budget N        mutated executions per oracle pair (default 150)
 
 Input is streamed: packets are pulled from the trace (or synthesized) one
 at a time, so memory is bounded by the live connections, not trace size.
@@ -67,9 +79,27 @@ let () =
   let trace_spans = ref false in
   let evt_files = ref [] in
   let bro_files = ref [] in
+  let fuzz = ref None in
+  let fuzz_seed = ref 1 in
+  let fuzz_budget = ref Hilti_fuzz.Engine.default.Hilti_fuzz.Engine.execs in
   let rec parse_args = function
     | [] -> ()
     | "-r" :: f :: rest -> input := Some (`Pcap f); parse_args rest
+    | "-fuzz" :: p :: rest -> fuzz := Some p; parse_args rest
+    | "-seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some s -> fuzz_seed := s
+        | None ->
+            Printf.eprintf "-seed expects an integer, got %s\n" n;
+            exit 1);
+        parse_args rest
+    | "-budget" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some b when b >= 0 -> fuzz_budget := b
+        | _ ->
+            Printf.eprintf "-budget expects a non-negative count, got %s\n" n;
+            exit 1);
+        parse_args rest
     | "-g" :: spec :: rest -> input := Some (`Gen spec); parse_args rest
     | "-proto" :: p :: rest -> proto := Some p; parse_args rest
     | "-parsers" :: p :: rest -> parsers := p; parse_args rest
@@ -140,6 +170,55 @@ let () =
         Printf.printf "wrote metrics to %s.metrics.jsonl / %s.prom\n" prefix prefix
     | _ -> ()
   in
+  (* Differential fuzz mode: no packet input — the fuzzer builds its own
+     corpus from the generators. *)
+  (match !fuzz with
+  | Some which ->
+      let protos =
+        match which with
+        | "all" -> [ Hilti_fuzz.Shape.Mqtt; Hilti_fuzz.Shape.Ftp; Hilti_fuzz.Shape.Dns ]
+        | p -> (
+            match Hilti_fuzz.Shape.proto_of_string p with
+            | Some pr when pr <> Hilti_fuzz.Shape.Generic -> [ pr ]
+            | _ ->
+                Printf.eprintf "bad -fuzz spec %s (dns|mqtt|ftp|all)\n" p;
+                exit 1)
+      in
+      let cfg =
+        { Hilti_fuzz.Engine.default with
+          Hilti_fuzz.Engine.seed = !fuzz_seed;
+          execs = !fuzz_budget }
+      in
+      let pairs =
+        List.concat_map
+          (Hilti_fuzz.Oracle.pairs_for ~step_budget:cfg.Hilti_fuzz.Engine.step_budget)
+          protos
+      in
+      let t0 = Unix.gettimeofday () in
+      let report = Hilti_fuzz.Engine.run ~pairs cfg in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "%s in %.1f s (%.0f execs/s, seed %d)\n"
+        (Hilti_fuzz.Engine.summary report)
+        dt
+        (float_of_int report.Hilti_fuzz.Engine.r_execs /. max 1e-9 dt)
+        !fuzz_seed;
+      List.iter
+        (fun f ->
+          Printf.printf "  [%s] %s %s: %s\n" f.Hilti_fuzz.Engine.f_class
+            f.Hilti_fuzz.Engine.f_pair f.Hilti_fuzz.Engine.f_fingerprint
+            f.Hilti_fuzz.Engine.f_detail)
+        report.Hilti_fuzz.Engine.r_findings;
+      if not !quiet then begin
+        let path = Filename.concat !outdir "fuzz.jsonl" in
+        let oc = open_out path in
+        output_string oc (Hilti_fuzz.Engine.report_to_jsonl report);
+        close_out oc;
+        Printf.printf "wrote %s (%d findings)\n" path
+          (List.length report.Hilti_fuzz.Engine.r_findings)
+      end;
+      finish_metrics ();
+      exit (if report.Hilti_fuzz.Engine.r_findings = [] then 0 else 1)
+  | None -> ());
   (* A re-creatable streaming source: packets are pulled on demand (from
      the trace file or synthesized), never materialised as a list.  The
      thunk lets the Fig. 7(d) mode replay the input once per .evt file. *)
@@ -165,6 +244,20 @@ let () =
                 Hilti_traces.Dns_gen.iosrc
                   { Hilti_traces.Dns_gen.default with transactions }),
               "dns" )
+        | "mqtt" :: rest ->
+            let sessions =
+              match rest with [ n ] -> int_of_string n | _ -> 120
+            in
+            ( (fun () ->
+                Hilti_traces.Mqtt_gen.iosrc
+                  { Hilti_traces.Mqtt_gen.default with sessions }),
+              "mqtt" )
+        | "ftp" :: rest ->
+            let sessions = match rest with [ n ] -> int_of_string n | _ -> 80 in
+            ( (fun () ->
+                Hilti_traces.Ftp_gen.iosrc
+                  { Hilti_traces.Ftp_gen.default with sessions }),
+              "ftp" )
         | "ssh" :: rest ->
             let sessions = match rest with [ n ] -> int_of_string n | _ -> 20 in
             ( (fun () ->
@@ -220,6 +313,10 @@ let () =
     | "http", "pac" -> `Http (Driver.Http_pac (Http_pac.load ()))
     | "dns", "std" -> `Dns Driver.Dns_std
     | "dns", "pac" -> `Dns (Driver.Dns_pac (Dns_pac.load ()))
+    | "mqtt", "std" -> `Mqtt Driver.Mqtt_std
+    | "mqtt", "pac" -> `Mqtt (Driver.Mqtt_pac (Mqtt_pac.load ()))
+    | "ftp", "std" -> `Ftp Driver.Ftp_std
+    | "ftp", "pac" -> `Ftp (Driver.Ftp_pac (Ftp_pac.load ()))
     | p, k ->
         Printf.eprintf "bad -proto %s / -parsers %s\n" p k;
         exit 1
@@ -258,7 +355,13 @@ let () =
       Printf.printf "wrote profiler report to %s\n" path
   | None -> ());
   if not !quiet then begin
-    let streams = if proto = "http" then [ "http"; "files" ] else [ "dns" ] in
+    let streams =
+      match proto with
+      | "http" -> [ "http"; "files" ]
+      | "mqtt" -> [ "mqtt" ]
+      | "ftp" -> [ "ftp" ]
+      | _ -> [ "dns" ]
+    in
     List.iter
       (fun s ->
         let path = Filename.concat !outdir (s ^ ".log") in

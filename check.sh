@@ -84,6 +84,22 @@ grep -q '"differential_ok": true' BENCH_classifier.json
 # 10k rules (the acceptance floor; measured runs land far above it).
 awk -F': ' '/"speedup_fdd_10k"/ { if ($2+0 < 10) exit 1 }' BENCH_classifier.json
 
+echo "== fuzz suite (test_fuzz: shape scanners, replayable findings, clean pairs)"
+dune exec test/test_main.exe -- test fuzz
+
+echo "== fuzz smoke (all six differential pairs, fixed seed, bounded time)"
+# DNS pair + both new grammars under std-vs-pac and checked-vs-specialized
+# dispatch; any divergence, crash or hang fails the check (exit 1).  The
+# budget keeps this under ~15s even on slow machines.
+dune exec bin/mini_bro_cli.exe -- -fuzz all -seed 1 -budget 150 -quiet
+
+echo "== bench fuzz (writes BENCH_fuzz.json)"
+dune exec bench/main.exe -- fuzz --quick
+grep -q '"execs_per_sec"' BENCH_fuzz.json
+grep -q '"corpus_cases"' BENCH_fuzz.json
+# The shipped parsers must stay divergence-free under the seeded run.
+grep -q '"findings": 0,' BENCH_fuzz.json
+
 echo "== hiltic -analyze over examples (exits non-zero on error findings)"
 : > LINT_report.tsv
 for f in examples/data/*.hlt; do

@@ -19,6 +19,8 @@ open Mini_bro
 
 type http_kind = Http_std | Http_pac of Http_pac.t
 type dns_kind = Dns_std | Dns_pac of Dns_pac.t
+type mqtt_kind = Mqtt_std | Mqtt_pac of Mqtt_pac.t
+type ftp_kind = Ftp_std | Ftp_pac of Ftp_pac.t
 
 type stats = {
   mutable packets : int;
@@ -118,6 +120,28 @@ let make_session ?idle_timeout ?(stats_export : stats_export option) ?on_evict
   in
   { ss_table = table; ss_tick = tick }
 
+(* ---- Parse-error accounting -------------------------------------------------------- *)
+
+(* [m_parse_errors] counts once per failed parse attempt, uniformly across
+   every runner and recovery path: a rejected datagram (DNS), or a stream
+   direction whose parser went dead (HTTP/MQTT/FTP, std or pac).  Stream
+   parsers report failure on every feed once dead, so each direction
+   carries a latch. *)
+type side_acct = { mutable err_counted : bool }
+
+let fresh_acct () = { err_counted = false }
+
+let note_parse_error acct failed_now =
+  if failed_now && not acct.err_counted then begin
+    acct.err_counted <- true;
+    Hilti_obs.Metrics.incr m_parse_errors
+  end
+
+let pac_session_failed (s : Binpacxx.Runtime.session) =
+  match Binpacxx.Runtime.status s with
+  | Binpacxx.Runtime.Failed _ -> true
+  | _ -> false
+
 (* ---- HTTP ------------------------------------------------------------------------ *)
 
 type http_side =
@@ -130,6 +154,8 @@ type http_conn = {
   rep_side : http_side;
   req_rs : Reassembly.t;
   rep_rs : Reassembly.t;
+  req_acct : side_acct;
+  rep_acct : side_acct;
   seq : int;  (** creation order, for the deterministic end-of-trace flush *)
   mutable established : bool;
 }
@@ -141,6 +167,11 @@ let feed_side side data =
 
 let eof_side side =
   match side with Hs_std p -> Http_std.eof p | Hs_pac s -> Http_pac.eof s
+
+let http_side_failed side =
+  match side with
+  | Hs_std p -> Http_std.failed p
+  | Hs_pac s -> pac_session_failed s.Http_pac.s
 
 (** Stream an HTTP source through the pipeline.  With [?idle_timeout],
     connections idle for that long (in trace time) are flushed and evicted
@@ -180,15 +211,22 @@ let run_http_src ~(kind : http_kind) ~(sink : Events.sink) ?idle_timeout
         Reassembly.create (fun data -> in_parse (fun () -> feed_side req_side data));
       rep_rs =
         Reassembly.create (fun data -> in_parse (fun () -> feed_side rep_side data));
+      req_acct = fresh_acct ();
+      rep_acct = fresh_acct ();
       seq = !uid_counter;
       established = false;
     }
+  in
+  let note_sides (c : http_conn) =
+    note_parse_error c.req_acct (http_side_failed c.req_side);
+    note_parse_error c.rep_acct (http_side_failed c.rep_side)
   in
   let finish (c : http_conn) =
     Reassembly.finish c.req_rs;
     Reassembly.finish c.rep_rs;
     in_parse (fun () -> eof_side c.req_side);
     in_parse (fun () -> eof_side c.rep_side);
+    note_sides c;
     Events.raise_connection_state_remove sink c.conn_val
   in
   let session =
@@ -226,7 +264,8 @@ let run_http_src ~(kind : http_kind) ~(sink : Events.sink) ?idle_timeout
               Reassembly.segment rs ~seq:tcp.Tcp.seq
                 ~syn:(Tcp.has_flag tcp Tcp.flag_syn)
                 ~fin:(Tcp.has_flag tcp Tcp.flag_fin)
-                payload
+                payload;
+              note_sides c
           | _ -> ())
       | None -> ())
     src;
@@ -242,6 +281,338 @@ let run_http_src ~(kind : http_kind) ~(sink : Events.sink) ?idle_timeout
 let run_http ~(kind : http_kind) ~(sink : Events.sink) (records : Pcap.record list) :
     stats =
   run_http_src ~kind ~sink (Pcap.iosrc_of_records records)
+
+(* ---- MQTT ------------------------------------------------------------------------ *)
+
+type mqtt_side = Ms_std of Mqtt_std.t | Ms_pac of Mqtt_pac.session
+
+type mqtt_conn = {
+  m_conn_val : Bro_val.t;
+  m_orig : mqtt_side;
+  m_resp : mqtt_side;
+  m_orig_rs : Reassembly.t;
+  m_resp_rs : Reassembly.t;
+  m_orig_acct : side_acct;
+  m_resp_acct : side_acct;
+  m_seq : int;
+  mutable m_established : bool;
+}
+
+let mqtt_feed side data =
+  match side with
+  | Ms_std p -> Mqtt_std.feed p data
+  | Ms_pac s -> ignore (Mqtt_pac.feed s data)
+
+let mqtt_eof side =
+  match side with
+  | Ms_std p -> Mqtt_std.eof p
+  | Ms_pac s -> ignore (Mqtt_pac.eof s)
+
+let mqtt_failed side =
+  match side with
+  | Ms_std p -> Mqtt_std.failed p <> None
+  | Ms_pac s -> pac_session_failed s.Mqtt_pac.s
+
+(** Stream an MQTT source through the pipeline: TCP reassembly per
+    direction, control packets parsed by the selected implementation,
+    packet events raised on the owning connection.  Structure and eviction
+    semantics mirror {!run_http_src}. *)
+let run_mqtt_src ~(kind : mqtt_kind) ~(sink : Events.sink) ?idle_timeout
+    ?(stats_export : stats_export option) (src : Hilti_rt.Iosrc.t) : stats =
+  let stats = fresh_stats () in
+  let sink = profiled_sink sink stats in
+  sink.Events.raise_event "bro_init" [];
+  let uid_counter = ref 0 in
+  let fresh flow ts =
+    incr uid_counter;
+    stats.connections <- stats.connections + 1;
+    let uid = Printf.sprintf "C%d" !uid_counter in
+    let conn_val = Events.connection_val ~uid ~flow ~start_time:ts in
+    let on_packet ev = Events.raise_mqtt sink conn_val ev in
+    let mk_side () =
+      match kind with
+      | Mqtt_std -> Ms_std (Mqtt_std.create ~on_packet)
+      | Mqtt_pac t -> Ms_pac (Mqtt_pac.session t ~on_packet)
+    in
+    let m_orig = mk_side () in
+    let m_resp = mk_side () in
+    {
+      m_conn_val = conn_val;
+      m_orig;
+      m_resp;
+      m_orig_rs =
+        Reassembly.create (fun data -> in_parse (fun () -> mqtt_feed m_orig data));
+      m_resp_rs =
+        Reassembly.create (fun data -> in_parse (fun () -> mqtt_feed m_resp data));
+      m_orig_acct = fresh_acct ();
+      m_resp_acct = fresh_acct ();
+      m_seq = !uid_counter;
+      m_established = false;
+    }
+  in
+  let note_sides c =
+    note_parse_error c.m_orig_acct (mqtt_failed c.m_orig);
+    note_parse_error c.m_resp_acct (mqtt_failed c.m_resp)
+  in
+  let finish (c : mqtt_conn) =
+    Reassembly.finish c.m_orig_rs;
+    Reassembly.finish c.m_resp_rs;
+    in_parse (fun () -> mqtt_eof c.m_orig);
+    in_parse (fun () -> mqtt_eof c.m_resp);
+    note_sides c;
+    Events.raise_connection_state_remove sink c.m_conn_val
+  in
+  let session =
+    make_session ?idle_timeout ?stats_export
+      ~on_evict:(fun conn ->
+        stats.evicted <- stats.evicted + 1;
+        finish conn.Flow_table.state)
+      fresh
+  in
+  Hilti_rt.Iosrc.iter
+    (fun (p : Hilti_rt.Iosrc.packet) ->
+      stats.packets <- stats.packets + 1;
+      let ts = p.Hilti_rt.Iosrc.ts in
+      if idle_timeout <> None then sink.Events.set_time ts;
+      session.ss_tick ts;
+      match Packet.decode_opt ~ts p.Hilti_rt.Iosrc.data with
+      | Some pkt -> (
+          match (pkt.Packet.transport, Packet.flow pkt) with
+          | Packet.TCP (tcp, payload), Some flow ->
+              sink.Events.set_time ts;
+              let conn, _ = Flow_table.lookup session.ss_table ~ts flow in
+              let c = conn.Flow_table.state in
+              let from_orig = Flow.equal flow conn.Flow_table.flow in
+              if
+                (not c.m_established)
+                && (not from_orig)
+                && Tcp.has_flag tcp Tcp.flag_syn
+                && Tcp.has_flag tcp Tcp.flag_ack
+              then begin
+                c.m_established <- true;
+                Events.raise_connection_established sink c.m_conn_val
+              end;
+              let rs = if from_orig then c.m_orig_rs else c.m_resp_rs in
+              Reassembly.segment rs ~seq:tcp.Tcp.seq
+                ~syn:(Tcp.has_flag tcp Tcp.flag_syn)
+                ~fin:(Tcp.has_flag tcp Tcp.flag_fin)
+                payload;
+              note_sides c
+          | _ -> ())
+      | None -> ())
+    src;
+  let live =
+    Flow_table.fold (fun conn acc -> conn.Flow_table.state :: acc) session.ss_table []
+  in
+  List.iter finish (List.sort (fun a b -> compare a.m_seq b.m_seq) live);
+  sink.Events.raise_event "bro_done" [];
+  stats
+
+let run_mqtt ~(kind : mqtt_kind) ~(sink : Events.sink) (records : Pcap.record list) :
+    stats =
+  run_mqtt_src ~kind ~sink (Pcap.iosrc_of_records records)
+
+(* ---- FTP ------------------------------------------------------------------------- *)
+
+type ftp_side = Fs_std of Ftp_std.t | Fs_pac of Ftp_pac.session
+
+type ftp_parse = {
+  f_orig : ftp_side;  (** client->server: commands *)
+  f_resp : ftp_side;  (** server->client: replies *)
+  f_orig_rs : Reassembly.t;
+  f_resp_rs : Reassembly.t;
+  f_orig_acct : side_acct;
+  f_resp_acct : side_acct;
+}
+
+type ftp_conn = {
+  f_conn_val : Bro_val.t;
+  f_parse : ftp_parse option;
+      (** [Some] on control connections; [None] on announced data
+          connections (and unrelated flows), which carry no parser *)
+  f_seq : int;
+  mutable f_established : bool;
+}
+
+let ftp_feed side data =
+  match side with
+  | Fs_std p -> Ftp_std.feed p data
+  | Fs_pac s -> ignore (Ftp_pac.feed s data)
+
+let ftp_eof side =
+  match side with
+  | Fs_std p -> Ftp_std.eof p
+  | Fs_pac s -> ignore (Ftp_pac.eof s)
+
+let ftp_failed side =
+  match side with
+  | Fs_std p -> Ftp_std.failed p <> None
+  | Fs_pac s -> pac_session_failed s.Ftp_pac.s
+
+(* "h1,h2,h3,h4,p1,p2" (RFC 959 PORT argument / 227 payload). *)
+let parse_host_port (s : string) : (Hilti_types.Addr.t * int) option =
+  match List.map int_of_string_opt (String.split_on_char ',' (String.trim s)) with
+  | [ Some a; Some b; Some c; Some d; Some p1; Some p2 ]
+    when List.for_all (fun x -> x >= 0 && x <= 255) [ a; b; c; d; p1; p2 ] ->
+      Some (Hilti_types.Addr.of_ipv4_octets a b c d, (p1 lsl 8) lor p2)
+  | _ | (exception _) -> None
+
+(* The host,port sextet inside a 227 reply's parentheses. *)
+let parse_pasv (text : string) : (Hilti_types.Addr.t * int) option =
+  match (String.index_opt text '(', String.rindex_opt text ')') with
+  | Some l, Some r when r > l ->
+      parse_host_port (String.sub text (l + 1) (r - l - 1))
+  | _ -> None
+
+(** Stream an FTP source through the pipeline.  Control connections (port
+    21) get command/reply parsers; PORT commands and 227 passive replies
+    raise [ftp_data] and register the announced endpoint, so the later
+    data connection is recognized and coupled to its control session —
+    the cross-flow state sharing of §6.4. *)
+let run_ftp_src ~(kind : ftp_kind) ~(sink : Events.sink) ?idle_timeout
+    ?(stats_export : stats_export option) (src : Hilti_rt.Iosrc.t) : stats =
+  let stats = fresh_stats () in
+  let sink = profiled_sink sink stats in
+  sink.Events.raise_event "bro_init" [];
+  let uid_counter = ref 0 in
+  (* Announced data endpoints: "addr:port" the next connection will target. *)
+  let expected : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let endpoint_key addr port =
+    Hilti_types.Addr.to_string addr ^ ":" ^ string_of_int port
+  in
+  let expect conn_val host port =
+    Hashtbl.replace expected (endpoint_key host port) ();
+    Events.raise_ftp_data sink conn_val ~host ~port:(Hilti_types.Port.tcp port)
+  in
+  let on_control_event conn_val (ev : Events.ftp_event) =
+    (match ev with
+    | Events.F_request { Events.cmd; arg }
+      when String.uppercase_ascii cmd = "PORT" -> (
+        match parse_host_port arg with
+        | Some (host, port) -> expect conn_val host port
+        | None -> ())
+    | Events.F_reply { Events.code = 227; msg } -> (
+        match parse_pasv msg with
+        | Some (host, port) -> expect conn_val host port
+        | None -> ())
+    | _ -> ());
+    Events.raise_ftp sink conn_val ev
+  in
+  let fresh flow ts =
+    incr uid_counter;
+    stats.connections <- stats.connections + 1;
+    let uid = Printf.sprintf "C%d" !uid_counter in
+    let conn_val = Events.connection_val ~uid ~flow ~start_time:ts in
+    let is_control =
+      Hilti_types.Port.number flow.Flow.dst_port = 21
+      || Hilti_types.Port.number flow.Flow.src_port = 21
+    in
+    let parse =
+      if is_control then begin
+        let on_event = on_control_event conn_val in
+        let mk_side ~is_command =
+          match kind with
+          | Ftp_std -> Fs_std (Ftp_std.create ~is_command ~on_event)
+          | Ftp_pac t -> Fs_pac (Ftp_pac.session t ~is_command ~on_event)
+        in
+        let f_orig = mk_side ~is_command:true in
+        let f_resp = mk_side ~is_command:false in
+        Some
+          {
+            f_orig;
+            f_resp;
+            f_orig_rs =
+              Reassembly.create (fun data ->
+                  in_parse (fun () -> ftp_feed f_orig data));
+            f_resp_rs =
+              Reassembly.create (fun data ->
+                  in_parse (fun () -> ftp_feed f_resp data));
+            f_orig_acct = fresh_acct ();
+            f_resp_acct = fresh_acct ();
+          }
+      end
+      else begin
+        (* A flow hitting an announced endpoint is that session's data
+           connection; it is tracked but not parsed. *)
+        let key =
+          endpoint_key flow.Flow.dst (Hilti_types.Port.number flow.Flow.dst_port)
+        in
+        if Hashtbl.mem expected key then Hashtbl.remove expected key;
+        None
+      end
+    in
+    { f_conn_val = conn_val; f_parse = parse; f_seq = !uid_counter; f_established = false }
+  in
+  let note_sides c =
+    match c.f_parse with
+    | Some p ->
+        note_parse_error p.f_orig_acct (ftp_failed p.f_orig);
+        note_parse_error p.f_resp_acct (ftp_failed p.f_resp)
+    | None -> ()
+  in
+  let finish (c : ftp_conn) =
+    (match c.f_parse with
+    | Some p ->
+        Reassembly.finish p.f_orig_rs;
+        Reassembly.finish p.f_resp_rs;
+        in_parse (fun () -> ftp_eof p.f_orig);
+        in_parse (fun () -> ftp_eof p.f_resp)
+    | None -> ());
+    note_sides c;
+    Events.raise_connection_state_remove sink c.f_conn_val
+  in
+  let session =
+    make_session ?idle_timeout ?stats_export
+      ~on_evict:(fun conn ->
+        stats.evicted <- stats.evicted + 1;
+        finish conn.Flow_table.state)
+      fresh
+  in
+  Hilti_rt.Iosrc.iter
+    (fun (p : Hilti_rt.Iosrc.packet) ->
+      stats.packets <- stats.packets + 1;
+      let ts = p.Hilti_rt.Iosrc.ts in
+      if idle_timeout <> None then sink.Events.set_time ts;
+      session.ss_tick ts;
+      match Packet.decode_opt ~ts p.Hilti_rt.Iosrc.data with
+      | Some pkt -> (
+          match (pkt.Packet.transport, Packet.flow pkt) with
+          | Packet.TCP (tcp, payload), Some flow ->
+              sink.Events.set_time ts;
+              let conn, _ = Flow_table.lookup session.ss_table ~ts flow in
+              let c = conn.Flow_table.state in
+              let from_orig = Flow.equal flow conn.Flow_table.flow in
+              if
+                (not c.f_established)
+                && (not from_orig)
+                && Tcp.has_flag tcp Tcp.flag_syn
+                && Tcp.has_flag tcp Tcp.flag_ack
+              then begin
+                c.f_established <- true;
+                Events.raise_connection_established sink c.f_conn_val
+              end;
+              (match c.f_parse with
+              | Some pr ->
+                  let rs = if from_orig then pr.f_orig_rs else pr.f_resp_rs in
+                  Reassembly.segment rs ~seq:tcp.Tcp.seq
+                    ~syn:(Tcp.has_flag tcp Tcp.flag_syn)
+                    ~fin:(Tcp.has_flag tcp Tcp.flag_fin)
+                    payload
+              | None -> ());
+              note_sides c
+          | _ -> ())
+      | None -> ())
+    src;
+  let live =
+    Flow_table.fold (fun conn acc -> conn.Flow_table.state :: acc) session.ss_table []
+  in
+  List.iter finish (List.sort (fun a b -> compare a.f_seq b.f_seq) live);
+  sink.Events.raise_event "bro_done" [];
+  stats
+
+let run_ftp ~(kind : ftp_kind) ~(sink : Events.sink) (records : Pcap.record list) :
+    stats =
+  run_ftp_src ~kind ~sink (Pcap.iosrc_of_records records)
 
 (* ---- DNS ------------------------------------------------------------------------- *)
 
@@ -617,10 +988,14 @@ let profiler_ns name = Hilti_rt.Profiler.wall_ns (Hilti_rt.Profiler.find_or_crea
     honored identically by the serial and sharded DNS paths.
     @param stats_export scrape callback fired at this interval of trace
     time (the mini-bro [-stats-interval] plumbing). *)
-let evaluate_src ~(proto : [ `Http of http_kind | `Dns of dns_kind ])
-    ~(engine_mode : Bro_engine.mode) ~(scripts : Bro_ast.script)
-    ?(logging = true) ?jobs ?idle_timeout ?(stats_export : stats_export option)
-    (src : Hilti_rt.Iosrc.t) : run_result =
+let evaluate_src
+    ~(proto :
+       [ `Http of http_kind
+       | `Dns of dns_kind
+       | `Mqtt of mqtt_kind
+       | `Ftp of ftp_kind ]) ~(engine_mode : Bro_engine.mode)
+    ~(scripts : Bro_ast.script) ?(logging = true) ?jobs ?idle_timeout
+    ?(stats_export : stats_export option) (src : Hilti_rt.Iosrc.t) : run_result =
   Hilti_rt.Profiler.reset_all ();
   let logger = Bro_log.create () in
   Bro_scripts.setup_logs logger;
@@ -640,7 +1015,9 @@ let evaluate_src ~(proto : [ `Http of http_kind | `Dns of dns_kind ])
             in
             run_dns_sharded_src ~shards:j ~mk_kind ?idle_timeout ?stats_export
               ~sink src
-        | `Dns kind, _ -> run_dns_src ~kind ~sink ?idle_timeout ?stats_export src)
+        | `Dns kind, _ -> run_dns_src ~kind ~sink ?idle_timeout ?stats_export src
+        | `Mqtt kind, _ -> run_mqtt_src ~kind ~sink ?idle_timeout ?stats_export src
+        | `Ftp kind, _ -> run_ftp_src ~kind ~sink ?idle_timeout ?stats_export src)
   in
   {
     logger;
@@ -652,9 +1029,14 @@ let evaluate_src ~(proto : [ `Http of http_kind | `Dns of dns_kind ])
   }
 
 (** [evaluate_src] over an in-memory record list (compat wrapper). *)
-let evaluate ~(proto : [ `Http of http_kind | `Dns of dns_kind ])
-    ~(engine_mode : Bro_engine.mode) ~(scripts : Bro_ast.script)
-    ?(logging = true) ?jobs (records : Pcap.record list) : run_result =
+let evaluate
+    ~(proto :
+       [ `Http of http_kind
+       | `Dns of dns_kind
+       | `Mqtt of mqtt_kind
+       | `Ftp of ftp_kind ]) ~(engine_mode : Bro_engine.mode)
+    ~(scripts : Bro_ast.script) ?(logging = true) ?jobs
+    (records : Pcap.record list) : run_result =
   evaluate_src ~proto ~engine_mode ~scripts ~logging ?jobs
     (Pcap.iosrc_of_records records)
 

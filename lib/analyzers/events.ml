@@ -33,6 +33,35 @@ type http_reply = {
   body_sha1 : string;
 }
 
+type mqtt_connect = {
+  client_id : string;
+  proto : string;
+  version : int;
+  keepalive : int;
+}
+
+type mqtt_publish = { topic : string; qos : int; payload_len : int }
+
+type mqtt_subscribe = { s_msgid : int; topics : (string * int) list }
+
+(** One decoded MQTT control packet, as both the hand-written and the
+    BinPAC++ analyzer report it — the common currency the differential
+    fuzzer compares. *)
+type mqtt_event =
+  | M_connect of mqtt_connect
+  | M_connack of int  (** return code *)
+  | M_publish of mqtt_publish
+  | M_subscribe of mqtt_subscribe
+  | M_suback of int  (** msgid *)
+  | M_disconnect
+  | M_other of int  (** any other packet type, skipped by length *)
+
+type ftp_request = { cmd : string; arg : string }
+
+type ftp_reply = { code : int; msg : string }
+
+type ftp_event = F_request of ftp_request | F_reply of ftp_reply
+
 type dns_request = { q_id : int; query : string; qtype : int }
 
 type dns_reply = {
@@ -75,6 +104,56 @@ let raise_http_reply sink conn (r : http_reply) =
   sink.raise_event "http_reply"
     [ conn; vstr r.r_version; vcount r.code; vstr r.reason; vstr r.mime;
       vcount r.body_len; vstr r.body_sha1 ]
+
+let raise_mqtt_connect sink conn (r : mqtt_connect) =
+  sink.raise_event "mqtt_connect"
+    [ conn; vstr r.client_id; vstr r.proto; vcount r.version;
+      vcount r.keepalive ]
+
+let raise_mqtt_connack sink conn ~retcode =
+  sink.raise_event "mqtt_connack" [ conn; vcount retcode ]
+
+let raise_mqtt_publish sink conn (r : mqtt_publish) =
+  sink.raise_event "mqtt_publish"
+    [ conn; vstr r.topic; vcount r.qos; vcount r.payload_len ]
+
+let raise_mqtt_subscribe sink conn (r : mqtt_subscribe) =
+  sink.raise_event "mqtt_subscribe"
+    [ conn; vcount r.s_msgid;
+      Bro_val.Vvector
+        (Hilti_vm.Deque.of_list (List.map (fun (t, _) -> vstr t) r.topics)) ]
+
+let raise_mqtt_suback sink conn ~msgid =
+  sink.raise_event "mqtt_suback" [ conn; vcount msgid ]
+
+let raise_mqtt_disconnect sink conn =
+  sink.raise_event "mqtt_disconnect" [ conn ]
+
+(** Dispatch a decoded MQTT packet to its concrete event.  [M_other]
+    raises nothing: unknown control packets are skipped by length. *)
+let raise_mqtt sink conn = function
+  | M_connect r -> raise_mqtt_connect sink conn r
+  | M_connack retcode -> raise_mqtt_connack sink conn ~retcode
+  | M_publish r -> raise_mqtt_publish sink conn r
+  | M_subscribe r -> raise_mqtt_subscribe sink conn r
+  | M_suback msgid -> raise_mqtt_suback sink conn ~msgid
+  | M_disconnect -> raise_mqtt_disconnect sink conn
+  | M_other _ -> ()
+
+let raise_ftp_request sink conn (r : ftp_request) =
+  sink.raise_event "ftp_request" [ conn; vstr r.cmd; vstr r.arg ]
+
+let raise_ftp_reply sink conn (r : ftp_reply) =
+  sink.raise_event "ftp_reply" [ conn; vcount r.code; vstr r.msg ]
+
+let raise_ftp sink conn = function
+  | F_request r -> raise_ftp_request sink conn r
+  | F_reply r -> raise_ftp_reply sink conn r
+
+(** A PORT command or 227 passive reply announced a coming data connection
+    to [host]:[port]; raised on the control connection (§6.4 cross-flow). *)
+let raise_ftp_data sink conn ~host ~port =
+  sink.raise_event "ftp_data" [ conn; Bro_val.Vaddr host; Bro_val.Vport port ]
 
 let raise_dns_request sink conn (r : dns_request) =
   sink.raise_event "dns_request" [ conn; vcount r.q_id; vstr r.query; vcount r.qtype ]

@@ -285,3 +285,6 @@ let eof t =
   trim t
 
 let messages t = t.messages
+
+(** The direction hit non-HTTP bytes and parsing stopped. *)
+let failed t = t.phase = Failed

@@ -17,7 +17,7 @@ type expr =
   | E_binop of string * expr * expr  (** == != < > <= >= + - * && || *)
   | E_not of expr
   | E_call of string * expr list
-      (** builtins: to_int, to_int16, len, lower, has, offset *)
+      (** builtins: to_int, to_int16, len, lower, has, offset, band, shr *)
 
 type stmt =
   | S_assign of string * expr   (** self.<name> = expr *)
@@ -37,6 +37,9 @@ type parse_spec =
   | P_regexp of string            (** token; value is the matched bytes *)
   | P_literal of string           (** exact byte string; value is the bytes *)
   | P_uint of int * endian        (** width in bytes; value is int *)
+  | P_varint                      (** MQTT-style base-128 varint, 1-4 bytes,
+                                      7 data bits per byte, little groups
+                                      first, bit 7 = continuation *)
   | P_bytes_length of expr        (** &length=expr raw bytes *)
   | P_bytes_until of string       (** bytes up to (and consuming) a literal *)
   | P_bytes_eod                   (** everything until definite end of data *)

@@ -55,7 +55,7 @@ let rec field_htype ctx (spec : parse_spec) : Htype.t =
   | P_regexp _ | P_literal _ | P_bytes_length _ | P_bytes_until _ | P_bytes_eod
   | P_dnsname ->
       Htype.Bytes
-  | P_uint _ -> Htype.Int 64
+  | P_uint _ | P_varint -> Htype.Int 64
   | P_unit n -> Htype.Ref (Htype.Struct (qualified ctx n))
   | P_list (s, _, _) -> Htype.Ref (Htype.List (field_htype ctx s))
 
@@ -129,6 +129,17 @@ let rec compile_expr ctx b ?elem (e : expr) : Instr.operand =
       Builder.emit b Htype.Bytes "call"
         [ Instr.Fname (qualified ctx "find_header");
           Instr.Tuple_op [ recur l; recur n ] ]
+  | E_call ("offset", []) ->
+      (* Bytes consumed so far in the current unit's parse function: the
+         distance from its start iterator [cur0] to the cursor [cur].
+         Only meaningful inside field expressions (conditions, &length,
+         &until_elem); hooks do not have the iterators in scope. *)
+      Builder.emit b (Htype.Int 64) "iter.distance"
+        [ Instr.Local "cur0"; Instr.Local "cur" ]
+  | E_call ("band", [ x; y ]) ->
+      Builder.emit b (Htype.Int 64) "int.and" [ recur x; recur y ]
+  | E_call ("shr", [ x; y ]) ->
+      Builder.emit b (Htype.Int 64) "int.shr" [ recur x; recur y ]
   | E_call (fn, _) -> fail "unknown builtin %s" fn
 
 (* ---- Statements ------------------------------------------------------------------ *)
@@ -244,6 +255,59 @@ let rec emit_parse ctx b (u : unit_decl) ~cur (spec : parse_spec) : Instr.operan
       in
       Builder.instr b ~target:cur "assign" [ after ];
       v
+  | P_varint ->
+      (* Base-128 variable-length integer (MQTT remaining-length style):
+         little groups first, 7 data bits per byte, bit 7 = continue,
+         at most 4 bytes. *)
+      let v = Builder.tmp b (Htype.Int 64) in
+      Builder.instr b ~target:v "assign" [ Builder.const_int 0 ];
+      let shift = Builder.tmp b (Htype.Int 64) in
+      Builder.instr b ~target:shift "assign" [ Builder.const_int 0 ];
+      let head = fresh ctx "vint" in
+      let body_l = fresh ctx "vintbody" in
+      let bad_l = fresh ctx "vintbad" in
+      let done_l = fresh ctx "vintdone" in
+      Builder.jump b head;
+      Builder.set_block b head;
+      (* A 5th continuation group would shift by 28: malformed. *)
+      let too_long =
+        Builder.emit b Htype.Bool "int.geq" [ Instr.Local shift; Builder.const_int 28 ]
+      in
+      Builder.if_else b too_long ~then_:bad_l ~else_:body_l;
+      Builder.set_block b bad_l;
+      throw_parse_error ctx b (Printf.sprintf "varint longer than 4 bytes in %s" u.uname);
+      Builder.set_block b body_l;
+      let t =
+        Builder.emit b
+          (Htype.Tuple [ Htype.Int 64; Htype.Iter Htype.Bytes ])
+          "bytes.unpack_uint"
+          [ Instr.Local cur; Builder.const_int 1; Builder.const_bool true ]
+      in
+      let byte = Builder.emit b (Htype.Int 64) "tuple.get" [ t; Builder.const_int 0 ] in
+      let byte_local = Builder.tmp b (Htype.Int 64) in
+      Builder.instr b ~target:byte_local "assign" [ byte ];
+      let after =
+        Builder.emit b (Htype.Iter Htype.Bytes) "tuple.get" [ t; Builder.const_int 1 ]
+      in
+      Builder.instr b ~target:cur "assign" [ after ];
+      let low =
+        Builder.emit b (Htype.Int 64) "int.and"
+          [ Instr.Local byte_local; Builder.const_int 0x7f ]
+      in
+      let shifted = Builder.emit b (Htype.Int 64) "int.shl" [ low; Instr.Local shift ] in
+      let v' = Builder.emit b (Htype.Int 64) "int.or" [ Instr.Local v; shifted ] in
+      Builder.instr b ~target:v "assign" [ v' ];
+      let s' =
+        Builder.emit b (Htype.Int 64) "int.add" [ Instr.Local shift; Builder.const_int 7 ]
+      in
+      Builder.instr b ~target:shift "assign" [ s' ];
+      let cont =
+        Builder.emit b Htype.Bool "int.geq"
+          [ Instr.Local byte_local; Builder.const_int 0x80 ]
+      in
+      Builder.if_else b cont ~then_:head ~else_:done_l;
+      Builder.set_block b done_l;
+      Instr.Local v
   | P_bytes_length e ->
       let n = compile_expr ctx b e in
       let t =

@@ -315,6 +315,7 @@ let parse_base_spec p grammar_consts : parse_spec =
   | ID "uint16" -> P_uint (2, Big)
   | ID "uint32" -> P_uint (4, Big)
   | ID "uint64" -> P_uint (8, Big)
+  | ID "varint" -> P_varint
   | ID "bytes" -> P_bytes_eod  (* refined by attributes *)
   | ID "dnsname" -> P_dnsname
   | ID name -> (

@@ -150,6 +150,121 @@ type Message = unit {
 };
 |}
 
+(* MQTT 3.1.1, the control-packet subset the evaluation drives: CONNECT/
+   CONNACK session setup, SUBSCRIBE/SUBACK, PUBLISH (QoS 0/1) + PUBACK,
+   PING and DISCONNECT.  The stateful bits BinPAC++ is meant to shine on:
+   the base-128 [varint] remaining-length header, conditional layout keyed
+   on the packet type extracted by a hook, and [offset()] arithmetic that
+   checks the declared length against bytes actually consumed.  Unknown
+   packet types are skipped by length, keeping the stream in sync. *)
+let mqtt = {|
+module MQTT;
+
+# Length-prefixed UTF-8 string (MQTT 1.5.3).
+type Str = unit {
+    len: uint16;
+    data: bytes &length=self.len;
+};
+
+# One SUBSCRIBE entry: topic filter plus requested QoS.
+type Sub = unit {
+    topic: Str;
+    sqos: uint8;
+};
+
+type Packet = unit {
+    typeflags: uint8;
+    var ptype: int;
+    var qos: int;
+    var hdr: int;          # fixed-header width: 1 type byte + varint width
+    on typeflags {
+        self.ptype = shr(self.typeflags, 4);
+        self.qos = band(shr(self.typeflags, 1), 3);
+    }
+    remlen: varint;
+    on remlen {
+        self.hdr = 2;
+        if (self.remlen >= 128) { self.hdr = 3; }
+        if (self.remlen >= 16384) { self.hdr = 4; }
+        if (self.remlen >= 2097152) { self.hdr = 5; }
+    }
+
+    # CONNECT (1): protocol name/level, flags, keepalive, client id.
+    proto: Str if (self.ptype == 1);
+    connver: uint8 if (self.ptype == 1);
+    connflags: uint8 if (self.ptype == 1);
+    keepalive: uint16 if (self.ptype == 1);
+    client_id: Str if (self.ptype == 1);
+
+    # CONNACK (2).
+    ackflags: uint8 if (self.ptype == 2);
+    retcode: uint8 if (self.ptype == 2);
+
+    # PUBLISH (3): topic, packet id when QoS > 0, then payload filling the
+    # rest of the declared remaining length.
+    topic: Str if (self.ptype == 3);
+    pubmsgid: uint16 if (self.ptype == 3 && self.qos > 0);
+    payload: bytes &length=self.remlen + self.hdr - offset()
+        if (self.ptype == 3);
+
+    # PUBACK (4) / SUBSCRIBE (8) / SUBACK (9) / UNSUBSCRIBE (10): packet id.
+    msgid: uint16 if (self.ptype == 4 || self.ptype == 8 || self.ptype == 9
+                      || self.ptype == 10);
+
+    # SUBSCRIBE payload: topic filters until the declared length is used up.
+    topics: Sub[] &until_elem=(offset() - self.hdr >= self.remlen)
+        if (self.ptype == 8);
+
+    # SUBACK return codes, one byte per granted subscription.
+    codes: bytes &length=self.remlen + self.hdr - offset()
+        if (self.ptype == 9);
+
+    # Everything else (and any unconsumed remainder): skip by length so the
+    # next packet starts aligned.
+    trailer: bytes &length=self.remlen + self.hdr - offset()
+        if (self.ptype != 3 && self.ptype != 8 && self.ptype != 9);
+};
+
+# Stream-level unit: one per connection direction.
+type Packets = unit {
+    packets: Packet[] &eod &trim;
+};
+|}
+
+(* FTP control channel (RFC 959): newline-delimited commands and replies.
+   The interesting state is cross-flow — PORT commands and 227 (passive)
+   replies announce a separate data connection, which the driver couples to
+   this control session (§6.4's cross-flow discussion). *)
+let ftp = {|
+module FTP;
+
+type Command = unit {
+    cmd: /[A-Za-z][A-Za-z0-9]*/;
+    : /[ ]*/;
+    arg: /[^\r\n]*/;
+    : /\r?\n/;
+};
+
+# One reply line; a "-" separator marks a continuation line of a
+# multi-line reply (the host glue skips those when raising events).
+type Reply = unit {
+    code: /[0-9][0-9][0-9]/;
+    sep: /[- ]?/;
+    text: /[^\r\n]*/;
+    : /\r?\n/;
+};
+
+type Commands = unit {
+    commands: Command[] &eod &trim;
+};
+
+type Replies = unit {
+    replies: Reply[] &eod &trim;
+};
+|}
+
 let parse_ssh () = Grammar_parser.parse ssh
 let parse_http () = Grammar_parser.parse http
 let parse_dns () = Grammar_parser.parse dns
+let parse_mqtt () = Grammar_parser.parse mqtt
+let parse_ftp () = Grammar_parser.parse ftp

@@ -11,17 +11,33 @@ type t = {
 }
 
 (** Compile and load a grammar.  [prepare] can add further IR to the
-    module before compilation — e.g. the Bro event bridge's hook bodies. *)
-let load ?(optimize = true) ?(specialize = true) ?prepare (g : Ast.grammar) : t =
+    module before compilation — e.g. the Bro event bridge's hook bodies.
+    [verify]/[specialize] select the VM dispatch loop the parser runs on
+    (checked / verified / specialized) — the fuzzer drives the same
+    grammar through all three as a differential oracle. *)
+let load ?(optimize = true) ?(verify = true) ?(specialize = true) ?prepare
+    (g : Ast.grammar) : t =
   let m = Codegen.compile g in
   (match prepare with Some f -> f m | None -> ());
-  let api = Host_api.compile ~optimize ~specialize [ m ] in
+  let api = Host_api.compile ~optimize ~verify ~specialize [ m ] in
   ignore (Host_api.call api (g.Ast.gname ^ "::init") []);
   { api; grammar = g }
 
 let parse_fn t unit_name = t.grammar.Ast.gname ^ "::parse_" ^ unit_name
 
 exception Parse_failed of string
+
+(* The exception contract: parse-time failures surface as [Parse_failed],
+   never as raw OCaml exceptions.  Besides HILTI exceptions this maps the
+   raw [Failure]/[Invalid_argument]/[Not_found] that byte extraction can
+   raise on truncated or hostile input.  Anything else (notably
+   [Vm.Step_budget_exceeded]) passes through untouched. *)
+let protect what f =
+  try f () with
+  | Value.Hilti_error e ->
+      raise (Parse_failed (e.Value.ename ^ ": " ^ Value.to_string e.Value.earg))
+  | Failure m | Invalid_argument m -> raise (Parse_failed (what ^ ": " ^ m))
+  | Not_found -> raise (Parse_failed (what ^ ": not found"))
 
 let unwrap_result = function
   | Value.Tuple [| st; _ |] -> st
@@ -32,10 +48,8 @@ let parse_string t ~unit_name (input : string) : Value.t =
   let b = Hilti_types.Hbytes.of_string input in
   Hilti_types.Hbytes.freeze b;
   let it = Value.Iter (Value.Ibytes (Hilti_types.Hbytes.begin_ b)) in
-  match Host_api.call t.api (parse_fn t unit_name) [ it; it ] with
-  | v -> unwrap_result v
-  | exception Value.Hilti_error e ->
-      raise (Parse_failed (e.Value.ename ^ ": " ^ Value.to_string e.Value.earg))
+  protect "parse"
+    (fun () -> unwrap_result (Host_api.call t.api (parse_fn t unit_name) [ it; it ]))
 
 (* ---- Incremental sessions ------------------------------------------------------ *)
 
@@ -56,7 +70,11 @@ let status_of_run run : status =
   | Some Hilti_rt.Fiber.Suspended -> Blocked
   | Some (Hilti_rt.Fiber.Failed (Value.Hilti_error e)) ->
       Failed (e.Value.ename ^ ": " ^ Value.to_string e.Value.earg)
-  | Some (Hilti_rt.Fiber.Failed e) -> Failed (Printexc.to_string e)
+  | Some (Hilti_rt.Fiber.Failed e) ->
+      (* A fiber that died with a raw OCaml exception violated the
+         exception contract; keep the marker so the fuzzer's oracle can
+         tell it apart from a clean grammar-level reject. *)
+      Failed ("uncaught: " ^ Printexc.to_string e)
   | None -> Blocked
 
 (** Start an incremental parse; input arrives later via {!feed}. *)
@@ -101,9 +119,12 @@ let field_exn st name =
   | None -> raise (Parse_failed ("unset field " ^ name))
 
 let field_bytes st name =
-  Hilti_types.Hbytes.to_string (Value.as_bytes (field_exn st name))
+  protect ("field " ^ name)
+    (fun () -> Hilti_types.Hbytes.to_string (Value.as_bytes (field_exn st name)))
 
-let field_int st name = Value.as_int (field_exn st name)
+let field_int st name =
+  protect ("field " ^ name) (fun () -> Value.as_int (field_exn st name))
 
 let field_list st name =
-  Deque.to_list (Value.as_list (field_exn st name))
+  protect ("field " ^ name)
+    (fun () -> Deque.to_list (Value.as_list (field_exn st name)))

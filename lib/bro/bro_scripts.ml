@@ -135,6 +135,130 @@ event dns_reply(c: connection, id: count, rcode: count,
 }
 |}
 
+(* The MQTT analysis: per-connection session state (the CONNECT client id
+   annotates every later action on the connection) plus SUBSCRIBE/SUBACK
+   correlation by (uid, msgid) — the same pending-table pattern dns.log
+   uses. *)
+let mqtt = prelude ^ {|
+global mqtt_clients: table[string] of string &default="";
+global mqtt_subs: table[string] of string;
+
+event mqtt_connect(c: connection, client_id: string, proto: string,
+                   version: count, keepalive: count) {
+    mqtt_clients[c$uid] = client_id;
+    Log::write("mqtt",
+        [$ts=network_time(), $uid=c$uid,
+         $orig_h=c$id$orig_h, $orig_p=c$id$orig_p,
+         $resp_h=c$id$resp_h, $resp_p=c$id$resp_p,
+         $client=client_id, $action="connect", $topic=proto,
+         $qos=version, $len=keepalive]);
+}
+
+event mqtt_connack(c: connection, retcode: count) {
+    Log::write("mqtt",
+        [$ts=network_time(), $uid=c$uid,
+         $orig_h=c$id$orig_h, $orig_p=c$id$orig_p,
+         $resp_h=c$id$resp_h, $resp_p=c$id$resp_p,
+         $client=mqtt_clients[c$uid], $action="connack", $topic="",
+         $qos=0, $len=retcode]);
+}
+
+event mqtt_publish(c: connection, topic: string, qos: count, len: count) {
+    Log::write("mqtt",
+        [$ts=network_time(), $uid=c$uid,
+         $orig_h=c$id$orig_h, $orig_p=c$id$orig_p,
+         $resp_h=c$id$resp_h, $resp_p=c$id$resp_p,
+         $client=mqtt_clients[c$uid], $action="publish", $topic=topic,
+         $qos=qos, $len=len]);
+}
+
+event mqtt_subscribe(c: connection, msgid: count, topics: vector of string) {
+    mqtt_subs[fmt("%s-%d", c$uid, msgid)] = join(topics, ",");
+    Log::write("mqtt",
+        [$ts=network_time(), $uid=c$uid,
+         $orig_h=c$id$orig_h, $orig_p=c$id$orig_p,
+         $resp_h=c$id$resp_h, $resp_p=c$id$resp_p,
+         $client=mqtt_clients[c$uid], $action="subscribe",
+         $topic=join(topics, ","), $qos=0, $len=|topics|]);
+}
+
+event mqtt_suback(c: connection, msgid: count) {
+    local key = fmt("%s-%d", c$uid, msgid);
+    local topics = "";
+    if (key in mqtt_subs) {
+        topics = mqtt_subs[key];
+        delete mqtt_subs[key];
+    }
+    Log::write("mqtt",
+        [$ts=network_time(), $uid=c$uid,
+         $orig_h=c$id$orig_h, $orig_p=c$id$orig_p,
+         $resp_h=c$id$resp_h, $resp_p=c$id$resp_p,
+         $client=mqtt_clients[c$uid], $action="suback", $topic=topics,
+         $qos=0, $len=msgid]);
+}
+
+event mqtt_disconnect(c: connection) {
+    Log::write("mqtt",
+        [$ts=network_time(), $uid=c$uid,
+         $orig_h=c$id$orig_h, $orig_p=c$id$orig_p,
+         $resp_h=c$id$resp_h, $resp_p=c$id$resp_p,
+         $client=mqtt_clients[c$uid], $action="disconnect", $topic="",
+         $qos=0, $len=0]);
+}
+
+event connection_state_remove(c: connection) {
+    if (c$uid in mqtt_clients)
+        delete mqtt_clients[c$uid];
+}
+|}
+
+(* The FTP analysis: commands correlate with replies FIFO per control
+   connection (like http.log's request/reply pairing); ftp_data marks an
+   announced PORT/PASV data channel. *)
+let ftp = prelude ^ {|
+type FtpCmd: record {
+    cmd: string;
+    arg: string;
+    ts: time;
+};
+
+global ftp_pending: table[string] of vector of FtpCmd;
+
+event ftp_request(c: connection, cmd: string, arg: string) {
+    if (c$uid !in ftp_pending)
+        ftp_pending[c$uid] = vector();
+    push(ftp_pending[c$uid], [$cmd=cmd, $arg=arg, $ts=network_time()]);
+}
+
+event ftp_reply(c: connection, code: count, msg: string) {
+    local cmd = "";
+    local arg = "";
+    if (c$uid in ftp_pending && |ftp_pending[c$uid]| > 0) {
+        local r = shift(ftp_pending[c$uid]);
+        cmd = r$cmd;
+        arg = r$arg;
+    }
+    Log::write("ftp",
+        [$ts=network_time(), $uid=c$uid,
+         $orig_h=c$id$orig_h, $orig_p=c$id$orig_p,
+         $resp_h=c$id$resp_h, $resp_p=c$id$resp_p,
+         $cmd=cmd, $arg=arg, $code=code, $msg=msg]);
+}
+
+event ftp_data(c: connection, host: addr, p: port) {
+    Log::write("ftp",
+        [$ts=network_time(), $uid=c$uid,
+         $orig_h=c$id$orig_h, $orig_p=c$id$orig_p,
+         $resp_h=c$id$resp_h, $resp_p=c$id$resp_p,
+         $cmd="DATA", $arg=fmt("%s:%s", host, p), $code=0, $msg=""]);
+}
+
+event connection_state_remove(c: connection) {
+    if (c$uid in ftp_pending)
+        delete ftp_pending[c$uid];
+}
+|}
+
 (* The scan detector sketched in §7: per-source connection counting, a
    natural fit for scoped scheduling. *)
 let scan = prelude ^ {|
@@ -175,17 +299,29 @@ let dns_columns =
   [ "ts"; "uid"; "orig_h"; "orig_p"; "resp_h"; "resp_p"; "query"; "qtype_name";
     "rcode"; "answers"; "ttls" ]
 
+let mqtt_columns =
+  [ "ts"; "uid"; "orig_h"; "orig_p"; "resp_h"; "resp_p"; "client"; "action";
+    "topic"; "qos"; "len" ]
+
+let ftp_columns =
+  [ "ts"; "uid"; "orig_h"; "orig_p"; "resp_h"; "resp_p"; "cmd"; "arg"; "code";
+    "msg" ]
+
 (** Create the standard log streams on a logger. *)
 let setup_logs logger =
   Bro_log.create_stream logger "http" http_columns;
   Bro_log.create_stream logger "files" files_columns;
-  Bro_log.create_stream logger "dns" dns_columns
+  Bro_log.create_stream logger "dns" dns_columns;
+  Bro_log.create_stream logger "mqtt" mqtt_columns;
+  Bro_log.create_stream logger "ftp" ftp_columns
 
 let parse_track () = Bro_parse.parse track
 let parse_http () = Bro_parse.parse http
 let parse_dns () = Bro_parse.parse dns
+let parse_mqtt () = Bro_parse.parse mqtt
+let parse_ftp () = Bro_parse.parse ftp
 let parse_scan () = Bro_parse.parse scan
 let parse_fib () = Bro_parse.parse fib
 
 (** The combined default-script set used in the evaluation runs. *)
-let parse_all () = Bro_parse.parse (http ^ dns ^ scan)
+let parse_all () = Bro_parse.parse (http ^ dns ^ mqtt ^ ftp ^ scan)

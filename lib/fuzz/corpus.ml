@@ -1,0 +1,113 @@
+(** Seed corpora, derived from the {!Hilti_traces} generators.
+
+    TCP protocols go through the real wire path: generated pcap records
+    are decoded and reassembled per connection direction, and the
+    segment boundaries the generator produced become the case's initial
+    feed-chunk boundaries.  DNS cases are the raw query/reply datagrams
+    of generated transactions.
+
+    Corpora are built from fixed generator seeds (independent of the
+    fuzzer's own seed), so a finding's corpus index replays across
+    runs. *)
+
+open Hilti_net
+module T = Hilti_traces
+
+type conn = {
+  buf : Buffer.t array;  (* 0 = client->server, 1 = server->client *)
+  cuts : int list ref array;
+  rsm : Reassembly.t array;
+}
+
+(** Reassemble per-connection byte streams for flows touching
+    [server_port]; one case per connection, flow 0 = client->server. *)
+let tcp_cases ~server_port (records : Pcap.record list) : Mutate.case list =
+  let conns = Hashtbl.create 64 in
+  let order = ref [] in
+  let get_conn key =
+    match Hashtbl.find_opt conns key with
+    | Some c -> c
+    | None ->
+        let buf = [| Buffer.create 256; Buffer.create 256 |] in
+        let cuts = [| ref []; ref [] |] in
+        let mk i =
+          Reassembly.create (fun data ->
+              let b = buf.(i) in
+              if Buffer.length b > 0 then cuts.(i) := Buffer.length b :: !(cuts.(i));
+              Buffer.add_string b data)
+        in
+        let c = { buf; cuts; rsm = [| mk 0; mk 1 |] } in
+        Hashtbl.add conns key c;
+        order := c :: !order;
+        c
+  in
+  List.iter
+    (fun (r : Pcap.record) ->
+      match Packet.decode_opt ~ts:r.Pcap.ts r.Pcap.data with
+      | Some pkt -> (
+          match pkt.Packet.transport with
+          | Packet.TCP (h, payload) ->
+              let sp = h.Tcp.src_port and dp = h.Tcp.dst_port in
+              if sp = server_port || dp = server_port then begin
+                let src = Packet.src pkt and dst = Packet.dst pkt in
+                let c2s = dp = server_port in
+                let key =
+                  if c2s then (src, sp, dst, dp) else (dst, dp, src, sp)
+                in
+                let dir = if c2s then 0 else 1 in
+                let conn = get_conn key in
+                Reassembly.segment conn.rsm.(dir) ~seq:h.Tcp.seq
+                  ~syn:(h.Tcp.flags land Tcp.flag_syn <> 0)
+                  ~fin:(h.Tcp.flags land Tcp.flag_fin <> 0)
+                  payload
+              end
+          | _ -> ())
+      | None -> ())
+    records;
+  List.rev_map
+    (fun c ->
+      {
+        Mutate.streams = [| Buffer.contents c.buf.(0); Buffer.contents c.buf.(1) |];
+        cuts = [| List.rev !(c.cuts.(0)); List.rev !(c.cuts.(1)) |];
+        evicts = [];
+      })
+    !order
+
+(* Small MSS so multi-segment messages (and thus mid-message chunk
+   boundaries) appear even in the small fuzzing corpus. *)
+let mqtt_corpus sessions =
+  let cfg =
+    { T.Mqtt_gen.default with sessions; seed = 0x60d1; mss = 700;
+      reorder_prob = 0.05; crud_prob = 0.05 }
+  in
+  tcp_cases ~server_port:1883 (T.Mqtt_gen.generate cfg).T.Mqtt_gen.records
+
+let ftp_corpus sessions =
+  let cfg =
+    { T.Ftp_gen.default with sessions; seed = 0x77e3; mss = 700;
+      reorder_prob = 0.05; crud_prob = 0.05 }
+  in
+  tcp_cases ~server_port:21 (T.Ftp_gen.generate cfg).T.Ftp_gen.records
+
+(* One case per transaction: flow 0 = query datagram, flow 1 = reply. *)
+let dns_corpus transactions =
+  let rng = T.Rng.create 0x11d5 in
+  let ts = Hilti_types.Time_ns.of_secs 1_700_000_000 in
+  List.init transactions (fun _ ->
+      let tx = T.Dns_gen.gen_transaction rng T.Dns_gen.default ~ts in
+      Mutate.of_streams
+        [| T.Dns_gen.encode_message tx.T.Dns_gen.query;
+           T.Dns_gen.encode_message tx.T.Dns_gen.reply |])
+
+let mqtt_lazy = lazy (mqtt_corpus 10)
+let ftp_lazy = lazy (ftp_corpus 8)
+let dns_lazy = lazy (dns_corpus 48)
+
+(** The (memoized) corpus for a protocol.  Sizes are fixed so corpus
+    indices recorded in findings stay valid across runs. *)
+let for_proto (p : Shape.proto) : Mutate.case list =
+  match p with
+  | Shape.Mqtt -> Lazy.force mqtt_lazy
+  | Shape.Ftp -> Lazy.force ftp_lazy
+  | Shape.Dns -> Lazy.force dns_lazy
+  | Shape.Generic -> []

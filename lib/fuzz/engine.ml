@@ -1,0 +1,226 @@
+(** The fuzzing engine: a deterministic, seeded mutation loop over the
+    generator-derived corpus.
+
+    For every oracle pair it first executes the unmutated corpus (the
+    shipped parsers must agree on it — a baseline disagreement is itself
+    a finding), then [execs] mutated cases.  Findings are deduplicated
+    by a stable fingerprint, shrunk by greedy chunk reduction that must
+    preserve the fingerprint, and reported as JSONL records carrying the
+    [(seed, corpus index, mutation trace)] needed to replay them
+    byte-for-byte. *)
+
+module Rng = Hilti_traces.Rng
+
+let m_execs =
+  Hilti_obs.Metrics.counter "fuzz_execs"
+    ~help:"Differential fuzz case executions (both oracle sides)"
+
+let m_divergences =
+  Hilti_obs.Metrics.counter "fuzz_divergences"
+    ~help:"Distinct differential findings (post dedup)"
+
+let m_min_bytes =
+  Hilti_obs.Metrics.counter "fuzz_minimized_bytes"
+    ~help:"Case bytes shaved off findings by minimization"
+
+(* Local mirror of fuzz_execs, so reports work with metrics disabled. *)
+let exec_count = ref 0
+
+type finding = {
+  f_pair : string;
+  f_class : string;  (** "divergence" | "crash" | "hang" *)
+  f_fingerprint : string;
+  f_seed : int;
+  f_corpus : int;  (** corpus index the mutation trace starts from *)
+  f_ops : Mutate.op list;
+  f_detail : string;
+  f_case_bytes : int;  (** minimized case size *)
+  f_saved_bytes : int;
+}
+
+type config = {
+  seed : int;
+  execs : int;  (** mutated executions per oracle pair *)
+  max_ops : int;  (** mutation ops per case, 1..max_ops *)
+  minimize_budget : int;  (** extra executions spent shrinking a finding *)
+  step_budget : int;  (** VM steps per case before calling it a hang *)
+}
+
+let default =
+  { seed = 1; execs = 150; max_ops = 3; minimize_budget = 48;
+    step_budget = Oracle.default_step_budget }
+
+type report = { r_execs : int; r_corpus : int; r_findings : finding list }
+
+(* ---- Execution and classification -------------------------------------------- *)
+
+(** Run both sides once; [Some (class, detail)] on any disagreement. *)
+let execute (p : Oracle.pair) (case : Mutate.case) : (string * string) option =
+  incr exec_count;
+  Hilti_obs.Metrics.incr m_execs;
+  let a = p.Oracle.left.Oracle.run case in
+  let b = p.Oracle.right.Oracle.run case in
+  match (a.Oracle.crash, b.Oracle.crash) with
+  | Some m, _ -> Some ("crash", p.Oracle.left.Oracle.iname ^ ": " ^ m)
+  | None, Some m -> Some ("crash", p.Oracle.right.Oracle.iname ^ ": " ^ m)
+  | None, None ->
+      if a.Oracle.hang then Some ("hang", p.Oracle.left.Oracle.iname)
+      else if b.Oracle.hang then Some ("hang", p.Oracle.right.Oracle.iname)
+      else (
+        match p.Oracle.agree a b with
+        | Some d -> Some ("divergence", d)
+        | None -> None)
+
+(* The fingerprint must survive minimization, which shifts line indices
+   and shrinks payloads — so it hashes the detail with digits stripped
+   (coarse, which also makes dedup stronger). *)
+let fingerprint pair_name cls detail =
+  let b = Buffer.create (String.length detail) in
+  String.iter (fun c -> if not (c >= '0' && c <= '9') then Buffer.add_char b c) detail;
+  String.sub
+    (Digest.to_hex (Digest.string (pair_name ^ "\x00" ^ cls ^ "\x00" ^ Buffer.contents b)))
+    0 12
+
+(* ---- Minimization ------------------------------------------------------------ *)
+
+(* Greedy chunk reduction: drop whole flows, then binary-chop each
+   flow's tail, then discard eviction points and extra chunking — every
+   step must keep reproducing the same fingerprint. *)
+let minimize (p : Oracle.pair) (case : Mutate.case) fp ~budget : Mutate.case =
+  let spent = ref 0 in
+  let reproduces c =
+    !spent < budget
+    && begin
+         incr spent;
+         match execute p c with
+         | Some (cls, detail) -> String.equal (fingerprint p.Oracle.pname cls detail) fp
+         | None -> false
+       end
+  in
+  let cur = ref case in
+  let try_keep c = if reproduces c then cur := c in
+  let nf = Array.length case.Mutate.streams in
+  for f = 0 to nf - 1 do
+    if String.length !cur.Mutate.streams.(f) > 0 then
+      try_keep (Mutate.apply !cur (Mutate.Truncate { flow = f; at = 0 }))
+  done;
+  for f = 0 to nf - 1 do
+    let shrinking = ref true in
+    while !shrinking && String.length !cur.Mutate.streams.(f) > 0 do
+      let l = String.length !cur.Mutate.streams.(f) in
+      let cand = Mutate.apply !cur (Mutate.Truncate { flow = f; at = l / 2 }) in
+      if reproduces cand then cur := cand else shrinking := false
+    done
+  done;
+  if !cur.Mutate.evicts <> [] then try_keep { !cur with Mutate.evicts = [] };
+  if Array.exists (fun c -> c <> []) !cur.Mutate.cuts then
+    try_keep { !cur with Mutate.cuts = Array.map (fun _ -> []) !cur.Mutate.cuts };
+  !cur
+
+(* ---- The main loop ----------------------------------------------------------- *)
+
+let run ?pairs (cfg : config) : report =
+  let pairs =
+    match pairs with
+    | Some p -> p
+    | None -> Oracle.pairs ~step_budget:cfg.step_budget ()
+  in
+  let start = !exec_count in
+  let findings = ref [] in
+  let seen = Hashtbl.create 32 in
+  let corpus_total = ref 0 in
+  List.iter
+    (fun (p : Oracle.pair) ->
+      let corpus = Array.of_list (Corpus.for_proto p.Oracle.proto) in
+      corpus_total := !corpus_total + Array.length corpus;
+      let rng = Rng.create (cfg.seed lxor Hashtbl.hash p.Oracle.pname) in
+      let record cls detail corpus_idx ops case =
+        let fp = fingerprint p.Oracle.pname cls detail in
+        if not (Hashtbl.mem seen fp) then begin
+          Hashtbl.add seen fp ();
+          Hilti_obs.Metrics.incr m_divergences;
+          let min_case =
+            if cfg.minimize_budget > 0 then
+              minimize p case fp ~budget:cfg.minimize_budget
+            else case
+          in
+          let saved = Mutate.case_bytes case - Mutate.case_bytes min_case in
+          Hilti_obs.Metrics.add m_min_bytes saved;
+          findings :=
+            { f_pair = p.Oracle.pname; f_class = cls; f_fingerprint = fp;
+              f_seed = cfg.seed; f_corpus = corpus_idx; f_ops = ops;
+              f_detail = detail; f_case_bytes = Mutate.case_bytes min_case;
+              f_saved_bytes = saved }
+            :: !findings
+        end
+      in
+      Array.iteri
+        (fun i c ->
+          match execute p c with
+          | Some (cls, detail) -> record cls detail i [] c
+          | None -> ())
+        corpus;
+      if Array.length corpus > 0 && cfg.execs > 0 && cfg.max_ops > 0 then
+        for _ = 1 to cfg.execs do
+          let ci = Rng.int rng (Array.length corpus) in
+          let case, ops =
+            Mutate.mutate rng ~proto:p.Oracle.proto corpus.(ci) ~max_ops:cfg.max_ops
+          in
+          match execute p case with
+          | Some (cls, detail) -> record cls detail ci ops case
+          | None -> ()
+        done)
+    pairs;
+  {
+    r_execs = !exec_count - start;
+    r_corpus = !corpus_total;
+    r_findings = List.rev !findings;
+  }
+
+(** Replay a recorded finding deterministically: rebuild the corpus
+    case, re-apply the mutation trace, run the pair once.  Returns
+    [(class, detail, fingerprint)] if the disagreement reproduces. *)
+let replay (p : Oracle.pair) ~corpus:ci ~(ops : Mutate.op list) :
+    (string * string * string) option =
+  let corpus = Array.of_list (Corpus.for_proto p.Oracle.proto) in
+  if ci < 0 || ci >= Array.length corpus then None
+  else
+    let case = List.fold_left Mutate.apply corpus.(ci) ops in
+    match execute p case with
+    | Some (cls, detail) -> Some (cls, detail, fingerprint p.Oracle.pname cls detail)
+    | None -> None
+
+(* ---- Reporting --------------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let finding_to_json (f : finding) =
+  Printf.sprintf
+    "{\"pair\":\"%s\",\"class\":\"%s\",\"fingerprint\":\"%s\",\"seed\":%d,\"corpus\":%d,\"ops\":[%s],\"detail\":\"%s\",\"case_bytes\":%d,\"saved_bytes\":%d}"
+    (json_escape f.f_pair) (json_escape f.f_class) f.f_fingerprint f.f_seed
+    f.f_corpus
+    (String.concat ","
+       (List.map (fun op -> "\"" ^ json_escape (Mutate.op_to_string op) ^ "\"") f.f_ops))
+    (json_escape f.f_detail) f.f_case_bytes f.f_saved_bytes
+
+(** One JSONL line per finding. *)
+let report_to_jsonl (r : report) =
+  String.concat "" (List.map (fun f -> finding_to_json f ^ "\n") r.r_findings)
+
+let summary (r : report) =
+  Printf.sprintf "fuzz: %d execs over %d corpus cases, %d distinct findings"
+    r.r_execs r.r_corpus (List.length r.r_findings)

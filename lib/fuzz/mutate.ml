@@ -1,0 +1,269 @@
+(** Fuzz cases and structure-aware mutations.
+
+    A case is a small set of per-flow byte streams plus a feed schedule:
+    chunk boundaries (where the harness splits each stream into separate
+    feeds, interleaved round-robin across flows) and eviction points
+    (where the harness ends the flow's parser session mid-stream and
+    starts a fresh one, modelling the driver's idle-timeout eviction).
+
+    Mutations are generated grammar-aware — {!Shape} supplies message
+    boundaries and length fields — but are recorded as plain byte-level
+    edits, so a finding's [(corpus index, op list)] replays byte-for-byte
+    with no RNG involved. *)
+
+module Rng = Hilti_traces.Rng
+
+type case = {
+  streams : string array;  (** per flow, the full reassembled bytes *)
+  cuts : int list array;  (** interior chunk boundaries per flow, ascending *)
+  evicts : (int * int) list;  (** (flow, chunk idx): evict after that chunk *)
+}
+
+let of_streams streams =
+  { streams; cuts = Array.map (fun _ -> []) streams; evicts = [] }
+
+let case_bytes c = Array.fold_left (fun a s -> a + String.length s) 0 c.streams
+
+(** The feed chunks of one flow, in order. *)
+let chunks c flow =
+  let s = c.streams.(flow) in
+  let len = String.length s in
+  if len = 0 then []
+  else
+    let cuts =
+      List.filter (fun x -> x > 0 && x < len) (List.sort_uniq compare c.cuts.(flow))
+    in
+    let rec go start = function
+      | [] -> [ String.sub s start (len - start) ]
+      | cut :: rest -> String.sub s start (cut - start) :: go cut rest
+    in
+    go 0 cuts
+
+(* ---- Mutation operations --------------------------------------------------- *)
+
+type op =
+  | Truncate of { flow : int; at : int }
+  | Splice of { flow : int; off : int; len : int; ins : string }
+      (** replace [len] bytes at [off] with [ins] — length lies, byte flips *)
+  | Dup of { flow : int; off : int; len : int }  (** duplicate a TLV in place *)
+  | Swap of { flow : int; a : int; alen : int; b : int; blen : int }
+      (** reorder two disjoint TLVs (a before b) *)
+  | Chunk of { flow : int; at : int }  (** split the feed at a byte offset *)
+  | Evict of { flow : int; chunk : int }  (** mid-stream session eviction *)
+
+let clamp lo hi v = max lo (min hi v)
+
+(* Keep cut positions meaningful across a length-changing edit. *)
+let shift_cuts cuts ~off ~removed ~inserted =
+  List.filter_map
+    (fun c ->
+      if c <= off then Some c
+      else if c >= off + removed then Some (c - removed + inserted)
+      else None)
+    cuts
+
+(** Apply one op.  All coordinates are clamped into range, so any op
+    applies to any case — replay never fails, it just degenerates. *)
+let apply (c : case) (op : op) : case =
+  let nf = Array.length c.streams in
+  if nf = 0 then c
+  else begin
+    let streams = Array.copy c.streams in
+    let cuts = Array.copy c.cuts in
+    let evicts = ref c.evicts in
+    let fix f = ((f mod nf) + nf) mod nf in
+    (match op with
+    | Truncate { flow; at } ->
+        let f = fix flow in
+        let s = streams.(f) in
+        let at = clamp 0 (String.length s) at in
+        streams.(f) <- String.sub s 0 at;
+        cuts.(f) <- List.filter (fun x -> x > 0 && x < at) cuts.(f)
+    | Splice { flow; off; len; ins } ->
+        let f = fix flow in
+        let s = streams.(f) in
+        let sl = String.length s in
+        let off = clamp 0 sl off in
+        let len = clamp 0 (sl - off) len in
+        streams.(f) <-
+          String.sub s 0 off ^ ins ^ String.sub s (off + len) (sl - off - len);
+        cuts.(f) <- shift_cuts cuts.(f) ~off ~removed:len ~inserted:(String.length ins)
+    | Dup { flow; off; len } ->
+        let f = fix flow in
+        let s = streams.(f) in
+        let sl = String.length s in
+        let off = clamp 0 sl off in
+        let len = clamp 0 (sl - off) len in
+        let piece = String.sub s off len in
+        streams.(f) <-
+          String.sub s 0 (off + len) ^ piece ^ String.sub s (off + len) (sl - off - len);
+        cuts.(f) <- shift_cuts cuts.(f) ~off:(off + len) ~removed:0 ~inserted:len
+    | Swap { flow; a; alen; b; blen } ->
+        let f = fix flow in
+        let s = streams.(f) in
+        let sl = String.length s in
+        let a = clamp 0 sl a in
+        let alen = clamp 0 (sl - a) alen in
+        let b = clamp (a + alen) sl b in
+        let blen = clamp 0 (sl - b) blen in
+        let ra = String.sub s a alen and rb = String.sub s b blen in
+        streams.(f) <-
+          String.sub s 0 a ^ rb
+          ^ String.sub s (a + alen) (b - a - alen)
+          ^ ra
+          ^ String.sub s (b + blen) (sl - b - blen);
+        cuts.(f) <- List.filter (fun x -> x > 0 && x < sl) cuts.(f)
+    | Chunk { flow; at } ->
+        let f = fix flow in
+        let sl = String.length streams.(f) in
+        if sl > 1 then begin
+          let at = clamp 1 (sl - 1) at in
+          cuts.(f) <- List.sort_uniq compare (at :: cuts.(f))
+        end
+    | Evict { flow; chunk } ->
+        let f = fix flow in
+        let chunk = max 0 chunk in
+        if not (List.mem (f, chunk) !evicts) then evicts := (f, chunk) :: !evicts);
+    { streams; cuts; evicts = !evicts }
+  end
+
+(* ---- Serialization (for JSONL findings and replay) -------------------------- *)
+
+let hex s =
+  String.concat ""
+    (List.init (String.length s) (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+let unhex h =
+  if String.length h mod 2 <> 0 then invalid_arg ("unhex: " ^ h);
+  String.init (String.length h / 2) (fun i ->
+      match int_of_string_opt ("0x" ^ String.sub h (2 * i) 2) with
+      | Some n -> Char.chr n
+      | None -> invalid_arg ("unhex: " ^ h))
+
+let op_to_string = function
+  | Truncate { flow; at } -> Printf.sprintf "trunc(%d,%d)" flow at
+  | Splice { flow; off; len; ins } ->
+      Printf.sprintf "splice(%d,%d,%d,%s)" flow off len (hex ins)
+  | Dup { flow; off; len } -> Printf.sprintf "dup(%d,%d,%d)" flow off len
+  | Swap { flow; a; alen; b; blen } ->
+      Printf.sprintf "swap(%d,%d,%d,%d,%d)" flow a alen b blen
+  | Chunk { flow; at } -> Printf.sprintf "chunk(%d,%d)" flow at
+  | Evict { flow; chunk } -> Printf.sprintf "evict(%d,%d)" flow chunk
+
+(** Inverse of {!op_to_string}; raises [Invalid_argument] on junk. *)
+let op_of_string str =
+  let fail () = invalid_arg ("op_of_string: " ^ str) in
+  match String.index_opt str '(' with
+  | None -> fail ()
+  | Some p when String.length str < p + 2 || str.[String.length str - 1] <> ')' ->
+      fail ()
+  | Some p -> (
+      let name = String.sub str 0 p in
+      let body = String.sub str (p + 1) (String.length str - p - 2) in
+      let parts = String.split_on_char ',' body in
+      let num l = match int_of_string_opt l with Some n -> n | None -> fail () in
+      match (name, parts) with
+      | "trunc", [ f; a ] -> Truncate { flow = num f; at = num a }
+      | "splice", [ f; o; l; h ] ->
+          Splice { flow = num f; off = num o; len = num l; ins = unhex h }
+      | "dup", [ f; o; l ] -> Dup { flow = num f; off = num o; len = num l }
+      | "swap", [ f; a; al; b; bl ] ->
+          Swap { flow = num f; a = num a; alen = num al; b = num b; blen = num bl }
+      | "chunk", [ f; a ] -> Chunk { flow = num f; at = num a }
+      | "evict", [ f; ch ] -> Evict { flow = num f; chunk = num ch }
+      | _ -> fail ())
+
+(* ---- Grammar-aware op generation -------------------------------------------- *)
+
+(* Values a length field gets replaced with: zero, off-by-one in both
+   directions, double, a forced multi-byte encoding, and far past the
+   end of any real stream. *)
+let lie_value rng old =
+  match Rng.int rng 6 with
+  | 0 -> 0
+  | 1 -> old + 1
+  | 2 -> max 0 (old - 1)
+  | 3 -> (old * 2) + 1
+  | 4 -> 0x3fff
+  | _ -> 200_000
+
+let gen_op rng ~(proto : Shape.proto) (c : case) : op =
+  let nf = Array.length c.streams in
+  let flow = if nf = 0 then 0 else Rng.int rng nf in
+  let s = if nf = 0 then "" else c.streams.(flow) in
+  let sl = String.length s in
+  if sl = 0 then Chunk { flow; at = 0 }
+  else begin
+    let regions, lens = Shape.scan proto s in
+    let regions = Array.of_list regions in
+    let lens = Array.of_list lens in
+    let pick_region () =
+      if Array.length regions = 0 then { Shape.r_off = 0; r_len = sl }
+      else Rng.choose rng regions
+    in
+    let roll = Rng.int rng 100 in
+    if roll < 18 then begin
+      (* Truncation at (or just inside) a structural boundary. *)
+      let r = pick_region () in
+      let at =
+        match Rng.int rng 3 with
+        | 0 -> r.Shape.r_off
+        | 1 -> r.Shape.r_off + (r.Shape.r_len / 2)
+        | _ -> r.Shape.r_off + max 0 (r.Shape.r_len - 1)
+      in
+      Truncate { flow; at }
+    end
+    else if roll < 38 && Array.length lens > 0 then begin
+      (* Length-field lie: splice in a re-encoded wrong value. *)
+      let l = Rng.choose rng lens in
+      let v = lie_value rng l.Shape.l_val in
+      let ins =
+        match l.Shape.l_kind with
+        | Shape.K_varint -> Shape.encode_varint v
+        | Shape.K_u16 ->
+            let v = v land 0xffff in
+            Printf.sprintf "%c%c" (Char.chr (v lsr 8)) (Char.chr (v land 0xff))
+      in
+      Splice { flow; off = l.Shape.l_off; len = l.Shape.l_len; ins }
+    end
+    else if roll < 52 then
+      let r = pick_region () in
+      Dup { flow; off = r.Shape.r_off; len = r.Shape.r_len }
+    else if roll < 66 && Array.length regions >= 2 then begin
+      (* Reorder two messages. *)
+      let i = Rng.int rng (Array.length regions - 1) in
+      let j = i + 1 + Rng.int rng (Array.length regions - i - 1) in
+      let a = regions.(i) and b = regions.(j) in
+      Swap
+        { flow; a = a.Shape.r_off; alen = a.Shape.r_len; b = b.Shape.r_off;
+          blen = b.Shape.r_len }
+    end
+    else if roll < 84 then begin
+      (* Split the feed mid-message or at a boundary. *)
+      let at =
+        if Rng.bool rng then 1 + Rng.int rng (max 1 (sl - 1))
+        else
+          let r = pick_region () in
+          max 1 (r.Shape.r_off + Rng.int rng (max 1 r.Shape.r_len))
+      in
+      Chunk { flow; at }
+    end
+    else if roll < 92 && proto <> Shape.Dns then
+      Evict { flow; chunk = Rng.int rng 4 }
+    else begin
+      let off = Rng.int rng sl in
+      Splice { flow; off; len = 1; ins = String.make 1 (Char.chr (Rng.int rng 256)) }
+    end
+  end
+
+(** Mutate [base] with 1..max_ops ops, each generated against the
+    already-mutated stream so offsets stay grammar-aware. *)
+let mutate rng ~proto (base : case) ~max_ops : case * op list =
+  let n = 1 + Rng.int rng max_ops in
+  let rec go case acc k =
+    if k = 0 then (case, List.rev acc)
+    else
+      let op = gen_op rng ~proto case in
+      go (apply case op) (op :: acc) (k - 1)
+  in
+  go base [] n

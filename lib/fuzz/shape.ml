@@ -1,0 +1,182 @@
+(** Wire-shape scanners: the "grammar-aware" half of the fuzzer.  Each
+    scanner walks a raw byte stream with a lightweight approximation of
+    the protocol's framing and reports (a) the structural regions —
+    whole messages / TLVs / lines — whose boundaries make good
+    truncation, duplication and reordering points, and (b) the length
+    fields whose values the mutator can lie about.  The scanners are
+    deliberately forgiving: on malformed input they emit what they
+    recognized plus one tail region, so mutated streams can be scanned
+    again for further mutation rounds. *)
+
+type proto = Mqtt | Ftp | Dns | Generic
+
+let proto_to_string = function
+  | Mqtt -> "mqtt"
+  | Ftp -> "ftp"
+  | Dns -> "dns"
+  | Generic -> "generic"
+
+let proto_of_string = function
+  | "mqtt" -> Some Mqtt
+  | "ftp" -> Some Ftp
+  | "dns" -> Some Dns
+  | "generic" -> Some Generic
+  | _ -> None
+
+(** A structural unit of the stream: an MQTT control packet, an FTP
+    line, a DNS question or resource record. *)
+type region = { r_off : int; r_len : int }
+
+type lenkind = K_u16 | K_varint
+
+(** A length-ish field: [l_val] is its current (honest) value. *)
+type lenfield = { l_off : int; l_len : int; l_val : int; l_kind : lenkind }
+
+let u16 s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+
+(* ---- MQTT ------------------------------------------------------------------ *)
+
+(* Base-128 remaining length at [off]: (value, encoded length), or None
+   if truncated / longer than the 4 bytes the grammar accepts. *)
+let mqtt_varint s off =
+  let len = String.length s in
+  let rec go o shift v n =
+    if o >= len || n >= 4 then None
+    else
+      let b = Char.code s.[o] in
+      let v = v lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then Some (v, n + 1) else go (o + 1) (shift + 7) v (n + 1)
+  in
+  go off 0 0 0
+
+(** Minimal base-128 encoding, for splicing lied remaining lengths. *)
+let encode_varint n =
+  let buf = Buffer.create 4 in
+  let rec go n =
+    let b = n land 0x7f and n = n lsr 7 in
+    if n = 0 then Buffer.add_char buf (Char.chr b)
+    else begin
+      Buffer.add_char buf (Char.chr (b lor 0x80));
+      go n
+    end
+  in
+  go (max 0 n);
+  Buffer.contents buf
+
+(* Regions = control packets (fixed header + remaining length's worth of
+   body, clamped to the stream).  Length fields: every remaining-length
+   varint, plus the leading u16 string length of CONNECT/PUBLISH bodies
+   and the first topic length of SUBSCRIBE. *)
+let mqtt_scan s =
+  let len = String.length s in
+  let rec go off regions lens =
+    if off + 2 > len then (List.rev regions, List.rev lens)
+    else
+      match mqtt_varint s (off + 1) with
+      | None ->
+          (List.rev ({ r_off = off; r_len = len - off } :: regions), List.rev lens)
+      | Some (remlen, vlen) ->
+          let hdr = 1 + vlen in
+          let total = min (hdr + remlen) (len - off) in
+          let regions = { r_off = off; r_len = total } :: regions in
+          let lens =
+            { l_off = off + 1; l_len = vlen; l_val = remlen; l_kind = K_varint }
+            :: lens
+          in
+          let ptype = Char.code s.[off] lsr 4 in
+          let lens =
+            if (ptype = 1 || ptype = 3) && off + hdr + 2 <= len then
+              { l_off = off + hdr; l_len = 2; l_val = u16 s (off + hdr); l_kind = K_u16 }
+              :: lens
+            else if ptype = 8 && off + hdr + 4 <= len then
+              { l_off = off + hdr + 2; l_len = 2; l_val = u16 s (off + hdr + 2);
+                l_kind = K_u16 }
+              :: lens
+            else lens
+          in
+          if total < hdr + remlen then (List.rev regions, List.rev lens)
+          else go (off + total) regions lens
+  in
+  go 0 [] []
+
+(* ---- FTP ------------------------------------------------------------------- *)
+
+(* Regions = lines, terminator included; the line-oriented grammar has
+   no length fields. *)
+let ftp_scan s =
+  let len = String.length s in
+  let rec go off acc =
+    if off >= len then List.rev acc
+    else
+      match String.index_from_opt s off '\n' with
+      | Some nl -> go (nl + 1) ({ r_off = off; r_len = nl + 1 - off } :: acc)
+      | None -> List.rev ({ r_off = off; r_len = len - off } :: acc)
+  in
+  (go 0 [], [])
+
+(* ---- DNS ------------------------------------------------------------------- *)
+
+(* Regions = header, questions, resource records; length fields = the
+   four header counts and every rdlength. *)
+let dns_scan s =
+  let len = String.length s in
+  if len < 12 then ([ { r_off = 0; r_len = len } ], [])
+  else begin
+    let lens = ref [] in
+    List.iter
+      (fun o ->
+        lens := { l_off = o; l_len = 2; l_val = u16 s o; l_kind = K_u16 } :: !lens)
+      [ 4; 6; 8; 10 ];
+    let regions = ref [ { r_off = 0; r_len = 12 } ] in
+    (* Structure-only name walk: stops at a root label or a compression
+       pointer, bails on truncation. *)
+    let skip_name off =
+      let rec walk off guard =
+        if off >= len || guard > 64 then None
+        else
+          let b = Char.code s.[off] in
+          if b = 0 then Some (off + 1)
+          else if b >= 0xc0 then Some (off + 2)
+          else walk (off + 1 + b) (guard + 1)
+      in
+      walk off 0
+    in
+    let qd = min (u16 s 4) 8 in
+    let rrs = min (u16 s 6) 16 + min (u16 s 8) 16 + min (u16 s 10) 16 in
+    let exception Stop of int in
+    let off = ref 12 in
+    (try
+       for _ = 1 to qd do
+         let start = !off in
+         match skip_name !off with
+         | Some e when e + 4 <= len ->
+             regions := { r_off = start; r_len = e + 4 - start } :: !regions;
+             off := e + 4
+         | _ -> raise (Stop start)
+       done;
+       for _ = 1 to rrs do
+         let start = !off in
+         match skip_name !off with
+         | Some e when e + 10 <= len ->
+             let rdlen = u16 s (e + 8) in
+             lens :=
+               { l_off = e + 8; l_len = 2; l_val = rdlen; l_kind = K_u16 } :: !lens;
+             let stop = min (e + 10 + rdlen) len in
+             regions := { r_off = start; r_len = stop - start } :: !regions;
+             off := stop;
+             if stop >= len then raise (Stop len)
+         | _ -> raise (Stop start)
+       done
+     with Stop at ->
+       if at < len then regions := { r_off = at; r_len = len - at } :: !regions);
+    (List.rev !regions, List.rev !lens)
+  end
+
+let scan proto s =
+  if s = "" then ([], [])
+  else
+    match proto with
+    | Mqtt -> mqtt_scan s
+    | Ftp -> ftp_scan s
+    | Dns -> dns_scan s
+    | Generic -> ([ { r_off = 0; r_len = String.length s } ], [])

@@ -1,0 +1,246 @@
+(** Synthetic FTP traffic: control sessions on port 21 (greeting, login,
+    a few operations, QUIT) whose PASV replies and PORT commands announce
+    separate data connections — which the generator then emits as their
+    own TCP flows, giving the driver real cross-flow state to couple
+    (§6.4).  Also the FTP fuzzing seed corpus. *)
+
+open Hilti_types
+
+type config = {
+  sessions : int;
+  seed : int;
+  start_ts : Time_ns.t;
+  clients : int;
+  servers : int;
+  max_ops : int;  (** transfers/operations per session after login *)
+  mss : int;
+  reorder_prob : float;
+  crud_prob : float;
+}
+
+let default =
+  {
+    sessions = 80;
+    seed = 0x5f7b;
+    start_ts = Time_ns.of_secs 1_600_000_000;
+    clients = 25;
+    servers = 6;
+    max_ops = 4;
+    mss = 1400;
+    reorder_prob = 0.03;
+    crud_prob = 0.01;
+  }
+
+let files = [| "readme.txt"; "data.bin"; "logs.tar.gz"; "report.pdf"; "image.jpg" |]
+let dirs = [| "/pub"; "/incoming"; "/home/user"; "/uploads" |]
+
+let gen_file_body rng =
+  let size = Rng.size rng ~lo:100 ~hi:6000 in
+  String.init size (fun i ->
+      if i mod 72 = 71 then '\n' else Char.chr (32 + ((i * 7) mod 95)))
+
+(** Ground truth for one control session. *)
+type op = {
+  o_cmd : string;
+  o_arg : string;
+  o_code : int;  (** final (non-preliminary) reply code *)
+  o_data_len : int;  (** bytes on an associated data connection, else 0 *)
+}
+
+type session_truth = {
+  ep : Tcp_session.endpoints;
+  ops : op list;
+  data_conns : int;
+}
+
+type trace = {
+  records : Hilti_net.Pcap.record list;
+  sessions : session_truth list;
+}
+
+(* The addr,port sextet of PORT arguments and 227 replies. *)
+let sextet addr port =
+  let a = Addr.to_ipv4_int addr in
+  Printf.sprintf "%d,%d,%d,%d,%d,%d" ((a lsr 24) land 0xff) ((a lsr 16) land 0xff)
+    ((a lsr 8) land 0xff) (a land 0xff) ((port lsr 8) land 0xff) (port land 0xff)
+
+(* One data connection carrying [body]; [active] = server connects out
+   (PORT), passive = client connects in (PASV). *)
+let gen_data_conn rng cfg ~ts_ref ~ctrl_ep ~active ~data_port body =
+  let ep =
+    if active then
+      (* Server connects from port 20 to the client's announced port; on
+         the wire the server is this flow's originator. *)
+      {
+        Tcp_session.client = ctrl_ep.Tcp_session.server;
+        server = ctrl_ep.Tcp_session.client;
+        cport = 20;
+        sport = data_port;
+      }
+    else
+      {
+        Tcp_session.client = ctrl_ep.Tcp_session.client;
+        server = ctrl_ep.Tcp_session.server;
+        cport = 40000 + Rng.int rng 20000;
+        sport = data_port;
+      }
+  in
+  let s = Tcp_session.create rng ~mss:cfg.mss ~reorder_prob:cfg.reorder_prob ~ts_ref ~ep in
+  Tcp_session.handshake s;
+  (* File payload flows from the server end of the transfer: the flow
+     originator under PORT (active), the responder under PASV. *)
+  Tcp_session.send s ~from_client:active body;
+  Tcp_session.teardown s;
+  Tcp_session.packets s
+
+let gen_session rng cfg ~ts_ref ~ep :
+    Hilti_net.Pcap.record list * session_truth =
+  let s = Tcp_session.create rng ~mss:cfg.mss ~reorder_prob:cfg.reorder_prob ~ts_ref ~ep in
+  let extra = ref [] in
+  let ops = ref [] in
+  let data_conns = ref 0 in
+  let cmd c a = Tcp_session.send s ~from_client:true (c ^ (if a = "" then "" else " " ^ a) ^ "\r\n") in
+  let reply code text = Tcp_session.send s ~from_client:false (Printf.sprintf "%d %s\r\n" code text) in
+  let op o_cmd o_arg o_code o_data_len = ops := { o_cmd; o_arg; o_code; o_data_len } :: !ops in
+  Tcp_session.handshake s;
+  (* Greeting is a multi-line reply now and then. *)
+  if Rng.chance rng 0.3 then
+    Tcp_session.send s ~from_client:false "220-Welcome to ftpd\r\n220-Unauthorized access prohibited\r\n220 Ready\r\n"
+  else reply 220 "Service ready";
+  let user = "u" ^ Rng.label rng ~lo:3 ~hi:8 in
+  cmd "USER" user;
+  reply 331 "Password required";
+  op "USER" user 331 0;
+  cmd "PASS" "secret";
+  reply 230 "Login successful";
+  op "PASS" "secret" 230 0;
+  let nops = 1 + Rng.int rng cfg.max_ops in
+  for _ = 1 to nops do
+    match Rng.int rng 5 with
+    | 0 ->
+        let d = Rng.choose rng dirs in
+        cmd "CWD" d;
+        reply 250 "Directory changed";
+        op "CWD" d 250 0
+    | 1 ->
+        cmd "TYPE" "I";
+        reply 200 "Switching to binary mode";
+        op "TYPE" "I" 200 0
+    | 2 ->
+        cmd "PWD" "";
+        reply 257 "\"/pub\" is the current directory";
+        op "PWD" "" 257 0
+    | 3 ->
+        (* Passive transfer: PASV -> 227 (addr,port) -> client data conn. *)
+        let data_port = 1024 + Rng.int rng 50000 in
+        let file = Rng.choose rng files in
+        let body = gen_file_body rng in
+        cmd "PASV" "";
+        reply 227
+          (Printf.sprintf "Entering Passive Mode (%s)"
+             (sextet ep.Tcp_session.server data_port));
+        op "PASV" "" 227 0;
+        cmd "RETR" file;
+        reply 150 "Opening data connection";
+        extra :=
+          gen_data_conn rng cfg ~ts_ref ~ctrl_ep:ep ~active:false ~data_port body
+          :: !extra;
+        incr data_conns;
+        reply 226 "Transfer complete";
+        op "RETR" file 226 (String.length body)
+    | _ ->
+        (* Active transfer: PORT h,p -> server connects from port 20. *)
+        let data_port = 1024 + Rng.int rng 50000 in
+        let file = Rng.choose rng files in
+        let body = gen_file_body rng in
+        let arg = sextet ep.Tcp_session.client data_port in
+        cmd "PORT" arg;
+        reply 200 "PORT command successful";
+        op "PORT" arg 200 0;
+        cmd "RETR" file;
+        reply 150 "Opening data connection";
+        extra :=
+          gen_data_conn rng cfg ~ts_ref ~ctrl_ep:ep ~active:true ~data_port body
+          :: !extra;
+        incr data_conns;
+        reply 226 "Transfer complete";
+        op "RETR" file 226 (String.length body)
+  done;
+  cmd "QUIT" "";
+  reply 221 "Goodbye";
+  op "QUIT" "" 221 0;
+  Tcp_session.teardown s;
+  let packets =
+    List.concat (Tcp_session.packets s :: List.rev !extra)
+  in
+  (* Data-connection packets interleave with the control channel's by
+     capture timestamp; the shared ts_ref keeps both monotone. *)
+  let by_ts (a : Hilti_net.Pcap.record) (b : Hilti_net.Pcap.record) =
+    Time_ns.compare a.Hilti_net.Pcap.ts b.Hilti_net.Pcap.ts
+  in
+  let packets = List.stable_sort by_ts packets in
+  (packets, { ep; ops = List.rev !ops; data_conns = !data_conns })
+
+let gen_crud_session rng cfg ~ts_ref ~ep : Hilti_net.Pcap.record list =
+  let s = Tcp_session.create rng ~mss:cfg.mss ~reorder_prob:cfg.reorder_prob ~ts_ref ~ep in
+  Tcp_session.handshake s;
+  Tcp_session.send s ~from_client:true ("\x16\x03\x01" ^ Rng.label rng ~lo:15 ~hi:80);
+  Tcp_session.teardown s;
+  Tcp_session.packets s
+
+let client_addr i = Addr.of_ipv4_octets 10 3 (i / 250) (1 + (i mod 250))
+let server_addr i = Addr.of_ipv4_octets 192 168 200 (1 + (i mod 250))
+
+let mean_gap_ns = 2_000_000
+
+let session_stream (cfg : config) :
+    unit -> (Hilti_net.Pcap.record list * session_truth option) option =
+  let rng = Rng.create cfg.seed in
+  let arrival = ref cfg.start_ts in
+  let i = ref 0 in
+  fun () ->
+    if !i >= cfg.sessions then None
+    else begin
+      let idx = !i in
+      incr i;
+      let ep =
+        {
+          Tcp_session.client = client_addr (Rng.int rng cfg.clients);
+          server = server_addr (Rng.int rng cfg.servers);
+          cport = 28000 + ((idx * 19) mod 30000);
+          sport = 21;
+        }
+      in
+      arrival := Time_ns.add !arrival (Int64.of_int (Rng.int rng (2 * mean_gap_ns)));
+      let ts_ref = ref !arrival in
+      if Rng.chance rng cfg.crud_prob then
+        Some (gen_crud_session rng cfg ~ts_ref ~ep, None)
+      else
+        let pkts, truth = gen_session rng cfg ~ts_ref ~ep in
+        Some (pkts, Some truth)
+    end
+
+let iosrc ?(window = 1024) (cfg : config) : Hilti_rt.Iosrc.t =
+  let next = session_stream cfg in
+  Gen_stream.iosrc ~kind:"synthetic-ftp" ~window (fun () ->
+      Option.map fst (next ()))
+
+let generate (cfg : config) : trace =
+  let next = session_stream cfg in
+  let records = ref [] and truths = ref [] in
+  let rec go () =
+    match next () with
+    | None -> ()
+    | Some (pkts, truth) ->
+        records := List.rev_append pkts !records;
+        (match truth with Some t -> truths := t :: !truths | None -> ());
+        go ()
+  in
+  go ();
+  let by_ts (a : Hilti_net.Pcap.record) (b : Hilti_net.Pcap.record) =
+    Time_ns.compare a.Hilti_net.Pcap.ts b.Hilti_net.Pcap.ts
+  in
+  {
+    records = List.stable_sort by_ts (List.rev !records);
+    sessions = List.rev !truths;
+  }

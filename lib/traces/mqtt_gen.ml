@@ -1,0 +1,238 @@
+(** Synthetic MQTT 3.1.1 traffic: complete broker sessions — CONNECT /
+    CONNACK, SUBSCRIBE / SUBACK, PUBLISH in both directions (QoS 0 and 1),
+    PING, DISCONNECT — with multi-byte remaining-length headers exercised
+    by large payloads, plus optional non-MQTT crud on the broker port.
+    The packet stream doubles as the fuzzer's seed corpus. *)
+
+open Hilti_types
+
+type config = {
+  sessions : int;
+  seed : int;
+  start_ts : Time_ns.t;
+  clients : int;
+  brokers : int;
+  max_actions : int;  (** SUBSCRIBE/PUBLISH/PING rounds per session *)
+  mss : int;
+  reorder_prob : float;
+  crud_prob : float;  (** probability a connection is not MQTT at all *)
+}
+
+let default =
+  {
+    sessions = 120;
+    seed = 0x3a17;
+    start_ts = Time_ns.of_secs 1_500_000_000;
+    clients = 30;
+    brokers = 4;
+    max_actions = 6;
+    mss = 1400;
+    reorder_prob = 0.03;
+    crud_prob = 0.01;
+  }
+
+(* ---- Wire encoding ---------------------------------------------------------- *)
+
+(* Base-128 remaining length, minimal encoding (MQTT 2.2.3). *)
+let varint n =
+  let buf = Buffer.create 4 in
+  let rec go n =
+    let b = n land 0x7f in
+    let n = n lsr 7 in
+    if n = 0 then Buffer.add_char buf (Char.chr b)
+    else begin
+      Buffer.add_char buf (Char.chr (b lor 0x80));
+      go n
+    end
+  in
+  go n;
+  Buffer.contents buf
+
+let u16 n = Printf.sprintf "%c%c" (Char.chr ((n lsr 8) land 0xff)) (Char.chr (n land 0xff))
+
+(* Length-prefixed string. *)
+let mstr s = u16 (String.length s) ^ s
+
+(** One control packet: fixed header (type/flags + remaining length) and
+    variable header + payload. *)
+let packet ~ptype ~flags body =
+  Printf.sprintf "%c%s%s"
+    (Char.chr (((ptype land 0xf) lsl 4) lor (flags land 0xf)))
+    (varint (String.length body))
+    body
+
+let connect ~client_id ~keepalive =
+  packet ~ptype:1 ~flags:0
+    (mstr "MQTT" ^ "\x04\x02" ^ u16 keepalive ^ mstr client_id)
+
+let connack ~retcode = packet ~ptype:2 ~flags:0 (Printf.sprintf "\x00%c" (Char.chr retcode))
+
+let publish ~topic ~qos ~msgid payload =
+  let body = mstr topic ^ (if qos > 0 then u16 msgid else "") ^ payload in
+  packet ~ptype:3 ~flags:(qos lsl 1) body
+
+let puback ~msgid = packet ~ptype:4 ~flags:0 (u16 msgid)
+
+let subscribe ~msgid topics =
+  let body =
+    u16 msgid
+    ^ String.concat ""
+        (List.map (fun (t, q) -> mstr t ^ String.make 1 (Char.chr q)) topics)
+  in
+  packet ~ptype:8 ~flags:2 body
+
+let suback ~msgid codes =
+  packet ~ptype:9 ~flags:0
+    (u16 msgid ^ String.concat "" (List.map (fun c -> String.make 1 (Char.chr c)) codes))
+
+let pingreq = packet ~ptype:12 ~flags:0 ""
+let pingresp = packet ~ptype:13 ~flags:0 ""
+let disconnect = packet ~ptype:14 ~flags:0 ""
+
+(* ---- Session material ------------------------------------------------------- *)
+
+let topic_roots = [| "sensors"; "home"; "factory"; "telemetry"; "devices" |]
+let topic_leaves = [| "temp"; "humidity"; "power"; "status"; "events"; "alerts" |]
+
+let gen_topic rng =
+  Printf.sprintf "%s/%s/%s"
+    (Rng.choose rng topic_roots)
+    (Rng.label rng ~lo:3 ~hi:8)
+    (Rng.choose rng topic_leaves)
+
+let gen_payload rng =
+  (* Mostly small JSON-ish readings; occasionally big enough to need a
+     multi-byte remaining-length varint. *)
+  let size =
+    if Rng.chance rng 0.15 then Rng.size rng ~lo:200 ~hi:4000
+    else Rng.size rng ~lo:5 ~hi:90
+  in
+  String.init size (fun i -> Char.chr (32 + ((17 * i) mod 95)))
+
+(** Ground truth for one session, as the analyzer should report it. *)
+type action =
+  | A_connect of { client_id : string; keepalive : int }
+  | A_publish of { topic : string; qos : int; len : int; from_client : bool }
+  | A_subscribe of { msgid : int; topics : (string * int) list }
+  | A_ping
+  | A_disconnect
+
+type session_truth = {
+  ep : Tcp_session.endpoints;
+  actions : action list;
+}
+
+type trace = {
+  records : Hilti_net.Pcap.record list;
+  sessions : session_truth list;  (** ground truth, crud excluded *)
+}
+
+let gen_session rng cfg ~ts_ref ~ep : Hilti_net.Pcap.record list * session_truth =
+  let s = Tcp_session.create rng ~mss:cfg.mss ~reorder_prob:cfg.reorder_prob ~ts_ref ~ep in
+  Tcp_session.handshake s;
+  let actions = ref [] in
+  let act a = actions := a :: !actions in
+  let client_id = "cli-" ^ Rng.label rng ~lo:4 ~hi:10 in
+  let keepalive = 30 + Rng.int rng 270 in
+  Tcp_session.send s ~from_client:true (connect ~client_id ~keepalive);
+  act (A_connect { client_id; keepalive });
+  Tcp_session.send s ~from_client:false (connack ~retcode:0);
+  let msgid = ref (1 + Rng.int rng 1000) in
+  let rounds = 1 + Rng.int rng cfg.max_actions in
+  for _ = 1 to rounds do
+    match Rng.int rng 4 with
+    | 0 ->
+        (* SUBSCRIBE / SUBACK *)
+        let n = 1 + Rng.int rng 3 in
+        let topics = List.init n (fun _ -> (gen_topic rng, Rng.int rng 2)) in
+        incr msgid;
+        Tcp_session.send s ~from_client:true (subscribe ~msgid:!msgid topics);
+        act (A_subscribe { msgid = !msgid; topics });
+        Tcp_session.send s ~from_client:false
+          (suback ~msgid:!msgid (List.map snd topics))
+    | 1 | 2 ->
+        (* PUBLISH, client -> broker or broker -> subscriber *)
+        let from_client = Rng.chance rng 0.7 in
+        let topic = gen_topic rng in
+        let qos = if Rng.chance rng 0.4 then 1 else 0 in
+        let payload = gen_payload rng in
+        incr msgid;
+        Tcp_session.send s ~from_client (publish ~topic ~qos ~msgid:!msgid payload);
+        act (A_publish { topic; qos; len = String.length payload; from_client });
+        if qos > 0 then
+          Tcp_session.send s ~from_client:(not from_client) (puback ~msgid:!msgid)
+    | _ ->
+        Tcp_session.send s ~from_client:true pingreq;
+        act A_ping;
+        Tcp_session.send s ~from_client:false pingresp
+  done;
+  Tcp_session.send s ~from_client:true disconnect;
+  act A_disconnect;
+  Tcp_session.teardown s;
+  (Tcp_session.packets s, { ep; actions = List.rev !actions })
+
+(* A connection on the broker port that is not MQTT. *)
+let gen_crud_session rng cfg ~ts_ref ~ep : Hilti_net.Pcap.record list =
+  let s = Tcp_session.create rng ~mss:cfg.mss ~reorder_prob:cfg.reorder_prob ~ts_ref ~ep in
+  Tcp_session.handshake s;
+  Tcp_session.send s ~from_client:true
+    ("GET / HTTP/1.0\r\n\r\n" ^ Rng.label rng ~lo:10 ~hi:60);
+  Tcp_session.teardown s;
+  Tcp_session.packets s
+
+let client_addr i = Addr.of_ipv4_octets 10 2 (i / 250) (1 + (i mod 250))
+let broker_addr i = Addr.of_ipv4_octets 192 168 100 (1 + (i mod 250))
+
+let mean_gap_ns = 1_500_000
+
+let session_stream (cfg : config) :
+    unit -> (Hilti_net.Pcap.record list * session_truth option) option =
+  let rng = Rng.create cfg.seed in
+  let arrival = ref cfg.start_ts in
+  let i = ref 0 in
+  fun () ->
+    if !i >= cfg.sessions then None
+    else begin
+      let idx = !i in
+      incr i;
+      let ep =
+        {
+          Tcp_session.client = client_addr (Rng.int rng cfg.clients);
+          server = broker_addr (Rng.int rng cfg.brokers);
+          cport = 31000 + ((idx * 17) mod 30000);
+          sport = 1883;
+        }
+      in
+      arrival := Time_ns.add !arrival (Int64.of_int (Rng.int rng (2 * mean_gap_ns)));
+      let ts_ref = ref !arrival in
+      if Rng.chance rng cfg.crud_prob then
+        Some (gen_crud_session rng cfg ~ts_ref ~ep, None)
+      else
+        let pkts, truth = gen_session rng cfg ~ts_ref ~ep in
+        Some (pkts, Some truth)
+    end
+
+let iosrc ?(window = 512) (cfg : config) : Hilti_rt.Iosrc.t =
+  let next = session_stream cfg in
+  Gen_stream.iosrc ~kind:"synthetic-mqtt" ~window (fun () ->
+      Option.map fst (next ()))
+
+let generate (cfg : config) : trace =
+  let next = session_stream cfg in
+  let records = ref [] and truths = ref [] in
+  let rec go () =
+    match next () with
+    | None -> ()
+    | Some (pkts, truth) ->
+        records := List.rev_append pkts !records;
+        (match truth with Some t -> truths := t :: !truths | None -> ());
+        go ()
+  in
+  go ();
+  let by_ts (a : Hilti_net.Pcap.record) (b : Hilti_net.Pcap.record) =
+    Time_ns.compare a.Hilti_net.Pcap.ts b.Hilti_net.Pcap.ts
+  in
+  {
+    records = List.stable_sort by_ts (List.rev !records);
+    sessions = List.rev !truths;
+  }

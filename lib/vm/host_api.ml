@@ -71,6 +71,13 @@ let run_hook t name args = Vm.run_hook t.ctx name args
 (** Abstract-cycle counter (the PAPI stand-in). *)
 let cycles t = Vm.instr_count t.ctx
 
+(** Hang guard: after [n] more retired instructions any dispatch loop
+    raises [Vm.Step_budget_exceeded] (a raw OCaml exception that generated
+    try-handlers cannot catch).  [clear_step_budget] turns it off. *)
+let set_step_budget t n = t.ctx.Vm.step_kill <- t.ctx.Vm.instr_count + n
+
+let clear_step_budget t = t.ctx.Vm.step_kill <- max_int
+
 (* ---- Fibers: incremental processing entry points -------------------------- *)
 
 type parse_run = {

@@ -18,6 +18,12 @@ open Bytecode
 
 exception Runtime_error of string
 
+exception Step_budget_exceeded
+(** Raised by the dispatch loops when [step_kill] instructions have been
+    retired.  Deliberately a raw OCaml exception, not a HILTI one, so
+    generated [try] handlers cannot swallow it — the fuzzer uses it as a
+    hang detector on hostile input. *)
+
 let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
 
 (* ---- Dispatch observability -------------------------------------------------- *)
@@ -77,6 +83,7 @@ type context = {
   mutable cached_tid : int64;          (* thread whose globals are cached *)
   mutable cached_globals : Value.t array;
   mutable instr_count : int;
+  mutable step_kill : int;             (* raise past this instr_count; max_int = off *)
   cycles : int ref;                    (* per-context abstract cycle counter *)
   mutable debug_sink : string -> unit;
   parent : context option;             (* Some root for per-domain clones *)
@@ -94,6 +101,7 @@ let create program =
     cached_tid = Int64.min_int;
     cached_globals = [||];
     instr_count = 0;
+    step_kill = max_int;
     cycles = Hilti_rt.Profiler.new_counter ();
     debug_sink = (fun s -> print_endline s);
     parent = None;
@@ -122,6 +130,7 @@ let clone_for_domain ctx =
     cached_tid = Int64.min_int;
     cached_globals = [||];
     instr_count = 0;
+    step_kill = max_int;
     cycles = Hilti_rt.Profiler.new_counter ();
     parent = Some ctx;
   }
@@ -582,6 +591,7 @@ and exec_bytes op args =
       Value.Bool (Hbytes.available it >= Value.as_int_i (a 1))
   | B_read ->
       let it = Value.as_bytes_iter (a 0) and n = Value.as_int_i (a 1) in
+      if n < 0 then raise (Value.value_error "bytes.read: negative length");
       let data, it' = blocking (fun () -> Hbytes.read it n) in
       let b = Hbytes.of_string data in
       Hbytes.freeze b;
@@ -1173,6 +1183,7 @@ and exec_func_checked ctx (fidx : int) (args : Value.t list) : Value.t =
   while !running do
     let i = code.(frame.pc) in
     ctx.instr_count <- ctx.instr_count + 1;
+    if ctx.instr_count >= ctx.step_kill then raise Step_budget_exceeded;
     ctx.cycles := !(ctx.cycles) + 1;
     (match obs with
     | Some ops ->
@@ -1273,6 +1284,11 @@ and exec_func_checked ctx (fidx : int) (args : Value.t list) : Value.t =
              | Hilti_types.Hbytes.Frozen ->
                  raise (Value.value_error "bytes: frozen")
              | Hilti_rt.Regexp.Parse_error msg -> raise (Value.value_error msg)
+             | Invalid_argument msg ->
+                 (* Hostile field values (e.g. a lying length that goes
+                    negative) reach substrate primitives; surface them as a
+                    catchable HILTI exception, not a raw OCaml crash. *)
+                 raise (Value.value_error ("prim: " ^ msg))
            in
            setreg frame dst v;
            frame.pc <- next
@@ -1315,6 +1331,7 @@ and exec_func_verified ctx (fidx : int) (args : Value.t list) : Value.t =
   while !running do
     let i = Array.unsafe_get code frame.pc in
     ctx.instr_count <- ctx.instr_count + 1;
+    if ctx.instr_count >= ctx.step_kill then raise Step_budget_exceeded;
     ctx.cycles := !(ctx.cycles) + 1;
     (match obs with
     | Some ops ->
@@ -1410,6 +1427,11 @@ and exec_func_verified ctx (fidx : int) (args : Value.t list) : Value.t =
              | Hilti_types.Hbytes.Frozen ->
                  raise (Value.value_error "bytes: frozen")
              | Hilti_rt.Regexp.Parse_error msg -> raise (Value.value_error msg)
+             | Invalid_argument msg ->
+                 (* Hostile field values (e.g. a lying length that goes
+                    negative) reach substrate primitives; surface them as a
+                    catchable HILTI exception, not a raw OCaml crash. *)
+                 raise (Value.value_error ("prim: " ^ msg))
            in
            usetreg frame dst v;
            frame.pc <- next
@@ -1463,6 +1485,7 @@ and exec_func_spec ctx (fidx : int) (args : Value.t list) : Value.t =
   while !running do
     let i = Array.unsafe_get code frame.pc in
     ctx.instr_count <- ctx.instr_count + 1;
+    if ctx.instr_count >= ctx.step_kill then raise Step_budget_exceeded;
     ctx.cycles := !(ctx.cycles) + 1;
     (match obs with
     | Some ops ->
@@ -1558,6 +1581,11 @@ and exec_func_spec ctx (fidx : int) (args : Value.t list) : Value.t =
              | Hilti_types.Hbytes.Frozen ->
                  raise (Value.value_error "bytes: frozen")
              | Hilti_rt.Regexp.Parse_error msg -> raise (Value.value_error msg)
+             | Invalid_argument msg ->
+                 (* Hostile field values (e.g. a lying length that goes
+                    negative) reach substrate primitives; surface them as a
+                    catchable HILTI exception, not a raw OCaml crash. *)
+                 raise (Value.value_error ("prim: " ^ msg))
            in
            usetreg frame dst v;
            frame.pc <- next

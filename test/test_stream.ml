@@ -180,6 +180,70 @@ let test_mix_iosrc () =
     (Hilti_traces.Mix.generate cfg)
     (Hilti_traces.Gen_stream.to_records (Hilti_traces.Mix.iosrc cfg))
 
+(* ---- Reorder-window edge cases ----------------------------------------------------- *)
+
+let rec_at ?(data = "p") sec = { Pcap.ts = ts_of_sec sec; orig_len = String.length data; data }
+
+let burst_src bursts =
+  let rest = ref bursts in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | b :: tl ->
+        rest := tl;
+        Some b
+
+let drain ~window bursts =
+  Hilti_rt.Iosrc.to_list (Hilti_traces.Gen_stream.iosrc ~window (burst_src bursts))
+
+let ts_list ps = List.map (fun (p : Hilti_rt.Iosrc.packet) -> p.Hilti_rt.Iosrc.ts) ps
+
+let test_gen_stream_window_zero () =
+  Alcotest.check_raises "window 0 rejected"
+    (Invalid_argument "Gen_stream.iosrc: window must be >= 1") (fun () ->
+      ignore (Hilti_traces.Gen_stream.iosrc ~window:0 (burst_src [])))
+
+let test_gen_stream_window_one () =
+  (* A window of one never holds packets from two bursts at once: each
+     burst drains (in its own sorted order) before the next is pulled,
+     so cross-burst timestamp inversions pass through un-merged... *)
+  let bursts = [ [ rec_at 5; rec_at 7 ]; [ rec_at 1; rec_at 2 ] ] in
+  Alcotest.(check (list int64))
+    "window 1 keeps burst order"
+    (List.map (fun s -> ts_of_sec s) [ 5; 7; 1; 2 ])
+    (ts_list (drain ~window:1 bursts));
+  (* ...while a window spanning the trace sorts globally. *)
+  Alcotest.(check (list int64))
+    "large window sorts globally"
+    (List.map (fun s -> ts_of_sec s) [ 1; 2; 5; 7 ])
+    (ts_list (drain ~window:100 bursts))
+
+let test_gen_stream_duplicate_ts () =
+  (* Equal timestamps must come out in insertion order (the stable-sort
+     tie-break), across bursts and within one. *)
+  let mk tag sec = rec_at ~data:tag sec in
+  let bursts =
+    [ [ mk "a" 3; mk "b" 3 ]; [ mk "c" 3; mk "d" 1 ]; [ mk "e" 3 ] ]
+  in
+  Alcotest.(check (list string))
+    "ties keep insertion order" [ "d"; "a"; "b"; "c"; "e" ]
+    (List.map
+       (fun (p : Hilti_rt.Iosrc.packet) -> p.Hilti_rt.Iosrc.data)
+       (drain ~window:100 bursts))
+
+let test_gen_stream_flush_pending () =
+  (* End of generation with a part-full buffer: everything pending is
+     still emitted, sorted, and the source then stays exhausted. *)
+  let src =
+    Hilti_traces.Gen_stream.iosrc ~window:1000
+      (burst_src [ [ rec_at 9; rec_at 4 ]; [ rec_at 6 ] ])
+  in
+  Alcotest.(check (list int64))
+    "pending packets flushed sorted"
+    (List.map (fun s -> ts_of_sec s) [ 4; 6; 9 ])
+    (ts_list (Hilti_rt.Iosrc.to_list src));
+  Alcotest.(check bool) "stays exhausted" true (Hilti_rt.Iosrc.read src = None)
+
 (* ---- Streaming analysis == list analysis ------------------------------------------ *)
 
 let evaluate ?jobs ?idle_timeout ~proto src =
@@ -345,6 +409,14 @@ let suite =
       test_writer_rejects_oversize;
     Alcotest.test_case "pcap: file streaming == list reading" `Quick
       test_file_streaming_identity;
+    Alcotest.test_case "gen_stream: window 0 is rejected" `Quick
+      test_gen_stream_window_zero;
+    Alcotest.test_case "gen_stream: window 1 vs trace-wide window" `Quick
+      test_gen_stream_window_one;
+    Alcotest.test_case "gen_stream: duplicate timestamps stay stable" `Quick
+      test_gen_stream_duplicate_ts;
+    Alcotest.test_case "gen_stream: end-of-stream flushes pending sorted" `Quick
+      test_gen_stream_flush_pending;
     Alcotest.test_case "gen: http iosrc == generate" `Quick test_http_gen_iosrc;
     Alcotest.test_case "gen: dns iosrc == generate" `Quick test_dns_gen_iosrc;
     Alcotest.test_case "gen: ssh iosrc == generate" `Quick test_ssh_gen_iosrc;

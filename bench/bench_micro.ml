@@ -80,7 +80,86 @@ let hot_loop_module () =
   Builder.return_result b (Instr.Local acc);
   m
 
-let verified_dispatch_bench () =
+(* ---- Frame-arena allocation micro-benchmark -------------------------------- *)
+
+(* A per-packet-shaped call path: a driver loop making one direct call per
+   iteration into a leaf with a wide frame — the activation pattern of the
+   DNS parse path's helper calls.  With the interprocedural licence on,
+   every leaf activation reuses the per-worker arena frame instead of
+   copying its register bank; the allocation delta per activation is the
+   payoff being measured. *)
+let call_leaf_module () =
+  let m = Module_ir.create "Act" in
+  (* The leaf: enough locals that its frame copy is visible in the
+     allocation rate. *)
+  let b =
+    Builder.func m "Act::leaf" ~params:[ ("x", Htype.Int 64) ]
+      ~result:(Htype.Int 64)
+  in
+  let acc = ref (Instr.Local "x") in
+  for k = 1 to 12 do
+    acc := Builder.emit b (Htype.Int 64) "int.add" [ !acc; Builder.const_int k ]
+  done;
+  let r = Builder.emit b (Htype.Int 64) "int.xor" [ !acc; Instr.Local "x" ] in
+  Builder.return_result b r;
+  (* The driver: n activations of the leaf. *)
+  let b =
+    Builder.func m "Act::drive" ~params:[ ("n", Htype.Int 64) ]
+      ~result:(Htype.Int 64)
+  in
+  let acc = Builder.local b "acc" (Htype.Int 64) in
+  let i = Builder.local b "i" (Htype.Int 64) in
+  Builder.assign b ~target:acc (Builder.const_int 0);
+  Builder.assign b ~target:i (Builder.const_int 0);
+  Builder.jump b "head";
+  Builder.set_block b "head";
+  let c = Builder.emit b Htype.Bool "int.lt" [ Instr.Local i; Instr.Local "n" ] in
+  Builder.if_else b c ~then_:"body" ~else_:"exit";
+  Builder.set_block b "body";
+  let v =
+    Builder.emit b (Htype.Int 64) "call"
+      [ Instr.Fname "Act::leaf"; Instr.Tuple_op [ Instr.Local i ] ]
+  in
+  let acc' = Builder.emit b (Htype.Int 64) "int.add" [ Instr.Local acc; v ] in
+  Builder.assign b ~target:acc acc';
+  let i' = Builder.emit b (Htype.Int 64) "int.add" [ Instr.Local i; Builder.const_int 1 ] in
+  Builder.assign b ~target:i i';
+  Builder.jump b "head";
+  Builder.set_block b "exit";
+  Builder.return_result b (Instr.Local acc);
+  m
+
+(* Allocated bytes per leaf activation, amortized over [n] calls. *)
+let frame_arena_bench () =
+  Bench_util.header "frame arena: allocated bytes per activation, copy vs reuse";
+  let module H = Hilti_vm.Host_api in
+  let n = 200_000 in
+  let bytes_per_activation ~frame_reuse =
+    let api = H.compile ~frame_reuse [ call_leaf_module () ] in
+    let drive () =
+      Hilti_vm.Value.as_int
+        (H.call api "Act::drive" [ Hilti_vm.Value.Int (Int64.of_int n) ])
+    in
+    let r = drive () in
+    (* warm-up: arena slots exist, code paths jitted into the caches *)
+    Bench_util.gc_normalize ();
+    let before = Gc.allocated_bytes () in
+    let r' = drive () in
+    let per = (Gc.allocated_bytes () -. before) /. float_of_int n in
+    assert (r = r');
+    (r, per)
+  in
+  let r_copy, alloc_copy = bytes_per_activation ~frame_reuse:false in
+  let r_reuse, alloc_reuse = bytes_per_activation ~frame_reuse:true in
+  assert (r_copy = r_reuse);
+  let reduction = 1.0 -. (alloc_reuse /. alloc_copy) in
+  Printf.printf "%d leaf activations per run:\n" n;
+  Printf.printf "  bank copy  (frame_reuse=false): %8.1f bytes/activation\n" alloc_copy;
+  Printf.printf "  arena slot (frame_reuse=true):  %8.1f bytes/activation\n" alloc_reuse;
+  Printf.printf "  reduction: %.1f%%\n" (100.0 *. reduction);
+  (alloc_copy, alloc_reuse, reduction)
+
+let verified_dispatch_bench (alloc_copy, alloc_reuse, alloc_reduction) =
   Bench_util.header "bytecode verifier: checked vs verified vs specialized dispatch";
   let iters = 400_000L in
   let module H = Hilti_vm.Host_api in
@@ -115,12 +194,15 @@ let verified_dispatch_bench () =
     Printf.sprintf
       "{\n  \"experiment\": \"verified_dispatch\",\n  \"iters\": %Ld,\n  \
        \"checked_ms\": %.3f,\n  \"verified_ms\": %.3f,\n  \"speedup\": %.3f,\n  \
-       \"specialized_ms\": %.3f,\n  \"speedup_spec\": %.3f\n}\n"
+       \"specialized_ms\": %.3f,\n  \"speedup_spec\": %.3f,\n  \
+       \"alloc_bytes_copy\": %.1f,\n  \"alloc_bytes_reuse\": %.1f,\n  \
+       \"alloc_reduction\": %.3f\n}\n"
       iters (Bench_util.ms ns_checked) (Bench_util.ms ns_verified) speedup
-      (Bench_util.ms ns_spec) speedup_spec
+      (Bench_util.ms ns_spec) speedup_spec alloc_copy alloc_reuse
+      alloc_reduction
   in
   Bench_util.write_file_atomic "BENCH_micro.json" json;
-  print_endline "dispatch data written to BENCH_micro.json"
+  print_endline "dispatch + frame-arena data written to BENCH_micro.json"
 
 (* ---- Hbytes allocation micro-benchmark ----------------------------------- *)
 
@@ -212,4 +294,6 @@ let run () =
   print_newline ();
   hbytes_alloc_bench ();
   print_newline ();
-  verified_dispatch_bench ()
+  let arena = frame_arena_bench () in
+  print_newline ();
+  verified_dispatch_bench arena

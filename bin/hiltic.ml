@@ -17,13 +17,24 @@ options:
   -O0        disable the HILTI-level optimization pipeline
   -v         print compilation statistics
   -analyze   lint the modules instead of executing: run validation, the
-             dataflow analyses and the bytecode verifier, print one
+             dataflow analyses, the bytecode verifier and (with
+             -shard-entry) the static shard-race detector; print one
              tab-separated finding per line (severity rule func where
-             message) and exit 1 if any finding has error severity
+             location message) and exit 1 if any finding has error
+             severity
   -analyze-bundled
              like -analyze, but over the compiled IR of the bundled
              BinPAC++ grammars (ssh/http/dns) and Bro scripts
-             (track/http/dns/scan/fib); takes no input files
+             (track/http/dns/scan/fib); takes no input files.  Grammar
+             units designate their exported parse_* functions as sharded
+             entry points, so the race detector runs over them
+  -shard-entry NAME
+             (with -analyze) declare NAME a sharded dispatch entry point
+             and run the race rules (race/global-write,
+             race/timer-cross-shard, race/hostapi-shared) over its
+             call-graph closure; repeatable
+  -format FMT
+             lint output format: tsv (default) or json (stable key order)
   -classifier FILE
              compile the firewall rules in FILE (one "src dst action" per
              line) into a hash-consed decision diagram and print its
@@ -35,27 +46,58 @@ options:
 
 (* Lint one named unit (a list of modules compiled together) and print its
    findings.  Returns the number of error-severity findings. *)
-let lint_unit ~warnings name modules =
-  let findings = Hilti_analysis.Lint.analyze modules in
+let lint_unit ~warnings ~format ?(shard_entries = []) name modules =
+  let findings = Hilti_analysis.Lint.analyze ~shard_entries modules in
   let findings =
     if warnings then findings else Hilti_analysis.Lint.errors findings
   in
-  List.iter
-    (fun f ->
-      Printf.printf "%s\t%s\n" name (Hilti_analysis.Lint.to_line f))
-    findings;
+  (match format with
+  | `Tsv ->
+      List.iter
+        (fun f ->
+          Printf.printf "%s\t%s\n" name (Hilti_analysis.Lint.to_line f))
+        findings
+  | `Json ->
+      (* One JSON object per unit, unit name first, stable key order. *)
+      Printf.printf "{\"unit\":\"%s\",\"report\":%s}\n"
+        (Hilti_analysis.Lint.json_escape name)
+        (String.trim (Hilti_analysis.Lint.report_to_json findings)));
   List.length (Hilti_analysis.Lint.errors findings)
+
+(* Grammar units run under the sharded data plane with one dispatcher call
+   per packet into their exported parse functions — exactly the entry
+   points the race detector needs designated. *)
+let parse_entries modules =
+  List.concat_map
+    (fun (m : Module_ir.t) ->
+      List.filter_map
+        (fun (f : Module_ir.func) ->
+          let name = f.Module_ir.fname in
+          let is_parse =
+            match String.index_opt name ':' with
+            | Some i ->
+                i + 2 <= String.length name
+                && String.length name - (i + 2) >= 6
+                && String.sub name (i + 2) 6 = "parse_"
+            | None -> false
+          in
+          if f.Module_ir.exported && is_parse then Some name else None)
+        m.Module_ir.funcs)
+    modules
 
 (* The units behind -analyze-bundled: every bundled BinPAC++ grammar and
    every bundled Bro script, each compiled to IR exactly as the runtime
-   would and linted as its own unit. *)
+   would and linted as its own unit.  [`Parse_entries] marks units whose
+   exported parse_* functions are sharded dispatch entry points. *)
 let bundled_units () =
   let grammar name parse =
     ( "binpac:" ^ name,
+      `Parse_entries,
       fun () -> [ Binpacxx.Codegen.compile (parse ()) ] )
   in
   let bro name src =
     ( "bro:" ^ name,
+      `No_entries,
       fun () -> [ Mini_bro.Bro_compile.compile (Mini_bro.Bro_parse.parse src) ] )
   in
   [
@@ -81,6 +123,8 @@ let () =
   let analyze_bundled = ref false in
   let classifier = ref None in
   let no_warnings = ref false in
+  let format = ref `Tsv in
+  let shard_entries = ref [] in
   let rec parse_args = function
     | [] -> ()
     | "-p" :: rest -> print_ir := true; parse_args rest
@@ -93,6 +137,14 @@ let () =
     | "-analyze-bundled" :: rest -> analyze_bundled := true; parse_args rest
     | "-classifier" :: file :: rest -> classifier := Some file; parse_args rest
     | "-no-warnings" :: rest -> no_warnings := true; parse_args rest
+    | "-format" :: "json" :: rest -> format := `Json; parse_args rest
+    | "-format" :: "tsv" :: rest -> format := `Tsv; parse_args rest
+    | "-format" :: other :: _ ->
+        Printf.eprintf "unknown -format '%s' (expected tsv or json)\n" other;
+        exit 1
+    | "-shard-entry" :: name :: rest ->
+        shard_entries := name :: !shard_entries;
+        parse_args rest
     | ("-h" | "--help") :: _ -> print_string usage; exit 0
     | f :: rest -> files := f :: !files; parse_args rest
   in
@@ -101,11 +153,19 @@ let () =
   if !analyze_bundled then begin
     let nerrors =
       List.fold_left
-        (fun acc (name, build) ->
+        (fun acc (name, entries, build) ->
           match build () with
-          | modules -> acc + lint_unit ~warnings:(not !no_warnings) name modules
+          | modules ->
+              let shard_entries =
+                match entries with
+                | `Parse_entries -> parse_entries modules
+                | `No_entries -> []
+              in
+              acc
+              + lint_unit ~warnings:(not !no_warnings) ~format:!format
+                  ~shard_entries name modules
           | exception exn ->
-              Printf.printf "%s\terror\tbuild\t-\t-\t%s\n" name
+              Printf.printf "%s\terror\tbuild\t-\t-\t-\t%s\n" name
                 (Printexc.to_string exn);
               acc + 1)
         0 (bundled_units ())
@@ -165,7 +225,10 @@ let () =
     end;
     if !analyze then begin
       let name = String.concat "," files in
-      let nerrors = lint_unit ~warnings:(not !no_warnings) name modules in
+      let nerrors =
+        lint_unit ~warnings:(not !no_warnings) ~format:!format
+          ~shard_entries:(List.rev !shard_entries) name modules
+      in
       exit (if nerrors > 0 then 1 else 0)
     end;
     let api = Hilti_vm.Host_api.compile ~optimize:!optimize modules in

@@ -1,0 +1,4 @@
+(** Re-export of the flow-of-values escape analysis so analysis clients
+    depend on [Hilti_analysis] alone. *)
+
+include Hilti_vm.Escape

@@ -1,0 +1,279 @@
+(** Static shard-race detector.
+
+    The sharded data plane (PR 7) promises byte-identical output to serial
+    execution, which holds only if nothing a packet-path activation does
+    can be observed by an activation on another shard.  This pass turns
+    that promise from convention into a checked property: given the
+    program's {e sharded entry points} (the functions the dispatcher calls
+    once per packet, e.g. a grammar's exported [parse_*] or a firewall's
+    [match_packet]), it walks their synchronous call-graph closure — the
+    {e packet path} — using the interprocedural summaries
+    ([Hilti_vm.Summary]) and flags every operation whose effect can cross
+    a shard boundary:
+
+    - [race/global-write]: a direct global store on the packet path, or a
+      mutation of a global-reachable container that is not {e flow-keyed}
+      (every key/value operand derived from the enclosing function's
+      parameters — shard dispatch hashes the flow key, so flow-keyed
+      entries are only ever touched by one shard).  Globals written only
+      during setup (functions not reachable from any sharded entry) are
+      fine.
+    - [race/timer-cross-shard]: the packet path binds or schedules a
+      callable whose target (transitively) writes globals — when the
+      timer fires or the job runs, it may execute on a different domain
+      than the one that created it.
+    - [race/hostapi-shared]: the packet path calls a host-API function
+      audited as writing host-global state, or one missing from the audit
+      table entirely.  Event emission and I/O are fine: the collector
+      replays per-flow event logs serially.
+
+    Reads are never flagged — read-only-after-setup globals (compiled
+    regexps, classifier rule tables) are exactly the sharing the paper's
+    model permits. *)
+
+module Bytecode = Hilti_vm.Bytecode
+module Summary = Hilti_vm.Summary
+module Effects = Hilti_passes.Effects
+
+type race = {
+  r_rule : string;   (** [race/global-write] etc. *)
+  r_func : string;   (** packet-path function containing the operation *)
+  r_pc : int;        (** bytecode pc of the flagged instruction *)
+  r_msg : string;
+}
+
+(* ---- Flow-key taint -------------------------------------------------------- *)
+
+(* Registers of [f] whose value is derived only from [f]'s parameters and
+   constants — the operands a shard-symmetric flow key can be built from.
+   Fixpoint over the instruction array (flow-insensitive, which
+   over-approximates reachability of definitions and therefore
+   under-approximates taint only when a register is reused for both a
+   param-derived and a global-derived value — in that case it correctly
+   drops out of the taint set). *)
+let param_derived (f : Bytecode.func) : bool array =
+  let n = Array.length f.reg_defaults in
+  let derived = Array.make n false in
+  let poisoned = Array.make n false in
+  (* Seed: parameters, plus every register initialized at entry — those
+     hold constants (the lowering's constant pool and typed local
+     defaults); a later write from a non-derived source poisons them. *)
+  for i = 0 to n - 1 do
+    if i < f.Bytecode.nparams || (i < Array.length f.Bytecode.entry_init && f.Bytecode.entry_init.(i))
+    then derived.(i) <- true
+  done;
+  let changed = ref true in
+  let ok r = r < 0 || (r < n && derived.(r) && not (poisoned.(r))) in
+  let set d v =
+    if d >= 0 && d < n then begin
+      if v then begin
+        if (not poisoned.(d)) && not derived.(d) then begin
+          derived.(d) <- true;
+          changed := true
+        end
+      end
+      else if not poisoned.(d) then begin
+        poisoned.(d) <- true;
+        if derived.(d) then derived.(d) <- false;
+        changed := true
+      end
+    end
+  in
+  (* Specialized code moves scalars through the unboxed int/float banks;
+     track them with the same seed (bank templates hold constants) and
+     poison semantics so derivedness survives an unbox/box round trip. *)
+  let ni, nf =
+    match f.Bytecode.spec with
+    | Some sp -> (sp.Bytecode.n_int, sp.Bytecode.n_float)
+    | None -> (0, 0)
+  in
+  let mk_bank k = (Array.make (max k 1) true, Array.make (max k 1) false) in
+  let ib, ibp = mk_bank ni and fb, fbp = mk_bank nf in
+  let bok (b, bp) i = i >= 0 && i < Array.length b && b.(i) && not bp.(i) in
+  let bset (b, bp) d v =
+    if d >= 0 && d < Array.length b then begin
+      if v then begin
+        if (not bp.(d)) && not b.(d) then begin
+          b.(d) <- true;
+          changed := true
+        end
+      end
+      else if not bp.(d) then begin
+        bp.(d) <- true;
+        if b.(d) then b.(d) <- false;
+        changed := true
+      end
+    end
+  in
+  let iok = bok (ib, ibp) and iset = bset (ib, ibp) in
+  let fok = bok (fb, fbp) and fset = bset (fb, fbp) in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun instr ->
+        match instr with
+        | Bytecode.Const (d, _) -> set d true
+        | Bytecode.Mov (d, s) -> set d (ok s)
+        | Bytecode.LoadGlobal (d, _) -> set d false
+        | Bytecode.Call (_, _, d) | Bytecode.CallC (_, _, d) -> set d false
+        | Bytecode.Bind (_, _, d) -> set d false
+        | Bytecode.Prim (p, args, d) -> (
+            match p with
+            | Bytecode.P_new _ -> set d false
+            | _ -> set d (Array.for_all ok args))
+        | Bytecode.IConst_u (d, _) -> iset d true
+        | Bytecode.IMov_u (d, s) -> iset d (iok s)
+        | Bytecode.UnboxI (d, s) -> iset d (ok s)
+        | Bytecode.BoxI (d, s) -> set d (iok s)
+        | Bytecode.IArith_u (_, _, d, a, b) -> iset d (iok a && iok b)
+        | Bytecode.IArithK_u (_, _, d, a, _) -> iset d (iok a)
+        | Bytecode.ICmp_u (_, d, a, b) -> set d (iok a && iok b)
+        | Bytecode.ICmpK_u (_, d, a, _) -> set d (iok a)
+        | Bytecode.FConst_u (d, _) -> fset d true
+        | Bytecode.FMov_u (d, s) -> fset d (fok s)
+        | Bytecode.UnboxF (d, s) -> fset d (ok s)
+        | Bytecode.BoxF (d, s) -> set d (fok s)
+        | Bytecode.FArith_u (_, d, a, b) -> fset d (fok a && fok b)
+        | Bytecode.FCmp_u (_, d, a, b) -> set d (fok a && fok b)
+        | _ -> ())
+      f.Bytecode.code
+  done;
+  derived
+
+(* Mutating container primitives: the packet path may apply them to a
+   global-reachable container only flow-keyed. *)
+let mutates_container (p : Bytecode.prim) =
+  match p with
+  | Bytecode.P_list
+      (Bytecode.L_append | Bytecode.L_push_front | Bytecode.L_pop_front
+      | Bytecode.L_clear) ->
+      true
+  | Bytecode.P_vector
+      (Bytecode.V_push_back | Bytecode.V_set | Bytecode.V_clear
+      | Bytecode.V_pop_back) ->
+      true
+  | Bytecode.P_set
+      (Bytecode.SE_insert | Bytecode.SE_remove | Bytecode.SE_clear) ->
+      true
+  | Bytecode.P_map
+      (Bytecode.M_insert | Bytecode.M_remove | Bytecode.M_clear) ->
+      true
+  | Bytecode.P_struct (Bytecode.ST_set _ | Bytecode.ST_unset _) -> true
+  | Bytecode.P_classifier (Bytecode.CL_add | Bytecode.CL_compile) -> true
+  | _ -> false
+
+(* Registers that may hold a global-reachable value: loaded from a global
+   slot, or read out of such a value.  Flow-insensitive union — a false
+   positive here only demands that a mutation be flow-keyed. *)
+let global_derived (f : Bytecode.func) : bool array =
+  let n = Array.length f.reg_defaults in
+  let g = Array.make n false in
+  let changed = ref true in
+  let mark d v = if d >= 0 && d < n && v && not g.(d) then begin g.(d) <- true; changed := true end in
+  let is r = r >= 0 && r < n && g.(r) in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun instr ->
+        match instr with
+        | Bytecode.LoadGlobal (d, _) -> mark d true
+        | Bytecode.Mov (d, s) -> mark d (is s)
+        | Bytecode.Prim (p, args, d) -> (
+            match p with
+            | Bytecode.P_list (Bytecode.L_front | Bytecode.L_back)
+            | Bytecode.P_vector Bytecode.V_get
+            | Bytecode.P_map (Bytecode.M_get | Bytecode.M_get_default)
+            | Bytecode.P_struct
+                (Bytecode.ST_get _ | Bytecode.ST_get_default _)
+            | Bytecode.P_classifier Bytecode.CL_get
+            | Bytecode.P_select | Bytecode.P_make_tuple
+            | Bytecode.P_tuple_get _ ->
+                mark d (Array.exists is args)
+            | _ -> ())
+        | _ -> ())
+      f.Bytecode.code
+  done;
+  g
+
+(* ---- The detector ----------------------------------------------------------- *)
+
+(** Run the detector.  [shard_entries] names the functions the sharded
+    dispatcher invokes per packet; unknown names are ignored (a unit
+    without the entry simply has no packet path).  Results are sorted
+    (rule, func, pc). *)
+let check (p : Bytecode.program) ~(shard_entries : string list) : race list =
+  let entries =
+    List.filter_map (fun n -> Bytecode.find_func p n) shard_entries
+  in
+  if entries = [] then []
+  else begin
+    let s = Summary.compute p in
+    let on_path = Summary.reachable_from s entries in
+    let races = ref [] in
+    let flag rule fi pc msg =
+      races :=
+        { r_rule = rule; r_func = p.Bytecode.funcs.(fi).Bytecode.name; r_pc = pc; r_msg = msg }
+        :: !races
+    in
+    Array.iteri
+      (fun fi (f : Bytecode.func) ->
+        if on_path.(fi) then begin
+          let derived = lazy (param_derived f) in
+          let globalish = lazy (global_derived f) in
+          Array.iteri
+            (fun pc instr ->
+              match instr with
+              | Bytecode.StoreGlobal (slot, _) ->
+                  flag "race/global-write" fi pc
+                    (Printf.sprintf
+                       "global '%s' is written on the sharded packet path"
+                       p.Bytecode.globals.(slot))
+              | Bytecode.Prim (prim, args, _)
+                when mutates_container prim
+                     && Array.length args > 0
+                     && (Lazy.force globalish).(args.(0)) ->
+                  let keys = Array.sub args 1 (Array.length args - 1) in
+                  let flow_keyed =
+                    Array.for_all
+                      (fun r ->
+                        r < Array.length (Lazy.force derived)
+                        && (Lazy.force derived).(r))
+                      keys
+                  in
+                  if not flow_keyed then
+                    flag "race/global-write" fi pc
+                      "global container mutated with a key not derived from \
+                       the flow parameters"
+              | Bytecode.Bind (callee, _, _) | Bytecode.Schedule (callee, _, _)
+                ->
+                  let ct = s.Summary.total.(callee) in
+                  if
+                    (not (Summary.IntSet.is_empty ct.Summary.writes_globals))
+                    || ct.Summary.writes_host_state
+                  then
+                    flag "race/timer-cross-shard" fi pc
+                      (Printf.sprintf
+                         "deferred call to '%s' writes globals; it may fire \
+                          on a different shard"
+                         p.Bytecode.funcs.(callee).Bytecode.name)
+              | Bytecode.CallC (name, _, _) -> (
+                  match Effects.host_effects name with
+                  | None ->
+                      flag "race/hostapi-shared" fi pc
+                        (Printf.sprintf
+                           "host function '%s' is not in the audited effect \
+                            table"
+                           name)
+                  | Some h ->
+                      if List.mem Effects.Writes_global h.Effects.hf_effects
+                      then
+                        flag "race/hostapi-shared" fi pc
+                          (Printf.sprintf
+                             "host function '%s' writes shared host state"
+                             name))
+              | _ -> ())
+            f.Bytecode.code
+        end)
+      p.Bytecode.funcs;
+    List.sort compare !races
+  end

@@ -1,0 +1,4 @@
+(** Re-export of the interprocedural call-graph/effect-summary analysis so
+    analysis clients depend on [Hilti_analysis] alone. *)
+
+include Hilti_vm.Summary

@@ -796,9 +796,14 @@ let run_dns_par_src ?(batch = 1024) ~jobs ~(kind : dns_kind)
     | Dns_std -> Hilti_vm.Host_api.compile [ trivial_sched_module () ]
   in
   (* Parallel execution is only entered on verified bytecode (attach
-     re-verifies a program that skipped compile-time verification). *)
+     re-verifies a program that skipped compile-time verification), and
+     attach also stamps the frame-reuse licence so per-packet activations
+     of analysis-proven functions recycle their worker's arena frames. *)
   let engine = Hilti_par.Engine.attach api.Hilti_vm.Host_api.ctx ~domains:jobs in
   assert api.Hilti_vm.Host_api.ctx.Hilti_vm.Vm.program.Hilti_vm.Bytecode.verified;
+  assert
+    (Array.length api.Hilti_vm.Host_api.ctx.Hilti_vm.Vm.program.Hilti_vm.Bytecode.reuse
+    > 0);
   Fun.protect ~finally:(fun () -> Hilti_par.Engine.detach engine) @@ fun () ->
   (* Every virtual thread owns its own parser state (§3.2): compile its
      regexps before any datagram lands on it (FIFO per thread). *)

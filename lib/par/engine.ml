@@ -241,6 +241,12 @@ let attach (root : Vm.context) ~domains =
      copy [reg_defaults] — so clones share only immutable data. *)
   if not root.Vm.program.Bytecode.specialized then
     ignore (Hilti_vm.Specialize.specialize root.Vm.program);
+  (* Frame reuse is likewise domain-safe — arena slots live in the
+     per-domain context clones, never in shared state — so attach makes
+     sure the licence analysis has run for programs that bypassed
+     [Host_api.compile]. *)
+  if Array.length root.Vm.program.Bytecode.reuse = 0 then
+    ignore (Hilti_vm.Summary.license_frame_reuse root.Vm.program);
   let clones = Array.init domains (fun _ -> Vm.clone_for_domain root) in
   let pool =
     Domain_pool.create ~domains ~on_start:(fun wid ->

@@ -1,0 +1,81 @@
+(** Generic worklist fixpoint over an arbitrary finite dependency graph —
+    the interprocedural generalization of {!Dataflow}, whose solver is
+    specialized to one function's CFG.
+
+    Where {!Dataflow} iterates block states along control-flow edges, this
+    driver iterates {e node} values along arbitrary dependency edges: for
+    call-graph summaries the nodes are functions and [deps f] are [f]'s
+    callees (a bottom-up summary computation), but nothing here assumes
+    calls — any monotone system over a finite graph fits.
+
+    Same termination argument as {!Dataflow.Make}: values only move up the
+    lattice, a node is revisited only when one of its dependencies
+    changed, so any lattice without infinite ascending chains converges.
+    Cycles (mutual recursion) need no special casing — they simply iterate
+    until the cycle's values stabilize. *)
+
+module type LATTICE = Dataflow.LATTICE
+
+module Make (L : LATTICE) = struct
+  (** [solve ~n ~deps ~transfer] computes the least fixpoint of the system
+
+        value(i) = transfer i (fun j -> value j)
+
+      over nodes [0..n-1], where [deps i] lists the nodes whose values
+      node [i]'s transfer function reads (for summaries: [i]'s callees).
+      [transfer] must be monotone in the values it reads and must read
+      only nodes listed in [deps] — reads outside [deps] won't trigger
+      recomputation.  Returns the solved valuation. *)
+  let solve ~(n : int) ~(deps : int -> int list) ~(transfer : int -> (int -> L.t) -> L.t)
+      : int -> L.t =
+    let value = Array.make (max n 1) L.bottom in
+    let get i = value.(i) in
+    (* Reverse edges: recompute the dependents of a changed node. *)
+    let rdeps = Array.make (max n 1) [] in
+    for i = 0 to n - 1 do
+      List.iter
+        (fun j ->
+          if j >= 0 && j < n && not (List.mem i rdeps.(j)) then
+            rdeps.(j) <- i :: rdeps.(j))
+        (deps i)
+    done;
+    let queue = Queue.create () in
+    let queued = Array.make (max n 1) false in
+    let enqueue i =
+      if not queued.(i) then begin
+        queued.(i) <- true;
+        Queue.add i queue
+      end
+    in
+    for i = 0 to n - 1 do enqueue i done;
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      queued.(i) <- false;
+      let v = transfer i get in
+      if not (L.equal v value.(i)) then begin
+        value.(i) <- v;
+        List.iter enqueue rdeps.(i)
+      end
+    done;
+    get
+
+  (** Transitive reachability helper on the same graph shape: the set of
+      nodes reachable from [roots] following [deps] edges (roots
+      included).  Summaries use it for "reachable from a sharded entry"
+      and "part of a recursive cycle" questions. *)
+  let _ = ()
+end
+
+(** Reachability over an integer dependency graph: every node reachable
+    from [roots] via [succs] (roots included).  Shared by the call-graph
+    clients so they don't each re-implement the same DFS. *)
+let reachable ~(n : int) ~(succs : int -> int list) (roots : int list) : bool array =
+  let seen = Array.make (max n 1) false in
+  let rec go i =
+    if i >= 0 && i < n && not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter go (succs i)
+    end
+  in
+  List.iter go roots;
+  seen

@@ -287,6 +287,13 @@ type program = {
   (** set (only) by {!Specialize} after rewriting every function onto the
       unboxed register banks; the VM then selects the specialized dispatch
       loop *)
+  mutable reuse : bool array;
+  (** per-function frame-reuse licence, set (only) by
+      [Summary.license_frame_reuse]: [reuse.(i)] means the interprocedural
+      analysis proved no two activations of function [i] can be live on
+      one domain at once, so the VM may recycle a per-worker arena frame
+      instead of copying the bank templates per activation.  Empty ([[||]])
+      until the analysis runs — the VM treats missing entries as [false]. *)
 }
 
 let find_func p name = Hashtbl.find_opt p.func_index name

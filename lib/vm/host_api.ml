@@ -24,9 +24,14 @@ exception Compile_error of string list
     @param specialize rewrite verified bytecode onto unboxed int/float
       register banks and fuse hot instruction pairs (default on; effective
       only together with [verify], whose typing export drives the bank
-      assignment) *)
+      assignment)
+    @param frame_reuse run the interprocedural summary analysis
+      ({!Summary.license_frame_reuse}) and let the VM recycle a per-worker
+      arena frame for every function the analysis proves safe (default on;
+      effective only together with [verify] — the reuse contract leans on
+      the verifier's defined-before-use proof) *)
 let compile ?(optimize = true) ?(validate = true) ?(verify = true)
-    ?(specialize = true) (modules : Module_ir.t list) : t =
+    ?(specialize = true) ?(frame_reuse = true) (modules : Module_ir.t list) : t =
   let linked = Hilti_passes.Linker.link modules in
   (* Validation runs on the linked unit, where cross-module references
      (functions, hooks, globals) are all visible. *)
@@ -42,7 +47,8 @@ let compile ?(optimize = true) ?(validate = true) ?(verify = true)
   if verify then begin
     (try ignore (Verify.verify_exn program)
      with Verify.Verify_error errors -> raise (Compile_error errors));
-    if specialize then ignore (Specialize.specialize program)
+    if specialize then ignore (Specialize.specialize program);
+    if frame_reuse then ignore (Summary.license_frame_reuse program)
   end;
   let ctx = Vm.create program in
   (* The standard library surface host applications always get. *)

@@ -74,6 +74,21 @@ let m_regbank_transfers =
   Hilti_obs.Metrics.counter "vm_regbank_transfers"
     ~help:"Box/unbox bridge crossings between unboxed register banks and the boxed frame"
 
+(* One recyclable activation frame per function, per context (and contexts
+   are per-domain under [Hilti_par], so arena slots are never shared
+   between domains).  Only functions carrying the interprocedural
+   frame-reuse licence ([Bytecode.program.reuse], stamped by [Summary])
+   ever get a slot; the [a_busy] bit is the runtime safety net — any
+   activation that finds its slot taken (an edge the analysis did not see)
+   silently falls back to the copying path, so a licence hole can cost
+   performance but never correctness. *)
+type arena_slot = {
+  a_regs : Value.t array;
+  a_ibank : Bytes.t;      (** empty when the function has no bank layout *)
+  a_fbank : float array;
+  mutable a_busy : bool;
+}
+
 type context = {
   program : Bytecode.program;
   host_funcs : (string, context -> Value.t list -> Value.t) Hashtbl.t;
@@ -86,6 +101,9 @@ type context = {
   mutable step_kill : int;             (* raise past this instr_count; max_int = off *)
   cycles : int ref;                    (* per-context abstract cycle counter *)
   mutable debug_sink : string -> unit;
+  mutable arena : arena_slot option array;
+      (* frame arena, indexed by func idx; [[||]] until first licensed
+         activation.  Never shared: each domain clone owns its own. *)
   parent : context option;             (* Some root for per-domain clones *)
 }
 
@@ -104,6 +122,7 @@ let create program =
     step_kill = max_int;
     cycles = Hilti_rt.Profiler.new_counter ();
     debug_sink = (fun s -> print_endline s);
+    arena = [||];
     parent = None;
   }
 
@@ -132,6 +151,7 @@ let clone_for_domain ctx =
     instr_count = 0;
     step_kill = max_int;
     cycles = Hilti_rt.Profiler.new_counter ();
+    arena = [||];
     parent = Some ctx;
   }
 
@@ -237,7 +257,22 @@ type frame = {
   mutable tries : (int * int) list;  (* handler pc, exception register *)
 }
 
-let reg frame i = frame.regs.(i)
+(* Debug mode for the frame arena: on acquire, every register the frame
+   contract does not initialize ([entry_init] false — lowering
+   temporaries the verifier proved defined-before-used) is filled with a
+   physically-unique sentinel instead of its bank-template default.  The
+   checked interpreter then turns any read of a stale slot into a hard
+   failure, making "reuse never observes a leftover value" an executable
+   assertion rather than an argument. *)
+let arena_debug = ref false
+
+let arena_poison : Value.t = Value.String "\xffhilti-arena-poison\xff"
+
+let reg frame i =
+  let v = frame.regs.(i) in
+  if !arena_debug && v == arena_poison then
+    fail "frame arena: read of stale register r%d in a reused frame" i;
+  v
 
 let setreg frame i v = if i >= 0 then frame.regs.(i) <- v
 
@@ -248,6 +283,80 @@ let setreg frame i v = if i >= 0 then frame.regs.(i) <- v
 let ureg frame i = Array.unsafe_get frame.regs i
 
 let usetreg frame i v = if i >= 0 then Array.unsafe_set frame.regs i v
+
+(* ---- The frame arena ------------------------------------------------------------ *)
+
+let m_frames_reused =
+  Hilti_obs.Metrics.counter "frames_reused"
+    ~help:
+      "Activations served from the per-worker frame arena instead of copying bank templates"
+
+let poison_uninit (f : Bytecode.func) (regs : Value.t array) =
+  if !arena_debug then
+    Array.iteri
+      (fun i init -> if not init then regs.(i) <- arena_poison)
+      f.entry_init
+
+(* A cached slot is only reusable while its shapes still match the
+   function: {!Specialize} may rewrite [reg_defaults] and attach banks
+   after a slot was first created. *)
+let slot_fits (f : Bytecode.func) (s : arena_slot) =
+  Array.length s.a_regs = Array.length f.reg_defaults
+  && (match f.spec with
+     | Some sp ->
+         Bytes.length s.a_ibank = Bytes.length sp.ibank_init
+         && Array.length s.a_fbank = Array.length sp.fbank_init
+     | None -> true)
+
+(** Hand out the per-context arena frame for function [fidx], or [None]
+    when the activation must copy: no licence
+    ({!Bytecode.program.reuse}), or the slot is busy (a nested or parked
+    activation the static licence did not anticipate — correctness is
+    preserved by falling back).  On reuse the bank templates are blitted
+    over the slot in place, so the activation starts from exactly the
+    state a fresh copy would have. *)
+let acquire_frame ctx (fidx : int) (f : Bytecode.func) : arena_slot option =
+  let lic = ctx.program.reuse in
+  if fidx >= Array.length lic || not (Array.unsafe_get lic fidx) then None
+  else begin
+    if Array.length ctx.arena = 0 then
+      ctx.arena <- Array.make (Array.length ctx.program.funcs) None;
+    match ctx.arena.(fidx) with
+    | Some s when (not s.a_busy) && slot_fits f s ->
+        s.a_busy <- true;
+        Array.blit f.reg_defaults 0 s.a_regs 0 (Array.length f.reg_defaults);
+        (match f.spec with
+        | Some sp ->
+            Bytes.blit sp.ibank_init 0 s.a_ibank 0 (Bytes.length sp.ibank_init);
+            Array.blit sp.fbank_init 0 s.a_fbank 0 (Array.length sp.fbank_init)
+        | None -> ());
+        poison_uninit f s.a_regs;
+        if Hilti_obs.Metrics.enabled () then Hilti_obs.Metrics.incr m_frames_reused;
+        Some s
+    | Some s when s.a_busy -> None
+    | _ ->
+        (* First licensed activation (or a stale-shaped slot): build the
+           slot from the templates; later activations reuse it. *)
+        let s =
+          {
+            a_regs = Array.copy f.reg_defaults;
+            a_ibank =
+              (match f.spec with
+              | Some sp -> Bytes.copy sp.ibank_init
+              | None -> Bytes.empty);
+            a_fbank =
+              (match f.spec with
+              | Some sp -> Array.copy sp.fbank_init
+              | None -> [||]);
+            a_busy = true;
+          }
+        in
+        poison_uninit f s.a_regs;
+        ctx.arena.(fidx) <- Some s;
+        Some s
+  end
+
+let release_frame = function Some s -> s.a_busy <- false | None -> ()
 
 (* Unchecked 64-bit bank accesses for the specialized dispatch loop:
    {!Verify} type-checks every specialized opcode's slot against the bank
@@ -1169,7 +1278,11 @@ and exec_func ctx (fidx : int) (args : Value.t list) : Value.t =
 
 and exec_func_checked ctx (fidx : int) (args : Value.t list) : Value.t =
   let f = ctx.program.funcs.(fidx) in
-  let frame = { regs = Array.copy f.reg_defaults; pc = 0; tries = [] } in
+  let slot = acquire_frame ctx fidx f in
+  let regs =
+    match slot with Some s -> s.a_regs | None -> Array.copy f.reg_defaults
+  in
+  let frame = { regs; pc = 0; tries = [] } in
   List.iteri (fun i v -> if i < f.nregs then frame.regs.(i) <- v) args;
   let code = f.code in
   let result = ref Value.Null in
@@ -1180,7 +1293,8 @@ and exec_func_checked ctx (fidx : int) (args : Value.t list) : Value.t =
     if Hilti_obs.Metrics.enabled () then Some (Array.make n_opgroups 0) else None
   in
   let instrs_at_entry = ctx.instr_count in
-  while !running do
+  (try
+     while !running do
     let i = code.(frame.pc) in
     ctx.instr_count <- ctx.instr_count + 1;
     if ctx.instr_count >= ctx.step_kill then raise Step_budget_exceeded;
@@ -1305,7 +1419,11 @@ and exec_func_checked ctx (fidx : int) (args : Value.t list) : Value.t =
        frame.tries <- List.tl frame.tries;
        setreg frame exc_reg (Value.Exception e);
        frame.pc <- handler)
-  done;
+     done
+   with e ->
+     release_frame slot;
+     raise e);
+  release_frame slot;
   (match obs with
   | Some ops ->
       Array.iteri
@@ -1319,7 +1437,11 @@ and exec_func_checked ctx (fidx : int) (args : Value.t list) : Value.t =
    verifier discharged differ. *)
 and exec_func_verified ctx (fidx : int) (args : Value.t list) : Value.t =
   let f = ctx.program.funcs.(fidx) in
-  let frame = { regs = Array.copy f.reg_defaults; pc = 0; tries = [] } in
+  let slot = acquire_frame ctx fidx f in
+  let regs =
+    match slot with Some s -> s.a_regs | None -> Array.copy f.reg_defaults
+  in
+  let frame = { regs; pc = 0; tries = [] } in
   List.iteri (fun i v -> if i < f.nregs then frame.regs.(i) <- v) args;
   let code = f.code in
   let result = ref Value.Null in
@@ -1328,7 +1450,8 @@ and exec_func_verified ctx (fidx : int) (args : Value.t list) : Value.t =
     if Hilti_obs.Metrics.enabled () then Some (Array.make n_opgroups 0) else None
   in
   let instrs_at_entry = ctx.instr_count in
-  while !running do
+  (try
+     while !running do
     let i = Array.unsafe_get code frame.pc in
     ctx.instr_count <- ctx.instr_count + 1;
     if ctx.instr_count >= ctx.step_kill then raise Step_budget_exceeded;
@@ -1446,7 +1569,11 @@ and exec_func_verified ctx (fidx : int) (args : Value.t list) : Value.t =
        frame.tries <- List.tl frame.tries;
        usetreg frame exc_reg (Value.Exception e);
        frame.pc <- handler)
-  done;
+     done
+   with e ->
+     release_frame slot;
+     raise e);
+  release_frame slot;
   (match obs with
   | Some ops ->
       Array.iteri
@@ -1471,10 +1598,20 @@ and exec_func_spec ctx (fidx : int) (args : Value.t list) : Value.t =
     | Some s -> s
     | None -> fail "function %s has no register-bank metadata" f.name
   in
-  let frame = { regs = Array.copy f.reg_defaults; pc = 0; tries = [] } in
+  let slot = acquire_frame ctx fidx f in
+  let regs =
+    match slot with Some s -> s.a_regs | None -> Array.copy f.reg_defaults
+  in
+  let frame = { regs; pc = 0; tries = [] } in
   List.iteri (fun i v -> if i < f.nregs then frame.regs.(i) <- v) args;
-  let ibank = Bytes.copy sp.ibank_init in
-  let fbank = Array.copy sp.fbank_init in
+  (* [acquire_frame] already blitted the bank templates over a reused
+     slot's banks, so both paths start from the template state. *)
+  let ibank =
+    match slot with Some s -> s.a_ibank | None -> Bytes.copy sp.ibank_init
+  in
+  let fbank =
+    match slot with Some s -> s.a_fbank | None -> Array.copy sp.fbank_init
+  in
   let code = f.code in
   let result = ref Value.Null in
   let running = ref true in
@@ -1482,7 +1619,8 @@ and exec_func_spec ctx (fidx : int) (args : Value.t list) : Value.t =
     if Hilti_obs.Metrics.enabled () then Some (Array.make n_opgroups 0) else None
   in
   let instrs_at_entry = ctx.instr_count in
-  while !running do
+  (try
+     while !running do
     let i = Array.unsafe_get code frame.pc in
     ctx.instr_count <- ctx.instr_count + 1;
     if ctx.instr_count >= ctx.step_kill then raise Step_budget_exceeded;
@@ -1756,7 +1894,11 @@ and exec_func_spec ctx (fidx : int) (args : Value.t list) : Value.t =
        frame.tries <- List.tl frame.tries;
        usetreg frame exc_reg (Value.Exception e);
        frame.pc <- handler)
-  done;
+     done
+   with e ->
+     release_frame slot;
+     raise e);
+  release_frame slot;
   (match obs with
   | Some ops ->
       Array.iteri

@@ -107,13 +107,13 @@ let test_lint_warnings () =
     (fun r ->
       Alcotest.(check bool) (r ^ " reported") true (List.mem r rs))
     [ "unused-local"; "dead-store"; "unreachable-block" ];
-  (* Output is stable and machine-readable: 5 tab-separated fields,
-     already sorted. *)
+  (* Output is stable and machine-readable: 6 tab-separated fields
+     (severity rule func where location message), already sorted. *)
   List.iter
     (fun f ->
       let line = Lint.to_line f in
-      Alcotest.(check int) "five fields"
-        5 (List.length (String.split_on_char '\t' line)))
+      Alcotest.(check int) "six fields"
+        6 (List.length (String.split_on_char '\t' line)))
     findings;
   Alcotest.(check bool) "sorted output" true
     (List.sort Lint.compare_finding findings = findings)
@@ -244,6 +244,7 @@ let mk_prog ?(globals = [||]) funcs =
     types = Hashtbl.create 8;
     verified = false;
     specialized = false;
+    reuse = [||];
   }
 
 let expect_reject what p needle =
@@ -325,6 +326,71 @@ let test_verifier_accepts_good_function () =
   Alcotest.(check bool) "marked verified" true p.Bc.verified;
   Alcotest.(check bool) "checks discharged" true (r.Verify.checks_discharged > 0);
   Alcotest.(check (list string)) "no errors" [] r.Verify.errors
+
+let test_verifier_irreducible_cfg () =
+  (* An irreducible region: the entry branch jumps into the middle of a
+     two-block cycle (A <-> B), so neither block dominates the other.
+     The definedness solver must still reach a fixpoint and judge the
+     region by the join over both entry edges. *)
+  let accept =
+    (* r1 is defined before the region: fine on every path. *)
+    mk_func ~nregs:4
+      [ Bc.Const (0, Value.Bool true);
+        Bc.Const (1, Value.Int 1L);
+        Bc.Br (0, 3, 5);                                       (* -> A | B *)
+        Bc.Prim (Bc.P_int_arith (Bc.A_add, 64), [| 1; 1 |], 1); (* A *)
+        Bc.Br (0, 5, 7);                                       (* A -> B | exit *)
+        Bc.Prim (Bc.P_int_arith (Bc.A_sub, 64), [| 1; 1 |], 1); (* B *)
+        Bc.Br (0, 3, 7);                                       (* B -> A | exit *)
+        Bc.Ret 1 ]
+  in
+  let r = Verify.verify (mk_prog [ accept ]) in
+  Alcotest.(check (list string)) "irreducible region accepted" [] r.Verify.errors;
+  (* r1 is defined only inside A; entering the cycle at B reads it
+     uninitialized. *)
+  expect_reject "irreducible region, one entry undefined"
+    (mk_prog
+       [ mk_func ~nregs:4
+           [ Bc.Const (0, Value.Bool true);
+             Bc.Br (0, 2, 4);                                  (* -> A | B *)
+             Bc.Const (1, Value.Int 1L);                       (* A defines r1 *)
+             Bc.Br (0, 4, 6);
+             Bc.Prim (Bc.P_int_arith (Bc.A_add, 64), [| 1; 1 |], 2); (* B uses r1 *)
+             Bc.Br (0, 2, 6);
+             Bc.Ret (-1) ] ])
+    "used before definition"
+
+let test_verifier_exception_edge_join () =
+  (* The handler's in-state is the join over every edge that can reach it
+     — including the exceptional edge from the push point.  A register
+     defined only *inside* the try body is not definite in the handler. *)
+  let accept =
+    (* r0 defined before try.push: visible to the handler. *)
+    mk_func ~nregs:4
+      [ Bc.Const (0, Value.Int 1L);
+        Bc.TryPush (5, 2);
+        Bc.Const (1, Value.Int 2L);
+        Bc.TryPop;
+        Bc.Ret 1;
+        Bc.Prim (Bc.P_int_arith (Bc.A_add, 64), [| 0; 0 |], 3); (* handler *)
+        Bc.Ret 3 ]
+  in
+  let r = Verify.verify (mk_prog [ accept ]) in
+  Alcotest.(check (list string)) "pre-push def visible in handler" []
+    r.Verify.errors;
+  (* Same shape, but the handler reads r1, defined only after the push:
+     the body may throw before reaching that definition. *)
+  expect_reject "try-body def not definite in handler"
+    (mk_prog
+       [ mk_func ~nregs:4
+           [ Bc.Const (0, Value.Int 1L);
+             Bc.TryPush (5, 2);
+             Bc.Const (1, Value.Int 2L);
+             Bc.TryPop;
+             Bc.Ret 1;
+             Bc.Prim (Bc.P_int_arith (Bc.A_add, 64), [| 1; 1 |], 3);
+             Bc.Ret 3 ] ])
+    "used before definition"
 
 let test_verifier_handles_exception_edges () =
   (* The handler reads the caught exception register, defined only along
@@ -487,6 +553,8 @@ let suite =
     Alcotest.test_case "verifier rejects bad frame refs" `Quick test_verifier_rejects_bad_frame_refs;
     Alcotest.test_case "verifier accepts a good function" `Quick test_verifier_accepts_good_function;
     Alcotest.test_case "verifier: exception edges" `Quick test_verifier_handles_exception_edges;
+    Alcotest.test_case "verifier: irreducible CFG" `Quick test_verifier_irreducible_cfg;
+    Alcotest.test_case "verifier: exception-edge join" `Quick test_verifier_exception_edge_join;
     Alcotest.test_case "verifier accepts frontend output" `Quick test_verifier_accepts_all_bundled_programs;
     Alcotest.test_case "verified dispatch equivalence" `Quick test_verified_dispatch_equivalence;
     prop_differential_branch_loop ]

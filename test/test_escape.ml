@@ -1,0 +1,588 @@
+(* Interprocedural effect summaries, the escape analysis, the
+   analysis-licensed frame arena, and the static shard-race detector. *)
+
+module Bc = Hilti_vm.Bytecode
+module Value = Hilti_vm.Value
+module Vm = Hilti_vm.Vm
+module Summary = Hilti_vm.Summary
+module Escape = Hilti_vm.Escape
+module Racecheck = Hilti_analysis.Racecheck
+module Metrics = Hilti_obs.Metrics
+
+(* Compile a source module as the runtime would, but without the
+   optimizer, so bytecode pcs line up with the program as written. *)
+let compile ?(frame_reuse = true) src =
+  Hilti_vm.Host_api.compile ~optimize:false ~frame_reuse
+    [ Hilti_lang.Parser.parse_module src ]
+
+let program api = api.Hilti_vm.Host_api.ctx.Vm.program
+
+let fidx p name =
+  match Bc.find_func p name with
+  | Some i -> i
+  | None -> Alcotest.failf "function %s not found" name
+
+(* The [P_new] pcs of a function, in code order. *)
+let alloc_pcs (p : Bc.program) fi =
+  let pcs = ref [] in
+  Array.iteri
+    (fun pc instr ->
+      match instr with
+      | Bc.Prim (Bc.P_new _, _, _) -> pcs := pc :: !pcs
+      | _ -> ())
+    p.Bc.funcs.(fi).Bc.code;
+  List.rev !pcs
+
+(* ---- Effect summaries --------------------------------------------------- *)
+
+let summary_src =
+  {|module S
+
+import Hilti
+
+global int<64> g
+
+void wr () {
+    g = assign 1
+}
+
+void caller () {
+    call S::wr ()
+}
+
+int<64> rd () {
+    local int<64> x
+    x = int.add g 0
+    return x
+}
+
+void printer () {
+    call Hilti::print ("hi")
+}
+|}
+
+let test_summary_effects () =
+  let p = program (compile summary_src) in
+  let s = Summary.compute p in
+  let total name = s.Summary.total.(fidx p name) in
+  Alcotest.(check bool) "wr writes g" false
+    (Summary.IntSet.is_empty (total "S::wr").Summary.writes_globals);
+  (* The write is transitive through the call, but not local to caller. *)
+  Alcotest.(check bool) "caller inherits the write" false
+    (Summary.IntSet.is_empty (total "S::caller").Summary.writes_globals);
+  Alcotest.(check bool) "caller's own effects are clean" true
+    (Summary.IntSet.is_empty
+       s.Summary.local.(fidx p "S::caller").Summary.writes_globals);
+  Alcotest.(check bool) "rd reads g" false
+    (Summary.IntSet.is_empty (total "S::rd").Summary.reads_globals);
+  Alcotest.(check bool) "rd writes nothing" true
+    (Summary.IntSet.is_empty (total "S::rd").Summary.writes_globals);
+  let pr = total "S::printer" in
+  Alcotest.(check bool) "print audited as io" true pr.Summary.does_io;
+  Alcotest.(check bool) "print is in the audit table" false pr.Summary.unknown_host
+
+let test_summary_recursion () =
+  let src =
+    {|module R
+
+void a () {
+    call R::b ()
+}
+
+void b () {
+    call R::a ()
+}
+
+void leaf () {
+    local int<64> x
+    x = assign 1
+}
+|}
+  in
+  let p = program (compile src) in
+  let s = Summary.compute p in
+  Alcotest.(check bool) "a is (mutually) recursive" true
+    s.Summary.recursive.(fidx p "R::a");
+  Alcotest.(check bool) "b is (mutually) recursive" true
+    s.Summary.recursive.(fidx p "R::b");
+  Alcotest.(check bool) "leaf is not recursive" false
+    s.Summary.recursive.(fidx p "R::leaf");
+  Alcotest.(check bool) "recursive functions get no reuse licence" false
+    (Summary.reusable s (fidx p "R::a"));
+  Alcotest.(check bool) "leaf gets a reuse licence" true
+    (Summary.reusable s (fidx p "R::leaf"))
+
+(* ---- The frame-reuse licence on hand-built bytecode ---------------------- *)
+
+let mk_func ?(name = "t") ?(nparams = 0) ?(nregs = 4) code =
+  let n = max nregs 1 in
+  let init = Array.make n false in
+  for i = 0 to nparams - 1 do
+    init.(i) <- true
+  done;
+  {
+    Bc.name;
+    nparams;
+    nregs;
+    code = Array.of_list code;
+    returns_value = true;
+    exported = false;
+    reg_defaults = Array.make n Value.Null;
+    entry_init = init;
+    typing = [||];
+    spec = None;
+  }
+
+let mk_prog funcs =
+  let funcs = Array.of_list funcs in
+  let func_index = Hashtbl.create 8 in
+  Array.iteri (fun i (f : Bc.func) -> Hashtbl.replace func_index f.Bc.name i) funcs;
+  {
+    Bc.funcs;
+    func_index;
+    globals = [||];
+    global_defaults = [||];
+    global_index = Hashtbl.create 8;
+    hooks = Hashtbl.create 8;
+    types = Hashtbl.create 8;
+    verified = false;
+    specialized = false;
+    reuse = [||];
+  }
+
+let test_reuse_licence_rules () =
+  (* Index order below: 0 pure, 1 self-recursive, 2 yielding, 3 calls the
+     yielder, 4 indirect call. *)
+  let p =
+    mk_prog
+      [ mk_func ~name:"pure" [ Bc.Const (0, Value.Int 1L); Bc.Ret 0 ];
+        mk_func ~name:"self" [ Bc.Call (1, [||], 0); Bc.Ret 0 ];
+        mk_func ~name:"yields"
+          [ Bc.Yield; Bc.Const (0, Value.Int 1L); Bc.Ret 0 ];
+        mk_func ~name:"calls_yielder" [ Bc.Call (2, [||], 0); Bc.Ret 0 ];
+        mk_func ~name:"indirect"
+          [ Bc.Const (0, Value.Null); Bc.Prim (Bc.P_callable_call, [| 0 |], 1);
+            Bc.Ret 1 ] ]
+  in
+  let s = Summary.license_frame_reuse p in
+  let lic name = p.Bc.reuse.(fidx p name) in
+  Alcotest.(check bool) "pure function licensed" true (lic "pure");
+  Alcotest.(check bool) "self-recursion refused" false (lic "self");
+  Alcotest.(check bool) "suspension refused" false (lic "yields");
+  Alcotest.(check bool) "suspension refused transitively" false
+    (lic "calls_yielder");
+  Alcotest.(check bool) "indirect call refused" false (lic "indirect");
+  Alcotest.(check bool) "summary reports yields as suspending" true
+    s.Summary.total.(fidx p "yields").Summary.may_suspend
+
+(* ---- Escape classification ----------------------------------------------- *)
+
+let check_site p r name cls =
+  let fi = fidx p name in
+  match alloc_pcs p fi with
+  | [ pc ] ->
+      let got = Escape.site_cls r ~func:fi ~pc in
+      Alcotest.(check string)
+        (Printf.sprintf "%s alloc site" name)
+        (Escape.cls_name cls)
+        (match got with
+        | Some c -> Escape.cls_name c
+        | None -> "<unclassified>")
+  | pcs -> Alcotest.failf "%s: expected one alloc site, found %d" name (List.length pcs)
+
+let test_escape_classes () =
+  let src =
+    {|module E
+
+global ref<list<int<64>>> sink
+
+ref<list<int<64>>> mk_ret () {
+    local ref<list<int<64>>> x
+    x = new list<int<64>>
+    return x
+}
+
+void mk_glob () {
+    local ref<list<int<64>>> x
+    x = new list<int<64>>
+    sink = assign x
+}
+
+int<64> mk_local () {
+    local ref<list<int<64>>> x
+    x = new list<int<64>>
+    list.append x 7
+    return 3
+}
+|}
+  in
+  let p = program (compile src) in
+  let r = Escape.analyze p in
+  check_site p r "E::mk_ret" Escape.Flow_local;
+  check_site p r "E::mk_glob" Escape.Escaping;
+  check_site p r "E::mk_local" Escape.Local
+
+let test_escape_interprocedural () =
+  (* The callee only returns its allocation; the caller stores it to a
+     global — the verdict must travel back up into the callee's site. *)
+  let src =
+    {|module I
+
+global ref<list<int<64>>> sink
+
+ref<list<int<64>>> mk () {
+    local ref<list<int<64>>> x
+    x = new list<int<64>>
+    return x
+}
+
+void steal () {
+    local ref<list<int<64>>> y
+    y = call I::mk ()
+    sink = assign y
+}
+|}
+  in
+  let p = program (compile src) in
+  let r = Escape.analyze p in
+  check_site p r "I::mk" Escape.Escaping;
+  (* ...and down into an escaping parameter. *)
+  let src2 =
+    {|module I2
+
+global ref<list<int<64>>> sink
+
+void stash (ref<list<int<64>>> v) {
+    sink = assign v
+}
+
+void mk_and_pass () {
+    local ref<list<int<64>>> x
+    x = new list<int<64>>
+    call I2::stash (x)
+}
+|}
+  in
+  let p2 = program (compile src2) in
+  let r2 = Escape.analyze p2 in
+  check_site p2 r2 "I2::mk_and_pass" Escape.Escaping;
+  Alcotest.(check bool) "stash's parameter escapes" true
+    r2.Escape.param_escapes.(fidx p2 "I2::stash").(0)
+
+let test_escape_container_closure () =
+  (* Inserting into a container that itself escapes shares the value. *)
+  let src =
+    {|module C
+
+global ref<map<int<64>, ref<list<int<64>>>>> tbl
+
+void keep () {
+    local ref<list<int<64>>> x
+    local ref<map<int<64>, ref<list<int<64>>>>> m
+    x = new list<int<64>>
+    m = new map<int<64>, ref<list<int<64>>>>
+    map.insert m 1 x
+}
+
+void leak () {
+    local ref<list<int<64>>> x
+    x = new list<int<64>>
+    map.insert tbl 1 x
+}
+|}
+  in
+  let p = program (compile src) in
+  let r = Escape.analyze p in
+  (* keep: both allocs stay in the activation. *)
+  List.iter
+    (fun pc ->
+      match Escape.site_cls r ~func:(fidx p "C::keep") ~pc with
+      | Some Escape.Local -> ()
+      | c ->
+          Alcotest.failf "C::keep@%d: expected local, got %s" pc
+            (match c with Some c -> Escape.cls_name c | None -> "<none>"))
+    (alloc_pcs p (fidx p "C::keep"));
+  (* leak: inserted into a global-reachable map. *)
+  check_site p r "C::leak" Escape.Escaping
+
+(* ---- Static shard-race detector ------------------------------------------- *)
+
+let racy_src =
+  {|module Racy
+
+import Hilti
+
+global int<64> packet_count
+
+void init () {
+    packet_count = assign 0
+}
+
+void expire_all () {
+    packet_count = assign 0
+}
+
+bool check_packet (time t, addr src, addr dst) {
+    local int<64> n
+    local ref<callable<void>> c
+    n = int.add packet_count 1
+    packet_count = assign n
+    c = callable.bind Racy::expire_all ()
+    call Hilti::update_shared_table (src)
+    return True
+}
+|}
+
+let test_racecheck_flags_races () =
+  let p = program (compile racy_src) in
+  let races = Racecheck.check p ~shard_entries:[ "Racy::check_packet" ] in
+  let rules = List.map (fun (r : Racecheck.race) -> r.Racecheck.r_rule) races in
+  List.iter
+    (fun rule ->
+      Alcotest.(check bool) (rule ^ " reported") true (List.mem rule rules))
+    [ "race/global-write"; "race/timer-cross-shard"; "race/hostapi-shared" ];
+  List.iter
+    (fun (r : Racecheck.race) ->
+      Alcotest.(check string) "races are on the packet path"
+        "Racy::check_packet" r.Racecheck.r_func)
+    races;
+  (* Setup writes are off the packet path: without entries, no races. *)
+  Alcotest.(check int) "no entries, no packet path" 0
+    (List.length (Racecheck.check p ~shard_entries:[]))
+
+let test_racecheck_flow_keyed_clean () =
+  (* A global flow table mutated only under parameter-derived keys is the
+     sharding contract working as intended — not a race. *)
+  let src =
+    {|module F
+
+global int<64> hot
+global ref<map<addr, int<64>>> seen
+global ref<map<int<64>, int<64>>> stats
+
+void setup () {
+    seen = new map<addr, int<64>>
+    stats = new map<int<64>, int<64>>
+}
+
+bool per_packet (addr src) {
+    map.insert seen src 1
+    return True
+}
+
+bool bad_packet (addr src) {
+    local int<64> k
+    k = int.add hot 1
+    map.insert stats k 1
+    return True
+}
+|}
+  in
+  let p = program (compile src) in
+  Alcotest.(check int) "flow-keyed insert is clean" 0
+    (List.length (Racecheck.check p ~shard_entries:[ "F::per_packet" ]));
+  let races = Racecheck.check p ~shard_entries:[ "F::bad_packet" ] in
+  Alcotest.(check bool) "global-keyed insert is flagged" true
+    (List.exists
+       (fun (r : Racecheck.race) -> r.Racecheck.r_rule = "race/global-write")
+       races)
+
+(* ---- Frame reuse: differential + counters --------------------------------- *)
+
+let reuse_src =
+  {|module W
+
+int<64> leaf (int<64> a) {
+    local int<64> r
+    r = int.mul a a
+    return r
+}
+
+int<64> f (int<64> x) {
+    local int<64> a
+    local int<64> b
+    local int<64> c
+    a = call W::leaf (x)
+    b = call W::leaf (a)
+    c = int.add a b
+    return c
+}
+|}
+
+let test_frame_reuse_differential () =
+  let run frame_reuse x =
+    let api = compile ~frame_reuse reuse_src in
+    Value.as_int (Hilti_vm.Host_api.call api "W::f" [ Value.Int x ])
+  in
+  List.iter
+    (fun x ->
+      Alcotest.(check int64)
+        (Printf.sprintf "f(%Ld) identical with and without reuse" x)
+        (run false x) (run true x))
+    [ 0L; 3L; 5L; -7L ];
+  (* The licence is actually granted and exercised. *)
+  let api = compile reuse_src in
+  let p = program api in
+  Alcotest.(check bool) "leaf licensed" true (p.Bc.reuse.(fidx p "W::leaf"));
+  Metrics.with_enabled true (fun () ->
+      let before = Metrics.counter_value Vm.m_frames_reused in
+      for _ = 1 to 4 do
+        ignore (Hilti_vm.Host_api.call api "W::f" [ Value.Int 5L ])
+      done;
+      let after = Metrics.counter_value Vm.m_frames_reused in
+      Alcotest.(check bool) "frames_reused counter advanced" true
+        (after > before))
+
+let test_frame_reuse_checked_poison () =
+  (* Debug poison mode: recycled frames are filled with a poison value in
+     every register the verifier did not prove initialized at entry; the
+     checked interpreter faults on any read of one.  A verified program
+     must therefore run clean even with the licence active. *)
+  let api = compile reuse_src in
+  let p = program api in
+  (* Force the checked dispatch loop while keeping the licence. *)
+  p.Bc.verified <- false;
+  let saved = !Vm.arena_debug in
+  Vm.arena_debug := true;
+  Fun.protect
+    ~finally:(fun () -> Vm.arena_debug := saved)
+    (fun () ->
+      for i = 1 to 3 do
+        let v =
+          Value.as_int
+            (Hilti_vm.Host_api.call api "W::f" [ Value.Int (Int64.of_int i) ])
+        in
+        Alcotest.(check int64)
+          (Printf.sprintf "poison-checked f(%d)" i)
+          (Int64.of_int ((i * i) + (i * i * i * i)))
+          v
+      done)
+
+(* ---- QCheck: Local verdicts are never observed escaping -------------------- *)
+
+(* Random straight-line programs: k tagged list allocations, each either
+   kept, stored to a global, returned, or passed to a helper that stores
+   its argument.  Running the program and walking every value that left
+   the activation (the return value plus all globals) yields the set of
+   runtime-escaped tags; none of them may belong to a site the analysis
+   called activation-local.  Fates are also checked exactly — the
+   construction makes the intended class of every site deterministic. *)
+
+type fate = Keep | Glob | Ret | Pass
+
+let gen_fates =
+  QCheck.Gen.(
+    list_size (int_range 1 4)
+      (oneofl [ Keep; Glob; Ret; Pass ]))
+
+let src_of_fates fates =
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "module Q\n\n";
+  add "global ref<list<int<64>>> stash\n";
+  List.iteri (fun i _ -> add "global ref<list<int<64>>> g%d\n" i) fates;
+  add "\nvoid keep_it (ref<list<int<64>>> v) {\n";
+  add "    stash = assign v\n}\n\n";
+  add "ref<list<int<64>>> f () {\n";
+  List.iteri (fun i _ -> add "    local ref<list<int<64>>> x%d\n" i) fates;
+  add "    local ref<list<int<64>>> s\n";
+  List.iteri
+    (fun i _ ->
+      add "    x%d = new list<int<64>>\n" i;
+      add "    list.append x%d %d\n" i (100 + i))
+    fates;
+  List.iteri
+    (fun i fate ->
+      match fate with
+      | Keep -> ()
+      | Glob -> add "    g%d = assign x%d\n" i i
+      | Pass -> add "    call Q::keep_it (x%d)\n" i
+      | Ret -> ())
+    fates;
+  (match
+     List.find_index (fun f -> f = Ret) fates
+   with
+  | Some i -> add "    return x%d\n" i
+  | None ->
+      add "    s = new list<int<64>>\n";
+      add "    list.append s 99\n";
+      add "    return s\n");
+  add "}\n\n";
+  add "ref<list<int<64>>> get_stash () {\n    return stash\n}\n";
+  List.iteri
+    (fun i _ ->
+      add "\nref<list<int<64>>> get%d () {\n    return g%d\n}\n" i i)
+    fates;
+  Buffer.contents b
+
+(* Every int reachable inside a value (tags live in lists here, but walk
+   the general shape anyway). *)
+let rec observed_tags acc (v : Value.t) =
+  match v with
+  | Value.Int i -> Int64.to_int i :: acc
+  | Value.List d -> List.fold_left observed_tags acc (Hilti_vm.Deque.to_list d)
+  | Value.Vector d ->
+      List.fold_left observed_tags acc (Hilti_vm.Dynarray.to_list d)
+  | Value.Tuple t -> Array.fold_left observed_tags acc t
+  | _ -> acc
+
+let prop_local_never_escapes =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"escape: Local sites never observed escaping"
+       ~count:40
+       (QCheck.make gen_fates ~print:(fun fs ->
+            String.concat ""
+              (List.map
+                 (function
+                   | Keep -> "K" | Glob -> "G" | Ret -> "R" | Pass -> "P")
+                 fs)))
+       (fun fates ->
+         QCheck.assume (fates <> []);
+         let api = compile (src_of_fates fates) in
+         let p = program api in
+         let r = Escape.analyze p in
+         let fi = fidx p "Q::f" in
+         let pcs = Array.of_list (alloc_pcs p fi) in
+         (* Run, then collect every tag that left the activation. *)
+         let escaped = ref [] in
+         let observe v = escaped := observed_tags !escaped v in
+         observe (Hilti_vm.Host_api.call api "Q::f" []);
+         observe (Hilti_vm.Host_api.call api "Q::get_stash" []);
+         List.iteri
+           (fun i _ ->
+             observe
+               (Hilti_vm.Host_api.call api (Printf.sprintf "Q::get%d" i) []))
+           fates;
+         List.for_all
+           (fun i ->
+             let cls =
+               Option.get (Escape.site_cls r ~func:fi ~pc:pcs.(i))
+             in
+             let runtime_escaped = List.mem (100 + i) !escaped in
+             (* Soundness: observed escape implies not Local. *)
+             (if runtime_escaped && cls = Escape.Local then false
+              else
+                (* Precision (deterministic by construction). *)
+                match List.nth fates i with
+                | Keep -> cls = Escape.Local
+                | Glob | Pass -> cls = Escape.Escaping
+                | Ret ->
+                    (* Only the first Ret is returned; later ones are kept. *)
+                    if
+                      List.find_index (fun f -> f = Ret) fates = Some i
+                    then cls = Escape.Flow_local
+                    else cls = Escape.Local))
+           (List.init (List.length fates) Fun.id)))
+
+let suite =
+  [ Alcotest.test_case "summary: effect vectors" `Quick test_summary_effects;
+    Alcotest.test_case "summary: recursion" `Quick test_summary_recursion;
+    Alcotest.test_case "summary: reuse licence rules" `Quick test_reuse_licence_rules;
+    Alcotest.test_case "escape: three classes" `Quick test_escape_classes;
+    Alcotest.test_case "escape: interprocedural" `Quick test_escape_interprocedural;
+    Alcotest.test_case "escape: container closure" `Quick test_escape_container_closure;
+    Alcotest.test_case "racecheck: racy fixture" `Quick test_racecheck_flags_races;
+    Alcotest.test_case "racecheck: flow-keyed exemption" `Quick test_racecheck_flow_keyed_clean;
+    Alcotest.test_case "frame reuse: differential" `Quick test_frame_reuse_differential;
+    Alcotest.test_case "frame reuse: checked poison mode" `Quick test_frame_reuse_checked_poison;
+    prop_local_never_escapes ]

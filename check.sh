@@ -40,6 +40,14 @@ fi
 
 echo "== bench stream (writes BENCH_stream.json)"
 dune exec bench/main.exe -- stream --quick
+grep -q '"dns_pps_unbatched"' BENCH_stream.json
+grep -q '"dns_pps_zero_copy"' BENCH_stream.json
+# The zero-copy batched DNS loop must hold >= 1.5x over the pre-PR
+# per-packet string loop (both measured in the same interleaved run and
+# recorded above), and batching must not cost the firewall path anything
+# (0.95 allows measurement noise).
+awk -F': ' '/"dns_speedup_zero_copy"/ { if ($2+0 < 1.5) exit 1 }' BENCH_stream.json
+awk -F': ' '/"firewall_batch_speedup"/ { if ($2+0 < 0.95) exit 1 }' BENCH_stream.json
 
 echo "== observability suite (test_obs: sharding exactness, export formats)"
 dune exec test/test_main.exe -- test obs
@@ -68,6 +76,12 @@ grep -q '"alloc_bytes_reuse"' BENCH_micro.json
 # Analysis-licensed frame reuse must cut per-activation allocation by
 # >= 50% on the call-heavy micro path (measured runs land ~60%).
 awk -F': ' '/"alloc_reduction"/ { if ($2+0 < 0.5) exit 1 }' BENCH_micro.json
+grep -q '"dns_alloc_bytes_per_packet_before"' BENCH_micro.json
+grep -q '"dns_alloc_bytes_per_packet_after"' BENCH_micro.json
+grep -q '"http_alloc_reduction"' BENCH_micro.json
+# Zero-copy view decode must cut the DNS per-packet allocation by >= 50%
+# versus the string-materializing path (measured runs land ~90%).
+awk -F': ' '/"dns_alloc_reduction"/ { if ($2+0 < 0.5) exit 1 }' BENCH_micro.json
 
 echo "== bench vmopt (writes BENCH_vmopt.json)"
 dune exec bench/main.exe -- vmopt --quick

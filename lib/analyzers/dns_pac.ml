@@ -52,9 +52,9 @@ type parsed =
   | Reply of Events.dns_reply
   | Not_dns
 
-(** Parse one UDP payload. *)
-let rec parse (t : t) (payload : string) : parsed =
-  match Runtime.parse_string t.parser ~unit_name:"Message" payload with
+(** Parse one UDP payload slice in place (zero-copy for frozen views). *)
+let rec parse_view (t : t) (v : Hilti_types.Hbytes.view) : parsed =
+  match Runtime.parse_view t.parser ~unit_name:"Message" v with
   | st ->
       (* Struct-to-event-argument conversion is HILTI-to-Bro glue. *)
       Hilti_rt.Profiler.time_exclusive Mini_bro.Bro_val.glue_profiler (fun () ->
@@ -84,3 +84,7 @@ and convert st =
             query = (match q with Some q -> sbytes q "qname" | None -> "");
             qtype = (match q with Some q -> sint q "qtype" | None -> 0);
           }
+
+(** Parse one UDP payload given as a string (fuzzer oracle, tests). *)
+let parse (t : t) (payload : string) : parsed =
+  parse_view t (Hilti_types.Hbytes.view_of_string payload)

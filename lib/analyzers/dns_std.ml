@@ -1,11 +1,15 @@
 (** The "standard" DNS protocol parser: hand-written wire-format decoding
     with RFC 1035 name compression, standing in for Bro's C++ DNS analyzer
-    (§6.4).
+    (§6.4).  Decoding runs directly over an {!Hilti_types.Hbytes.view} of
+    the packet payload — no per-packet string materialization; only the
+    semantic field values (names, rendered rdata) become strings.
 
     Known (intended) semantic differences, mirroring the paper's findings:
     - TXT records: this parser extracts {e only the first} character
       string, the BinPAC++ version extracts all of them;
     - non-DNS traffic on port 53: this parser aborts more eagerly. *)
+
+open Hilti_types
 
 exception Bad_dns of string
 
@@ -22,74 +26,149 @@ type message = {
   answers : rr list;
 }
 
-let u8 s off = if off >= String.length s then fail "truncated" else Char.code s.[off]
+(** Reusable per-session scratch: the label-accumulation buffer lives
+    across packets instead of being allocated per name. *)
+type scratch = { nbuf : Buffer.t }
 
-let u16 s off = (u8 s off lsl 8) lor u8 s (off + 1)
+let make_scratch () = { nbuf = Buffer.create 64 }
 
-let u32 s off = (u16 s off lsl 16) lor u16 s (off + 2)
+let u8 v off =
+  if off >= Hbytes.view_length v then fail "truncated" else Hbytes.get_u8 v off
+
+let u16 v off =
+  try Hbytes.get_u16 v off with Hbytes.Out_of_range -> fail "truncated"
+
+let u32 v off =
+  try Hbytes.get_u32 v off with Hbytes.Out_of_range -> fail "truncated"
+
+(* Dotted-quad rendering without the [Printf] machinery: A-record rdata is
+   the most common answer payload, so its formatting is on the per-packet
+   path. *)
+let dotted_quad a b c d =
+  let buf = Bytes.create 15 in
+  let pos = ref 0 in
+  let put n =
+    if n >= 100 then begin
+      Bytes.unsafe_set buf !pos (Char.unsafe_chr (48 + (n / 100)));
+      incr pos
+    end;
+    if n >= 10 then begin
+      Bytes.unsafe_set buf !pos (Char.unsafe_chr (48 + (n / 10 mod 10)));
+      incr pos
+    end;
+    Bytes.unsafe_set buf !pos (Char.unsafe_chr (48 + (n mod 10)));
+    incr pos
+  in
+  put a;
+  Bytes.unsafe_set buf !pos '.';
+  incr pos;
+  put b;
+  Bytes.unsafe_set buf !pos '.';
+  incr pos;
+  put c;
+  Bytes.unsafe_set buf !pos '.';
+  incr pos;
+  put d;
+  Bytes.sub_string buf 0 !pos
 
 (* Decode a possibly-compressed name; returns (name, next offset). *)
-let parse_name s off =
-  let buf = Buffer.create 32 in
+let parse_name sc v off =
+  let buf = sc.nbuf in
+  Buffer.clear buf;
   let rec go off jumped ret steps =
     if steps > 255 then fail "compression loop";
-    let len = u8 s off in
+    let len = u8 v off in
     if len = 0 then if jumped then ret else off + 1
     else if len land 0xc0 = 0xc0 then begin
-      let ptr = ((len land 0x3f) lsl 8) lor u8 s (off + 1) in
+      let ptr = ((len land 0x3f) lsl 8) lor u8 v (off + 1) in
       let ret = if jumped then ret else off + 2 in
       go ptr true ret (steps + 1)
     end
     else begin
-      if off + 1 + len > String.length s then fail "truncated label";
+      if off + 1 + len > Hbytes.view_length v then fail "truncated label";
       if Buffer.length buf > 0 then Buffer.add_char buf '.';
-      Buffer.add_string buf (String.sub s (off + 1) len);
+      Hbytes.view_add_to_buffer v (off + 1) len buf;
       go (off + 1 + len) jumped ret (steps + 1)
     end
   in
   let next = go off false 0 0 in
   (Buffer.contents buf, next)
 
-let parse_rr s off =
-  let rname, off = parse_name s off in
-  let rtype = u16 s off in
-  let ttl = u32 s (off + 4) in
-  let rdlength = u16 s (off + 8) in
+(* Walk a possibly-compressed name without materializing it: same
+   traversal and failure modes as [parse_name], no buffer writes. *)
+let skip_name v off =
+  let rec go off jumped ret steps =
+    if steps > 255 then fail "compression loop";
+    let len = u8 v off in
+    if len = 0 then if jumped then ret else off + 1
+    else if len land 0xc0 = 0xc0 then begin
+      let ptr = ((len land 0x3f) lsl 8) lor u8 v (off + 1) in
+      let ret = if jumped then ret else off + 2 in
+      go ptr true ret (steps + 1)
+    end
+    else begin
+      if off + 1 + len > Hbytes.view_length v then fail "truncated label";
+      go (off + 1 + len) jumped ret (steps + 1)
+    end
+  in
+  go off false 0 0
+
+(* Validate a resource record without rendering it — the
+   authority/additional sections are checked for well-formedness (same
+   failure modes as [parse_rr], including name-compression loops inside
+   rdata) but produce no strings, since dns.log only carries answers. *)
+let skip_rr v off =
+  let off = skip_name v off in
+  let rtype = u16 v off in
+  let rdlength = u16 v (off + 8) in
   let rd_off = off + 10 in
-  if rd_off + rdlength > String.length s then fail "truncated rdata";
+  if rd_off + rdlength > Hbytes.view_length v then fail "truncated rdata";
+  (match rtype with
+  | 2 | 5 | 12 -> ignore (skip_name v rd_off)
+  | 15 -> ignore (skip_name v (rd_off + 2))
+  | _ -> ());
+  rd_off + rdlength
+
+let parse_rr sc v off =
+  let rname, off = parse_name sc v off in
+  let rtype = u16 v off in
+  let ttl = u32 v (off + 4) in
+  let rdlength = u16 v (off + 8) in
+  let rd_off = off + 10 in
+  if rd_off + rdlength > Hbytes.view_length v then fail "truncated rdata";
   (* Render rdata by type, as dns.log's answers column expects. *)
   let rdata =
     match rtype with
     | 1 when rdlength = 4 ->
-        Printf.sprintf "%d.%d.%d.%d" (u8 s rd_off) (u8 s (rd_off + 1))
-          (u8 s (rd_off + 2)) (u8 s (rd_off + 3))
+        dotted_quad (u8 v rd_off) (u8 v (rd_off + 1)) (u8 v (rd_off + 2))
+          (u8 v (rd_off + 3))
     | 2 | 5 | 12 ->
-        let name, _ = parse_name s rd_off in
+        let name, _ = parse_name sc v rd_off in
         name
     | 15 ->
-        let pref = u16 s rd_off in
-        let name, _ = parse_name s (rd_off + 2) in
-        Printf.sprintf "%d %s" pref name
+        let pref = u16 v rd_off in
+        let name, _ = parse_name sc v (rd_off + 2) in
+        string_of_int pref ^ " " ^ name
     | 16 ->
         (* TXT: the standard parser takes only the first string (§6.4). *)
         if rdlength = 0 then ""
         else begin
-          let slen = u8 s rd_off in
+          let slen = u8 v rd_off in
           let slen = min slen (rdlength - 1) in
-          String.sub s (rd_off + 1) slen
+          Hbytes.view_sub_string v (rd_off + 1) slen
         end
     | _ -> Printf.sprintf "<rd:%d bytes>" rdlength
   in
   ({ rname; rtype; ttl; rdata }, rd_off + rdlength)
 
-let parse_exn (s : string) : message =
-  if String.length s < 12 then fail "short header";
-  let id = u16 s 0 in
-  let flags = u16 s 2 in
-  let qdcount = u16 s 4 in
-  let ancount = u16 s 6 in
-  let nscount = u16 s 8 in
-  let arcount = u16 s 10 in
+let parse_view_exn sc (v : Hbytes.view) : message =
+  if Hbytes.view_length v < 12 then fail "short header";
+  let id = u16 v 0 in
+  let flags = u16 v 2 in
+  let qdcount = u16 v 4 in
+  let ancount = u16 v 6 in
+  let nscount = u16 v 8 in
+  let arcount = u16 v 10 in
   (* Eager sanity checks: absurd counts mean not-DNS. *)
   if qdcount > 8 || ancount > 64 || nscount > 64 || arcount > 64 then
     fail "implausible section counts";
@@ -98,24 +177,23 @@ let parse_exn (s : string) : message =
   let off = ref 12 in
   let qname = ref "" and qtype = ref 0 in
   for q = 0 to qdcount - 1 do
-    let name, next = parse_name s !off in
+    let name, next = parse_name sc v !off in
     if q = 0 then begin
       qname := name;
-      qtype := u16 s next
+      qtype := u16 v next
     end;
     off := next + 4
   done;
   let answers = ref [] in
   for _ = 1 to ancount do
-    let rr, next = parse_rr s !off in
+    let rr, next = parse_rr sc v !off in
     answers := rr :: !answers;
     off := next
   done;
-  (* Authority/additional records are parsed (validating the format) but
-     not reported, as dns.log only carries answers. *)
+  (* Authority/additional records are validated but not reported, as
+     dns.log only carries answers — no strings are materialized. *)
   for _ = 1 to nscount + arcount do
-    let _, next = parse_rr s !off in
-    off := next
+    off := skip_rr v !off
   done;
   {
     id;
@@ -126,13 +204,21 @@ let parse_exn (s : string) : message =
     answers = List.rev !answers;
   }
 
-(** Parse a DNS datagram.  Raises {!Bad_dns} on anything that does not
-    look like DNS — this parser gives up quickly on port-53 crud.  All
-    decode failures, including any residual out-of-bounds access on
-    truncated input, surface as [Bad_dns]: the exception contract the
-    fuzzer enforces on the hand-written baseline. *)
-let parse (s : string) : message =
-  try parse_exn s with Invalid_argument m | Failure m -> fail ("bounds: " ^ m)
+(** Parse a DNS datagram straight out of a payload view.  Raises
+    {!Bad_dns} on anything that does not look like DNS — this parser
+    gives up quickly on port-53 crud.  All decode failures, including any
+    residual out-of-bounds access on truncated input, surface as
+    [Bad_dns]: the exception contract the fuzzer enforces on the
+    hand-written baseline. *)
+let parse_view ?scratch (v : Hbytes.view) : message =
+  let sc = match scratch with Some sc -> sc | None -> make_scratch () in
+  try parse_view_exn sc v with
+  | Invalid_argument m | Failure m -> fail ("bounds: " ^ m)
+  | Hbytes.Out_of_range -> fail "bounds: out of range"
+
+(** String entry point (fuzzer oracle, tests): wraps the string in a
+    zero-copy frozen view. *)
+let parse (s : string) : message = parse_view (Hbytes.view_of_string s)
 
 let to_request (m : message) : Events.dns_request =
   { Events.q_id = m.id; query = m.qname; qtype = m.qtype }

@@ -63,9 +63,40 @@ let profiled_sink (sink : Events.sink) (stats : stats) : Events.sink =
     set_time = sink.Events.set_time;
   }
 
+(* Accounting-only sink for the batched loops: events are still counted,
+   but the script profiler runs once per batch (see [in_events]) instead
+   of opening an exclusive span around every dispatch — the per-event
+   clock reads are exactly the kind of per-packet obs cost batching is
+   meant to amortize.  The events-raised metric is likewise deferred:
+   dispatches bump a plain counter and the returned flush publishes the
+   delta, which the runners call once per batch epoch (and once at end
+   of stream).  Event content is unaffected. *)
+let counted_sink (sink : Events.sink) (stats : stats) :
+    Events.sink * (unit -> unit) =
+  let pending = ref 0 in
+  ( {
+      Events.raise_event =
+        (fun name args ->
+          stats.events <- stats.events + 1;
+          incr pending;
+          sink.Events.raise_event name args);
+      set_time = sink.Events.set_time;
+    },
+    fun () ->
+      if !pending > 0 then begin
+        Hilti_obs.Metrics.add m_events !pending;
+        pending := 0
+      end )
+
 let in_parse f =
   Hilti_obs.Trace.with_span ~cat:"analyzer" "parse" (fun () ->
       Hilti_rt.Profiler.time parse_profiler f)
+
+(* One script-execution span per batch, bracketing the whole serial event
+   stage; pairs with [counted_sink].  Parse and event stages never nest in
+   the batched loops, so plain (non-exclusive) timing keeps the breakdown
+   additive. *)
+let in_events f = Hilti_rt.Profiler.time script_profiler f
 
 (* ---- Periodic stats export ---------------------------------------------------------- *)
 
@@ -190,7 +221,7 @@ let run_http_src ~(kind : http_kind) ~(sink : Events.sink) ?idle_timeout
   let fresh flow ts =
     incr uid_counter;
     stats.connections <- stats.connections + 1;
-    let uid = Printf.sprintf "C%d" !uid_counter in
+    let uid = "C" ^ string_of_int !uid_counter in
     let conn_val = Events.connection_val ~uid ~flow ~start_time:ts in
     let mk_side ~is_request =
       match kind with
@@ -326,7 +357,7 @@ let run_mqtt_src ~(kind : mqtt_kind) ~(sink : Events.sink) ?idle_timeout
   let fresh flow ts =
     incr uid_counter;
     stats.connections <- stats.connections + 1;
-    let uid = Printf.sprintf "C%d" !uid_counter in
+    let uid = "C" ^ string_of_int !uid_counter in
     let conn_val = Events.connection_val ~uid ~flow ~start_time:ts in
     let on_packet ev = Events.raise_mqtt sink conn_val ev in
     let mk_side () =
@@ -501,7 +532,7 @@ let run_ftp_src ~(kind : ftp_kind) ~(sink : Events.sink) ?idle_timeout
   let fresh flow ts =
     incr uid_counter;
     stats.connections <- stats.connections + 1;
-    let uid = Printf.sprintf "C%d" !uid_counter in
+    let uid = "C" ^ string_of_int !uid_counter in
     let conn_val = Events.connection_val ~uid ~flow ~start_time:ts in
     let is_control =
       Hilti_types.Port.number flow.Flow.dst_port = 21
@@ -635,8 +666,28 @@ let dns_datagram (p : Hilti_rt.Iosrc.packet) : (Flow.t * string) option =
       | _ -> None)
   | None -> None
 
+(* The zero-copy variant of [dns_datagram]: the payload stays a slice of
+   the captured frame.  Plain IPv4/UDP frames go through the header peek
+   (no decode, no payload substring); anything else falls back to the
+   full decoder and wraps the materialized payload in a frozen view. *)
+let dns_slice (p : Hilti_rt.Iosrc.packet) :
+    (Flow.t * Hilti_types.Hbytes.view) option =
+  let data = p.Hilti_rt.Iosrc.data in
+  match Packet.peek_udp data with
+  | Some (flow, off, len) ->
+      let from_client = Hilti_types.Port.number flow.Flow.dst_port = 53 in
+      let oriented = if from_client then flow else Flow.reverse flow in
+      Some (oriented, Hilti_types.Hbytes.view_of_string ~off ~len data)
+  | None -> (
+      match dns_datagram p with
+      | Some (oriented, payload) ->
+          Some (oriented, Hilti_types.Hbytes.view_of_string payload)
+      | None -> None)
+
 (* Parse one datagram with the given parser kind.  Also pure per-packet
-   work (parser state is per-kind instance, owned by whoever holds it). *)
+   work (parser state is per-kind instance, owned by whoever holds it).
+   This string entry is the pre-batching path, kept for the legacy runner
+   and as the bench baseline; the fast path is [dns_parse_view]. *)
 let dns_parse (kind : dns_kind) payload : dns_outcome =
   match kind with
   | Dns_std -> (
@@ -655,13 +706,41 @@ let dns_parse (kind : dns_kind) payload : dns_outcome =
           Hilti_obs.Metrics.incr m_parse_errors;
           D_none)
 
+(* Parse one payload slice in place.  No per-packet profiler span — the
+   batched runners open one span per batch; [scratch] is the caller-owned
+   (per session / per shard) label buffer of the standard parser. *)
+let dns_parse_view ?scratch (kind : dns_kind) (v : Hilti_types.Hbytes.view) :
+    dns_outcome =
+  match kind with
+  | Dns_std -> (
+      match Dns_std.parse_view ?scratch v with
+      | msg ->
+          if msg.Dns_std.is_response then D_rep (Dns_std.to_reply msg)
+          else D_req (Dns_std.to_request msg)
+      | exception Dns_std.Bad_dns _ ->
+          Hilti_obs.Metrics.incr m_parse_errors;
+          D_none)
+  | Dns_pac t -> (
+      match Dns_pac.parse_view t v with
+      | Dns_pac.Request rq -> D_req rq
+      | Dns_pac.Reply rp -> D_rep rp
+      | Dns_pac.Not_dns ->
+          Hilti_obs.Metrics.incr m_parse_errors;
+          D_none)
+
 (* The serial event stage: connection tracking, uid assignment, trace-time
    timers, and event dispatch, driven strictly in packet order.  The serial
    and sharded DNS paths share this code verbatim — it is why their logs
-   are byte-identical. *)
+   are byte-identical.  Time is batch-granular on both: [ds_event] runs
+   per packet in global order, then one [ds_count]/[ds_epoch] pair closes
+   the batch (packet accounting + a single timer advance to the batch's
+   last timestamp).  Identical batch sizes on the two paths therefore
+   yield identical eviction points and uid sequences. *)
 type dns_stage = {
-  ds_tick : Hilti_types.Time_ns.t -> unit;  (* every packet, in order *)
-  ds_event : ts:Hilti_types.Time_ns.t -> Flow.t * dns_outcome -> unit;
+  ds_count : int -> unit;  (* per batch: packet accounting *)
+  ds_event : ts:Hilti_types.Time_ns.t -> Flow.t -> dns_outcome -> unit;
+  ds_epoch : Hilti_types.Time_ns.t -> unit;
+      (* per batch: advance the trace clock (timers, exports) once *)
 }
 
 let dns_stage ~(sink : Events.sink) ~(stats : stats) ?idle_timeout
@@ -670,7 +749,7 @@ let dns_stage ~(sink : Events.sink) ~(stats : stats) ?idle_timeout
   let fresh flow ts =
     incr uid_counter;
     stats.connections <- stats.connections + 1;
-    let uid = Printf.sprintf "C%d" !uid_counter in
+    let uid = "C" ^ string_of_int !uid_counter in
     let conn_val = Events.connection_val ~uid ~flow ~start_time:ts in
     Events.raise_connection_established sink conn_val;
     conn_val
@@ -681,12 +760,9 @@ let dns_stage ~(sink : Events.sink) ~(stats : stats) ?idle_timeout
       fresh
   in
   {
-    ds_tick =
-      (fun ts ->
-        stats.packets <- stats.packets + 1;
-        session.ss_tick ts);
+    ds_count = (fun n -> stats.packets <- stats.packets + n);
     ds_event =
-      (fun ~ts (oriented, outcome) ->
+      (fun ~ts oriented outcome ->
         sink.Events.set_time ts;
         let conn, _ = Flow_table.lookup session.ss_table ~ts oriented in
         let conn_val = conn.Flow_table.state in
@@ -694,13 +770,109 @@ let dns_stage ~(sink : Events.sink) ~(stats : stats) ?idle_timeout
         | D_req rq -> Events.raise_dns_request sink conn_val rq
         | D_rep rp -> Events.raise_dns_reply sink conn_val rp
         | D_none -> ());
+    ds_epoch = session.ss_tick;
   }
+
+(** The driver's batch size.  Must equal {!Hilti_par.Shard_plane.run}'s
+    default batch: the serial and sharded DNS paths advance their trace
+    clocks at the same batch boundaries only when the sizes agree, and
+    that alignment is what keeps their logs byte-identical under
+    [?idle_timeout]. *)
+let dns_batch = 256
+
+(* Per-session parse-result arena: one mutable slot per batch position,
+   written by the parse stage and consumed (then cleared) by the serial
+   event stage.  The slots are allocated once per run and reused every
+   batch — staging a packet's result allocates nothing. *)
+type dns_slot = {
+  mutable sl_ts : Hilti_types.Time_ns.t;
+  mutable sl_flow : Flow.t;
+  mutable sl_outcome : dns_outcome;
+  mutable sl_full : bool;
+}
+
+let null_packet = { Hilti_rt.Iosrc.ts = Hilti_types.Time_ns.epoch; data = "" }
+
+let null_flow =
+  lazy
+    (let a = Hilti_types.Addr.of_ipv4_octets 0 0 0 0 in
+     let p = Hilti_types.Port.udp 0 in
+     Flow.make ~src:a ~dst:a ~src_port:p ~dst_port:p)
+
+let make_dns_arena batch =
+  Array.init batch (fun _ ->
+      { sl_ts = Hilti_types.Time_ns.epoch; sl_flow = Lazy.force null_flow;
+        sl_outcome = D_none; sl_full = false })
 
 (** Stream a DNS source through the pipeline.  [?idle_timeout] bounds the
     per-flow connection-value table the same way as for HTTP (DNS has no
-    teardown events, so eviction only releases state). *)
+    teardown events, so eviction only releases state).
+
+    The loop is batch-granular: up to [?batch] packets are pulled, parsed
+    zero-copy off the raw frames into the reusable arena under a single
+    profiler span, then consumed by the serial event stage in packet
+    order, and finally the trace clock advances once to the batch's last
+    timestamp.  [?batch] defaults to {!dns_batch} and must match the
+    sharded path's batch for byte-identical logs. *)
 let run_dns_src ~(kind : dns_kind) ~(sink : Events.sink) ?idle_timeout
-    ?(stats_export : stats_export option) (src : Hilti_rt.Iosrc.t) : stats =
+    ?(stats_export : stats_export option) ?(batch = dns_batch)
+    (src : Hilti_rt.Iosrc.t) : stats =
+  if batch < 1 then invalid_arg "Driver.run_dns_src: batch must be >= 1";
+  let stats = fresh_stats () in
+  let sink, flush_obs = counted_sink sink stats in
+  sink.Events.raise_event "bro_init" [];
+  let stage = dns_stage ~sink ~stats ?idle_timeout ?stats_export () in
+  let scratch = Dns_std.make_scratch () in
+  let pkts = Array.make batch null_packet in
+  let arena = make_dns_arena batch in
+  let eof = ref false in
+  while not !eof do
+    (* Input stage: one batched read, one input-counter update. *)
+    let n = Hilti_rt.Iosrc.read_batch src pkts batch in
+    if n < batch then eof := true;
+    if n > 0 then begin
+      (* Parse stage: whole batch, one span, results into the arena. *)
+      in_parse (fun () ->
+          for i = 0 to n - 1 do
+            let p = pkts.(i) in
+            let s = arena.(i) in
+            s.sl_ts <- p.Hilti_rt.Iosrc.ts;
+            match dns_slice p with
+            | Some (oriented, v) ->
+                s.sl_flow <- oriented;
+                s.sl_outcome <- dns_parse_view ~scratch kind v;
+                s.sl_full <- true
+            | None -> s.sl_full <- false
+          done);
+      (* Serial event stage, in packet order, under one script span; each
+         slot resets as it is consumed so the arena holds no stale
+         references across batches. *)
+      in_events (fun () ->
+          for i = 0 to n - 1 do
+            let s = arena.(i) in
+            if s.sl_full then stage.ds_event ~ts:s.sl_ts s.sl_flow s.sl_outcome;
+            s.sl_full <- false;
+            s.sl_outcome <- D_none
+          done);
+      (* Batch epoch: accounting, one obs flush, one timer advance to the
+         watermark. *)
+      stage.ds_count n;
+      flush_obs ();
+      stage.ds_epoch pkts.(n - 1).Hilti_rt.Iosrc.ts;
+      Array.fill pkts 0 n null_packet
+    end
+  done;
+  sink.Events.raise_event "bro_done" [];
+  flush_obs ();
+  stats
+
+(** The pre-batching serial loop — one payload string materialized per
+    datagram, per-packet tick and timer advance.  Kept as the measured
+    baseline ([bench stream] runs both loops to quantify the zero-copy +
+    batched fast path) and as a differential oracle in tests. *)
+let run_dns_src_unbatched ~(kind : dns_kind) ~(sink : Events.sink)
+    ?idle_timeout ?(stats_export : stats_export option)
+    (src : Hilti_rt.Iosrc.t) : stats =
   let stats = fresh_stats () in
   let sink = profiled_sink sink stats in
   sink.Events.raise_event "bro_init" [];
@@ -708,10 +880,11 @@ let run_dns_src ~(kind : dns_kind) ~(sink : Events.sink) ?idle_timeout
   Hilti_rt.Iosrc.iter
     (fun (p : Hilti_rt.Iosrc.packet) ->
       let ts = p.Hilti_rt.Iosrc.ts in
-      stage.ds_tick ts;
+      stage.ds_count 1;
+      stage.ds_epoch ts;
       match dns_datagram p with
       | Some (oriented, payload) ->
-          stage.ds_event ~ts (oriented, dns_parse kind payload)
+          stage.ds_event ~ts oriented (dns_parse kind payload)
       | None -> ())
     src;
   sink.Events.raise_event "bro_done" [];
@@ -732,7 +905,10 @@ let run_dns_sharded_src ?batch ?ring ~shards ~(mk_kind : int -> dns_kind)
     ?idle_timeout ?(stats_export : stats_export option) ~(sink : Events.sink)
     (src : Hilti_rt.Iosrc.t) : stats =
   let stats = fresh_stats () in
-  let sink = profiled_sink sink stats in
+  (* Same per-batch obs policy as the serial batched loop: events are
+     counted, not individually span-timed — the collector's dispatch rate
+     is the plane's serial bottleneck. *)
+  let sink, flush_obs = counted_sink sink stats in
   sink.Events.raise_event "bro_init" [];
   let stage = dns_stage ~sink ~stats ?idle_timeout ?stats_export () in
   let shard_of (p : Hilti_rt.Iosrc.packet) =
@@ -740,18 +916,28 @@ let run_dns_sharded_src ?batch ?ring ~shards ~(mk_kind : int -> dns_kind)
     | Some flow -> Flow.shard ~shards flow
     | None -> 0
   in
+  (* Workers parse zero-copy slices with a shard-private parser and label
+     scratch; the collector replays the serial event stage per packet and
+     closes each batch with the same count/epoch pair as the serial loop
+     (same default batch size), so the logs stay byte-identical. *)
   ignore
-    (Hilti_par.Shard_plane.run ~shards ?batch ?ring ~shard_of ~init:mk_kind
-       ~process:(fun kind ~seq:_ p ->
-         match dns_datagram p with
-         | Some (oriented, payload) ->
-             Some (p.Hilti_rt.Iosrc.ts, oriented, dns_parse kind payload)
+    (Hilti_par.Shard_plane.run ~shards ?batch ?ring ~shard_of
+       ~init:(fun sid -> (mk_kind sid, Dns_std.make_scratch ()))
+       ~process:(fun (kind, scratch) ~seq:_ p ->
+         match dns_slice p with
+         | Some (oriented, v) ->
+             Some (p.Hilti_rt.Iosrc.ts, oriented, dns_parse_view ~scratch kind v)
          | None -> None)
-       ~before:(fun ~seq:_ ~ts -> stage.ds_tick ts)
+       ~after_batch:(fun ~n ~ts ->
+         stage.ds_count n;
+         flush_obs ();
+         stage.ds_epoch ts)
+       ~before:(fun ~seq:_ ~ts:_ -> ())
        ~consume:(fun ~seq:_ (ts, oriented, outcome) ->
-         stage.ds_event ~ts (oriented, outcome))
+         stage.ds_event ~ts oriented outcome)
        src);
   sink.Events.raise_event "bro_done" [];
+  flush_obs ();
   stats
 
 (** Run a DNS trace through the pipeline (list compat wrapper). *)
@@ -825,7 +1011,7 @@ let run_dns_par_src ?(batch = 1024) ~jobs ~(kind : dns_kind)
     | None ->
         incr uid_counter;
         stats.connections <- stats.connections + 1;
-        let uid = Printf.sprintf "C%d" !uid_counter in
+        let uid = "C" ^ string_of_int !uid_counter in
         let conn_val = Events.connection_val ~uid ~flow ~start_time:ts in
         Hashtbl.add conns key conn_val;
         Events.raise_connection_established sink conn_val;
@@ -914,23 +1100,39 @@ let fw_line ~ts ~src ~dst allowed =
     (if allowed then "allow" else "deny")
 
 (** Run every frame of [src] through a compiled firewall, emitting one
-    decision line per IP packet via [emit] (in trace order). *)
+    decision line per IP packet via [emit] (in trace order).  The loop is
+    batch-granular like the DNS path: packets are pulled [?batch] at a
+    time and accounting is amortized per batch; decisions themselves are
+    per packet (each carries its own timestamp) and do not depend on the
+    batch size. *)
 let run_firewall_src ~(fw : Hilti_firewall.Fw_hilti.t) ?(emit = fun _ -> ())
-    (src : Hilti_rt.Iosrc.t) : stats =
+    ?(batch = dns_batch) (src : Hilti_rt.Iosrc.t) : stats =
+  if batch < 1 then invalid_arg "Driver.run_firewall_src: batch must be >= 1";
   let stats = fresh_stats () in
-  Hilti_rt.Iosrc.iter
-    (fun (p : Hilti_rt.Iosrc.packet) ->
-      stats.packets <- stats.packets + 1;
-      let ts = p.Hilti_rt.Iosrc.ts in
-      match Packet.peek_addrs p.Hilti_rt.Iosrc.data with
-      | Some (src_a, dst_a) ->
-          let allowed =
-            Hilti_firewall.Fw_hilti.match_packet fw ~ts ~src:src_a ~dst:dst_a
-          in
-          stats.events <- stats.events + 1;
-          emit (fw_line ~ts ~src:src_a ~dst:dst_a allowed)
-      | None -> ())
-    src;
+  let pkts = Array.make batch null_packet in
+  let eof = ref false in
+  while not !eof do
+    let n = Hilti_rt.Iosrc.read_batch src pkts batch in
+    if n < batch then eof := true;
+    if n > 0 then begin
+      let decided = ref 0 in
+      for i = 0 to n - 1 do
+        let p = pkts.(i) in
+        let ts = p.Hilti_rt.Iosrc.ts in
+        match Packet.peek_addrs p.Hilti_rt.Iosrc.data with
+        | Some (src_a, dst_a) ->
+            let allowed =
+              Hilti_firewall.Fw_hilti.match_packet fw ~ts ~src:src_a ~dst:dst_a
+            in
+            incr decided;
+            emit (fw_line ~ts ~src:src_a ~dst:dst_a allowed)
+        | None -> ()
+      done;
+      stats.packets <- stats.packets + n;
+      stats.events <- stats.events + !decided;
+      Array.fill pkts 0 n null_packet
+    end
+  done;
   stats
 
 (** [run_firewall_src] over the sharded data plane: [mk_fw] builds each
@@ -957,7 +1159,8 @@ let run_firewall_sharded_src ?batch ?ring ~shards
              in
              Some (fw_line ~ts ~src:src_a ~dst:dst_a allowed)
          | None -> None)
-       ~before:(fun ~seq:_ ~ts:_ -> stats.packets <- stats.packets + 1)
+       ~after_batch:(fun ~n ~ts:_ -> stats.packets <- stats.packets + n)
+       ~before:(fun ~seq:_ ~ts:_ -> ())
        ~consume:(fun ~seq:_ line ->
          stats.events <- stats.events + 1;
          emit line)

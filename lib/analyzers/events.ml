@@ -88,7 +88,25 @@ let null_sink : sink = { raise_event = (fun _ _ -> ()); set_time = (fun _ -> ())
 (* ---- Raising the concrete events -------------------------------------------- *)
 
 let vstr s = Bro_val.Vstring s
-let vcount i = Bro_val.Vcount (Int64.of_int i)
+
+(* Interned [Vcount] values for the 16-bit range: DNS ids, qtypes, rcodes,
+   HTTP status codes, ports — almost every count an analyzer raises.
+   [Vcount] carries an immutable boxed int64, so sharing is safe, and the
+   two allocations per count (box + variant) on the per-event path become
+   an array read.  ~2 MB, built on first event. *)
+let small_counts =
+  lazy (Array.init 65536 (fun i -> Bro_val.Vcount (Int64.of_int i)))
+
+let vcount i =
+  if i >= 0 && i < 65536 then (Lazy.force small_counts).(i)
+  else Bro_val.Vcount (Int64.of_int i)
+
+(* Build a Bro vector straight off the list — one traversal, no
+   intermediate [List.map] list; this sits on the per-reply fast path. *)
+let vec_map f l =
+  let d = Hilti_vm.Deque.create () in
+  List.iter (fun x -> Hilti_vm.Deque.push_back d (f x)) l;
+  Bro_val.Vvector d
 
 let raise_connection_established sink conn =
   sink.raise_event "connection_established" [ conn ]
@@ -119,9 +137,7 @@ let raise_mqtt_publish sink conn (r : mqtt_publish) =
 
 let raise_mqtt_subscribe sink conn (r : mqtt_subscribe) =
   sink.raise_event "mqtt_subscribe"
-    [ conn; vcount r.s_msgid;
-      Bro_val.Vvector
-        (Hilti_vm.Deque.of_list (List.map (fun (t, _) -> vstr t) r.topics)) ]
+    [ conn; vcount r.s_msgid; vec_map (fun (t, _) -> vstr t) r.topics ]
 
 let raise_mqtt_suback sink conn ~msgid =
   sink.raise_event "mqtt_suback" [ conn; vcount msgid ]
@@ -161,5 +177,4 @@ let raise_dns_request sink conn (r : dns_request) =
 let raise_dns_reply sink conn (r : dns_reply) =
   sink.raise_event "dns_reply"
     [ conn; vcount r.r_id; vcount r.rcode;
-      Bro_val.Vvector (Hilti_vm.Deque.of_list (List.map vstr r.answers));
-      Bro_val.Vvector (Hilti_vm.Deque.of_list (List.map vcount r.ttls)) ]
+      vec_map vstr r.answers; vec_map vcount r.ttls ]

@@ -6,16 +6,18 @@
     digits, and a "-" separator marks a continuation line of a multi-line
     reply (no event is raised for those). *)
 
+open Hilti_types
+
 type t = {
   is_command : bool;  (** client->server direction carries commands *)
   on_event : Events.ftp_event -> unit;
-  buf : Buffer.t;
+  buf : Hbytes.t;
   mutable failed : string option;
   mutable messages : int;
 }
 
 let create ~is_command ~on_event =
-  { is_command; on_event; buf = Buffer.create 128; failed = None; messages = 0 }
+  { is_command; on_event; buf = Hbytes.create (); failed = None; messages = 0 }
 
 let failed t = t.failed
 
@@ -62,25 +64,31 @@ let handle_line t line =
 
 (* Line terminator transcribed from the grammar: text stops at the first
    CR or LF, then /\r?\n/ must follow — a bare CR not followed by LF is a
-   parse error, and a CR at the end of the buffer waits for more data. *)
+   parse error, and a CR at the end of the buffer waits for more data.
+   The buffered stream is an Hbytes object: scanning goes through a view
+   and consuming a line is an O(1) trim — only the line text itself is
+   materialized. *)
 let drain t =
   let rec go () =
     if t.failed = None then begin
-      let s = Buffer.contents t.buf in
-      let n = String.length s in
-      let i = ref 0 in
-      while !i < n && s.[!i] <> '\r' && s.[!i] <> '\n' do incr i done;
-      if !i < n then begin
-        let line = String.sub s 0 !i in
+      let v = Hbytes.view t.buf in
+      let n = Hbytes.view_length v in
+      let i =
+        match (Hbytes.find_byte v '\r', Hbytes.find_byte v '\n') with
+        | Some a, Some b -> min a b
+        | Some a, None | None, Some a -> a
+        | None, None -> n
+      in
+      if i < n then begin
+        let line = Hbytes.view_sub_string v 0 i in
         let consume upto =
-          Buffer.clear t.buf;
-          Buffer.add_string t.buf (String.sub s upto (n - upto));
+          Hbytes.trim_front t.buf upto;
           handle_line t line;
           go ()
         in
-        if s.[!i] = '\n' then consume (!i + 1)
-        else if !i + 1 < n then
-          if s.[!i + 1] = '\n' then consume (!i + 2)
+        if Hbytes.get_u8 v i = Char.code '\n' then consume (i + 1)
+        else if i + 1 < n then
+          if Hbytes.get_u8 v (i + 1) = Char.code '\n' then consume (i + 2)
           else t.failed <- Some "bad line terminator"
         (* else: CR is the last byte — wait for the LF *)
       end
@@ -91,7 +99,7 @@ let drain t =
 (** Feed reassembled stream data. *)
 let feed t chunk =
   if t.failed = None then begin
-    Buffer.add_string t.buf chunk;
+    Hbytes.append t.buf chunk;
     drain t
   end
 
@@ -99,7 +107,7 @@ let feed t chunk =
 let eof t =
   if t.failed = None then begin
     drain t;
-    if t.failed = None && Buffer.length t.buf > 0 then
+    if t.failed = None && Hbytes.length t.buf > 0 then
       t.failed <- Some "truncated line"
   end
 

@@ -71,35 +71,44 @@ let reset_message t =
 
 let cursor t = Hilti_types.Hbytes.iter_at t.buf t.pos
 
-(* Consume up to the next CRLF (or LF); None if no full line buffered. *)
+(* Consume up to the next CRLF (or LF); None if no full line buffered.
+   The CR strip happens on the view, so the line text is copied exactly
+   once. *)
 let take_line t =
   let it = cursor t in
   match Hilti_types.Hbytes.find it "\n" with
   | None -> None
   | Some nl ->
-      let line = Hilti_types.Hbytes.sub it nl in
-      let line =
-        let n = String.length line in
-        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+      let v = Hilti_types.Hbytes.sub_view it nl in
+      let n = Hilti_types.Hbytes.view_length v in
+      let n =
+        if n > 0 && Hilti_types.Hbytes.get_u8 v (n - 1) = Char.code '\r' then
+          n - 1
+        else n
       in
+      let line = Hilti_types.Hbytes.view_sub_string v 0 n in
       t.pos <- Hilti_types.Hbytes.offset nl + 1;
       Some line
 
-let take_bytes t n =
+(* Copy [n] buffered bytes straight into [buf] (no intermediate string);
+   false if not enough data yet. *)
+let take_into t n buf =
   let it = cursor t in
-  if Hilti_types.Hbytes.available it < n then None
+  if Hilti_types.Hbytes.available it < n then false
   else begin
-    let data = Hilti_types.Hbytes.sub it (Hilti_types.Hbytes.advance it n) in
+    let v = Hilti_types.Hbytes.sub_view it (Hilti_types.Hbytes.advance it n) in
+    Hilti_types.Hbytes.view_add_to_buffer v 0 n buf;
     t.pos <- t.pos + n;
-    Some data
+    true
   end
 
 (* Move everything still buffered into the body accumulator (Until_close). *)
-let take_all t =
+let take_all_into t buf =
   let it = cursor t in
-  let data = Hilti_types.Hbytes.sub it (Hilti_types.Hbytes.end_ t.buf) in
-  t.pos <- Hilti_types.Hbytes.end_offset t.buf;
-  data
+  let v = Hilti_types.Hbytes.sub_view it (Hilti_types.Hbytes.end_ t.buf) in
+  Hilti_types.Hbytes.view_add_to_buffer v 0
+    (Hilti_types.Hbytes.view_length v) buf;
+  t.pos <- Hilti_types.Hbytes.end_offset t.buf
 
 let split_ws s =
   String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
@@ -224,13 +233,12 @@ let rec step t : bool =
   | In_body No_body ->
       finish_message t;
       true
-  | In_body (Fixed n) -> (
-      match take_bytes t n with
-      | Some data ->
-          Buffer.add_string t.body data;
-          finish_message t;
-          true
-      | None -> false)
+  | In_body (Fixed n) ->
+      if take_into t n t.body then begin
+        finish_message t;
+        true
+      end
+      else false
   | In_body Chunk_size -> (
       match take_line t with
       | Some line -> (
@@ -240,13 +248,12 @@ let rec step t : bool =
           | Some n -> t.phase <- In_body (Chunk_data n); true
           | None -> t.phase <- Failed; false)
       | None -> false)
-  | In_body (Chunk_data n) -> (
-      match take_bytes t n with
-      | Some data ->
-          Buffer.add_string t.body data;
-          t.phase <- In_body (Chunk_sep 0);
-          true
-      | None -> false)
+  | In_body (Chunk_data n) ->
+      if take_into t n t.body then begin
+        t.phase <- In_body (Chunk_sep 0);
+        true
+      end
+      else false
   | In_body (Chunk_sep _) -> (
       match take_line t with
       | Some _ -> t.phase <- In_body Chunk_size; true
@@ -269,7 +276,7 @@ let feed t data =
   if t.phase <> Failed then begin
     Hilti_types.Hbytes.append t.buf data;
     (match t.phase with
-    | In_body Until_close -> Buffer.add_string t.body (take_all t)
+    | In_body Until_close -> take_all_into t t.body
     | _ -> ());
     drain t;
     trim t
@@ -279,7 +286,7 @@ let feed t data =
 let eof t =
   (match t.phase with
   | In_body Until_close ->
-      Buffer.add_string t.body (take_all t);
+      take_all_into t t.body;
       finish_message t
   | _ -> drain t);
   trim t

@@ -43,13 +43,22 @@ let unwrap_result = function
   | Value.Tuple [| st; _ |] -> st
   | v -> raise (Parse_failed ("unexpected parser result " ^ Value.to_string v))
 
-(** Parse complete input; returns the unit struct. *)
-let parse_string t ~unit_name (input : string) : Value.t =
-  let b = Hilti_types.Hbytes.of_string input in
-  Hilti_types.Hbytes.freeze b;
+(** Parse a complete, already-frozen bytes object; returns the unit
+    struct.  The zero-copy entry: no byte is moved on the way in. *)
+let parse_bytes t ~unit_name (b : Hilti_types.Hbytes.t) : Value.t =
   let it = Value.Iter (Value.Ibytes (Hilti_types.Hbytes.begin_ b)) in
   protect "parse"
     (fun () -> unwrap_result (Host_api.call t.api (parse_fn t unit_name) [ it; it ]))
+
+(** Parse complete input; returns the unit struct.  Wraps the string in a
+    frozen bytes object without copying it. *)
+let parse_string t ~unit_name (input : string) : Value.t =
+  parse_bytes t ~unit_name (Hilti_types.Hbytes.frozen_of_string input)
+
+(** Parse a payload slice in place — zero-copy when the view's backing
+    object is frozen (packet payloads are). *)
+let parse_view t ~unit_name (v : Hilti_types.Hbytes.view) : Value.t =
+  parse_bytes t ~unit_name (Hilti_types.Hbytes.of_view v)
 
 (* ---- Incremental sessions ------------------------------------------------------ *)
 

@@ -197,7 +197,7 @@ let rec eval t (env : env) (e : expr) : Bro_val.t =
   | E_field (e, f) -> (
       match eval t env e with
       | Vrecord r -> (
-          match Hashtbl.find_opt r.rfields f with
+          match record_find r f with
           | Some v when !v <> Vvoid -> !v
           | _ -> error "field %s not set" f)
       | v -> error "$%s on non-record %s" f (to_debug v))
@@ -353,10 +353,10 @@ and call t env fn args : Bro_val.t =
           match eval t env rec_e with
           | Vrecord r ->
               let fields =
-                Hashtbl.fold
-                  (fun n v acc ->
+                Array.fold_left
+                  (fun acc (n, v) ->
                     if !v = Vvoid then acc else (n, to_string !v) :: acc)
-                  r.rfields []
+                  [] r.rfields
               in
               Bro_log.write t.logger stream fields;
               Vvoid

@@ -29,11 +29,28 @@ and table = {
   mutable default : t option;
 }
 
-and record = { rtype : string; rfields : (string, t ref) Hashtbl.t }
+and record = { rtype : string; mutable rfields : (string * t ref) array }
+(** Record fields live in a flat insertion-ordered array: scripts declare a
+    handful of fields per record, so a linear scan beats a hash table and —
+    more importantly on the per-connection fast path — construction is one
+    small array instead of a bucket table.  All renderings sort by field
+    name, so the order never leaks. *)
 
 exception Bro_error of string
 
 let error fmt = Printf.ksprintf (fun s -> raise (Bro_error s)) fmt
+
+(** The slot holding field [name], if present. *)
+let record_find r name =
+  let fields = r.rfields in
+  let n = Array.length fields in
+  let rec go i =
+    if i >= n then None
+    else
+      let k, v = Array.unsafe_get fields i in
+      if String.equal k name then Some v else go (i + 1)
+  in
+  go 0
 
 (* ---- Canonical keys ----------------------------------------------------------- *)
 
@@ -51,7 +68,7 @@ let rec key_string = function
   | Vrecord r ->
       (* records as keys: field-sorted canonical form *)
       let fields =
-        Hashtbl.fold (fun k v acc -> (k, key_string !v) :: acc) r.rfields []
+        Array.fold_left (fun acc (k, v) -> (k, key_string !v) :: acc) [] r.rfields
       in
       let fields = List.sort compare fields in
       "r{" ^ String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) fields) ^ "}"
@@ -105,7 +122,9 @@ let rec to_string = function
       "[" ^ String.concat "," (List.map to_string (Hilti_vm.Deque.to_list v)) ^ "]"
   | Vrecord r ->
       let fields =
-        Hashtbl.fold (fun k v acc -> (k ^ "=" ^ to_string !v) :: acc) r.rfields []
+        Array.fold_left
+          (fun acc (k, v) -> (k ^ "=" ^ to_string !v) :: acc)
+          [] r.rfields
       in
       "[" ^ String.concat "," (List.sort compare fields) ^ "]"
   | Vvoid -> "<void>"
@@ -124,14 +143,13 @@ let rec equal a b =
   | Vinterval x, Vinterval y -> Interval_ns.equal x y
   | Vrecord x, Vrecord y ->
       x.rtype = y.rtype
-      && Hashtbl.length x.rfields = Hashtbl.length y.rfields
-      && Hashtbl.fold
-           (fun k v acc ->
-             acc
-             && match Hashtbl.find_opt y.rfields k with
-                | Some v' -> equal !v !v'
-                | None -> false)
-           x.rfields true
+      && Array.length x.rfields = Array.length y.rfields
+      && Array.for_all
+           (fun (k, v) ->
+             match record_find y k with
+             | Some v' -> equal !v !v'
+             | None -> false)
+           x.rfields
   | _ -> false
 
 let rec deep_copy = function
@@ -142,24 +160,26 @@ let rec deep_copy = function
       Vtable { entries = Hashtbl.copy t.entries; default = t.default }
   | Vvector v -> Vvector (Hilti_vm.Deque.of_list (List.map deep_copy (Hilti_vm.Deque.to_list v)))
   | Vrecord r ->
-      let rfields = Hashtbl.create (Hashtbl.length r.rfields) in
-      Hashtbl.iter (fun k v -> Hashtbl.replace rfields k (ref (deep_copy !v))) r.rfields;
-      Vrecord { r with rfields }
+      Vrecord
+        { r with
+          rfields = Array.map (fun (k, v) -> (k, ref (deep_copy !v))) r.rfields
+        }
   | v -> v
 
 (* ---- Record helpers --------------------------------------------------------------- *)
 
+(* Field names are expected distinct (they come from record declarations
+   and literal constructors). *)
 let new_record rtype fields =
-  let rfields = Hashtbl.create 8 in
-  List.iter (fun (n, v) -> Hashtbl.replace rfields n (ref v)) fields;
-  Vrecord { rtype; rfields }
+  Vrecord
+    { rtype; rfields = Array.of_list (List.map (fun (n, v) -> (n, ref v)) fields) }
 
 let record_field r name =
-  match Hashtbl.find_opt r.rfields name with
+  match record_find r name with
   | Some v -> v
   | None ->
       let slot = ref Vvoid in
-      Hashtbl.replace r.rfields name slot;
+      r.rfields <- Array.append r.rfields [| (name, slot) |];
       slot
 
 (* ---- HILTI conversion: the Bro<->HILTI glue (§5, §6.4) ----------------------------- *)
@@ -216,12 +236,12 @@ and to_hilti_raw (v : t) : Hilti_vm.Value.t =
         (Hilti_vm.Deque.to_list dv);
       V.List d
   | Vrecord r ->
-      let names = Hashtbl.fold (fun k _ acc -> k :: acc) r.rfields [] in
+      let names = Array.fold_left (fun acc (k, _) -> k :: acc) [] r.rfields in
       let names = List.sort compare names in
       let s = V.new_struct r.rtype names in
       List.iter
         (fun n ->
-          match Hashtbl.find_opt r.rfields n with
+          match record_find r n with
           | Some { contents = Vvoid } | None -> ()
           | Some v -> V.struct_field s n := Some (to_hilti_raw !v))
         names;
@@ -268,13 +288,13 @@ and of_hilti_raw (v : Hilti_vm.Value.t) : t =
   | V.Tuple vs ->
       Vvector (Hilti_vm.Deque.of_list (List.map of_hilti_raw (Array.to_list vs)))
   | V.Struct s ->
-      let rfields = Hashtbl.create 8 in
+      let fields = ref [] in
       Array.iter
         (fun (n, slot) ->
           match !slot with
-          | Some v -> Hashtbl.replace rfields n (ref (of_hilti_raw v))
+          | Some v -> fields := (n, ref (of_hilti_raw v)) :: !fields
           | None -> ())
         s.V.sfields;
-      Vrecord { rtype = s.V.sname; rfields }
+      Vrecord { rtype = s.V.sname; rfields = Array.of_list (List.rev !fields) }
   | V.Null -> Vvoid
   | other -> error "cannot convert HILTI value %s" (V.to_string other)

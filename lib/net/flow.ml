@@ -28,6 +28,42 @@ let canonical t =
   let forward = if c <> 0 then c < 0 else Port.compare t.src_port t.dst_port <= 0 in
   if forward then (t, true) else (reverse t, false)
 
+(** [fst (canonical t)] without the tuple: the per-packet key computation
+    of session tables, so forward flows return [t] itself with no
+    allocation. *)
+let canon t =
+  let c = Addr.compare t.src t.dst in
+  if if c <> 0 then c < 0 else Port.compare t.src_port t.dst_port <= 0 then t
+  else reverse t
+
+(* ---- Packed session-table key ---------------------------------------------- *)
+
+let proto_byte = function Port.TCP -> 0 | Port.UDP -> 1 | Port.ICMP -> 2
+
+let family_byte = function Addr.IPv4 -> 0 | Addr.IPv6 -> 1
+
+(** The canonical flow as a flat 40-byte string: both endpoints in
+    canonical order — addresses, ports, protocols, families.  Session
+    tables key on this instead of the flow record itself, so generic
+    hashing and equality run over one unboxed string (the runtime's C
+    fast path) rather than traversing four boxed-int64 records per
+    probe.  Two flows map to the same key iff they are the same
+    unordered connection 5-tuple. *)
+let packed_key t =
+  let c = canon t in
+  let b = Bytes.create 40 in
+  Bytes.set_int64_be b 0 c.src.Addr.hi;
+  Bytes.set_int64_be b 8 c.src.Addr.lo;
+  Bytes.set_int64_be b 16 c.dst.Addr.hi;
+  Bytes.set_int64_be b 24 c.dst.Addr.lo;
+  Bytes.set_uint16_be b 32 c.src_port.Port.number;
+  Bytes.set_uint16_be b 34 c.dst_port.Port.number;
+  Bytes.unsafe_set b 36 (Char.unsafe_chr (proto_byte c.src_port.Port.proto));
+  Bytes.unsafe_set b 37 (Char.unsafe_chr (proto_byte c.dst_port.Port.proto));
+  Bytes.unsafe_set b 38 (Char.unsafe_chr (family_byte c.src.Addr.family));
+  Bytes.unsafe_set b 39 (Char.unsafe_chr (family_byte c.dst.Addr.family));
+  Bytes.unsafe_to_string b
+
 let equal a b =
   Addr.equal a.src b.src && Addr.equal a.dst b.dst
   && Port.equal a.src_port b.src_port
@@ -46,10 +82,9 @@ let compare a b =
 (** Direction-insensitive hash (both directions agree), suitable for
     thread scheduling. *)
 let hash t =
-  let canon, _ = canonical t in
+  let c = canon t in
   Hashtbl.hash
-    (Addr.hash canon.src, Addr.hash canon.dst, Port.hash canon.src_port,
-     Port.hash canon.dst_port)
+    (Addr.hash c.src, Addr.hash c.dst, Port.hash c.src_port, Port.hash c.dst_port)
 
 (* ---- Shard selection (the flow-sharded data plane) ------------------------- *)
 

@@ -125,6 +125,32 @@ let peek_flow frame =
       | Some pkt -> flow pkt
       | None -> None)
 
+(** [peek_udp frame] is the flow plus the UDP payload's (offset, length)
+    within [frame], read straight out of the headers for plain IPv4/UDP
+    frames — the zero-copy fast path of the DNS driver.  Agrees with
+    [decode]'s payload bounds ([total_length]- and frame-truncated).
+    [None] means "not a well-formed IPv4/UDP frame this peek handles";
+    callers fall back to {!decode_opt}. *)
+let peek_udp frame =
+  match peek_ipv4 frame with
+  | Some (proto, ihl, src, dst) when proto = Ipv4.proto_udp ->
+      let flen = String.length frame in
+      let tl = Wire.get_u16 frame 16 in
+      let ip_len = min (tl - ihl) (flen - 14 - ihl) in
+      if ip_len < Udp.header_len then None
+      else
+        let toff = 14 + ihl in
+        let ulen = Wire.get_u16 frame (toff + 4) in
+        if ulen < Udp.header_len then None
+        else
+          let plen = min (ulen - Udp.header_len) (ip_len - Udp.header_len) in
+          let sp = Wire.get_u16 frame toff and dp = Wire.get_u16 frame (toff + 2) in
+          let fl =
+            Flow.make ~src ~dst ~src_port:(Port.udp sp) ~dst_port:(Port.udp dp)
+          in
+          Some (fl, toff + Udp.header_len, plen)
+  | _ -> None
+
 (* Encoding helpers used by the trace generator ---------------------------- *)
 
 let encode_tcp ~src ~dst ~src_port ~dst_port ~seq ~ack ~flags payload =

@@ -92,11 +92,18 @@ let merge_finals (finals : (int * 'out) array array) (emit : int -> 'out -> unit
     global sequence order (serial per-packet bookkeeping: timers, stats);
     [consume] runs right after the [before] of the packet that produced
     the result — together they replay the exact serial schedule.
+    [after_batch], if given, runs on the calling domain once per global
+    batch, after every packet of the batch has been consumed, with the
+    batch's packet count and timestamp watermark — the batch-granular
+    epoch point (one timer advance / stats scrape per batch instead of
+    per packet).  A serial loop that mirrors the same batch size and
+    epoch placement produces an identical schedule.
 
     Exceptions raised by shard callbacks are re-raised here after the
     plane is torn down. *)
 let run ~shards ?(batch = 256) ?(ring = 8) ~shard_of ~init ~process
-    ?(tick = fun _ _ -> ()) ?(finish = fun _ -> []) ~before ~consume
+    ?(tick = fun _ _ -> ()) ?(finish = fun _ -> [])
+    ?(after_batch = fun ~n:_ ~ts:_ -> ()) ~before ~consume
     (src : Hilti_rt.Iosrc.t) : stats =
   if shards < 1 then invalid_arg "Shard_plane.run: shards must be >= 1";
   if batch < 1 then invalid_arg "Shard_plane.run: batch must be >= 1";
@@ -180,7 +187,9 @@ let run ~shards ?(batch = 256) ?(ring = 8) ~shard_of ~init ~process
           Hilti_obs.Metrics.incr m_outputs
         end)
       meta;
-    stats.packets <- stats.packets + Array.length meta
+    stats.packets <- stats.packets + Array.length meta;
+    let _, last_ts, _ = meta.(Array.length meta - 1) in
+    after_batch ~n:(Array.length meta) ~ts:last_ts
   in
   let teardown () =
     Array.iter Hilti_rt.Spsc_ring.close in_rings;

@@ -19,6 +19,12 @@ type ('k, 'v) t = {
   mutable default : ('k -> 'v) option;
   mutable expired_total : int;
   mutable on_expire : ('k -> 'v -> unit) option;
+  mutable memo : ('k, 'v) entry option;
+      (* last entry hit: session tables see long same-key runs (a DNS
+         query/response pair, a TCP burst), so one structural key compare
+         routinely replaces the hash + bucket walk.  Every path that drops
+         an entry invalidates it; refresh semantics are unchanged on a
+         memo hit. *)
 }
 
 let m_timers_scheduled =
@@ -31,14 +37,15 @@ let m_expired =
 
 (* Keys are hashed structurally; HILTI map keys are value types, so
    structural equality is the right notion. *)
-let create () =
+let create ?(size = 64) () =
   {
-    buckets = Hashtbl.create 64;
+    buckets = Hashtbl.create size;
     strategy = Expire.Never;
     mgr = None;
     default = None;
     expired_total = 0;
     on_expire = None;
+    memo = None;
   }
 
 (** Set a default constructor: lookups of missing keys return (and insert)
@@ -64,6 +71,9 @@ let schedule_expiry t (entry : ('k, 'v) entry) =
       let gen = entry.gen in
       let fire () =
         if entry.gen = gen && Hashtbl.mem t.buckets entry.key then begin
+          (match t.memo with
+          | Some e when e == entry -> t.memo <- None
+          | _ -> ());
           Hashtbl.remove t.buckets entry.key;
           t.expired_total <- t.expired_total + 1;
           Hilti_obs.Metrics.incr m_expired;
@@ -96,20 +106,36 @@ let insert t key value =
   | None ->
       let entry = { key; value; gen = 0 } in
       Hashtbl.replace t.buckets key entry;
+      t.memo <- Some entry;
       schedule_expiry t entry
 
+(** Insert a key the caller knows is absent (e.g. right after a failed
+    lookup): skips [insert]'s presence probe, so the create path of a
+    session table costs one bucket write instead of a find + replace. *)
+let add_fresh t key value =
+  let entry = { key; value; gen = 0 } in
+  Hashtbl.replace t.buckets key entry;
+  t.memo <- Some entry;
+  schedule_expiry t entry
+
 let find_opt t key =
-  match Hashtbl.find_opt t.buckets key with
-  | Some entry ->
+  match t.memo with
+  | Some entry when entry.key = key ->
       refresh_on_read t entry;
       Some entry.value
-  | None -> (
-      match t.default with
-      | Some f ->
-          let v = f key in
-          insert t key v;
-          Some v
-      | None -> None)
+  | _ -> (
+      match Hashtbl.find_opt t.buckets key with
+      | Some entry ->
+          t.memo <- Some entry;
+          refresh_on_read t entry;
+          Some entry.value
+      | None -> (
+          match t.default with
+          | Some f ->
+              let v = f key in
+              insert t key v;
+              Some v
+          | None -> None))
 
 exception Index_error
 
@@ -130,9 +156,15 @@ let mem_touch t key =
       true
   | None -> false
 
-let remove t key = Hashtbl.remove t.buckets key
+let remove t key =
+  (match t.memo with
+  | Some entry when entry.key = key -> t.memo <- None
+  | _ -> ());
+  Hashtbl.remove t.buckets key
 
-let clear t = Hashtbl.reset t.buckets
+let clear t =
+  t.memo <- None;
+  Hashtbl.reset t.buckets
 
 let iter f t = Hashtbl.iter (fun k e -> f k e.value) t.buckets
 

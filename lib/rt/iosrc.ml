@@ -39,6 +39,31 @@ let read t =
       Some p
   | None -> None
 
+(** Fill [buf.(0 .. n-1)] with the next packets; returns how many were
+    delivered.  A short count means the source is exhausted (the same
+    EOF contract as [read] returning [None]).  Input accounting is
+    batch-granular: one counter update for the whole batch instead of
+    two per packet — the input half of the driver's batched loop. *)
+let read_batch t buf n =
+  let filled = ref 0 and bytes = ref 0 in
+  (try
+     while !filled < n do
+       match t.next () with
+       | Some p ->
+           buf.(!filled) <- p;
+           incr filled;
+           bytes := !bytes + String.length p.data
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  let filled = !filled in
+  if filled > 0 then begin
+    t.delivered <- t.delivered + filled;
+    Hilti_obs.Metrics.add m_packets_read filled;
+    Hilti_obs.Metrics.add m_bytes_read !bytes
+  end;
+  filled
+
 (** Iterate all remaining packets. *)
 let iter f t =
   let rec go () =

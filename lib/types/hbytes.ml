@@ -22,12 +22,20 @@ exception Out_of_range
 exception Frozen
 (** Raised when appending to a frozen object. *)
 
+exception Stale_view
+(** Raised when reading through a {!view} after the underlying object
+    mutated (append or trim): the view's generation no longer matches. *)
+
 type t = {
   mutable buf : Bytes.t;  (* storage holding the retained window *)
   mutable off : int;      (* index in [buf] of absolute offset [base] *)
   mutable base : int;     (* absolute offset of first retained byte *)
   mutable len : int;      (* number of retained bytes *)
   mutable frozen : bool;
+  mutable gen : int;
+      (* memo generation: bumped on every mutation of the window (append,
+         trim).  Views capture it at creation and refuse to read once it
+         moved on — stale data can never leak through a slice. *)
   mutable cached : string option;
       (* memoized [to_string] of the current window; invalidated whenever
          the window changes (append, trim).  Token matching and equality
@@ -39,7 +47,8 @@ type iter = { bytes : t; pos : int }
 (** Iterators are immutable values holding an absolute stream offset. *)
 
 let create () =
-  { buf = Bytes.create 64; off = 0; base = 0; len = 0; frozen = false; cached = None }
+  { buf = Bytes.create 64; off = 0; base = 0; len = 0; frozen = false; gen = 0;
+    cached = None }
 
 let of_string s =
   {
@@ -48,6 +57,25 @@ let of_string s =
     base = 0;
     len = String.length s;
     frozen = false;
+    gen = 0;
+    cached = Some s;
+  }
+
+(** Wrap [s] as an already-frozen bytes object {e without copying}: the
+    string itself becomes the backing buffer.  Safe because a frozen
+    object rejects appends, trimming only narrows the window, and
+    [ensure_room]'s compaction can never run — the backing bytes are
+    immutable for the object's whole lifetime.  This is the per-packet
+    fast path: a datagram payload becomes parseable with one small
+    allocation and zero byte copies. *)
+let frozen_of_string s =
+  {
+    buf = Bytes.unsafe_of_string s;
+    off = 0;
+    base = 0;
+    len = String.length s;
+    frozen = true;
+    gen = 0;
     cached = Some s;
   }
 
@@ -78,7 +106,10 @@ let append t s =
   ensure_room t n;
   Bytes.blit_string s 0 t.buf (t.off + t.len) n;
   t.len <- t.len + n;
-  if n > 0 then t.cached <- None
+  if n > 0 then begin
+    t.cached <- None;
+    t.gen <- t.gen + 1
+  end
 
 let append_bytes t b = append t (Bytes.to_string b)
 
@@ -102,11 +133,16 @@ let trim t (it : iter) =
     t.len <- t.len - drop;
     if drop > 0 then begin
       t.cached <- None;
+      t.gen <- t.gen + 1;
       !on_trim drop
     end
   end
 
 (* Iterators --------------------------------------------------------------- *)
+
+(** Drop the first [n] retained bytes — the window-relative trim the
+    incremental stream parsers use after consuming a message. *)
+let trim_front t n = if n > 0 then trim t { bytes = t; pos = t.base + n }
 
 let begin_ t : iter = { bytes = t; pos = t.base }
 let end_ t : iter = { bytes = t; pos = t.base + t.len }
@@ -190,22 +226,44 @@ let read (it : iter) n =
 (** Find the first occurrence of [needle] at or after [it] within currently
     available data.  [None] means not found *so far*: on a non-frozen object
     the caller may need to wait for more data. *)
+(* Closure-free needle comparison: keeping every parameter explicit stops
+   the compiler from allocating a closure per scanned position, which used
+   to dominate the line-oriented parsers' allocation profile. *)
+let rec needle_matches buf phys needle k nlen =
+  k >= nlen
+  || (Bytes.get buf (phys + k) = needle.[k]
+     && needle_matches buf phys needle (k + 1) nlen)
+
 let find (it : iter) needle =
   let t = it.bytes in
   let nlen = String.length needle in
-  let limit = end_offset t - nlen in
-  let rec scan pos =
-    if pos > limit then None
-    else
-      let rec matches k =
-        k >= nlen
-        || Bytes.get t.buf (t.off + pos - t.base + k) = needle.[k] && matches (k + 1)
-      in
-      if matches 0 then Some { it with pos } else scan (pos + 1)
-  in
   if nlen = 0 then Some it
   else if it.pos < t.base then raise Out_of_range
-  else scan (Stdlib.max it.pos t.base)
+  else begin
+    let from = Stdlib.max it.pos t.base in
+    if nlen = 1 then
+      (* memchr: the dominant case (line terminators). *)
+      let start = t.off + from - t.base in
+      if start >= t.off + t.len then None
+      else
+        match Bytes.index_from_opt t.buf start needle.[0] with
+        | Some p when p < t.off + t.len -> Some { it with pos = t.base + p - t.off }
+        | _ -> None
+    else begin
+      let limit = end_offset t - nlen in
+      let c0 = needle.[0] in
+      let rec scan pos =
+        if pos > limit then None
+        else
+          let phys = t.off + pos - t.base in
+          if Bytes.unsafe_get t.buf phys = c0
+             && needle_matches t.buf phys needle 1 nlen
+          then Some { it with pos }
+          else scan (pos + 1)
+      in
+      scan from
+    end
+  end
 
 (** [match_prefix it s] checks whether the data at [it] starts with [s];
     raises [Would_block] if not enough data is available to decide. *)
@@ -254,6 +312,130 @@ let read_sint (it : iter) ~width ~order =
       if Int64.logand v sign <> 0L then Int64.sub v (Int64.shift_left 1L bits) else v
   in
   (v, it')
+
+(* Zero-copy sub-views ----------------------------------------------------- *)
+
+(** A [view] is an offset/length window over the backing buffer with no
+    string materialization: reads go straight to the retained bytes.  The
+    physical buffer index is resolved once at creation, which is sound
+    because every operation that could move the retained bytes (append —
+    possibly compacting or reallocating the buffer — and trim) bumps the
+    object's memo generation, and every read checks the captured
+    generation first: a stale view raises {!Stale_view} instead of ever
+    returning bytes from the wrong place. *)
+type view = {
+  vt : t;        (* underlying object, for the generation check *)
+  vphys : int;   (* physical index of the view's first byte in [vt.buf] *)
+  vabs : int;    (* absolute stream offset of the view's first byte *)
+  vlen : int;
+  vgen : int;    (* [vt.gen] at creation *)
+}
+
+let check_view v = if v.vgen <> v.vt.gen then raise Stale_view
+
+(** View over the whole currently retained window. *)
+let view t : view =
+  { vt = t; vphys = t.off; vabs = t.base; vlen = t.len; vgen = t.gen }
+
+(** View over [\[a, b)]; both iterators must point into retained,
+    currently available data. *)
+let sub_view (a : iter) (b : iter) : view =
+  let t = a.bytes in
+  if a.pos < t.base || b.pos > end_offset t || a.pos > b.pos then
+    raise Out_of_range;
+  { vt = t;
+    vphys = t.off + a.pos - t.base;
+    vabs = a.pos;
+    vlen = b.pos - a.pos;
+    vgen = t.gen }
+
+(** Sub-slice of a view (relative offset/length). *)
+let view_sub (v : view) off len : view =
+  check_view v;
+  if off < 0 || len < 0 || off + len > v.vlen then raise Out_of_range;
+  { v with vphys = v.vphys + off; vabs = v.vabs + off; vlen = len }
+
+let view_length v = v.vlen
+let view_offset v = v.vabs
+
+(** Iterator at relative offset [i] of the view (for handing a slice
+    position back to iterator-based code). *)
+let view_iter (v : view) i : iter =
+  check_view v;
+  { bytes = v.vt; pos = v.vabs + i }
+
+let get_u8 (v : view) i =
+  check_view v;
+  if i < 0 || i >= v.vlen then raise Out_of_range;
+  Char.code (Bytes.unsafe_get v.vt.buf (v.vphys + i))
+
+let get_u16 (v : view) i =
+  check_view v;
+  if i < 0 || i + 2 > v.vlen then raise Out_of_range;
+  let b = v.vt.buf and p = v.vphys + i in
+  (Char.code (Bytes.unsafe_get b p) lsl 8) lor Char.code (Bytes.unsafe_get b (p + 1))
+
+let get_u32 (v : view) i =
+  check_view v;
+  if i < 0 || i + 4 > v.vlen then raise Out_of_range;
+  let b = v.vt.buf and p = v.vphys + i in
+  (Char.code (Bytes.unsafe_get b p) lsl 24)
+  lor (Char.code (Bytes.unsafe_get b (p + 1)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (p + 2)) lsl 8)
+  lor Char.code (Bytes.unsafe_get b (p + 3))
+
+(** First occurrence of byte [c] at or after relative offset [from];
+    the returned index is relative to the view. *)
+let find_byte (v : view) ?(from = 0) (c : char) : int option =
+  check_view v;
+  if from < 0 then raise Out_of_range;
+  if from >= v.vlen then None
+  else
+    match Bytes.index_from_opt v.vt.buf (v.vphys + from) c with
+    | Some p when p < v.vphys + v.vlen -> Some (p - v.vphys)
+    | _ -> None
+
+(** Materialize [len] bytes at relative offset [off] as a string — the
+    one place a view turns into a copy, for callers that need a real
+    string (semantic field values, log columns). *)
+let view_sub_string (v : view) off len : string =
+  check_view v;
+  if off < 0 || len < 0 || off + len > v.vlen then raise Out_of_range;
+  Bytes.sub_string v.vt.buf (v.vphys + off) len
+
+(** The whole view as a string; reuses the [to_string] memo when the view
+    spans the full retained window (no copy on the frozen fast path). *)
+let view_to_string (v : view) : string =
+  check_view v;
+  if v.vabs = v.vt.base && v.vlen = v.vt.len then to_string v.vt
+  else Bytes.sub_string v.vt.buf v.vphys v.vlen
+
+(** Append [len] bytes at relative offset [off] into [buf] without an
+    intermediate string (label/token accumulation on the parse path). *)
+let view_add_to_buffer (v : view) off len (buf : Buffer.t) =
+  check_view v;
+  if off < 0 || len < 0 || off + len > v.vlen then raise Out_of_range;
+  Buffer.add_subbytes buf v.vt.buf (v.vphys + off) len
+
+(** A frozen bytes object sharing the view's window — zero-copy when the
+    underlying object is frozen (the backing buffer can never move), a
+    copy otherwise.  This is how a packet-payload slice enters the
+    BinPAC++ runtime without materializing a string. *)
+let of_view (v : view) : t =
+  check_view v;
+  if v.vt.frozen then
+    { buf = v.vt.buf; off = v.vphys; base = 0; len = v.vlen; frozen = true;
+      gen = 0; cached = None }
+  else of_string (view_sub_string v 0 v.vlen)
+
+(** Zero-copy view over [len] bytes of [s] starting at [off]: wraps [s]
+    in a frozen object (no byte copy) and slices it.  The packet-payload
+    entry point of the analyzer fast path. *)
+let view_of_string ?(off = 0) ?len s : view =
+  let t = frozen_of_string s in
+  let len = match len with Some l -> l | None -> String.length s - off in
+  if off < 0 || len < 0 || off + len > t.len then raise Out_of_range;
+  { vt = t; vphys = off; vabs = off; vlen = len; vgen = 0 }
 
 let equal a b = to_string a = to_string b && a.base = b.base
 let hash t = Hashtbl.hash (to_string t)

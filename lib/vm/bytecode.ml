@@ -294,6 +294,15 @@ type program = {
       one domain at once, so the VM may recycle a per-worker arena frame
       instead of copying the bank templates per activation.  Empty ([[||]])
       until the analysis runs — the VM treats missing entries as [false]. *)
+  mutable reuse_susp : bool array;
+  (** the suspend-tolerant licence class, stamped together with [reuse]:
+      [reuse_susp.(i)] means function [i] meets every frame-reuse
+      condition {e except} that its synchronous closure may suspend.  The
+      VM serves these activations from the arena too — a parked fiber
+      keeps its slot's busy bit set, so an overlapping activation falls
+      back to copying (counted as [vm_frame_suspend_copies]); the licence
+      removes the per-activation copy for the common non-overlapping
+      case.  Disjoint from [reuse]. *)
 }
 
 let find_func p name = Hashtbl.find_opt p.func_index name

@@ -782,4 +782,4 @@ let lower_module (m : Module_ir.t) : Bytecode.program =
   let func_index = Hashtbl.create 32 in
   Array.iteri (fun i (f : Bytecode.func) -> Hashtbl.replace func_index f.name i) funcs;
   { funcs; func_index; globals; global_defaults; global_index; hooks = hooks_table;
-    types; verified = false; specialized = false; reuse = [||] }
+    types; verified = false; specialized = false; reuse = [||]; reuse_susp = [||] }

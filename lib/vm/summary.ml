@@ -314,12 +314,30 @@ let reusable (s : program_summary) (i : int) : bool =
   && (not t.advances_timers)
   && not t.unknown_host
 
-(** Compute summaries and stamp the per-function reuse licence into the
-    program ({!Bytecode.program.reuse}), enabling the VM's frame-arena
-    path.  Returns the summary for further consumers. *)
+(** The suspend-tolerant licence class: every {!reusable} condition holds
+    {e except} that the synchronous closure may suspend.  Safe because a
+    parked fiber's activation keeps its arena slot's busy bit set (effect
+    suspension captures — does not unwind — the VM's release handler), so
+    an overlapping activation observes busy and takes the copy fallback;
+    the VM counts those fallbacks as [vm_frame_suspend_copies].  Kept
+    disjoint from {!reusable} so the two populations can be metered
+    separately. *)
+let reusable_susp (s : program_summary) (i : int) : bool =
+  let t = s.total.(i) in
+  (not s.recursive.(i))
+  && t.may_suspend
+  && (not t.calls_indirect)
+  && (not t.advances_timers)
+  && not t.unknown_host
+
+(** Compute summaries and stamp the per-function reuse licences into the
+    program ({!Bytecode.program.reuse} and [reuse_susp]), enabling the
+    VM's frame-arena path.  Returns the summary for further consumers. *)
 let license_frame_reuse (p : Bytecode.program) : program_summary =
   let s = compute p in
-  p.Bytecode.reuse <- Array.init (Array.length p.Bytecode.funcs) (reusable s);
+  let n = Array.length p.Bytecode.funcs in
+  p.Bytecode.reuse <- Array.init n (reusable s);
+  p.Bytecode.reuse_susp <- Array.init n (reusable_susp s);
   s
 
 (* ---- Debug rendering ------------------------------------------------------ *)

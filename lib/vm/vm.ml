@@ -291,6 +291,11 @@ let m_frames_reused =
     ~help:
       "Activations served from the per-worker frame arena instead of copying bank templates"
 
+let m_frame_suspend_copies =
+  Hilti_obs.Metrics.counter "vm_frame_suspend_copies"
+    ~help:
+      "Activations of may-suspend functions that copied bank templates because their arena slot was parked busy by a suspended activation"
+
 let poison_uninit (f : Bytecode.func) (regs : Value.t array) =
   if !arena_debug then
     Array.iteri
@@ -310,14 +315,19 @@ let slot_fits (f : Bytecode.func) (s : arena_slot) =
 
 (** Hand out the per-context arena frame for function [fidx], or [None]
     when the activation must copy: no licence
-    ({!Bytecode.program.reuse}), or the slot is busy (a nested or parked
-    activation the static licence did not anticipate — correctness is
-    preserved by falling back).  On reuse the bank templates are blitted
-    over the slot in place, so the activation starts from exactly the
-    state a fresh copy would have. *)
+    ({!Bytecode.program.reuse} / [reuse_susp]), or the slot is busy (a
+    nested or parked activation — correctness is preserved by falling
+    back).  For the suspend-tolerant class the busy fallback is the
+    expected steady-state cost of overlapping parked fibers, so it is
+    metered separately as [vm_frame_suspend_copies].  On reuse the bank
+    templates are blitted over the slot in place, so the activation
+    starts from exactly the state a fresh copy would have. *)
 let acquire_frame ctx (fidx : int) (f : Bytecode.func) : arena_slot option =
   let lic = ctx.program.reuse in
-  if fidx >= Array.length lic || not (Array.unsafe_get lic fidx) then None
+  let lic_s = ctx.program.reuse_susp in
+  let strict = fidx < Array.length lic && Array.unsafe_get lic fidx in
+  let susp = fidx < Array.length lic_s && Array.unsafe_get lic_s fidx in
+  if not (strict || susp) then None
   else begin
     if Array.length ctx.arena = 0 then
       ctx.arena <- Array.make (Array.length ctx.program.funcs) None;
@@ -333,7 +343,12 @@ let acquire_frame ctx (fidx : int) (f : Bytecode.func) : arena_slot option =
         poison_uninit f s.a_regs;
         if Hilti_obs.Metrics.enabled () then Hilti_obs.Metrics.incr m_frames_reused;
         Some s
-    | Some s when s.a_busy -> None
+    | Some s when s.a_busy ->
+        (* Parked-fiber overlap: a suspended activation still owns the
+           slot.  Copy, and meter the cost for the suspend class. *)
+        if susp && Hilti_obs.Metrics.enabled () then
+          Hilti_obs.Metrics.incr m_frame_suspend_copies;
+        None
     | _ ->
         (* First licensed activation (or a stale-shaped slot): build the
            slot from the templates; later activations reuse it. *)

@@ -245,6 +245,7 @@ let mk_prog ?(globals = [||]) funcs =
     verified = false;
     specialized = false;
     reuse = [||];
+    reuse_susp = [||];
   }
 
 let expect_reject what p needle =

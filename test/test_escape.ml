@@ -148,6 +148,7 @@ let mk_prog funcs =
     verified = false;
     specialized = false;
     reuse = [||];
+    reuse_susp = [||];
   }
 
 let test_reuse_licence_rules () =
@@ -173,7 +174,26 @@ let test_reuse_licence_rules () =
     (lic "calls_yielder");
   Alcotest.(check bool) "indirect call refused" false (lic "indirect");
   Alcotest.(check bool) "summary reports yields as suspending" true
-    s.Summary.total.(fidx p "yields").Summary.may_suspend
+    s.Summary.total.(fidx p "yields").Summary.may_suspend;
+  (* The suspend-tolerant class: exactly the yielders that meet every
+     other condition, and disjoint from the strict licence. *)
+  let lic_s name = p.Bc.reuse_susp.(fidx p name) in
+  Alcotest.(check bool) "yielder gets the suspend licence" true (lic_s "yields");
+  Alcotest.(check bool) "transitive yielder gets the suspend licence" true
+    (lic_s "calls_yielder");
+  Alcotest.(check bool) "pure function not in the suspend class" false
+    (lic_s "pure");
+  Alcotest.(check bool) "self-recursion refused in the suspend class" false
+    (lic_s "self");
+  Alcotest.(check bool) "indirect call refused in the suspend class" false
+    (lic_s "indirect");
+  Array.iteri
+    (fun i f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "licence classes disjoint for %s" f.Bc.name)
+        false
+        (p.Bc.reuse.(i) && p.Bc.reuse_susp.(i)))
+    p.Bc.funcs
 
 (* ---- Escape classification ----------------------------------------------- *)
 
@@ -433,6 +453,55 @@ let test_frame_reuse_differential () =
       Alcotest.(check bool) "frames_reused counter advanced" true
         (after > before))
 
+(* Suspend-tolerant reuse: a yielding callee is served from the arena;
+   while one activation is parked at its yield, a second activation of the
+   same function observes the busy slot, copies, and the copy is metered
+   by [vm_frame_suspend_copies].  Built through the IR builder because the
+   surface language has no yield statement. *)
+let build_susp_module () =
+  let m = Module_ir.create "S" in
+  let b =
+    Builder.func m "S::slow" ~params:[ ("x", Htype.Int 64) ]
+      ~result:(Htype.Int 64)
+  in
+  let r =
+    Builder.emit b (Htype.Int 64) "int.mul" [ Instr.Local "x"; Instr.Local "x" ]
+  in
+  Builder.instr b "yield" [];
+  Builder.return_result b r;
+  let b2 =
+    Builder.func m "S::drive" ~params:[ ("x", Htype.Int 64) ]
+      ~result:(Htype.Int 64)
+  in
+  let t = Builder.tmp b2 (Htype.Int 64) in
+  Builder.call b2 ~target:t "S::slow" [ Instr.Local "x" ];
+  Builder.return_result b2 (Instr.Local t);
+  m
+
+let test_frame_reuse_suspend_overlap () =
+  let api = Hilti_vm.Host_api.compile ~optimize:false [ build_susp_module () ] in
+  let p = program api in
+  Alcotest.(check bool) "yielding callee in the suspend class" true
+    (p.Bc.reuse_susp.(fidx p "S::slow"));
+  Alcotest.(check bool) "yielding callee not strictly licensed" false
+    (p.Bc.reuse.(fidx p "S::slow"));
+  Metrics.with_enabled true (fun () ->
+      let before = Metrics.counter_value Vm.m_frame_suspend_copies in
+      (* run1 parks inside S::slow holding the arena slot busy... *)
+      let run1 = Hilti_vm.Host_api.call_fiber api "S::drive" [ Value.Int 3L ] in
+      Alcotest.(check bool) "run1 parked" false (Hilti_vm.Host_api.finished run1);
+      (* ...so run2's overlapping activation must take the copy path. *)
+      let run2 = Hilti_vm.Host_api.call_fiber api "S::drive" [ Value.Int 4L ] in
+      Alcotest.(check bool) "run2 parked" false (Hilti_vm.Host_api.finished run2);
+      let after = Metrics.counter_value Vm.m_frame_suspend_copies in
+      Alcotest.(check bool) "suspend-copy fallback metered" true (after > before);
+      ignore (Hilti_vm.Host_api.resume run1);
+      ignore (Hilti_vm.Host_api.resume run2);
+      Alcotest.(check int64) "run1 result intact across overlap" 9L
+        (Value.as_int (Hilti_vm.Host_api.result_exn run1));
+      Alcotest.(check int64) "run2 result intact across overlap" 16L
+        (Value.as_int (Hilti_vm.Host_api.result_exn run2)))
+
 let test_frame_reuse_checked_poison () =
   (* Debug poison mode: recycled frames are filled with a poison value in
      every register the verifier did not prove initialized at entry; the
@@ -584,5 +653,7 @@ let suite =
     Alcotest.test_case "racecheck: racy fixture" `Quick test_racecheck_flags_races;
     Alcotest.test_case "racecheck: flow-keyed exemption" `Quick test_racecheck_flow_keyed_clean;
     Alcotest.test_case "frame reuse: differential" `Quick test_frame_reuse_differential;
+    Alcotest.test_case "frame reuse: suspend overlap copies" `Quick
+      test_frame_reuse_suspend_overlap;
     Alcotest.test_case "frame reuse: checked poison mode" `Quick test_frame_reuse_checked_poison;
     prop_local_never_escapes ]

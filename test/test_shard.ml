@@ -196,6 +196,44 @@ let test_dns_identical_idle_timeout () =
   Alcotest.(check string) "dns.log identical with eviction at 2 shards" serial
     (dns_log ~jobs:2 ~idle_timeout Driver.Dns_std)
 
+(* The batched zero-copy loop against the pre-batching per-packet loop:
+   without eviction timers the batch-granular epoch placement must not
+   change the event stream at all, so the two loops are differential
+   oracles for each other (slice decode vs string decode, arena vs fresh
+   records, one epoch per batch vs per packet). *)
+let test_dns_batched_vs_unbatched () =
+  let record_events run =
+    let buf = Buffer.create 8192 in
+    let sink =
+      { Events.raise_event =
+          (fun name args ->
+            Buffer.add_string buf name;
+            List.iter
+              (fun v ->
+                Buffer.add_char buf ' ';
+                Buffer.add_string buf (Mini_bro.Bro_val.to_string v))
+              args;
+            Buffer.add_char buf '\n');
+        set_time = (fun _ -> ()) }
+    in
+    ignore (run sink);
+    Buffer.contents buf
+  in
+  let src () = Pcap.iosrc_of_records (Lazy.force dns_records) in
+  let unbatched =
+    record_events (fun sink ->
+        Driver.run_dns_src_unbatched ~kind:Driver.Dns_std ~sink (src ()))
+  in
+  Alcotest.(check bool) "event stream is non-trivial" true
+    (String.length unbatched > 1000);
+  Alcotest.(check string) "batched loop emits the identical event stream"
+    unbatched
+    (record_events (fun sink ->
+         Driver.run_dns_src ~kind:Driver.Dns_std ~sink (src ())));
+  Alcotest.(check string) "odd batch sizes change nothing" unbatched
+    (record_events (fun sink ->
+         Driver.run_dns_src ~kind:Driver.Dns_std ~sink ~batch:7 (src ())))
+
 (* ---- Byte-identical logs: firewall ------------------------------------------- *)
 
 let fw_rules =
@@ -299,6 +337,8 @@ let suite =
       test_dns_identical_std;
     Alcotest.test_case "DNS logs byte-identical (BinPAC++)" `Quick
       test_dns_identical_pac;
+    Alcotest.test_case "DNS batched loop identical to unbatched oracle" `Quick
+      test_dns_batched_vs_unbatched;
     Alcotest.test_case "DNS logs byte-identical under eviction" `Quick
       test_dns_identical_idle_timeout;
     Alcotest.test_case "firewall logs byte-identical (1/2/4 shards)" `Quick

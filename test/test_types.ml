@@ -202,6 +202,123 @@ let test_hbytes_unpack () =
   let v, _ = Hbytes.read_sint (Hbytes.begin_ s) ~width:1 ~order:Hbytes.Big in
   Alcotest.(check int64) "s8 sign extension" (-1L) v
 
+(* ---- Zero-copy views ----------------------------------------------------- *)
+
+let test_hbytes_views () =
+  let b = Hbytes.of_string "abcdef\x12\x34\x56\x78" in
+  let v = Hbytes.view b in
+  Alcotest.(check int) "view length" 10 (Hbytes.view_length v);
+  Alcotest.(check int) "u8" (Char.code 'a') (Hbytes.get_u8 v 0);
+  Alcotest.(check int) "u16 be" 0x1234 (Hbytes.get_u16 v 6);
+  Alcotest.(check int) "u32 be" 0x12345678 (Hbytes.get_u32 v 6);
+  Alcotest.(check (option int)) "find_byte" (Some 3) (Hbytes.find_byte v 'd');
+  Alcotest.(check (option int)) "find_byte from" None
+    (Hbytes.find_byte v ~from:4 'd');
+  let w = Hbytes.view_sub v 2 3 in
+  Alcotest.(check string) "view_sub contents" "cde" (Hbytes.view_sub_string w 0 3);
+  Alcotest.(check int) "view_sub offset" 2 (Hbytes.view_offset w);
+  (match Hbytes.get_u16 w 2 with
+  | exception Hbytes.Out_of_range -> ()
+  | _ -> Alcotest.fail "u16 straddling the view end must refuse");
+  let it2 = Hbytes.iter_at b 2 and it7 = Hbytes.iter_at b 7 in
+  Alcotest.(check string) "sub_view agrees with sub" (Hbytes.sub it2 it7)
+    (Hbytes.view_to_string (Hbytes.sub_view it2 it7));
+  (* The string entry point slices without wrapping copies... *)
+  let sv = Hbytes.view_of_string ~off:2 ~len:3 "abcdef" in
+  Alcotest.(check string) "view_of_string window" "cde"
+    (Hbytes.view_to_string sv);
+  (* ...and re-entering Hbytes from a frozen view shares the buffer. *)
+  let shared = Hbytes.of_view sv in
+  Alcotest.(check string) "of_view contents" "cde" (Hbytes.to_string shared);
+  Alcotest.(check bool) "of_view shares the frozen buffer" true
+    (shared.Hbytes.buf == sv.Hbytes.vt.Hbytes.buf)
+
+let test_hbytes_view_staleness () =
+  let b = Hbytes.of_string "0123456789" in
+  let v = Hbytes.view b in
+  Alcotest.(check int) "live read" (Char.code '0') (Hbytes.get_u8 v 0);
+  Hbytes.trim b (Hbytes.iter_at b 4);
+  (match Hbytes.get_u8 v 0 with
+  | exception Hbytes.Stale_view -> ()
+  | _ -> Alcotest.fail "trim must invalidate outstanding views");
+  let v2 = Hbytes.view b in
+  Hbytes.append b "x";
+  (match Hbytes.view_sub_string v2 0 1 with
+  | exception Hbytes.Stale_view -> ()
+  | _ -> Alcotest.fail "append must invalidate outstanding views");
+  (* Frozen wrappers reject mutation, so their views can never go stale. *)
+  let fv = Hbytes.view_of_string "abc" in
+  Alcotest.(check int) "frozen view stays valid" (Char.code 'a')
+    (Hbytes.get_u8 fv 0)
+
+(* Regression: trimming everything away used to leave the [to_string] memo
+   in a state where a following append could serve stale bytes.  Trim and
+   append must both clear the memo and bump the generation. *)
+let test_hbytes_trim_append_memo () =
+  let b = Hbytes.of_string "abcdef" in
+  Alcotest.(check string) "memoized" "abcdef" (Hbytes.to_string b);
+  let g0 = b.Hbytes.gen in
+  Hbytes.trim b (Hbytes.end_ b);
+  Alcotest.(check bool) "trim bumps gen" true (b.Hbytes.gen > g0);
+  Alcotest.(check string) "empty after trim to end" "" (Hbytes.to_string b);
+  let g1 = b.Hbytes.gen in
+  Hbytes.append b "XYZ";
+  Alcotest.(check bool) "append bumps gen" true (b.Hbytes.gen > g1);
+  Alcotest.(check string) "to_string sees the new bytes" "XYZ"
+    (Hbytes.to_string b);
+  Alcotest.(check string) "slice reads see the new bytes" "YZ"
+    (Hbytes.view_sub_string (Hbytes.view b) 1 2);
+  Alcotest.(check string) "iterator sub sees the new bytes" "XYZ"
+    (Hbytes.sub (Hbytes.begin_ b) (Hbytes.end_ b))
+
+(* Property: under random append/trim/read interleavings, whole-window
+   views agree with a plain string model, and any view outstanding across
+   a mutation raises [Stale_view] instead of returning bytes. *)
+let prop_hbytes_view_model =
+  qt "hbytes: views track a string model; stale reads raise"
+    QCheck.(
+      small_list
+        (triple (int_bound 2)
+           (string_gen_of_size (Gen.int_bound 8) Gen.printable)
+           small_nat))
+    (fun ops ->
+      let b = Hbytes.create () in
+      let model = ref "" in
+      let went_stale v =
+        match Hbytes.get_u8 v 0 with
+        | exception Hbytes.Stale_view -> true
+        | exception _ -> false
+        | _ -> false
+      in
+      List.for_all
+        (fun (tag, s, k) ->
+          let n = String.length !model in
+          match tag with
+          | 0 ->
+              let v = Hbytes.view b in
+              Hbytes.append b s;
+              model := !model ^ s;
+              if s = "" then true else went_stale v
+          | 1 ->
+              let d = if n = 0 then 0 else k mod (n + 1) in
+              let v = Hbytes.view b in
+              Hbytes.trim_front b d;
+              model := String.sub !model d (n - d);
+              if d = 0 then true else went_stale v
+          | _ ->
+              let v = Hbytes.view b in
+              Hbytes.view_to_string v = !model
+              && Hbytes.to_string b = !model
+              && (n = 0
+                 ||
+                 let i = k mod n in
+                 Hbytes.get_u8 v i = Char.code !model.[i]
+                 && Hbytes.view_sub_string v i (n - i)
+                    = String.sub !model i (n - i)
+                 && Hbytes.find_byte v !model.[i]
+                    = String.index_opt !model !model.[i]))
+        ops)
+
 (* Property: an Hbytes built from arbitrary appends behaves like string
    concatenation, whatever the chunking. *)
 let prop_hbytes_chunking =
@@ -242,5 +359,10 @@ let suite =
     Alcotest.test_case "hbytes trim" `Quick test_hbytes_trim;
     Alcotest.test_case "hbytes find/prefix" `Quick test_hbytes_find_and_prefix;
     Alcotest.test_case "hbytes unpack" `Quick test_hbytes_unpack;
+    Alcotest.test_case "hbytes views" `Quick test_hbytes_views;
+    Alcotest.test_case "hbytes view staleness" `Quick test_hbytes_view_staleness;
+    Alcotest.test_case "hbytes trim/append memo regression" `Quick
+      test_hbytes_trim_append_memo;
+    prop_hbytes_view_model;
     prop_hbytes_chunking;
     prop_hbytes_sub_consistent ]
